@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered rows are emitted both to the real stdout (so they survive
+pytest's capture and land in ``bench_output.txt``) and to
+``benchmarks/output/<name>.txt`` for later inspection.
+
+The expensive inputs — one full AITIA diagnosis per corpus bug — are
+computed once per session and shared across benchmark modules.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.core.diagnose import Aitia
+from repro.corpus import registry
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table past pytest's capture and save it."""
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def corpus_diagnoses():
+    """bug_id -> (Bug, Diagnosis) for the 22 evaluated bugs."""
+    registry._load_factories()
+    result = {}
+    for bug in registry.all_bugs():
+        result[bug.bug_id] = (bug, Aitia(bug).diagnose())
+    return result
+
+
+@pytest.fixture(scope="session")
+def cve_diagnoses(corpus_diagnoses):
+    return [(bug, d) for bug, d in corpus_diagnoses.values()
+            if bug.source == "cve"]
+
+
+@pytest.fixture(scope="session")
+def syzkaller_diagnoses(corpus_diagnoses):
+    return [(bug, d) for bug, d in corpus_diagnoses.values()
+            if bug.source == "syzkaller"]

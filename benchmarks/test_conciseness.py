@@ -1,0 +1,60 @@
+"""Section 5.2 conciseness statistics.
+
+Regenerates the paper's numbers on how much a causality chain reduces
+developer effort: per failed execution, the number of memory-accessing
+instruction executions, the number of individual data races detected,
+and the number of races in the final chain — plus the averages the paper
+quotes (9592.8 accesses, 108.4 races, 3.0 chain races on their testbed;
+our models are smaller, so the *ratios* are the reproduced shape).
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.races import count_memory_instructions
+
+
+def test_conciseness_statistics(syzkaller_diagnoses, benchmark):
+    def compute():
+        rows = []
+        for bug, d in syzkaller_diagnoses:
+            failing = d.lifs_result.failure_run
+            rows.append((
+                bug.bug_id,
+                count_memory_instructions(failing.accesses),
+                len(d.lifs_result.races),
+                d.chain.race_count,
+                d.ca_result.benign_race_count,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "Section 5.2 — conciseness: accesses vs races vs chain",
+        ["Bug", "mem accesses", "data races", "races in chain",
+         "benign excluded"])
+    for row in rows:
+        table.add_row(*row)
+    n = len(rows)
+    avg_access = sum(r[1] for r in rows) / n
+    avg_races = sum(r[2] for r in rows) / n
+    avg_chain = sum(r[3] for r in rows) / n
+    summary = (
+        f"averages: {avg_access:.1f} memory accesses, "
+        f"{avg_races:.1f} data races, {avg_chain:.1f} races per chain\n"
+        f"(paper, real kernel: 9592.8 accesses, 108.4 races, 3.0 chain "
+        f"races — same ordering, ratios "
+        f"{avg_access / avg_chain:.0f}:{avg_races / avg_chain:.1f}:1 here)")
+    emit("conciseness", table.render() + "\n\n" + summary)
+
+    # Shape: chain << races << accesses, chains average ~3.
+    assert avg_chain < avg_races < avg_access
+    assert avg_races / avg_chain > 4
+    assert 1.5 <= avg_chain <= 4.5
+    # Benign races never leak into any chain.
+    for bug, d in syzkaller_diagnoses:
+        chain_keys = {r.key for r in d.chain.races}
+        benign_keys = {r.key for u in d.ca_result.benign_units
+                       for r in u.races}
+        assert not chain_keys & benign_keys

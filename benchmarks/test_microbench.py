@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate primitives.
+
+These use pytest-benchmark's statistical mode (many rounds) — unlike the
+table harnesses, which measure one-shot pipeline runs.  They exist to
+catch performance regressions in the pieces everything else multiplies:
+machine stepping, schedule enforcement, race derivation, and the flip
+planner's topological sort.
+"""
+
+import pytest
+
+from repro.core.causality import CausalityAnalysis
+from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
+from repro.core.races import find_data_races
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+
+def _loop_machine(iterations=200):
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.store(f.g("n"), iterations)
+        f.load("i", f.g("n"), label="top")
+        f.brz("i", "out")
+        f.binop("i", "sub", f.r("i"), 1)
+        f.store(f.g("n"), f.r("i"))
+        f.inc(f.g("work"), 1)
+        f.jmp("top")
+        f.ret(label="out")
+    image = b.build()
+    return KernelMachine(image, [ThreadSpec("T", "main")])
+
+
+def test_machine_step_throughput(benchmark):
+    """Raw interpreter speed: a 200-iteration counting loop."""
+
+    def run():
+        machine = _loop_machine()
+        thread = machine.thread("T")
+        while not thread.done:
+            machine.step("T")
+        return machine
+
+    machine = benchmark(run)
+    assert machine.memory.load(machine.memory.global_addr("work")) == 200
+
+
+def test_controller_serial_run(benchmark):
+    """Enforcement overhead on a two-thread serial run."""
+    from helpers_bench import fig2_machine
+
+    run = benchmark(lambda: ScheduleController(
+        fig2_machine(), serial_schedule(["A", "B"])).run())
+    assert run.failure is None
+
+
+def test_race_derivation(benchmark):
+    """find_data_races over a realistic failure run's access log."""
+    from helpers_bench import fig2_machine
+    controller = ScheduleController(fig2_machine(),
+                                    serial_schedule(["B", "A"]))
+    accesses = controller.run().accesses
+
+    races = benchmark(lambda: find_data_races(accesses))
+    assert len(races) >= 1
+
+
+def test_full_diagnosis_latency(benchmark):
+    """End-to-end LIFS + CA on the unsalted Figure 2 model."""
+    from helpers_bench import fig2_factory
+
+    def diagnose():
+        factory = fig2_factory()
+        lifs = LeastInterleavingFirstSearch(
+            factory, ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        return CausalityAnalysis(factory, result).analyze()
+
+    analysis = benchmark(diagnose)
+    assert analysis.chain.race_count == 3

@@ -1,0 +1,101 @@
+"""Scalability sweep: diagnosis cost vs benign-race density.
+
+Not a paper table — it characterizes how both stages scale with the one
+parameter the kernel controls in practice: how many benign races
+surround the bug (the paper's failed executions averaged 108.4 detected
+races).  The workload is the Figure 2 bug salted with a growing number
+of racy statistics counters; the real races and the chain stay fixed
+while the search and test spaces grow.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import Table
+from repro.core.causality import CausalityAnalysis
+from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+SALT_LEVELS = [0, 4, 8, 16, 32]
+
+
+def _fig2_with_salt(counters: int):
+    b = ProgramBuilder()
+    with b.function("fanout_add") as f:
+        for i in range(counters):
+            f.inc(f.g(f"stat{i}"), 1, label=f"AS{i}")
+        f.load("r0", f.g("po_running"), label="A2")
+        f.brz("r0", "A3", label="A2b")
+        f.alloc("r1", 16, tag="match", label="A5")
+        f.store(f.g("po_fanout"), f.r("r1"), label="A6")
+        f.call("fanout_link", label="A8")
+        f.ret(label="A3")
+    with b.function("fanout_link") as f:
+        f.list_add(f.g("global_list"), f.i(77), label="A12")
+    with b.function("packet_do_bind") as f:
+        for i in range(counters):
+            f.inc(f.g(f"stat{i}"), 1, label=f"BS{i}")
+        f.load("r0", f.g("po_fanout"), label="B2")
+        f.brnz("r0", "B3", label="B2b")
+        f.call("unregister_hook", label="B5")
+        f.ret(label="B3")
+    with b.function("unregister_hook") as f:
+        f.store(f.g("po_running"), f.i(0), label="B11")
+        f.load("r0", f.g("po_fanout"), label="B12")
+        f.brz("r0", "B14", label="B12b")
+        f.call("fanout_unlink", label="B13")
+        f.ret(label="B14")
+    with b.function("fanout_unlink") as f:
+        f.list_contains("r1", f.g("global_list"), f.i(77), label="B17a")
+        f.binop("r2", "eq", f.r("r1"), f.i(0))
+        f.bug_on("r2", "sk not on global_list", label="B17")
+    image = b.build()
+
+    def factory():
+        return KernelMachine(
+            image,
+            [ThreadSpec("A", "fanout_add"),
+             ThreadSpec("B", "packet_do_bind")],
+            globals_init={"po_running": 1, "po_fanout": 0,
+                          "global_list": ()})
+    return factory
+
+
+def test_cost_vs_benign_density(benchmark):
+    def sweep():
+        rows = []
+        for counters in SALT_LEVELS:
+            factory = _fig2_with_salt(counters)
+            lifs = LeastInterleavingFirstSearch(
+                factory, ["A", "B"],
+                FailureMatcher(kind=FailureKind.ASSERTION))
+            lifs_result = lifs.search()
+            assert lifs_result.reproduced
+            ca = CausalityAnalysis(factory, lifs_result).analyze()
+            rows.append((counters,
+                         lifs_result.stats.schedules_executed,
+                         len(lifs_result.races),
+                         ca.stats.schedules_executed,
+                         ca.chain.race_count))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Scalability — cost vs benign-race density (Figure 2 bug)",
+        ["benign counters", "LIFS schedules", "races detected",
+         "CA schedules", "chain races"])
+    for row in rows:
+        table.add_row(*row)
+    emit("scalability", table.render())
+
+    # The chain is invariant; detected races and both stages' work grow
+    # monotonically with the salt.
+    chains = {row[4] for row in rows}
+    assert chains == {3}
+    lifs_counts = [row[1] for row in rows]
+    ca_counts = [row[3] for row in rows]
+    assert lifs_counts == sorted(lifs_counts)
+    assert ca_counts == sorted(ca_counts)
+    assert rows[-1][2] > rows[0][2] + 20

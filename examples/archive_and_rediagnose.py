@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Archive a fuzzer report to disk and re-diagnose it later.
+
+Real bug-finding pipelines archive crashes: an ftrace log plus the
+kernel oops text is everything AITIA needs.  This example saves a
+Syzkaller report in the two textual formats, reads them back — as a
+triage service would, days later, with no live fuzzer — and produces
+the same causality chain.  The minimal reproducer (a replayable
+schedule recording) is archived as JSON next to them.
+
+Run:  python examples/archive_and_rediagnose.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import Aitia
+from repro.corpus import get_bug
+from repro.hypervisor.controller import ScheduleController
+from repro.hypervisor.replay import Recording, record, replay
+from repro.trace.crash import parse_crash_report, render_crash_report
+from repro.trace.ftrace import parse_ftrace, render_ftrace
+from repro.trace.syzkaller import SyzkallerReport, run_bug_finder
+
+
+def main() -> None:
+    bug = get_bug("SYZ-08")
+    workdir = Path(tempfile.mkdtemp(prefix="aitia-archive-"))
+
+    # --- 1. the fuzzer crashes and we archive its output ---------------
+    report = run_bug_finder(bug)
+    (workdir / "trace.ftrace").write_text(render_ftrace(report.history))
+    (workdir / "crash.txt").write_text(render_crash_report(report.crash))
+    print(f"archived fuzzer output under {workdir}")
+    print(f"  trace.ftrace: {len(report.history)} events")
+    print(f"  crash.txt:    {report.crash.failure}")
+
+    # --- 2. later: reload and diagnose ----------------------------------
+    restored = SyzkallerReport(
+        bug_id=bug.bug_id,
+        history=parse_ftrace((workdir / "trace.ftrace").read_text()),
+        crash=parse_crash_report((workdir / "crash.txt").read_text()))
+    diagnosis = Aitia(bug, report=restored).diagnose()
+    print()
+    print("re-diagnosis from the archived files:")
+    print(f"  chain: {diagnosis.chain.render()}")
+
+    # --- 3. archive the minimal reproducer ------------------------------
+    failing = diagnosis.lifs_result.failure_run
+    recording = record(failing)
+    (workdir / "reproducer.json").write_text(
+        json.dumps(recording.to_dict(), indent=2))
+    print(f"  reproducer.json: {recording.schedule.describe()}")
+
+    # --- 4. anyone with the checkout can verify it -----------------------
+    loaded = Recording.from_dict(
+        json.loads((workdir / "reproducer.json").read_text()))
+    verified = replay(bug.machine_factory, loaded)
+    print(f"  verified: replay crashes identically -> {verified.failure}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Conciseness in action: triaging benign races out of a failure.
+
+The Linux kernel is full of intentional data races — statistics
+counters, flag twiddling — that make race *detectors* noisy (the paper
+cites DataCollider: 104 of 113 detected races benign).  Causality
+Analysis removes them by evidence, not heuristics: a race whose flip
+still crashes the kernel did not contribute.
+
+This example diagnoses the software-RAID bug (Table 3 #10, salted with
+32 racy counters), prints every detected race with its verdict, and
+compares against what a raw race detector / replay tool would hand the
+developer.
+
+Run:  python examples/benign_race_triage.py
+"""
+
+from repro import Aitia
+from repro.baselines import RecordReplay
+from repro.corpus import get_bug
+
+
+def main() -> None:
+    bug = get_bug("SYZ-10")
+    diagnosis = Aitia(bug).diagnose()
+    analysis = diagnosis.ca_result
+
+    total = len(diagnosis.lifs_result.races)
+    print(f"{bug.bug_id}: {bug.title}")
+    print(f"data races detected in the failing execution: {total}")
+    print()
+
+    print("verdict per race (Causality Analysis):")
+    for unit in analysis.root_cause_units:
+        print(f"  ROOT CAUSE  {unit}")
+    shown = 0
+    for unit in analysis.benign_units:
+        if shown < 8:
+            print(f"  benign      {unit}")
+            shown += 1
+    remaining = len(analysis.benign_units) - shown
+    if remaining > 0:
+        print(f"  benign      ... and {remaining} more statistics-counter "
+              f"races")
+    print()
+
+    print(f"causality chain ({diagnosis.chain.race_count} races):")
+    print(f"  {diagnosis.chain.render()}")
+    print()
+
+    replay = RecordReplay().diagnose(bug, diagnosis)
+    print("what a record&replay tool reports instead:")
+    print(f"  {replay.summary}")
+    print()
+    ratio = total / max(diagnosis.chain.race_count, 1)
+    print(f"conciseness: the chain is {ratio:.0f}x smaller than the raw "
+          f"race list, with zero manual triage (paper section 5.2: "
+          f"108.4 -> 3.0 races on the real kernel).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Interactive-style debugging with machine snapshots.
+
+The AITIA hypervisor reverts guest memory between runs; the snapshot
+module exposes the same capability for exploration: drive the kernel to
+an interesting point, snapshot, try one continuation, rewind, try
+another.  This script walks CVE-2017-15649 to the moment *before* the
+fatal store and shows both futures side by side.
+
+Run:  python examples/interactive_rewind.py
+"""
+
+from repro.corpus import get_bug
+from repro.hypervisor.snapshot import capture, restore
+
+
+def run_thread(machine, name):
+    while not machine.thread(name).done and not machine.halted:
+        machine.step(name)
+
+
+def run_until(machine, name, label):
+    while True:
+        instr = machine.peek(name)
+        if instr is None or machine.halted or instr.name == label:
+            return
+        machine.step(name)
+
+
+def main() -> None:
+    bug = get_bug("CVE-2017-15649")
+    machine = bug.machine_factory()
+
+    # Drive to the knife's edge: A validated po->running and allocated the
+    # match; B already cleared po->running.  po->fanout is still NULL.
+    run_until(machine, "A", "A6")
+    run_until(machine, "B", "B12")
+    print("state before the decisive step:")
+    mem = machine.memory
+    print(f"  po_running = "
+          f"{mem.load(mem.global_addr('po_running'))}")
+    print(f"  po_fanout  = "
+          f"{mem.load(mem.global_addr('po_fanout'))}")
+
+    snap = capture(machine)
+
+    # Future 1: B goes first — po->fanout is NULL at B12, B returns.
+    run_thread(machine, "B")
+    run_thread(machine, "A")
+    print(f"\nfuture 1 (B12 before A6): failure = {machine.failure}")
+
+    # Rewind, future 2: A stores po->fanout, then B takes the
+    # race-steered branch into fanout_unlink -> BUG_ON.
+    restore(machine, snap)
+    run_until(machine, "A", "A12")   # executes A6, parks before A12
+    run_thread(machine, "B")
+    print(f"future 2 (A6 before B12): failure = {machine.failure}")
+    print()
+    print("Same prefix, one flipped race — exactly the test Causality")
+    print("Analysis runs mechanically for every detected data race.")
+
+
+if __name__ == "__main__":
+    main()

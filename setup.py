@@ -1,0 +1,12 @@
+"""Legacy setup shim: the execution environment has no ``wheel`` package,
+so editable installs must go through ``python setup.py develop``.  The
+entry point is duplicated here because the environment's setuptools
+predates PEP 621 script support."""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro-aitia = repro.cli:main"],
+    },
+)

@@ -1,0 +1,53 @@
+"""aitia-repro: a reproduction of "Diagnosing Kernel Concurrency Failures
+with AITIA" (EuroSys 2023).
+
+Quickstart::
+
+    from repro import Aitia
+    from repro.corpus import get_bug
+
+    bug = get_bug("CVE-2017-15649")
+    diagnosis = Aitia(bug).diagnose()
+    print(diagnosis.chain.render())
+
+Package map:
+
+* :mod:`repro.kernel`     — the simulated kernel (instruction IR, memory,
+  locks, deferred work, failure detectors);
+* :mod:`repro.hypervisor` — schedule enforcement (breakpoints, trampoline,
+  controller, VM pool);
+* :mod:`repro.core`       — AITIA itself: LIFS, Causality Analysis,
+  causality chains, the :class:`~repro.core.diagnose.Aitia` orchestrator;
+* :mod:`repro.trace`      — execution histories, slicing, the synthetic
+  Syzkaller front end;
+* :mod:`repro.corpus`     — models of the paper's 22 real-world bugs and
+  figure examples;
+* :mod:`repro.baselines`  — Kairux, cooperative bug localization, MUVI and
+  record&replay comparators (Table 1 / section 5.3);
+* :mod:`repro.analysis`   — cost model and table renderers for the
+  benchmark harness.
+"""
+
+from repro.core.causality import CausalityAnalysis
+from repro.core.chain import CausalityChain
+from repro.core.diagnose import Aitia, Diagnosis
+from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
+from repro.core.races import DataRace, find_data_races
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aitia",
+    "CausalityAnalysis",
+    "CausalityChain",
+    "DataRace",
+    "Diagnosis",
+    "FailureMatcher",
+    "LeastInterleavingFirstSearch",
+    "OrderConstraint",
+    "Preemption",
+    "Schedule",
+    "find_data_races",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Evaluation support: cost model, table renderers, requirement scoring,
+whole-corpus evaluation and developer reports."""
+
+from repro.analysis.evaluation import (
+    BugEvaluation,
+    CorpusEvaluation,
+    evaluate_bug,
+    evaluate_corpus,
+)
+from repro.analysis.metrics import CostModel, StageCost
+from repro.analysis.report import render_report
+from repro.analysis.requirements import RequirementRow, Verdict, score_tool
+from repro.analysis.tables import Table, render_table
+
+__all__ = [
+    "BugEvaluation",
+    "CorpusEvaluation",
+    "CostModel",
+    "RequirementRow",
+    "StageCost",
+    "Table",
+    "Verdict",
+    "evaluate_bug",
+    "evaluate_corpus",
+    "render_report",
+    "render_table",
+    "score_tool",
+]

@@ -1,0 +1,134 @@
+"""Whole-corpus evaluation: one call that reproduces the paper's numbers.
+
+:func:`evaluate_corpus` runs the full diagnosis over a set of bugs and
+returns a structured :class:`CorpusEvaluation` — the data behind Tables
+2 and 3 and the section 5.2 statistics — with a JSON-safe export for
+archiving results next to a checkout.  The benchmark harness prints the
+same rows; this module is the programmatic interface.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.races import count_memory_instructions
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.corpus.spec import Bug
+
+
+@dataclass
+class BugEvaluation:
+    """One bug's measured row."""
+
+    bug_id: str
+    subsystem: str
+    bug_type: str
+    source: str
+    multi_variable: bool
+    loosely_correlated: bool
+    reproduced: bool
+    interleavings: int = 0
+    lifs_schedules: int = 0
+    lifs_seconds: float = 0.0
+    ca_schedules: int = 0
+    ca_seconds: float = 0.0
+    ca_reboots: int = 0
+    memory_accesses: int = 0
+    races_detected: int = 0
+    races_in_chain: int = 0
+    benign_excluded: int = 0
+    ambiguous: bool = False
+    chain: str = ""
+    slices_tried: int = 0
+
+
+@dataclass
+class CorpusEvaluation:
+    """All rows plus the aggregates the paper quotes."""
+
+    rows: List[BugEvaluation] = field(default_factory=list)
+
+    @property
+    def reproduced_count(self) -> int:
+        return sum(1 for r in self.rows if r.reproduced)
+
+    @property
+    def ambiguous_bugs(self) -> List[str]:
+        return [r.bug_id for r in self.rows if r.ambiguous]
+
+    def averages(self) -> Dict[str, float]:
+        done = [r for r in self.rows if r.reproduced]
+        if not done:
+            return {"memory_accesses": 0.0, "races_detected": 0.0,
+                    "races_in_chain": 0.0}
+        n = len(done)
+        return {
+            "memory_accesses": sum(r.memory_accesses for r in done) / n,
+            "races_detected": sum(r.races_detected for r in done) / n,
+            "races_in_chain": sum(r.races_in_chain for r in done) / n,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "rows": [asdict(r) for r in self.rows],
+            "aggregates": {
+                "bugs": len(self.rows),
+                "reproduced": self.reproduced_count,
+                "ambiguous": self.ambiguous_bugs,
+                **self.averages(),
+            },
+        }
+        return json.dumps(payload, indent=indent)
+
+
+def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
+    """Diagnose one bug and summarize the outcome."""
+    # Imported here: analysis is a leaf package for repro.core, so the
+    # orchestrator import must not run at module-import time.
+    from repro.core.diagnose import Aitia
+
+    report = None
+    if pipeline:
+        from repro.trace.syzkaller import run_bug_finder
+        report = run_bug_finder(bug)
+    diagnosis = Aitia(bug, report=report).diagnose()
+
+    row = BugEvaluation(
+        bug_id=bug.bug_id, subsystem=bug.subsystem,
+        bug_type=bug.bug_type.name, source=bug.source,
+        multi_variable=bug.multi_variable,
+        loosely_correlated=bug.loosely_correlated,
+        reproduced=diagnosis.reproduced,
+        slices_tried=diagnosis.slices_tried)
+    if not diagnosis.reproduced:
+        if diagnosis.lifs_result is not None:
+            row.lifs_schedules = diagnosis.lifs_result.stats.schedules_executed
+        return row
+
+    failing = diagnosis.lifs_result.failure_run
+    row.interleavings = diagnosis.interleaving_count
+    row.lifs_schedules = diagnosis.lifs_schedules
+    row.lifs_seconds = diagnosis.lifs_cost.seconds
+    row.ca_schedules = diagnosis.ca_schedules
+    row.ca_seconds = diagnosis.ca_cost.seconds
+    row.ca_reboots = diagnosis.ca_result.stats.reboots
+    row.memory_accesses = count_memory_instructions(failing.accesses)
+    row.races_detected = len(diagnosis.lifs_result.races)
+    row.races_in_chain = diagnosis.chain.race_count
+    row.benign_excluded = diagnosis.ca_result.benign_race_count
+    row.ambiguous = diagnosis.chain.has_ambiguity
+    row.chain = diagnosis.chain.render()
+    return row
+
+
+def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
+                    pipeline: bool = False) -> CorpusEvaluation:
+    """Evaluate a bug set (default: the paper's 22 evaluated bugs)."""
+    if bugs is None:
+        from repro.corpus.registry import all_bugs
+        bugs = all_bugs()
+    return CorpusEvaluation(rows=[evaluate_bug(bug, pipeline=pipeline)
+                                  for bug in bugs])

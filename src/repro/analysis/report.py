@@ -1,0 +1,119 @@
+"""Developer-facing diagnosis reports.
+
+Turns a :class:`~repro.core.diagnose.Diagnosis` into the artifact AITIA
+would hand a kernel developer: the failure, the causality chain with the
+code around every racing instruction, the actionable fix guidance the
+paper emphasizes ("if a fix disallows any one order in the chain, the
+failure cannot occur"), and the triage summary of what was tested and
+excluded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.races import DataRace
+from repro.kernel.program import KernelImage
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.diagnose import Diagnosis
+
+
+def _code_context(image: KernelImage, label: str,
+                  radius: int = 1) -> List[str]:
+    """The instruction with up to ``radius`` neighbours on each side."""
+    try:
+        instr = image.instruction_labeled(label)
+    except KeyError:
+        return [f"    <no instruction labeled {label!r}>"]
+    func = image.functions[instr.func]
+    lines = []
+    lo = max(instr.index - radius, 0)
+    hi = min(instr.index + radius + 1, len(func.instructions))
+    for i in range(lo, hi):
+        neighbour = func.instructions[i]
+        marker = ">>" if i == instr.index else "  "
+        lines.append(f"    {marker} {instr.func}: {neighbour!r}")
+    return lines
+
+
+def _race_section(image: KernelImage, index: int, race: DataRace,
+                  ambiguous: bool) -> List[str]:
+    lines = [f"  race {index}: {race.first.instr_label} "
+             f"({race.first.thread}) => {race.second.instr_label} "
+             f"({race.second.thread})"
+             + ("  [AMBIGUOUS — see §3.4]" if ambiguous else "")]
+    lines.extend(_code_context(image, race.first.instr_label))
+    lines.append("    -- races with --")
+    lines.extend(_code_context(image, race.second.instr_label))
+    lines.append(
+        f"    fix option: make sure "
+        f"{race.second.instr_label} cannot execute after "
+        f"{race.first.instr_label} without synchronization "
+        f"(flip {race.flipped_str()} averts the failure)")
+    return lines
+
+
+def render_report(diagnosis: "Diagnosis",
+                  image: Optional[KernelImage] = None) -> str:
+    """A complete text report for one diagnosed bug."""
+    header = f"AITIA root-cause report — {diagnosis.bug_id}"
+    lines = [header, "=" * len(header), ""]
+    if not diagnosis.reproduced:
+        lines.append("The reported failure could NOT be reproduced from "
+                     "the given slices; no diagnosis is available.")
+        if diagnosis.lifs_result is not None:
+            lines.append(
+                f"(LIFS explored "
+                f"{diagnosis.lifs_result.stats.schedules_executed} "
+                f"schedules across {diagnosis.slices_tried} slice(s).)")
+        return "\n".join(lines)
+
+    failure = diagnosis.lifs_result.failure_run.failure
+    lines += [
+        f"failure:   {failure}",
+        f"chain:     {diagnosis.chain.render()}",
+        "",
+        "The chain reads left to right: each interleaving order steers "
+        "the control flow",
+        "that makes the next one possible, and the final order triggers "
+        "the failure.",
+        "Disallowing ANY ONE of the orders below prevents the failure.",
+        "",
+    ]
+
+    counter = 0
+    for node in diagnosis.chain.nodes:
+        if node.is_conjunction:
+            lines.append("  -- multi-variable conjunction: the following "
+                         "races must be prevented together --")
+        for race in node.races:
+            counter += 1
+            if image is not None:
+                lines.extend(_race_section(image, counter, race,
+                                           node.ambiguous))
+            else:
+                lines.append(f"  race {counter}: {race}"
+                             + (" [AMBIGUOUS]" if node.ambiguous else ""))
+            lines.append("")
+
+    ca = diagnosis.ca_result
+    lines += [
+        "triage summary:",
+        f"  data races tested:    {len(diagnosis.lifs_result.races)}",
+        f"  benign (excluded):    {ca.benign_race_count}",
+        f"  in the causality chain: {diagnosis.chain.race_count}",
+        f"  LIFS: {diagnosis.lifs_schedules} schedules, "
+        f"{diagnosis.interleaving_count} interleaving(s)"
+        + (f", {diagnosis.lifs_cost.seconds:.1f}s simulated"
+           if diagnosis.lifs_cost else ""),
+        f"  Causality Analysis: {diagnosis.ca_schedules} schedules, "
+        f"{ca.stats.reboots} VM reboots"
+        + (f", {diagnosis.ca_cost.seconds:.1f}s simulated"
+           if diagnosis.ca_cost else ""),
+    ]
+    if diagnosis.chain.has_ambiguity:
+        lines.append(
+            "  note: a surrounding race could not be flipped in "
+            "isolation; its contribution is reported as ambiguous.")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Scoring diagnosers against the three requirements (Table 1).
+
+Verdicts per tool:
+
+* **Comprehensive** — mechanical: on what fraction of bugs did the tool's
+  output cover every race of the causality chain?  ``YES`` >= 90%,
+  ``PARTIAL`` in between ("conditionally satisfied only when the root
+  cause meets the tool's assumptions", the paper's triangle), ``NO``
+  <= 10%.
+* **Pattern-agnostic** — structural, backed by category evidence: a tool
+  that relies on predefined patterns or object-correlation assumptions
+  (``uses_predefined_patterns``) is ``NO``; the benchmark prints the
+  per-category diagnosis rates (single-variable / multi-variable /
+  loosely-correlated) that demonstrate which bug classes each assumption
+  excludes.
+* **Concise** — mechanical: of the bugs diagnosed, on what fraction was
+  the output free of benign races?
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.baselines.base import BaselineReport
+    from repro.corpus.spec import Bug
+
+
+class Verdict(enum.Enum):
+    YES = "yes"
+    PARTIAL = "partial"
+    NO = "no"
+
+    @property
+    def symbol(self) -> str:
+        return {"yes": "v", "partial": "^", "no": "-"}[self.value]
+
+
+def _grade(hits: int, total: int) -> Verdict:
+    if total == 0:
+        return Verdict.NO
+    ratio = hits / total
+    if ratio >= 0.85:
+        return Verdict.YES
+    if ratio > 0.1:
+        return Verdict.PARTIAL
+    return Verdict.NO
+
+
+def bug_category(bug: "Bug") -> str:
+    if bug.loosely_correlated:
+        return "loosely-correlated"
+    if bug.multi_variable:
+        return "multi-variable"
+    return "single-variable"
+
+
+@dataclass
+class RequirementRow:
+    """One tool's Table 1 row, plus the per-category evidence."""
+
+    tool: str
+    comprehensive: Verdict
+    pattern_agnostic: Verdict
+    concise: Verdict
+    bugs_diagnosed: int
+    bugs_total: int
+    category_diagnosed: Dict[str, str] = field(default_factory=dict)
+
+    def cells(self) -> List[str]:
+        return [self.tool, self.comprehensive.symbol,
+                self.pattern_agnostic.symbol, self.concise.symbol,
+                f"{self.bugs_diagnosed}/{self.bugs_total}"]
+
+    def evidence(self) -> str:
+        per_cat = ", ".join(f"{cat}: {rate}"
+                            for cat, rate in sorted(
+                                self.category_diagnosed.items()))
+        return f"{self.tool}: diagnosed per category — {per_cat}"
+
+
+def score_tool(tool, bugs: Sequence["Bug"],
+               reports: Sequence["BaselineReport"]) -> RequirementRow:
+    """Aggregate one baseline's per-bug reports into its Table 1 row."""
+    total = len(reports)
+    diagnosed = sum(1 for r in reports if r.diagnosed)
+    comprehensive = sum(1 for r in reports if r.comprehensive)
+    concise = sum(1 for r in reports if r.diagnosed and r.concise)
+
+    by_category: Dict[str, List["BaselineReport"]] = {}
+    for bug, report in zip(bugs, reports):
+        by_category.setdefault(bug_category(bug), []).append(report)
+    category_rates = {
+        cat: f"{sum(1 for r in rs if r.diagnosed)}/{len(rs)}"
+        for cat, rs in by_category.items()
+    }
+
+    if tool.uses_predefined_patterns:
+        pattern_agnostic = Verdict.NO
+    else:
+        pattern_agnostic = _grade(diagnosed, total)
+
+    return RequirementRow(
+        tool=tool.name,
+        comprehensive=_grade(comprehensive, total),
+        pattern_agnostic=pattern_agnostic,
+        concise=_grade(concise, max(diagnosed, 1)),
+        bugs_diagnosed=diagnosed,
+        bugs_total=total,
+        category_diagnosed=category_rates,
+    )
+
+
+def aitia_row(bugs: Sequence["Bug"], diagnoses) -> RequirementRow:
+    """AITIA's own row, scored by the same criteria: every chain covers
+    itself (comprehensive), every bug is diagnosed without pattern
+    assumptions (pattern-agnostic), and chains contain no benign race
+    (concise — verified against the races Causality Analysis excluded)."""
+    total = len(diagnoses)
+    diagnosed = sum(1 for d in diagnoses if d.reproduced)
+    concise = 0
+    for d in diagnoses:
+        if not d.reproduced:
+            continue
+        chain_races = {r.key for r in d.chain.races}
+        benign = {
+            r.key for unit in d.ca_result.benign_units for r in unit.races}
+        if not (chain_races & benign):
+            concise += 1
+
+    by_category: Dict[str, List] = {}
+    for bug, d in zip(bugs, diagnoses):
+        by_category.setdefault(bug_category(bug), []).append(d)
+    category_rates = {
+        cat: f"{sum(1 for d in ds if d.reproduced)}/{len(ds)}"
+        for cat, ds in by_category.items()
+    }
+    return RequirementRow(
+        tool="AITIA",
+        comprehensive=_grade(diagnosed, total),
+        pattern_agnostic=_grade(diagnosed, total),
+        concise=_grade(concise, max(diagnosed, 1)),
+        bugs_diagnosed=diagnosed,
+        bugs_total=total,
+        category_diagnosed=category_rates,
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows of the paper table/figure it regenerates
+through this renderer, so outputs are uniform and easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(v.ljust(widths[i]) for i, v in enumerate(values))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, line(list(columns)), sep]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

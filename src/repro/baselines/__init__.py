@@ -1,0 +1,34 @@
+"""Baseline diagnosers AITIA is compared against (Table 1, section 5.3).
+
+* :mod:`repro.baselines.kairux` — inflection-point localization: the first
+  instruction of the failing run that deviates from every non-failing run;
+* :mod:`repro.baselines.coop` — cooperative bug localization (Gist /
+  Snorlax / CCI style): statistical correlation of predefined
+  single-variable interleaving patterns over many sampled runs;
+* :mod:`repro.baselines.muvi` — MUVI-style access-correlation inference
+  for multi-variable races;
+* :mod:`repro.baselines.replay` — record&replay-style failure
+  reproduction (REPT / Mozilla rr): faithful, but unfiltered.
+
+All of them run honestly over the same simulated kernel and are scored by
+:mod:`repro.analysis.requirements` against the causality-chain ground
+truth.
+"""
+
+from repro.baselines.base import Baseline, BaselineReport
+from repro.baselines.coop import CooperativeLocalization
+from repro.baselines.kairux import Kairux
+from repro.baselines.muvi import Muvi
+from repro.baselines.replay import RecordReplay
+
+ALL_BASELINES = [Kairux, CooperativeLocalization, Muvi, RecordReplay]
+
+__all__ = [
+    "ALL_BASELINES",
+    "Baseline",
+    "BaselineReport",
+    "CooperativeLocalization",
+    "Kairux",
+    "Muvi",
+    "RecordReplay",
+]

@@ -1,0 +1,93 @@
+"""Common scaffolding for baseline diagnosers.
+
+Each baseline receives the corpus bug and the AITIA diagnosis (which
+supplies the failing run, the sampled non-failing runs, and the ground-
+truth causality chain to score against) and returns a
+:class:`BaselineReport` with the three requirement verdicts of Table 1:
+
+* **comprehensive** — does the output cover *every* race of the causality
+  chain (the information a correct fix needs)?
+* **pattern_agnostic** — did the method diagnose this bug at all, given
+  its assumptions (single-variable patterns, correlated variables, ...)?
+* **concise** — is the output free of failure-irrelevant information
+  (benign races, full traces)?
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Set
+
+from repro.core.races import DataRace
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.diagnose import Diagnosis
+    from repro.corpus.spec import Bug
+
+#: A race reported by a baseline, as an unordered pair of instruction
+#: display names (order is direction; coverage checks ignore it).
+RacePair = FrozenSet[str]
+
+
+def race_pair(race: DataRace) -> RacePair:
+    return frozenset((race.first.instr_label, race.second.instr_label))
+
+
+def chain_pairs(diagnosis: "Diagnosis") -> Set[RacePair]:
+    """The ground-truth race set: the causality chain AITIA produced."""
+    return {race_pair(r) for r in diagnosis.chain.races}
+
+
+def benign_pairs(diagnosis: "Diagnosis") -> Set[RacePair]:
+    return {
+        race_pair(r)
+        for unit in diagnosis.ca_result.benign_units
+        for r in unit.races
+    }
+
+
+@dataclass
+class BaselineReport:
+    """One baseline's verdict on one bug."""
+
+    tool: str
+    bug_id: str
+    diagnosed: bool
+    reported_races: Set[RacePair]
+    comprehensive: bool
+    pattern_agnostic: bool
+    concise: bool
+    summary: str
+    details: Dict = field(default_factory=dict)
+
+
+class Baseline(abc.ABC):
+    """A root-cause diagnosis technique under comparison."""
+
+    name: str = "baseline"
+    #: Structural property of the method: does it rely on predefined
+    #: interleaving patterns or assumptions about the racing objects?
+    #: (Table 1's pattern-agnostic column is about the method, and the
+    #: per-category evidence the benchmark prints backs it up.)
+    uses_predefined_patterns: bool = False
+
+    @abc.abstractmethod
+    def diagnose(self, bug: "Bug", diagnosis: "Diagnosis") -> BaselineReport:
+        """Run the technique on the bug and score it against the chain."""
+
+    # ------------------------------------------------------------------
+    def _score(self, bug: "Bug", diagnosis: "Diagnosis",
+               reported: Set[RacePair], diagnosed: bool,
+               summary: str, concise: Optional[bool] = None,
+               details: Optional[Dict] = None) -> BaselineReport:
+        truth = chain_pairs(diagnosis)
+        benign = benign_pairs(diagnosis)
+        comprehensive = diagnosed and truth.issubset(reported)
+        if concise is None:
+            concise = diagnosed and not (reported & benign)
+        return BaselineReport(
+            tool=self.name, bug_id=bug.bug_id, diagnosed=diagnosed,
+            reported_races=reported, comprehensive=comprehensive,
+            pattern_agnostic=diagnosed, concise=bool(concise),
+            summary=summary, details=details or {})

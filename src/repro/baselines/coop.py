@@ -1,0 +1,137 @@
+"""Cooperative bug localization (Gist / Snorlax / CCI style).
+
+These techniques predefine *single-variable* interleaving patterns —
+order violations (two instructions on one variable executed in the
+failure-inducing order) and atomicity violations (a remote write between
+two local accesses of one variable) — then pick the pattern with the
+strongest statistical correlation to the failure across many sampled
+executions (section 5.3).
+
+Honest implementation: the sampled runs are the executions LIFS explored
+(failing and non-failing); for every candidate pattern we compute how
+often it occurs in failing versus non-failing runs and report the top
+scorer.  The method structurally cannot express multi-variable chains —
+it reports one pattern on one variable — which is exactly the limitation
+the paper demonstrates (it mis-fixes CVE-2017-15649 by ordering B17 and
+A12 only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.baselines.base import Baseline, BaselineReport
+from repro.core.races import find_data_races
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.diagnose import Diagnosis
+    from repro.corpus.spec import Bug
+
+#: ("order", location, first_label, second_label) or
+#: ("atomicity", location, local_label_pair, remote_label)
+Pattern = Tuple
+
+
+def _patterns_of_run(run) -> Set[Pattern]:
+    patterns: Set[Pattern] = set()
+    races = find_data_races(run.accesses)
+    for race in races:
+        patterns.add(("order", race.location,
+                      race.first.instr_label, race.second.instr_label))
+    # Atomicity violations: thread T accesses v, another thread writes v,
+    # then T accesses v again.
+    by_location: Dict[int, List] = {}
+    for access in run.accesses:
+        by_location.setdefault(access.data_addr, []).append(access)
+    for location, accesses in by_location.items():
+        for i, first in enumerate(accesses):
+            for j in range(i + 1, len(accesses)):
+                middle = accesses[j]
+                if middle.thread == first.thread:
+                    break
+                if not middle.is_write:
+                    continue
+                for k in range(j + 1, len(accesses)):
+                    last = accesses[k]
+                    if last.thread == first.thread:
+                        patterns.add((
+                            "atomicity", location,
+                            (first.instr_label, last.instr_label),
+                            middle.instr_label))
+                        break
+                break
+    return patterns
+
+
+@dataclass
+class _Scored:
+    pattern: Pattern
+    failing: int
+    passing: int
+
+    def suspiciousness(self, total_failing: int, total_passing: int) -> float:
+        """Tarantula/CCI-style suspiciousness: how much more often the
+        pattern shows up in failing than in passing executions."""
+        fail_ratio = self.failing / total_failing if total_failing else 0.0
+        pass_ratio = self.passing / total_passing if total_passing else 0.0
+        return fail_ratio - pass_ratio
+
+
+class CooperativeLocalization(Baseline):
+    name = "CoopLocalization"
+    uses_predefined_patterns = True
+
+    def diagnose(self, bug: "Bug", diagnosis: "Diagnosis") -> BaselineReport:
+        runs = list(diagnosis.lifs_result.sample_runs)
+        failing_run = diagnosis.lifs_result.failure_run
+        if failing_run not in runs:
+            runs.append(failing_run)
+
+        occurrences: Dict[Pattern, _Scored] = {}
+        for run in runs:
+            for pattern in _patterns_of_run(run):
+                scored = occurrences.setdefault(
+                    pattern, _Scored(pattern, 0, 0))
+                if run.failed:
+                    scored.failing += 1
+                else:
+                    scored.passing += 1
+
+        total_failing = sum(1 for r in runs if r.failed)
+        total_passing = len(runs) - total_failing
+        candidates = [s for s in occurrences.values() if s.failing]
+        if not candidates:
+            return self._score(bug, diagnosis, set(), diagnosed=False,
+                               summary="no failure-correlated pattern")
+        # Highest suspiciousness wins; atomicity violations are preferred
+        # on ties (they are the more specific pattern), then rarity in
+        # passing runs.
+        best = max(candidates, key=lambda s: (
+            s.suspiciousness(total_failing, total_passing),
+            s.pattern[0] == "atomicity", -s.passing))
+
+        # Translate the winning single-variable pattern into the races it
+        # names.
+        if best.pattern[0] == "order":
+            labels = {best.pattern[2], best.pattern[3]}
+        else:
+            labels = set(best.pattern[2]) | {best.pattern[3]}
+        reported: Set[FrozenSet[str]] = set()
+        benign_hit = False
+        for race in diagnosis.lifs_result.races:
+            pair = frozenset((race.first.instr_label,
+                              race.second.instr_label))
+            if pair <= labels or (race.first.instr_label in labels
+                                  and race.second.instr_label in labels):
+                reported.add(pair)
+
+        summary = (f"top pattern: {best.pattern[0]} violation on "
+                   f"{best.pattern[2]}/{best.pattern[3]} "
+                   f"(fail={best.failing}, ok={best.passing})")
+        return self._score(bug, diagnosis, reported, diagnosed=True,
+                           summary=summary,
+                           details={"pattern": best.pattern,
+                                    "sampled_runs": len(runs)})

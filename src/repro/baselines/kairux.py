@@ -1,0 +1,113 @@
+"""Kairux-style inflection-point diagnosis (section 5.3).
+
+Kairux defines the root cause of a failure as the *inflection point*: the
+first instruction of the failing run that deviates from the longest
+common prefix with every non-failing run.  It is pattern-agnostic and
+concise, but it reports a *single instruction* — for kernel concurrency
+failures whose root cause is a chain of races across threads, that is
+never the whole story (the paper's Figure 9 discussion).
+
+The implementation compares the failing run's totally ordered trace with
+the non-failing runs LIFS explored (per-thread, because a global prefix
+would be dominated by scheduler noise): the inflection point is the
+earliest failing-run instruction at which its thread's instruction stream
+departs from that thread's stream in every non-failing run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import Baseline, BaselineReport, race_pair
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.diagnose import Diagnosis
+    from repro.corpus.spec import Bug
+
+
+def _per_thread_streams(trace) -> Dict[str, List[Tuple[int, str]]]:
+    streams: Dict[str, List[Tuple[int, str]]] = {}
+    for entry in trace:
+        streams.setdefault(entry.thread, []).append(
+            (entry.instr_addr, entry.instr_label))
+    return streams
+
+
+class Kairux(Baseline):
+    name = "Kairux"
+
+    def diagnose(self, bug: "Bug", diagnosis: "Diagnosis") -> BaselineReport:
+        failing = diagnosis.lifs_result.failure_run
+        ok_runs = [r for r in diagnosis.lifs_result.sample_runs
+                   if not r.failed]
+        failing_streams = _per_thread_streams(failing.trace)
+
+        # For each thread: the longest prefix shared with ANY non-failing
+        # run; the thread's deviation point is the next instruction.
+        deviation: Dict[str, int] = {}
+        for thread, stream in failing_streams.items():
+            best = 0
+            for run in ok_runs:
+                other = _per_thread_streams(run.trace).get(thread, [])
+                k = 0
+                while k < len(stream) and k < len(other) \
+                        and stream[k][0] == other[k][0]:
+                    k += 1
+                best = max(best, k)
+            if best < len(stream):
+                deviation[thread] = best
+
+        if not deviation:
+            # Every per-thread stream is a prefix of some non-failing run:
+            # the only deviation is the crash itself, so the inflection
+            # point degenerates to the faulting instruction.
+            fault = failing.trace[-1]
+            reported = {
+                race_pair(r) for r in diagnosis.chain.races
+                if fault.instr_label in (r.first.instr_label,
+                                         r.second.instr_label)
+            }
+            return self._score(
+                bug, diagnosis, reported, diagnosed=True,
+                summary=f"inflection point (crash site): "
+                        f"{fault.thread}:{fault.instr_label}",
+                concise=True,
+                details={"inflection": fault.instr_label,
+                         "thread": fault.thread, "crash_fallback": True,
+                         "non_failing_runs": len(ok_runs)})
+
+        # The inflection point: the earliest deviating instruction in the
+        # failing run's global order.
+        first_seq = None
+        inflection = None
+        position = {}
+        counters: Dict[str, int] = {}
+        for entry in failing.trace:
+            idx = counters.get(entry.thread, 0)
+            counters[entry.thread] = idx + 1
+            if deviation.get(entry.thread) == idx and (
+                    first_seq is None or entry.seq < first_seq):
+                first_seq = entry.seq
+                inflection = entry
+
+        if inflection is None:
+            return self._score(bug, diagnosis, set(), diagnosed=False,
+                               summary="no inflection point found")
+
+        # The single reported instruction covers only the chain races it
+        # participates in.
+        reported = {
+            race_pair(r) for r in diagnosis.chain.races
+            if inflection.instr_label in (r.first.instr_label,
+                                          r.second.instr_label)
+        }
+        return self._score(
+            bug, diagnosis, reported, diagnosed=True,
+            summary=f"inflection point: {inflection.thread}:"
+                    f"{inflection.instr_label}",
+            concise=True,
+            details={"inflection": inflection.instr_label,
+                     "thread": inflection.thread,
+                     "non_failing_runs": len(ok_runs)})

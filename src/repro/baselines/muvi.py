@@ -1,0 +1,139 @@
+"""MUVI-style multi-variable access-correlation inference (section 5.3).
+
+MUVI assumes that semantically correlated variables are *accessed
+together* most of the time: "if one of these two is accessed, the other
+variable should be accessed with a high probability".  It mines access
+sets from program executions, flags variable pairs whose co-access
+probability is high *in both directions*, and reports non-atomic updates
+to correlated pairs.
+
+The honest reproduction mines the entire fuzzing workload, not only the
+racing slice: every system call of the bug's execution history is
+replayed serially and the per-thread access streams feed the miner.
+This is what defeats MUVI on *loosely correlated* objects (section 2.2):
+the history is full of calls touching the fd table / tunnel config /
+flag variables without ever touching their race partners, so the
+co-access ratio collapses below threshold.  Single-variable failures are
+outside the approach entirely — no pair exists.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set
+
+from repro.baselines.base import Baseline, BaselineReport, race_pair
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.core.diagnose import Diagnosis
+    from repro.corpus.spec import Bug
+
+#: Accesses within this many consecutive accesses of one thread count as
+#: "accessed together" (MUVI's acc_set distance).
+WINDOW = 8
+#: Minimum co-access probability (both directions) for correlation.
+CORRELATION_THRESHOLD = 0.55
+#: Minimum number of sightings before a pair is considered at all.
+MIN_SUPPORT = 2
+
+
+def _history_access_streams(bug: Bug) -> List[List[int]]:
+    """Replay every syscall of the bug's history serially on a fresh
+    kernel and return the per-call access streams (data addresses)."""
+    history = bug.history()
+    events = [e for e in history.syscalls]
+    specs = [
+        ThreadSpec(name=f"muvi#{i}:{e.proc}:{e.name}", entry=e.entry)
+        for i, e in enumerate(events)
+    ]
+    machine = KernelMachine(bug.image, specs,
+                            globals_init=dict(bug.globals_init),
+                            leak_check=False)
+    streams: List[List[int]] = []
+    for spec in specs:
+        ctx = machine.thread(spec.name)
+        start = len(machine.access_log)
+        while not ctx.done and not machine.halted:
+            machine.step(ctx.tid)
+        streams.append([a.data_addr
+                        for a in machine.access_log[start:]])
+        if machine.halted:
+            break
+    return streams
+
+
+class Muvi(Baseline):
+    name = "MUVI"
+    uses_predefined_patterns = True
+
+    def diagnose(self, bug: "Bug", diagnosis: "Diagnosis") -> BaselineReport:
+        streams = _history_access_streams(bug)
+        # Add the racing runs' per-thread streams too (MUVI mines every
+        # execution it can get).
+        for run in diagnosis.lifs_result.sample_runs[:8]:
+            per_thread: Dict[str, List[int]] = {}
+            for access in run.accesses:
+                per_thread.setdefault(access.thread, []).append(
+                    access.data_addr)
+            streams.extend(per_thread.values())
+
+        together: Dict[FrozenSet[int], int] = {}
+        alone: Dict[int, int] = {}
+        for stream in streams:
+            for i, addr in enumerate(stream):
+                alone[addr] = alone.get(addr, 0) + 1
+                window = set(stream[i + 1:i + 1 + WINDOW])
+                window.discard(addr)
+                for other in window:
+                    key = frozenset((addr, other))
+                    together[key] = together.get(key, 0) + 1
+
+        correlated: Set[FrozenSet[int]] = set()
+        ratios: Dict[FrozenSet[int], float] = {}
+        for pair, count in together.items():
+            a, b = tuple(pair)
+            if min(alone.get(a, 0), alone.get(b, 0)) < MIN_SUPPORT:
+                continue
+            # Both conditional probabilities must be high: each variable's
+            # accesses must usually be accompanied by the other.
+            ratio = min(count / alone[a], count / alone[b])
+            ratios[pair] = ratio
+            if ratio >= CORRELATION_THRESHOLD:
+                correlated.add(pair)
+
+        chain_races = diagnosis.chain.races
+        # MUVI mines *named variables*; a freed heap object is not a
+        # variable, so only global cells count toward the pair test.
+        from repro.kernel.memory import HEAP_BASE
+        chain_locations = {r.location for r in chain_races
+                           if r.location < HEAP_BASE}
+        if len(chain_locations) < 2:
+            return self._score(
+                bug, diagnosis, set(), diagnosed=False,
+                summary="single-variable failure: outside MUVI's "
+                        "multi-variable assumption",
+                details={"correlated_pairs": len(correlated)})
+
+        needed = {frozenset(p)
+                  for p in combinations(sorted(chain_locations), 2)}
+        covered = {p for p in needed if p in correlated}
+        if covered != needed:
+            missing_ratio = min(
+                (ratios.get(p, 0.0) for p in needed - covered),
+                default=0.0)
+            return self._score(
+                bug, diagnosis, set(), diagnosed=False,
+                summary=f"racing variables not access-correlated over the "
+                        f"workload (co-access ratio {missing_ratio:.2f} < "
+                        f"{CORRELATION_THRESHOLD}) — loosely correlated",
+                details={"correlated_pairs": len(correlated)})
+
+        reported = {race_pair(r) for r in chain_races}
+        return self._score(
+            bug, diagnosis, reported, diagnosed=True,
+            summary=f"correlated variable set of {len(chain_locations)} "
+                    f"variables updated non-atomically",
+            details={"correlated_pairs": len(correlated)})

@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # the corpus
+    python -m repro show CVE-2017-15649      # model + metadata
+    python -m repro diagnose CVE-2017-15649  # direct diagnosis + report
+    python -m repro diagnose SYZ-04 --pipeline   # fuzzer-report pipeline
+    python -m repro replay CVE-2017-15649    # record + verify replay
+    python -m repro evaluate --json out.json # the whole evaluation
+    python -m repro minimize SYZ-08          # delta-debug a reproducer
+    python -m repro fuzz SYZ-04 --diagnose   # oracle-free end to end
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_report
+from repro.analysis.tables import Table
+from repro.core.diagnose import Aitia
+from repro.corpus import registry
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry._load_factories()
+    table = Table("aitia-repro corpus",
+                  ["bug id", "source", "subsystem", "failure",
+                   "multi-var", "threads"])
+    bugs = (registry.figure_examples() + registry.all_bugs()
+            + registry.extension_bugs())
+    for bug in bugs:
+        multi = "loose" if bug.loosely_correlated else (
+            "yes" if bug.multi_variable else "no")
+        table.add_row(bug.bug_id, bug.source, bug.subsystem,
+                      bug.bug_type.name, multi, len(bug.threads))
+    print(table.render())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    bug = registry.get_bug(args.bug_id)
+    print(f"{bug.bug_id}: {bug.title}")
+    print(f"subsystem: {bug.subsystem}; failure: {bug.bug_type.value}")
+    print()
+    print(bug.description)
+    print()
+    print("racing contexts:")
+    for thread in bug.threads:
+        print(f"  {thread.proc}: {thread.syscall} -> {thread.entry}() "
+              f"[{thread.kind.value}]")
+    print()
+    print(bug.image.disassemble())
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    bug = registry.get_bug(args.bug_id)
+    report = None
+    if args.pipeline:
+        from repro.trace.syzkaller import run_bug_finder
+        report = run_bug_finder(bug)
+        print(f"[bug finder] {report.crash.failure}")
+        print(f"[bug finder] history of {len(report.history)} events")
+    diagnosis = Aitia(bug, report=report, vm_count=args.vms).diagnose()
+    print(render_report(diagnosis, image=bug.image))
+    return 0 if diagnosis.reproduced else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.analysis.evaluation import evaluate_corpus
+
+    bugs = None
+    if args.bug_ids:
+        bugs = [registry.get_bug(b) for b in args.bug_ids]
+    evaluation = evaluate_corpus(bugs, pipeline=args.pipeline)
+    table = Table("corpus evaluation",
+                  ["bug", "repro", "inter", "LIFS #", "CA #",
+                   "races", "chain", "ambiguous"])
+    for row in evaluation.rows:
+        table.add_row(row.bug_id, "yes" if row.reproduced else "NO",
+                      row.interleavings, row.lifs_schedules,
+                      row.ca_schedules, row.races_detected,
+                      row.races_in_chain,
+                      "yes" if row.ambiguous else "no")
+    print(table.render())
+    averages = evaluation.averages()
+    print(f"\naverages: {averages['memory_accesses']:.1f} accesses, "
+          f"{averages['races_detected']:.1f} races, "
+          f"{averages['races_in_chain']:.1f} chain races; "
+          f"ambiguous: {', '.join(evaluation.ambiguous_bugs) or 'none'}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(evaluation.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from repro.core.minimize import minimize_schedule
+
+    bug = registry.get_bug(args.bug_id)
+    result = minimize_schedule(bug.machine_factory,
+                               bug.known_failing_schedule)
+    print(f"input:     {bug.known_failing_schedule.describe()}")
+    print(f"minimized: {result.schedule.describe()}")
+    print(f"removed {result.removed_preemptions} preemption(s) and "
+          f"{result.removed_constraints} constraint(s) in "
+          f"{result.schedules_executed} verification runs")
+    print(f"still fails with: {result.run.failure}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.trace.fuzzer import RandomScheduleFuzzer
+
+    bug = registry.get_bug(args.bug_id)
+    fuzzer = RandomScheduleFuzzer(bug.machine_factory, seed=args.seed,
+                                  max_runs=args.max_runs)
+    result = fuzzer.fuzz()
+    if not result.crashed:
+        print(f"no crash in {result.runs_executed} random runs "
+              f"(seed {args.seed})")
+        return 1
+    print(f"crash found after {result.runs_executed} random runs "
+          f"(seed {args.seed}):")
+    print(f"  {result.failure}")
+    if result.schedule is not None:
+        print(f"  distilled reproducer: {result.schedule.describe()}")
+    if args.diagnose:
+        from repro.trace.syzkaller import run_bug_finder
+        report = run_bug_finder(bug, fuzz_seed=args.seed,
+                                max_fuzz_runs=args.max_runs)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        print()
+        print(render_report(diagnosis, image=bug.image))
+        return 0 if diagnosis.reproduced else 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.hypervisor.controller import ScheduleController
+    from repro.hypervisor.replay import record, replay
+
+    bug = registry.get_bug(args.bug_id)
+    run = ScheduleController(bug.machine_factory(),
+                             bug.known_failing_schedule).run()
+    recording = record(run)
+    print(f"recorded: {recording.schedule.describe()}")
+    print(f"outcome:  {run.failure}")
+    replayed = replay(bug.machine_factory, recording)
+    print(f"replayed: identical execution "
+          f"({len(replayed.trace)} instructions, same signature)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AITIA (EuroSys 2023) reproduction: diagnose kernel "
+                    "concurrency failures as causality chains.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the corpus").set_defaults(
+        func=_cmd_list)
+
+    show = sub.add_parser("show", help="print one bug's model")
+    show.add_argument("bug_id")
+    show.set_defaults(func=_cmd_show)
+
+    diagnose = sub.add_parser("diagnose", help="diagnose one bug")
+    diagnose.add_argument("bug_id")
+    diagnose.add_argument("--pipeline", action="store_true",
+                          help="go through the synthetic bug finder "
+                               "(history + slicing) instead of the "
+                               "canonical threads")
+    diagnose.add_argument("--vms", type=int, default=32,
+                          help="VM pool size for the parallel-time "
+                               "estimate (default 32)")
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    rep = sub.add_parser("replay",
+                         help="record the known failing schedule and "
+                              "verify deterministic replay")
+    rep.add_argument("bug_id")
+    rep.set_defaults(func=_cmd_replay)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run the paper's evaluation over the corpus")
+    evaluate.add_argument("bug_ids", nargs="*",
+                          help="specific bugs (default: all 22)")
+    evaluate.add_argument("--pipeline", action="store_true",
+                          help="drive every bug through the synthetic "
+                               "bug finder")
+    evaluate.add_argument("--json", metavar="PATH",
+                          help="also write the structured results as JSON")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    minimize = sub.add_parser(
+        "minimize", help="delta-debug a bug's known failing schedule")
+    minimize.add_argument("bug_id")
+    minimize.set_defaults(func=_cmd_minimize)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="find the crash with the seeded random scheduler "
+                     "(no recorded reproducer)")
+    fuzz.add_argument("bug_id")
+    fuzz.add_argument("--seed", type=int, default=7)
+    fuzz.add_argument("--max-runs", type=int, default=20000)
+    fuzz.add_argument("--diagnose", action="store_true",
+                      help="continue into the full AITIA pipeline")
+    fuzz.set_defaults(func=_cmd_fuzz)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into head/less that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""AITIA's core algorithms.
+
+* :mod:`repro.core.races` — conflicting accesses and data races, using the
+  Linux-kernel memory-model definitions the paper adopts;
+* :mod:`repro.core.schedule` — reproduce/diagnosis schedules: preemptions
+  for LIFS, order constraints for Causality Analysis;
+* :mod:`repro.core.lifs` — Least Interleaving First Search (section 3.3);
+* :mod:`repro.core.causality` — Causality Analysis (section 3.4);
+* :mod:`repro.core.chain` — causality chains, the paper's root-cause form;
+* :mod:`repro.core.diagnose` — the :class:`~repro.core.diagnose.Aitia`
+  orchestrator tying history modeling, reproduction and diagnosis together.
+"""
+
+from repro.core.causality import CausalityAnalysis, CausalityResult
+from repro.core.chain import CausalityChain, ChainNode
+from repro.core.diagnose import Aitia, Diagnosis
+from repro.core.happens_before import (
+    HappensBeforeIndex,
+    VectorClock,
+    compute_happens_before,
+    find_data_races_hb,
+)
+from repro.core.lifs import LeastInterleavingFirstSearch, LifsResult
+from repro.core.minimize import MinimizationResult, minimize_schedule
+from repro.core.races import DataRace, RaceSet, find_data_races
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+
+__all__ = [
+    "Aitia",
+    "CausalityAnalysis",
+    "CausalityChain",
+    "CausalityResult",
+    "ChainNode",
+    "DataRace",
+    "Diagnosis",
+    "HappensBeforeIndex",
+    "LeastInterleavingFirstSearch",
+    "LifsResult",
+    "MinimizationResult",
+    "OrderConstraint",
+    "Preemption",
+    "RaceSet",
+    "Schedule",
+    "VectorClock",
+    "compute_happens_before",
+    "find_data_races",
+    "find_data_races_hb",
+    "minimize_schedule",
+]

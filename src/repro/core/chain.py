@@ -1,0 +1,245 @@
+"""Causality chains — the paper's root-cause representation.
+
+A causality chain is a DAG (usually a path) over data races: an edge
+``r1 -> r2`` means flipping ``r1`` makes ``r2`` disappear through a
+race-steered control flow, and the final node leads to the failure.
+Races whose flips independently avert the failure and that steer the same
+downstream race merge into a conjunction node, like
+``(A2 => B11) ∧ (B2 => A6)`` in Figure 3.
+
+The chain carries the paper's actionable message: *if a fix disallows any
+one of the interleaving orders in the chain, the failure cannot occur.*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.races import DataRace
+from repro.kernel.failures import Failure
+
+
+@dataclass(frozen=True)
+class ChainNode:
+    """One node: a conjunction of one or more data races whose flips avert
+    the failure and that share the same direct successors."""
+
+    races: Tuple[DataRace, ...]
+    ambiguous: bool = False
+
+    @property
+    def is_conjunction(self) -> bool:
+        return len(self.races) > 1
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(r) for r in self.races)
+        if self.is_conjunction:
+            body = f"({body})"
+        if self.ambiguous:
+            body += " [ambiguous]"
+        return body
+
+
+@dataclass
+class CausalityChain:
+    """The diagnosis output: root-cause races, their causal edges, and the
+    failure they lead to."""
+
+    nodes: List[ChainNode]
+    #: Edges as (from_index, to_index) into ``nodes``.
+    edges: List[Tuple[int, int]]
+    failure: Optional[Failure]
+
+    @property
+    def races(self) -> List[DataRace]:
+        return [race for node in self.nodes for race in node.races]
+
+    @property
+    def race_count(self) -> int:
+        """"# of races in chain" of Table 3."""
+        return len(self.races)
+
+    @property
+    def has_ambiguity(self) -> bool:
+        return any(node.ambiguous for node in self.nodes)
+
+    def successors(self, index: int) -> List[int]:
+        return [j for i, j in self.edges if i == index]
+
+    def predecessors(self, index: int) -> List[int]:
+        return [i for i, j in self.edges if j == index]
+
+    def terminal_nodes(self) -> List[int]:
+        """Nodes with no successors — the races immediately causing the
+        failure."""
+        return [i for i in range(len(self.nodes)) if not self.successors(i)]
+
+    def render(self) -> str:
+        """One-line rendering, e.g.
+        ``(A2 => B11 ∧ B2 => A6) -> A6 => B12 -> B17 => A12 -> BUG_ON``."""
+        if not self.nodes:
+            return "<empty chain>"
+        ordered = self._topological_order()
+        parts = [str(self.nodes[i]) for i in ordered]
+        failure = self.failure.kind.value if self.failure else "failure"
+        return " -> ".join(parts + [failure])
+
+    def _topological_order(self) -> List[int]:
+        in_degree = {i: 0 for i in range(len(self.nodes))}
+        for _, j in self.edges:
+            in_degree[j] += 1
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            i = ready.pop(0)
+            order.append(i)
+            for j in sorted(self.successors(i)):
+                in_degree[j] -= 1
+                if in_degree[j] == 0:
+                    ready.append(j)
+            ready.sort()
+        # A cycle would indicate a bug in chain construction; surface the
+        # remaining nodes deterministically rather than dropping them.
+        order.extend(i for i in range(len(self.nodes)) if i not in order)
+        return order
+
+    def contains_race_between(self, label_a: str, label_b: str) -> bool:
+        """Whether the chain contains a race between the two named
+        instructions, in either order (used by tests and benchmarks)."""
+        for race in self.races:
+            labels = {race.first.instr_label, race.second.instr_label}
+            if labels == {label_a, label_b}:
+                return True
+        return False
+
+
+def _strongly_connected_components(
+    vertices: Sequence[int], edges: Dict[int, Set[int]],
+) -> List[List[int]]:
+    """Iterative Tarjan SCC over a tiny graph of unit ids."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = [0]
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[vertex] = min(lowlink[vertex], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == index_of[vertex]:
+                component: List[int] = []
+                while True:
+                    node = stack.pop()
+                    on_stack[node] = False
+                    component.append(node)
+                    if node == vertex:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def build_chain(
+    root_cause_units: Sequence["object"],
+    edges_between_units: Dict[int, Set[int]],
+    failure: Optional[Failure],
+    ambiguous_unit_ids: Optional[Set[int]] = None,
+) -> CausalityChain:
+    """Assemble a :class:`CausalityChain` from Causality Analysis output.
+
+    ``root_cause_units`` are the confirmed
+    :class:`~repro.core.causality.RaceUnit` objects, ``edges_between_units``
+    maps unit id -> ids of units whose races disappear when it is flipped,
+    and ``ambiguous_unit_ids`` marks units whose contribution could not be
+    isolated (section 3.4).
+
+    Units that make *each other* disappear (a strongly connected component
+    of the disappearance graph) are the multi-variable conjunctions of
+    Figure 3: flipping any one of them unravels the whole group, so they
+    merge into a single conjunction node.  Remaining edges get a transitive
+    reduction so the rendered chain shows only direct causality.
+    """
+    ambiguous_unit_ids = ambiguous_unit_ids or set()
+    unit_list = list(root_cause_units)
+    valid_ids = {unit.uid for unit in unit_list}
+    unit_by_id = {unit.uid: unit for unit in unit_list}
+    edges = {
+        uid: {s for s in succs if s in valid_ids and s != uid}
+        for uid, succs in edges_between_units.items() if uid in valid_ids
+    }
+
+    components = _strongly_connected_components(sorted(valid_ids), edges)
+    # Deterministic node order: components whose races appear earlier in the
+    # failure run come first.
+    components.sort(key=lambda comp: min(unit_by_id[u].last_seq
+                                         for u in comp))
+
+    nodes: List[ChainNode] = []
+    node_of_unit: Dict[int, int] = {}
+    for component in components:
+        races = tuple(
+            race
+            for uid in sorted(component,
+                              key=lambda u: unit_by_id[u].last_seq)
+            for race in unit_by_id[uid].races)
+        ambiguous = any(uid in ambiguous_unit_ids for uid in component)
+        node_index = len(nodes)
+        nodes.append(ChainNode(races=races, ambiguous=ambiguous))
+        for uid in component:
+            node_of_unit[uid] = node_index
+
+    node_edges: Set[Tuple[int, int]] = set()
+    for uid, succs in edges.items():
+        for succ in succs:
+            i, j = node_of_unit[uid], node_of_unit[succ]
+            if i != j:
+                node_edges.add((i, j))
+
+    # Transitive reduction (the graph is a DAG after SCC contraction).
+    def reachable(frm: int, to: int, skip: Tuple[int, int]) -> bool:
+        seen = {frm}
+        work = [frm]
+        while work:
+            cur = work.pop()
+            for (i, j) in node_edges:
+                if (i, j) == skip or i != cur or j in seen:
+                    continue
+                if j == to:
+                    return True
+                seen.add(j)
+                work.append(j)
+        return False
+
+    reduced = {
+        (i, j) for (i, j) in node_edges
+        if not reachable(i, j, skip=(i, j))
+    }
+
+    return CausalityChain(nodes=nodes, edges=sorted(reduced),
+                          failure=failure)

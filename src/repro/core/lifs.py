@@ -1,0 +1,321 @@
+"""Least Interleaving First Search (paper section 3.3).
+
+LIFS reproduces a reported concurrency failure by exploring interleavings
+of *conflicting* instructions, fewest preemptions first:
+
+1. **Interleaving count 0** — every serial order of the slice's threads is
+   executed.  These runs discover each thread's memory-accessing
+   instructions (the kcov + disassembly step of section 4.3) and seed the
+   conflict knowledge.
+2. **Interleaving count k** — every non-failing run with k-1 preemptions is
+   extended with one more preemption, placed *after* the previous ones
+   (front-to-back search) and only at instructions whose data address is
+   also accessed, conflictingly, by the thread being switched to.  The
+   latter is the dynamic-partial-order-reduction insight: preempting where
+   the target thread cannot conflict yields an equivalent trace, so those
+   candidates are pruned without running (the grey branches of Figure 5).
+3. Runs whose Mazurkiewicz signature repeats an earlier run are recorded as
+   equivalent rather than explored further.
+
+New instructions executed because of race-steered control flows enter the
+knowledge base as soon as a run reveals them, extending the candidate set
+on the fly — the property that lets LIFS handle the asynchronous patterns
+of Figure 4 without predefined bug shapes.
+
+The search stops at the first run whose failure matches the reported
+symptom and returns the totally ordered failure-causing instruction
+sequence together with every data race observed in it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.races import RaceSet, find_data_races
+from repro.core.schedule import Preemption, Schedule
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.kernel.failures import Failure, FailureKind
+from repro.kernel.machine import KernelMachine
+
+
+@dataclass(frozen=True)
+class FailureMatcher:
+    """Does an observed failure match the reported one?
+
+    ``kind=None`` matches any failure; ``location=None`` matches any
+    instruction.  Crash reports give both (section 4.2).
+    """
+
+    kind: Optional[FailureKind] = None
+    location: Optional[str] = None
+
+    def matches(self, failure: Optional[Failure]) -> bool:
+        if failure is None:
+            return False
+        if self.kind is not None and failure.kind is not self.kind:
+            return False
+        if self.location is not None and failure.instr_label != self.location:
+            return False
+        return True
+
+    @classmethod
+    def any_failure(cls) -> "FailureMatcher":
+        return cls()
+
+
+@dataclass
+class LifsConfig:
+    """Search bounds."""
+
+    max_interleavings: int = 4
+    max_schedules: int = 20_000
+    #: How many full (non-failing) run results to retain for baselines and
+    #: inspection; the frontier itself keeps only what extension needs.
+    keep_runs: int = 64
+    #: Ablation switch: disable the DPOR-style candidate pruning (preempt
+    #: at *every* memory instruction, conflicting or not).  Exists to
+    #: measure how much the paper's partial-order reduction buys.
+    conflict_pruning: bool = True
+    #: Ablation switch: extend equivalent (same-signature) runs instead of
+    #: skipping their subtrees.
+    equivalence_dedup: bool = True
+
+
+@dataclass
+class SearchStats:
+    schedules_executed: int = 0
+    candidates_pruned: int = 0
+    equivalent_runs: int = 0
+    total_steps: int = 0
+    failing_runs: int = 0
+    per_round_executed: Dict[int, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class LifsResult:
+    """Outcome of one LIFS search over one slice."""
+
+    reproduced: bool
+    failure_run: Optional[RunResult]
+    races: RaceSet
+    stats: SearchStats
+    #: Paper-style interleaving count of the reproducing run (preempted and
+    #: later resumed pairs).
+    interleaving_count: int = 0
+    sample_runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def failure_sequence(self):
+        """The totally ordered failure-causing instruction sequence."""
+        if self.failure_run is None:
+            return []
+        return self.failure_run.trace
+
+    @property
+    def schedule(self) -> Optional[Schedule]:
+        return self.failure_run.schedule if self.failure_run else None
+
+
+class _Knowledge:
+    """What LIFS has learned from executed runs: who accesses which data
+    address and how, plus which threads spawn which background threads."""
+
+    def __init__(self) -> None:
+        #: data_addr -> {(thread, is_write)}
+        self.accessors: Dict[int, Set[Tuple[str, bool]]] = {}
+        #: parent thread -> {child threads it has been seen spawning}
+        self.spawn_children: Dict[str, Set[str]] = {}
+
+    def absorb(self, run: RunResult) -> None:
+        for access in run.accesses:
+            self.accessors.setdefault(access.data_addr, set()).add(
+                (access.thread, access.is_write))
+        for spawn in run.spawn_events:
+            self.spawn_children.setdefault(spawn.parent, set()).add(
+                spawn.child)
+
+    def _with_descendants(self, thread: str) -> Set[str]:
+        family = {thread}
+        work = [thread]
+        while work:
+            for child in self.spawn_children.get(work.pop(), ()):
+                if child not in family:
+                    family.add(child)
+                    work.append(child)
+        return family
+
+    def conflicts(self, data_addr: int, accessor_is_write: bool,
+                  target_thread: str) -> bool:
+        """Would switching to the target thread allow a conflicting access
+        to this address — by the target itself or by a background thread
+        it (transitively) invokes?  The latter is what makes preempting
+        toward an asynchronous free worthwhile (Figure 4-(a))."""
+        family = self._with_descendants(target_thread)
+        for thread, is_write in self.accessors.get(data_addr, ()):
+            if thread in family and (is_write or accessor_is_write):
+                return True
+        return False
+
+
+class LeastInterleavingFirstSearch:
+    """One LIFS instance over one slice of threads."""
+
+    def __init__(
+        self,
+        machine_factory: Callable[[], KernelMachine],
+        initial_threads: Sequence[str],
+        target: Optional[FailureMatcher] = None,
+        config: Optional[LifsConfig] = None,
+    ) -> None:
+        self.machine_factory = machine_factory
+        self.initial_threads = tuple(initial_threads)
+        self.target = target or FailureMatcher.any_failure()
+        self.config = config or LifsConfig()
+        self.stats = SearchStats()
+        self._knowledge = _Knowledge()
+        self._signatures: Set[Tuple] = set()
+        self._tried_schedules: Set[Tuple] = set()
+        self._sample_runs: List[RunResult] = []
+
+    # ------------------------------------------------------------------
+    def search(self) -> LifsResult:
+        started = time.perf_counter()
+        result = self._search()
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _search(self) -> LifsResult:
+        frontier: List[RunResult] = []
+
+        # Interleaving count 0: serial executions in every thread order.
+        for order in itertools.permutations(self.initial_threads):
+            schedule = Schedule(start_order=order,
+                                note=f"lifs serial {'>'.join(order)}")
+            run, duplicate = self._execute(schedule, round_index=0)
+            if run is None:
+                return self._give_up()
+            if self.target.matches(run.failure):
+                return self._success(run)
+            if not run.failed and not duplicate:
+                frontier.append(run)
+
+        for round_index in range(1, self.config.max_interleavings + 1):
+            next_frontier: List[RunResult] = []
+            for base in frontier:
+                for schedule in self._extensions(base):
+                    run, duplicate = self._execute(schedule, round_index)
+                    if run is None:
+                        return self._give_up()
+                    if self.target.matches(run.failure):
+                        return self._success(run)
+                    # Equivalent runs are recorded but not extended — the
+                    # DPOR-style subtree skip of Figure 5.
+                    keep = not duplicate or not self.config.equivalence_dedup
+                    if not run.failed and keep:
+                        next_frontier.append(run)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+
+        return self._give_up()
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, schedule: Schedule, round_index: int,
+    ) -> Tuple[Optional[RunResult], bool]:
+        """Run one schedule.  Returns ``(run, is_equivalent)``; ``run`` is
+        ``None`` when the schedule budget is exhausted."""
+        if self.stats.schedules_executed >= self.config.max_schedules:
+            return None, False
+        controller = ScheduleController(self.machine_factory(), schedule)
+        run = controller.run()
+        self.stats.schedules_executed += 1
+        self.stats.total_steps += run.steps
+        if run.failed:
+            self.stats.failing_runs += 1
+        self.stats.per_round_executed[round_index] = (
+            self.stats.per_round_executed.get(round_index, 0) + 1)
+        self._knowledge.absorb(run)
+        signature = run.signature()
+        duplicate = signature in self._signatures
+        if duplicate:
+            self.stats.equivalent_runs += 1
+        else:
+            self._signatures.add(signature)
+        if len(self._sample_runs) < self.config.keep_runs:
+            self._sample_runs.append(run)
+        return run, duplicate
+
+    def _extensions(self, base: RunResult):
+        """Candidate schedules extending ``base`` with one more preemption,
+        front-to-back after the base's last fired preemption."""
+        # Front-to-back: new preemptions only after the point where the
+        # base run's last preemption *fired* (parked its thread).
+        last_seq = max(base.fired_seqs) if base.fired_seqs else 0
+
+        accesses_by_seq = {a.seq: a for a in base.accesses}
+        thread_kinds = base.thread_kinds
+        spawn_seq = {e.child: e.seq for e in base.spawn_events}
+        threads = base.thread_names
+        remaining_after: Dict[str, int] = {}
+        for entry in base.trace:
+            remaining_after[entry.thread] = entry.seq
+
+        for entry in base.trace:
+            if entry.seq <= last_seq:
+                continue
+            access = accesses_by_seq.get(entry.seq)
+            if access is None:
+                continue  # not a memory-accessing instruction
+            if thread_kinds.get(entry.thread) == "irq":
+                continue  # hardware IRQ handlers are not preemptible
+            for target in threads:
+                if target == entry.thread:
+                    continue
+                if spawn_seq.get(target, 0) > entry.seq:
+                    continue  # not spawned yet at this point
+                if remaining_after.get(target, 0) <= entry.seq:
+                    continue  # target had no remaining work here
+                if self.config.conflict_pruning and \
+                        not self._knowledge.conflicts(
+                            access.data_addr, access.is_write, target):
+                    self.stats.candidates_pruned += 1
+                    continue
+                preemption = Preemption(
+                    thread=entry.thread, instr_addr=entry.instr_addr,
+                    occurrence=entry.occurrence, switch_to=target,
+                    instr_label=entry.instr_label)
+                schedule = Schedule(
+                    start_order=base.schedule.start_order,
+                    preemptions=list(base.schedule.preemptions) + [preemption],
+                    note=f"lifs depth {len(base.schedule.preemptions) + 1}")
+                key = self._schedule_key(schedule)
+                if key in self._tried_schedules:
+                    continue
+                self._tried_schedules.add(key)
+                yield schedule
+
+    @staticmethod
+    def _schedule_key(schedule: Schedule) -> Tuple:
+        return (
+            schedule.start_order,
+            tuple((p.thread, p.instr_addr, p.occurrence, p.switch_to)
+                  for p in schedule.preemptions),
+        )
+
+    # ------------------------------------------------------------------
+    def _success(self, run: RunResult) -> LifsResult:
+        races = find_data_races(run.accesses)
+        return LifsResult(
+            reproduced=True, failure_run=run, races=races, stats=self.stats,
+            interleaving_count=run.interleavings,
+            sample_runs=list(self._sample_runs))
+
+    def _give_up(self) -> LifsResult:
+        return LifsResult(
+            reproduced=False, failure_run=None, races=RaceSet(),
+            stats=self.stats, sample_runs=list(self._sample_runs))

@@ -1,0 +1,115 @@
+"""Schedule minimization: shrink a failing reproducer.
+
+LIFS already searches fewest-interleavings-first, so its output is
+usually minimal — but schedules arriving from elsewhere (a fuzzer's
+lucky interleaving, a hand-written reproducer, a diagnosis schedule) may
+carry preemptions and constraints that do not matter.  A minimal
+reproducer is what a developer wants attached to a bug report.
+
+The algorithm is one-minimal delta debugging (ddmin's final phase):
+repeatedly drop one schedule element and keep the reduction whenever the
+reported failure still manifests, until no single element can be
+removed.  Every candidate is verified by execution, so the result is
+guaranteed to reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.lifs import FailureMatcher
+from repro.core.schedule import Schedule
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.kernel.machine import KernelMachine
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of one minimization."""
+
+    schedule: Schedule
+    run: RunResult
+    removed_preemptions: int
+    removed_constraints: int
+    schedules_executed: int
+
+    @property
+    def was_reduced(self) -> bool:
+        return self.removed_preemptions + self.removed_constraints > 0
+
+
+def _attempt(machine_factory: Callable[[], KernelMachine],
+             schedule: Schedule,
+             matcher: FailureMatcher) -> Optional[RunResult]:
+    run = ScheduleController(machine_factory(), schedule).run()
+    return run if matcher.matches(run.failure) else None
+
+
+def minimize_schedule(
+    machine_factory: Callable[[], KernelMachine],
+    schedule: Schedule,
+    matcher: Optional[FailureMatcher] = None,
+) -> MinimizationResult:
+    """Return a one-minimal schedule that still reproduces the failure.
+
+    ``matcher`` defaults to "the failure the input schedule produces";
+    passing an explicit matcher pins the symptom (recommended when
+    minimizing fuzzer-found schedules that can crash in several ways).
+    """
+    executed = 0
+    if matcher is None:
+        baseline = ScheduleController(machine_factory(), schedule).run()
+        executed += 1
+        if baseline.failure is None:
+            raise ValueError(
+                "the input schedule does not fail; nothing to minimize")
+        matcher = FailureMatcher(kind=baseline.failure.kind,
+                                 location=baseline.failure.instr_label)
+
+    current = schedule
+    current_run = _attempt(machine_factory, current, matcher)
+    executed += 1
+    if current_run is None:
+        raise ValueError(
+            "the input schedule does not reproduce the target failure")
+
+    removed_p = removed_c = 0
+    progress = True
+    while progress:
+        progress = False
+        for i in range(len(current.preemptions)):
+            candidate = Schedule(
+                start_order=current.start_order,
+                preemptions=(current.preemptions[:i]
+                             + current.preemptions[i + 1:]),
+                constraints=list(current.constraints),
+                note=f"{current.note} [minimized]".strip())
+            run = _attempt(machine_factory, candidate, matcher)
+            executed += 1
+            if run is not None:
+                current, current_run = candidate, run
+                removed_p += 1
+                progress = True
+                break
+        if progress:
+            continue
+        for i in range(len(current.constraints)):
+            candidate = Schedule(
+                start_order=current.start_order,
+                preemptions=list(current.preemptions),
+                constraints=(current.constraints[:i]
+                             + current.constraints[i + 1:]),
+                note=f"{current.note} [minimized]".strip())
+            run = _attempt(machine_factory, candidate, matcher)
+            executed += 1
+            if run is not None:
+                current, current_run = candidate, run
+                removed_c += 1
+                progress = True
+                break
+
+    return MinimizationResult(
+        schedule=current, run=current_run,
+        removed_preemptions=removed_p, removed_constraints=removed_c,
+        schedules_executed=executed)

@@ -1,0 +1,181 @@
+"""Data races: definitions and derivation from an executed run.
+
+The definitions follow the Linux kernel memory model as the paper does
+(section 2): *conflicting accesses* touch the same location from different
+threads with at least one write; a *data race* is a conflicting pair not
+ordered by a common lock.
+
+From a totally ordered run we derive the dynamic race events the way the
+paper's examples do: per memory location, every pair of consecutive
+conflicting accesses performed by different threads is one data race with
+an observed interleaving order.  For Figure 2 this yields exactly the four
+races the paper lists — (A2 => B11), (B2 => A6), (A6 => B12), (A12 => B17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kernel.access import MemoryAccess
+
+#: Static identity of one side of a race: (thread, instruction address,
+#: occurrence).  Stable across runs because thread names and code addresses
+#: are deterministic.
+EndpointKey = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class DataRace:
+    """One dynamic data race with its observed interleaving order:
+    ``first`` executed before ``second``."""
+
+    first: MemoryAccess
+    second: MemoryAccess
+
+    def __post_init__(self) -> None:
+        if not self.first.conflicts_with(self.second):
+            raise ValueError(
+                f"{self.first} and {self.second} are not conflicting accesses")
+
+    # -- identities -----------------------------------------------------
+    @property
+    def first_key(self) -> EndpointKey:
+        return (self.first.thread, self.first.instr_addr, self.first.occurrence)
+
+    @property
+    def second_key(self) -> EndpointKey:
+        return (self.second.thread, self.second.instr_addr,
+                self.second.occurrence)
+
+    @property
+    def key(self) -> Tuple[EndpointKey, EndpointKey]:
+        """Directed identity: same racing instructions, same order."""
+        return (self.first_key, self.second_key)
+
+    @property
+    def pair_key(self) -> FrozenSet[EndpointKey]:
+        """Undirected identity: same racing instructions, either order."""
+        return frozenset((self.first_key, self.second_key))
+
+    # -- descriptive properties ------------------------------------------
+    @property
+    def location(self) -> int:
+        return self.first.data_addr
+
+    @property
+    def threads(self) -> Tuple[str, str]:
+        return (self.first.thread, self.second.thread)
+
+    @property
+    def is_lock_ordered(self) -> bool:
+        """True when a common lock orders the two accesses (not a race by
+        the kernel memory model; kept only for diagnostics)."""
+        return bool(self.first.lockset & self.second.lockset)
+
+    def flipped_str(self) -> str:
+        return f"{self.second.instr_label} => {self.first.instr_label}"
+
+    def __str__(self) -> str:
+        return f"{self.first.instr_label} => {self.second.instr_label}"
+
+
+class RaceSet:
+    """An ordered collection of data races with key-based lookup."""
+
+    def __init__(self, races: Iterable[DataRace] = ()) -> None:
+        self._races: List[DataRace] = []
+        self._by_key: Dict[Tuple[EndpointKey, EndpointKey], DataRace] = {}
+        for race in races:
+            self.add(race)
+
+    def add(self, race: DataRace) -> None:
+        if race.key not in self._by_key:
+            self._by_key[race.key] = race
+            self._races.append(race)
+
+    def __iter__(self):
+        return iter(self._races)
+
+    def __len__(self) -> int:
+        return len(self._races)
+
+    def __contains__(self, race: DataRace) -> bool:
+        return race.key in self._by_key
+
+    def get(self, key) -> Optional[DataRace]:
+        return self._by_key.get(key)
+
+    def ordered_by_second_access(self) -> List[DataRace]:
+        """Races sorted by the position of their *second* access — the order
+        Causality Analysis pops them in ("from backward", section 3.4)."""
+        return sorted(self._races, key=lambda r: r.second.seq)
+
+    def __repr__(self) -> str:
+        return f"RaceSet({', '.join(str(r) for r in self._races)})"
+
+
+def find_data_races(accesses: Sequence[MemoryAccess],
+                    include_lock_ordered: bool = False) -> RaceSet:
+    """Derive the dynamic data races of one executed run.
+
+    Per location, each access races with the *latest preceding* access of
+    every other thread when the pair conflicts (at least one write): for
+    the per-location access sequence ``A1(R) B1(R) B2(W) A3(R)`` this
+    yields ``A1 => B2`` and ``B2 => A3``, matching how the paper lists the
+    races of its examples (Figure 2 lists exactly (A2,B11), (A6,B2),
+    (A6,B12), (A12,B17)).  Pairs ordered by a common lock are excluded
+    unless ``include_lock_ordered`` (they are not data races under the
+    kernel memory model).
+    """
+    by_location: Dict[int, List[MemoryAccess]] = {}
+    for access in accesses:
+        by_location.setdefault(access.data_addr, []).append(access)
+
+    races = RaceSet()
+    for location_accesses in by_location.values():
+        last_by_thread: Dict[str, MemoryAccess] = {}
+        for cur in location_accesses:
+            for thread, prev in last_by_thread.items():
+                if thread == cur.thread:
+                    continue
+                if not (prev.is_write or cur.is_write):
+                    continue
+                if not include_lock_ordered and (prev.lockset & cur.lockset):
+                    continue
+                races.add(DataRace(first=prev, second=cur))
+            last_by_thread[cur.thread] = cur
+    return races
+
+
+def find_conflicting_instructions(
+    accesses: Sequence[MemoryAccess],
+) -> Dict[Tuple[str, int], FrozenSet[str]]:
+    """Map each (thread, instruction address) to the set of *other* threads
+    whose accesses conflict with it anywhere in the run.
+
+    This is the knowledge LIFS builds up across runs to choose candidate
+    preemption points: preempting at an instruction is only useful when the
+    thread being switched to conflicts with it (the DPOR insight).
+    """
+    by_location: Dict[int, List[MemoryAccess]] = {}
+    for access in accesses:
+        by_location.setdefault(access.data_addr, []).append(access)
+
+    conflicts: Dict[Tuple[str, int], set] = {}
+    for location_accesses in by_location.values():
+        for a in location_accesses:
+            for b in location_accesses:
+                if a.thread == b.thread:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                conflicts.setdefault((a.thread, a.instr_addr), set()).add(b.thread)
+    return {key: frozenset(value) for key, value in conflicts.items()}
+
+
+def count_memory_instructions(accesses: Sequence[MemoryAccess]) -> int:
+    """Number of distinct memory-accessing instruction executions in a run —
+    the paper's conciseness denominator (section 5.2 reports an average of
+    9592.8 per failed execution)."""
+    return len(accesses)

@@ -1,0 +1,45 @@
+"""The 22-bug corpus of the paper's evaluation, plus figure examples.
+
+Every bug AITIA was evaluated on (Tables 2 and 3) is modeled as a
+simulated-kernel subsystem preserving the bug's racing structure: the
+variables involved, the race-steered control flows, the background-thread
+asynchrony, and a salting of benign races.  See
+:mod:`repro.corpus.spec` for the model format and DESIGN.md for the
+substitution argument.
+
+Registry access::
+
+    from repro.corpus import get_bug, cve_bugs, syzkaller_bugs
+
+    bug = get_bug("CVE-2017-15649")
+"""
+
+from repro.corpus.registry import (
+    all_bugs,
+    cve_bugs,
+    extension_bugs,
+    figure_examples,
+    get_bug,
+    syzkaller_bugs,
+)
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    KthreadNote,
+    SetupCall,
+    SyscallThread,
+)
+
+__all__ = [
+    "Bug",
+    "DecoyCall",
+    "KthreadNote",
+    "SetupCall",
+    "SyscallThread",
+    "all_bugs",
+    "cve_bugs",
+    "extension_bugs",
+    "figure_examples",
+    "get_bug",
+    "syzkaller_bugs",
+]

@@ -1,0 +1,31 @@
+"""The 10 CVE bugs of Table 2.
+
+Each module models one CVE's racing structure; ``CVE_BUGS`` lists them in
+Table 2's order.
+"""
+
+from repro.corpus.cves.cve_2016_10200 import make_bug as cve_2016_10200
+from repro.corpus.cves.cve_2016_8655 import make_bug as cve_2016_8655
+from repro.corpus.cves.cve_2017_10661 import make_bug as cve_2017_10661
+from repro.corpus.cves.cve_2017_15649 import make_bug as cve_2017_15649
+from repro.corpus.cves.cve_2017_2636 import make_bug as cve_2017_2636
+from repro.corpus.cves.cve_2017_2671 import make_bug as cve_2017_2671
+from repro.corpus.cves.cve_2017_7533 import make_bug as cve_2017_7533
+from repro.corpus.cves.cve_2018_12232 import make_bug as cve_2018_12232
+from repro.corpus.cves.cve_2019_11486 import make_bug as cve_2019_11486
+from repro.corpus.cves.cve_2019_6974 import make_bug as cve_2019_6974
+
+CVE_FACTORIES = [
+    cve_2019_11486,
+    cve_2019_6974,
+    cve_2018_12232,
+    cve_2017_15649,
+    cve_2017_10661,
+    cve_2017_7533,
+    cve_2017_2671,
+    cve_2017_2636,
+    cve_2016_10200,
+    cve_2016_8655,
+]
+
+__all__ = ["CVE_FACTORIES"]

@@ -1,0 +1,97 @@
+"""CVE-2016-10200 — L2TP: bind() races with connect() on socket hashing.
+
+``l2tp_ip_bind`` publishes the socket in the bind hash and then marks it
+bound; ``l2tp_ip_connect`` samples both and asserts their consistency.
+When connect's two reads straddle bind's two writes, it observes a socket
+that is hashed but not yet marked bound, and the sanity ``BUG_ON`` fires.
+
+This is the one evaluated failure where AITIA hits the *ambiguity* case
+of section 3.4 (Table 2's discussion): the race on ``l2tp_hash``
+surrounds the nested race on ``sk_bound``, both flips avert the failure,
+so the surrounding race is reported as ambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+SK = 0xB0
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("l2tp", 9)
+
+    with b.function("l2tp_socket") as f:
+        f.store(f.g("l2tp_hash"), 0, label="S1")
+        f.store(f.g("sk_bound"), 0, label="S2")
+        f.store(f.g("sk_state"), 1, label="S3")
+
+    # Thread A: bind() -> l2tp_ip_bind(): hash the socket, mark it bound,
+    # bump the state generation.
+    with b.function("l2tp_ip_bind") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.store(f.g("l2tp_hash"), f.i(SK), label="A1")
+        f.store(f.g("sk_bound"), 1, label="A2")
+        f.store(f.g("sk_gen"), 1, label="A3")
+
+    # Thread B: connect() -> l2tp_ip_connect(): sample and sanity-check.
+    with b.function("l2tp_ip_connect") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("bound", f.g("sk_bound"), label="B1")
+        f.load("hash", f.g("l2tp_hash"), label="B2")
+        f.load("gen", f.g("sk_gen"), label="B3")
+        # Inconsistent: hashed, bound, but generation not yet bumped.
+        f.binop("hashed", "ne", f.r("hash"), f.i(0))
+        f.binop("hb", "and", f.r("hashed"), f.r("bound"))
+        f.binop("nogen", "eq", f.r("gen"), f.i(0))
+        f.binop("broken", "and", f.r("hb"), f.r("nogen"))
+        f.bug_on("broken", "l2tp: socket hashed+bound without generation",
+                 label="B4")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("l2tp_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2016-10200",
+        title="L2TP: bind vs connect socket-hash race (assertion, "
+              "ambiguous diagnosis)",
+        subsystem="L2TP",
+        bug_type=FailureKind.ASSERTION,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="bind", entry="l2tp_ip_bind",
+                          fd=11),
+            SyscallThread(proc="B", syscall="connect",
+                          entry="l2tp_ip_connect", fd=11),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="l2tp_socket",
+                         fd=11)],
+        decoys=[DecoyCall(proc="C", syscall="sendto", entry="fuzz_noise")],
+        # B samples between A2 and A3: A1 A2 | B1 B2 B3 B4 -> BUG_ON.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="B4",
+        multi_variable=False,
+        expect_ambiguity=True,
+        expected_chain_pairs=[("A2", "B1"), ("A1", "B2")],
+        description=(
+            "The race (A1 => B2) surrounds the nested (A2 => B1); both "
+            "flips avert the BUG_ON, so Causality Analysis cannot isolate "
+            "the surrounding race's contribution and reports it ambiguous "
+            "— the single ambiguity among the 22 evaluated bugs."),
+    )

@@ -1,0 +1,100 @@
+"""CVE-2016-8655 — AF_PACKET: ring setup races with PACKET_VERSION.
+
+``setsockopt(PACKET_RX_RING)`` sizes the ring's frame headers from
+``po->tp_version`` at two different points; ``setsockopt(PACKET_VERSION)``
+may change the version in between (it checks that no ring exists yet, but
+the check races with the ring being installed).  A version mismatch makes
+the ring code index a frame header beyond the allocated vector —
+the out-of-bounds access Philip Pettersson's exploit turned into
+privilege escalation.
+
+Multi-variable: ``tp_version`` and ``ring_pg_vec`` are correlated — the
+version must not change once a ring exists.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+RING_SIZE = 16
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("packetring", 11)
+
+    with b.function("packet_open") as f:
+        f.store(f.g("tp_version"), 1, label="S1")
+        f.store(f.g("ring_pg_vec"), 0, label="S2")
+
+    # Thread A: setsockopt(PACKET_VERSION): only legal with no ring.
+    with b.function("packet_set_version") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("ring", f.g("ring_pg_vec"), label="A1")
+        f.brnz("ring", "A_busy", label="A1b")
+        f.store(f.g("tp_version"), 3, label="A2")
+        f.ret(label="A_busy")
+
+    # Thread B: setsockopt(PACKET_RX_RING) -> packet_set_ring().
+    with b.function("packet_set_ring") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("v1", f.g("tp_version"), label="B1")
+        f.alloc("vec", RING_SIZE, tag="pg_vec", label="B2")
+        f.store(f.g("ring_pg_vec"), f.r("vec"), label="B3")
+        f.load("v2", f.g("tp_version"), label="B4")
+        f.binop("mismatch", "ne", f.r("v1"), f.r("v2"))
+        f.brz("mismatch", "B_ok", label="B5")
+        # Header size computed from the *new* version indexes past the
+        # vector sized for the old one.
+        f.binop("end", "add", f.r("vec"), f.i(RING_SIZE + 8))
+        f.load("hdr", f.at("end"), label="B6")
+        f.ret(label="B_exit")
+        f.load("hdr", f.at("vec"), label="B_ok")
+        f.ret(label="B_exit2")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("packetring_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2016-8655",
+        title="AF_PACKET: packet_set_ring vs PACKET_VERSION "
+              "(slab-out-of-bounds)",
+        subsystem="Packet socket",
+        bug_type=FailureKind.KASAN_OOB,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="setsockopt",
+                          entry="packet_set_version", fd=3),
+            SyscallThread(proc="B", syscall="setsockopt",
+                          entry="packet_set_ring", fd=3),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="packet_open",
+                         fd=3)],
+        decoys=[DecoyCall(proc="C", syscall="bind", entry="fuzz_noise")],
+        # B samples version 1, A changes it to 3 (ring check still passes),
+        # B's second sample mismatches: B1 | A1 A2 | B2..B6 -> OOB.
+        failing_schedule_spec=[("B", "B2", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="B6",
+        multi_variable=True,
+        expected_chain_pairs=[("B1", "A2"), ("A2", "B4")],
+        description=(
+            "tp_version changes between packet_set_ring's two reads "
+            "because PACKET_VERSION's no-ring check (A1) raced ahead of "
+            "the ring install (B3)."),
+    )

@@ -1,0 +1,95 @@
+"""CVE-2017-10661 — timerfd: settime races with release (use-after-free).
+
+``timerfd_settime`` checks that the timer context is alive, re-arms the
+timer through the context pointer; a concurrent ``close`` removes the
+timer from the cancel list, frees the context and clears the alive flag.
+When the release slips between the settime's liveness check and its
+re-arm, the re-arm writes into freed memory.
+
+Multi-variable: ``timerfd_alive`` (flag), ``timerfd_ctx`` (pointer) and
+the ``cancel_list`` are all part of the same implicit protocol.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+TIMER_COOKIE = 0x71
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("timerfd", 10)
+
+    with b.function("timerfd_create") as f:
+        f.alloc("ctx", 24, tag="timerfd_ctx", label="S1")
+        f.store(f.g("timerfd_ctx"), f.r("ctx"), label="S2")
+        f.store(f.g("timerfd_alive"), 1, label="S3")
+        f.store(f.g("timerfd_might_cancel"), 1, label="S4")
+        f.list_add(f.g("cancel_list"), f.i(TIMER_COOKIE), label="S5")
+
+    # Thread A: timerfd_settime().
+    with b.function("timerfd_settime") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("alive", f.g("timerfd_alive"), label="A1")
+        f.brz("alive", "A_ret", label="A1b")
+        f.load("ctx", f.g("timerfd_ctx"), label="A2")
+        f.store(f.at("ctx", 8), 500, label="A3")  # re-arm: UAF point
+        f.ret(label="A_ret")
+
+    # Thread B: close() -> timerfd_release().
+    with b.function("timerfd_release") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("mc", f.g("timerfd_might_cancel"), label="B1")
+        f.brz("mc", "B_skip", label="B1b")
+        f.list_del(f.g("cancel_list"), f.i(TIMER_COOKIE), label="B2")
+        f.load("ctx", f.g("timerfd_ctx"), label="B3")
+        f.free("ctx", label="B4")
+        f.store(f.g("timerfd_alive"), 0, label="B5")
+        f.ret(label="B_skip")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("timerfd_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2017-10661",
+        title="timerfd: settime vs release on the timer context "
+              "(use-after-free)",
+        subsystem="Timer fd",
+        bug_type=FailureKind.KASAN_UAF,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="timerfd_settime",
+                          entry="timerfd_settime", fd=8),
+            SyscallThread(proc="B", syscall="close",
+                          entry="timerfd_release", fd=8),
+        ],
+        setup=[SetupCall(proc="A", syscall="timerfd_create",
+                         entry="timerfd_create", fd=8)],
+        decoys=[DecoyCall(proc="C", syscall="read", entry="fuzz_noise")],
+        # A passes its liveness check, B tears the context down, A re-arms:
+        # A1 A2 | B1..B5 | A3 -> UAF write.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A3",
+        multi_variable=True,
+        expected_chain_pairs=[("A1", "B5"), ("B4", "A3")],
+        description=(
+            "The settime's A1 liveness check racing ahead of release's B5 "
+            "clear steers A into re-arming a context that B4 already "
+            "freed."),
+    )

@@ -1,0 +1,120 @@
+"""CVE-2017-15649 — AF_PACKET fanout multi-variable race (Figure 2).
+
+``setsockopt(PACKET_FANOUT)`` (thread A) and ``bind`` (thread B)
+communicate through two semantically correlated fields of the packet
+socket: ``po->fanout`` may only be set while ``po->running`` is 1, and
+``po->running`` may only be cleared while ``po->fanout`` is NULL.  When a
+thread interleaves between the correlated accesses, ``fanout_unlink``
+runs for a socket that was never linked onto ``global_list`` and
+``BUG_ON`` fires (B17).
+
+The developers' fix makes the two fields be accessed atomically — i.e.
+disallows (B2 => A6) ∧ (A2 => B11), exactly the conjunction node of the
+causality chain (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+#: The socket cookie used as the list element (stands in for ``sk``).
+SK = 0x5C
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+
+    counters = salt_counters("packet", 12)
+
+    # Thread A: setsockopt(PACKET_FANOUT) -> fanout_add().
+    with b.function("fanout_add") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("r0", f.g("po_running"), label="A2")
+        f.brz("r0", "A3", label="A2b")
+        f.alloc("r1", 16, tag="fanout_match", label="A5")
+        # Invariant (violated by the race): po->running != 0 here.
+        f.store(f.g("po_fanout"), f.r("r1"), label="A6")
+        f.call("fanout_link", label="A8")
+        f.ret(label="A3")
+
+    with b.function("fanout_link") as f:
+        f.list_add(f.g("global_list"), f.i(SK), label="A12")
+
+    # Thread B: bind() -> packet_do_bind().
+    with b.function("packet_do_bind") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("r0", f.g("po_fanout"), label="B2")
+        f.brnz("r0", "B3", label="B2b")
+        # Invariant (violated by the race): po->fanout == NULL here.
+        f.call("unregister_hook", label="B5")
+        f.ret(label="B3")
+
+    with b.function("unregister_hook") as f:
+        f.store(f.g("po_running"), f.i(0), label="B11")
+        f.load("r0", f.g("po_fanout"), label="B12")
+        f.brz("r0", "B14", label="B12b")
+        f.call("fanout_unlink", label="B13")
+        f.ret(label="B14")
+
+    with b.function("fanout_unlink") as f:
+        f.list_contains("r1", f.g("global_list"), f.i(SK), label="B17a")
+        f.binop("r2", "eq", f.r("r1"), f.i(0))
+        f.bug_on("r2", "fanout_unlink: sk not on global_list", label="B17")
+
+    # socket() — establishes po->running = 1 before the racing calls.
+    with b.function("packet_create") as f:
+        f.store(f.g("po_running"), f.i(1), label="S1")
+        f.store(f.g("po_fanout"), f.i(0), label="S2")
+
+    # Decoy noise for the execution history.
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("noise_counter"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2017-15649",
+        title="AF_PACKET fanout: multi-variable race on po->running / "
+              "po->fanout",
+        subsystem="Packet socket",
+        bug_type=FailureKind.ASSERTION,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="setsockopt", entry="fanout_add",
+                          fd=3),
+            SyscallThread(proc="B", syscall="bind", entry="packet_do_bind",
+                          fd=3),
+        ],
+        globals_init={"global_list": ()},
+        setup=[SetupCall(proc="A", syscall="socket", entry="packet_create",
+                         fd=3)],
+        decoys=[
+            DecoyCall(proc="C", syscall="getpid", entry="fuzz_noise"),
+            DecoyCall(proc="C", syscall="ioctl", entry="fuzz_noise"),
+        ],
+        failing_schedule_spec=[
+            ("B", "B11", 1, "A"),
+            ("A", "A12", 1, "B"),
+        ],
+        failing_start_order=["B", "A"],
+        failure_location="B17",
+        multi_variable=True,
+        expected_chain_pairs=[("B2", "A6"), ("A2", "B11"), ("A6", "B12")],
+        description=(
+            "Multi-variable atomicity violation on po->running and "
+            "po->fanout; the race-steered control flow A6 => B12 reaches "
+            "BUG_ON in fanout_unlink."),
+    )

@@ -1,0 +1,86 @@
+"""CVE-2017-2636 — n_hdlc line discipline: double free of a tx buffer.
+
+``ioctl(TCFLSH)`` (flush) and ``write()`` both pop the first buffer off
+the n_hdlc free list and release it.  Without the (missing) lock, both
+paths can observe the same buffer and free it twice — the double-free the
+CVE's exploit (a13xp0p0v's famous write-up) turns into a privilege
+escalation.
+
+Single-variable: both races revolve around ``tx_free_buf`` (the list
+head) and the buffer object it points to.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("n_hdlc", 10)
+
+    with b.function("n_hdlc_open") as f:
+        f.alloc("buf", 16, tag="n_hdlc_buf", label="S1")
+        f.store(f.g("tx_free_buf"), f.r("buf"), label="S2")
+
+    # Thread A: ioctl(TCFLSH) -> flush_tx_queue().
+    with b.function("flush_tx_queue") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("buf", f.g("tx_free_buf"), label="A1")
+        f.brz("buf", "A_ret", label="A1b")
+        f.store(f.g("tx_free_buf"), 0, label="A2")
+        f.free("buf", label="A3")
+        f.ret(label="A_ret")
+
+    # Thread B: write() -> n_hdlc_send_frames() error path.
+    with b.function("n_hdlc_send_frames") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("buf", f.g("tx_free_buf"), label="B1")
+        f.brz("buf", "B_ret", label="B1b")
+        f.store(f.g("tx_free_buf"), 0, label="B2")
+        f.free("buf", label="B3")
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("n_hdlc_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2017-2636",
+        title="n_hdlc: flush_tx_queue vs send_frames double free",
+        subsystem="TTY",
+        bug_type=FailureKind.DOUBLE_FREE,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="flush_tx_queue",
+                          fd=5),
+            SyscallThread(proc="B", syscall="write",
+                          entry="n_hdlc_send_frames", fd=5),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="n_hdlc_open",
+                         fd=5)],
+        decoys=[DecoyCall(proc="C", syscall="ioctl", entry="fuzz_noise")],
+        # Both threads pop the same buffer: A1 | B1 B2 B3 | A2 A3 -> the
+        # second free (A3) hits the already-freed buffer.
+        failing_schedule_spec=[("A", "A2", 1, "B")],
+        failure_location="A3",
+        multi_variable=False,
+        expected_chain_pairs=[("A1", "B2"), ("B3", "A3")],
+        description=(
+            "Both threads observe the same tx buffer because A's pop "
+            "(check A1, clear A2) is not atomic against B's."),
+    )

@@ -1,0 +1,82 @@
+"""CVE-2017-2671 — ping socket: sendmsg races with disconnect (GPF).
+
+``ping_v4_sendmsg`` looks the socket's group entry up twice (once to
+validate, once to use); ``connect(AF_UNSPEC)`` -> ``ping_unhash`` clears
+the entry concurrently.  If the clear lands between the two lookups, the
+second one yields NULL and the send path takes a general protection
+fault.  Single-variable TOCTOU on ``ping_table_entry``.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("ipv4", 8)
+
+    with b.function("ping_bind") as f:
+        f.alloc("sk", 16, tag="ping_sock", label="S1")
+        f.store(f.g("ping_table_entry"), f.r("sk"), label="S2")
+
+    # Thread A: sendmsg() -> ping_v4_sendmsg().
+    with b.function("ping_v4_sendmsg") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("sk1", f.g("ping_table_entry"), label="A1")
+        f.brz("sk1", "A_ret", label="A1b")
+        f.inc(f.g("ping_tx_packets"), 1, label="A2")  # build the skb
+        f.load("sk2", f.g("ping_table_entry"), label="A3")
+        f.load("prot", f.at("sk2"), label="A4")  # GPF when NULL
+        f.ret(label="A_ret")
+
+    # Thread B: connect(AF_UNSPEC) -> ping_unhash().
+    with b.function("ping_unhash") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.store(f.g("ping_table_entry"), 0, label="B1")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("ipv4_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2017-2671",
+        title="IPv4 ping: sendmsg vs ping_unhash TOCTOU "
+              "(general protection fault)",
+        subsystem="IPV4",
+        bug_type=FailureKind.GPF,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="sendmsg",
+                          entry="ping_v4_sendmsg", fd=10),
+            SyscallThread(proc="B", syscall="connect", entry="ping_unhash",
+                          fd=10),
+        ],
+        setup=[SetupCall(proc="A", syscall="bind", entry="ping_bind",
+                         fd=10)],
+        decoys=[DecoyCall(proc="C", syscall="recvmsg", entry="fuzz_noise")],
+        # A validates the entry, B unhashes, A's second lookup is NULL:
+        # A1 A2 | B1 | A3 A4 -> GPF.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A4",
+        multi_variable=False,
+        expected_chain_pairs=[("A1", "B1"), ("B1", "A3")],
+        description=(
+            "Both chain races are on ping_table_entry: the validate-before-"
+            "clear order (A1 => B1) and the clear-before-reload order "
+            "(B1 => A3)."),
+    )

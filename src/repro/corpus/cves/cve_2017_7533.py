@@ -1,0 +1,90 @@
+"""CVE-2017-7533 — inotify event handling races with rename (OOB read).
+
+``vfs_rename`` replaces a dentry's name: it bumps the name length and
+installs a larger buffer.  ``inotify_handle_event`` snapshots the length,
+then reads the name buffer up to that length.  When the rename interleaves
+between the two reads, the handler reads ``new_len`` bytes out of the
+*old, smaller* buffer — a slab-out-of-bounds read.
+
+The classic tightly-correlated multi-variable pair (length + buffer),
+the very case MUVI's access-correlation assumption *does* cover — one of
+the 3/12 bugs MUVI can explain in section 5.3.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+OLD_LEN = 8
+NEW_LEN = 24
+OLD_BUF_SIZE = 16
+NEW_BUF_SIZE = 32
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("inotify", 12)
+
+    with b.function("dentry_init") as f:
+        f.alloc("buf", OLD_BUF_SIZE, tag="name_buf_old", label="S1")
+        f.store(f.g("name_ptr"), f.r("buf"), label="S2")
+        f.store(f.g("name_len"), OLD_LEN, label="S3")
+
+    # Thread A: rename() -> vfs_rename(): longer name, bigger buffer.
+    with b.function("vfs_rename") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.store(f.g("name_len"), NEW_LEN, label="A1")
+        f.alloc("buf", NEW_BUF_SIZE, tag="name_buf_new", label="A2")
+        f.store(f.g("name_ptr"), f.r("buf"), label="A3")
+
+    # Thread B: inotify_handle_event(): snapshot len, read name[len].
+    with b.function("inotify_handle_event") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("len", f.g("name_len"), label="B1")
+        f.load("p", f.g("name_ptr"), label="B2")
+        f.binop("end", "add", f.r("p"), f.r("len"))
+        f.load("last", f.at("end"), label="B3")  # OOB when len > buf size
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("inotify_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2017-7533",
+        title="inotify: event handler races with vfs_rename on "
+              "(name_len, name_ptr) — slab-out-of-bounds",
+        subsystem="Inotify",
+        bug_type=FailureKind.KASAN_OOB,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="rename", entry="vfs_rename"),
+            SyscallThread(proc="B", syscall="inotify_read",
+                          entry="inotify_handle_event", fd=9),
+        ],
+        setup=[SetupCall(proc="B", syscall="inotify_add_watch",
+                         entry="dentry_init", fd=9)],
+        decoys=[DecoyCall(proc="C", syscall="getdents", entry="fuzz_noise")],
+        # B snapshots the NEW length but still sees the OLD buffer:
+        # A1 | B1 B2 B3 -> OOB read at old_buf + 24.
+        failing_schedule_spec=[("A", "A2", 1, "B")],
+        failure_location="B3",
+        multi_variable=True,
+        expected_chain_pairs=[("A1", "B1")],
+        description=(
+            "name_len and name_ptr must change atomically; observing the "
+            "new length with the old buffer reads past the allocation."),
+    )

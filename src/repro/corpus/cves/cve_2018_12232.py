@@ -1,0 +1,85 @@
+"""CVE-2018-12232 — SockFS: fchownat() races with close() on a socket.
+
+``fchownat`` resolves the socket, does permission work, and then touches
+the socket's inode through a second lookup; a concurrent ``close`` tears
+the socket down in between, so the second lookup yields NULL and the
+kernel takes a general protection fault.
+
+Single-variable TOCTOU: both races are on ``sock_ptr`` itself.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("sockfs", 12)
+
+    with b.function("socket_create") as f:
+        f.alloc("s", 16, tag="socket", label="S1")
+        f.store(f.g("sock_ptr"), f.r("s"), label="S2")
+
+    # Thread A: fchownat() on the socket path.
+    with b.function("sockfs_setattr") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("s1", f.g("sock_ptr"), label="A1")
+        f.brz("s1", "A_ret", label="A1b")
+        f.inc(f.g("sockfs_attr_ops"), 1, label="A2")  # permission work
+        f.load("s2", f.g("sock_ptr"), label="A3")
+        f.store(f.at("s2"), 1000, label="A4")  # set owner: GPF if NULL
+        f.ret(label="A_ret")
+
+    # Thread B: close() -> sock_close().
+    with b.function("sock_close") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("s", f.g("sock_ptr"), label="B1")
+        f.brz("s", "B_ret", label="B1b")
+        f.store(f.g("sock_ptr"), 0, label="B2")
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("sockfs_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2018-12232",
+        title="SockFS: fchownat vs close TOCTOU on the socket pointer "
+              "(general protection fault)",
+        subsystem="SockFS",
+        bug_type=FailureKind.GPF,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="fchownat",
+                          entry="sockfs_setattr", fd=6),
+            SyscallThread(proc="B", syscall="close", entry="sock_close",
+                          fd=6),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="socket_create",
+                         fd=6)],
+        decoys=[DecoyCall(proc="C", syscall="stat", entry="fuzz_noise")],
+        # A validates the pointer, B clears it, A's second lookup is NULL:
+        # A1 A2 | B1 B2 | A3 A4 -> GPF.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A4",
+        multi_variable=False,
+        expected_chain_pairs=[("A1", "B2"), ("B2", "A3")],
+        description=(
+            "Both chain races are on sock_ptr: the check-to-clear order "
+            "(A1 => B2) and the clear-to-reload order (B2 => A3)."),
+    )

@@ -1,0 +1,90 @@
+"""CVE-2019-11486 — TTY line-discipline change racing with tty I/O.
+
+``ioctl(TIOCSETD)`` swaps the tty's line discipline: it marks the ldisc
+unavailable, frees the old one and installs a fresh one.  A concurrent
+``write()`` checks availability, loads the ldisc pointer, and then
+dereferences it; if the swap happens between the load and the use, the
+write touches freed memory (KASAN use-after-free).
+
+Multi-variable: ``ldisc_ready`` (availability flag) and ``tty_ldisc``
+(the pointer) are semantically correlated — the flag may only be 1 while
+the pointer is valid.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.failures import FailureKind
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("tty", 10)
+
+    # Boot: install the initial line discipline.
+    with b.function("tty_open") as f:
+        f.alloc("ld", 16, tag="ldisc_old", label="S1")
+        f.store(f.g("tty_ldisc"), f.r("ld"), label="S2")
+        f.store(f.g("ldisc_ready"), 1, label="S3")
+
+    # Thread A: ioctl(TIOCSETD) -> tty_set_ldisc().
+    with b.function("tty_set_ldisc") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.store(f.g("ldisc_ready"), 0, label="A1")
+        f.load("old", f.g("tty_ldisc"), label="A2")
+        f.free("old", label="A3")
+        f.alloc("new", 16, tag="ldisc_new", label="A4")
+        f.store(f.g("tty_ldisc"), f.r("new"), label="A5")
+
+    # Thread B: write() -> tty_write() through the current ldisc.
+    with b.function("tty_write") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("ready", f.g("ldisc_ready"), label="B1")
+        f.brz("ready", "B_ret", label="B1b")
+        f.load("ld", f.g("tty_ldisc"), label="B2")
+        f.load("ops", f.at("ld"), label="B3")
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("tty_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2019-11486",
+        title="TTY: line-discipline swap races with tty_write "
+              "(use-after-free)",
+        subsystem="TTY",
+        bug_type=FailureKind.KASAN_UAF,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="tty_set_ldisc",
+                          fd=5),
+            SyscallThread(proc="B", syscall="write", entry="tty_write",
+                          fd=5),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="tty_open", fd=5)],
+        decoys=[DecoyCall(proc="C", syscall="readlink", entry="fuzz_noise")],
+        # B checks the flag and loads the pointer, then A swaps underneath:
+        # B1 B2 | A1..A6 | B3 -> UAF read of the freed old ldisc.
+        failing_schedule_spec=[("B", "B3", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="B3",
+        multi_variable=True,
+        expected_chain_pairs=[("A3", "B3"), ("B1", "A1")],
+        description=(
+            "ldisc_ready and tty_ldisc must change together; a write that "
+            "validated the flag can still dereference the freed old ldisc."),
+    )

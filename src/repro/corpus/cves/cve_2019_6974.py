@@ -1,0 +1,108 @@
+"""CVE-2019-6974 — KVM: device fd published before initialization done.
+
+``ioctl(KVM_CREATE_DEVICE)`` installs the new device's file descriptor in
+the process's fd table *before* finishing device initialization.  A
+concurrent ``close()`` on the guessed fd drops the last reference and
+frees the device while the creating thread is still initializing it —
+a use-after-free write.
+
+The two racing objects live in different subsystems: the fd table (VFS
+layer) and the kvm device object (KVM layer) — the *loosely correlated*
+case of section 2.2.  Dozens of unrelated syscalls touch the fd table
+without ever touching kvm objects, which defeats MUVI-style access-
+correlation inference.
+
+This bug's history also contains an innocuous concurrent decoy group
+closer to the failure than the racing pair, so AITIA must reject one
+slice before reproducing (section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("kvm", 14)
+
+    # Boot: the VM fd exists.
+    with b.function("kvm_open") as f:
+        f.store(f.g("kvm_refcnt"), 1, label="S1")
+
+    # Thread A: ioctl(KVM_CREATE_DEVICE).
+    with b.function("kvm_create_device") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.alloc("dev", 24, tag="kvm_device", label="A1")
+        # fd published while the device is still half-initialized.
+        f.store(f.g("fd_table_7"), f.r("dev"), label="A2")
+        f.store(f.at("dev", 8), 1, label="A3")  # continue init: UAF point
+
+    # Thread B: close(7) -> kvm_device_release().
+    with b.function("kvm_device_release") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("dev", f.g("fd_table_7"), label="B1")
+        f.brz("dev", "B_ret", label="B1b")
+        f.free("dev", label="B3")
+        f.ret(label="B_ret")
+
+    # Unrelated VFS traffic: touches the fd table region, never kvm objects
+    # (the loose-correlation evidence for the MUVI comparison).
+    with b.function("vfs_fd_noise") as f:
+        f.inc(f.g("fd_table_stats"), 1, label="V1")
+        f.load("x", f.g("fd_table_7"), label="V2")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("kvm_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="CVE-2019-6974",
+        title="KVM: kvm_ioctl_create_device fd published before init "
+              "(use-after-free)",
+        subsystem="KVM",
+        bug_type=FailureKind.KASAN_UAF,
+        source="cve",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl",
+                          entry="kvm_create_device", fd=4),
+            SyscallThread(proc="B", syscall="close",
+                          entry="kvm_device_release", fd=7),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="kvm_open", fd=4)],
+        decoys=[
+            DecoyCall(proc="C", syscall="fcntl", entry="vfs_fd_noise"),
+            DecoyCall(proc="D", syscall="dup", entry="vfs_fd_noise"),
+            # An innocuous concurrent pair right before the failure: the
+            # closest slice, which LIFS cannot crash.
+            DecoyCall(proc="E", syscall="fstat", entry="vfs_fd_noise",
+                      concurrent_group=100),
+            DecoyCall(proc="F", syscall="fstat", entry="fuzz_noise",
+                      concurrent_group=100),
+        ],
+        # A publishes the fd, B frees the device, A keeps initializing:
+        # A1 A2 | B1 B2 B3 | A3 -> UAF write.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A3",
+        multi_variable=True,
+        loosely_correlated=True,
+        expected_chain_pairs=[("A2", "B1"), ("B3", "A3")],
+        description=(
+            "The fd-table publish (VFS) steers close() into freeing the "
+            "half-initialized device (KVM): a causality chain across "
+            "loosely correlated objects and subsystems."),
+    )

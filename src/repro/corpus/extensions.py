@@ -1,0 +1,322 @@
+"""Extension bugs beyond the paper's evaluation.
+
+* ``EXT-IRQ-01`` — the paper's section 4.6 future work: a concurrency
+  bug in a *hardware IRQ* context.  The simulated kernel models an IRQ
+  handler as an injectable execution context that runs to completion
+  (non-preemptible); LIFS chooses where to inject it.
+* ``EXT-RCU-01`` — the Figure 4-(b) asynchrony pattern with an *RCU
+  callback* (``call_rcu``) rather than a kworker: unregistration frees
+  the device through RCU while a reader still holds the pointer.
+* ``EXT-3SC-01`` — a failure needing *three concurrent system calls*:
+  one syscall arms the race-steered path that the other two then lose.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+def _irq_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("uart", 6)
+
+    with b.function("uart_open") as f:
+        f.alloc("buf", 16, tag="uart_txbuf", label="S1")
+        f.store(f.g("uart_buf"), f.r("buf"), label="S2")
+        f.store(f.g("tx_enabled"), 1, label="S3")
+
+    # Syscall: ioctl(TIOCSSERIAL) -> uart_reconfig().  The bug: the old
+    # buffer is freed *before* the TX interrupt is masked.
+    with b.function("uart_reconfig") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("old", f.g("uart_buf"), label="A1")
+        f.free("old", label="A2")
+        f.store(f.g("tx_enabled"), 0, label="A3")  # mask: too late
+        f.alloc("new", 32, tag="uart_txbuf_new", label="A4")
+        f.store(f.g("uart_buf"), f.r("new"), label="A5")
+        f.store(f.g("tx_enabled"), 1, label="A6")
+
+    # Hardware IRQ: the UART TX interrupt handler (non-preemptible).
+    with b.function("uart_tx_interrupt") as f:
+        f.load("en", f.g("tx_enabled"), label="I0")
+        f.brz("en", "I_ret", label="I0b")
+        f.load("buf", f.g("uart_buf"), label="I1")
+        f.load("byte", f.at("buf"), label="I2")  # UAF when injected mid-swap
+        f.ret(label="I_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("uart_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def ext_irq_bug() -> Bug:
+    from repro.corpus.spec import KthreadNote
+
+    return Bug(
+        bug_id="EXT-IRQ-01",
+        title="serial: TX interrupt races uart_reconfig's buffer swap "
+              "(use-after-free, IRQ context)",
+        subsystem="Serial / UART",
+        bug_type=FailureKind.KASAN_UAF,
+        source="extension",
+        build_image=_irq_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="uart_reconfig",
+                          fd=20),
+            SyscallThread(proc="irq0", syscall="<uart TX irq>",
+                          entry="uart_tx_interrupt", kind=ThreadKind.IRQ),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="uart_open",
+                         fd=20)],
+        decoys=[DecoyCall(proc="C", syscall="write", entry="fuzz_noise")],
+        kthreads=[KthreadNote(kind=ThreadKind.IRQ,
+                              func="uart_tx_interrupt",
+                              source_proc="hw", source_syscall="")],
+        # Inject the interrupt between the free (A2) and the mask (A3):
+        # A1 A2 | I0 I1 I2 -> UAF read of the freed TX buffer.
+        failing_schedule_spec=[("A", "A3", 1, "irq0")],
+        failure_location="I2",
+        multi_variable=False,
+        expected_chain_pairs=[("A2", "I2")],
+        description=(
+            "An interrupt injected between the buffer free (A2) and the "
+            "too-late mask (A3) dereferences freed memory; because the "
+            "handler executes atomically, the chain is the single race "
+            "A2 => I2.  Demonstrates the IRQ-injection capability the "
+            "paper leaves as future work (section 4.6)."),
+    )
+
+
+# ----------------------------------------------------------------------
+# EXT-RCU-01: RCU-callback use-after-free (the Figure 4-(b) pattern).
+# ----------------------------------------------------------------------
+def _rcu_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("netdev", 8)
+
+    with b.function("netdev_register") as f:
+        f.alloc("dev", 24, tag="net_device", label="S1")
+        f.store(f.g("dev_ptr"), f.r("dev"), label="S2")
+
+    # Syscall A: unregister — schedule the RCU free, then clear the slot.
+    # The bug: readers that already loaded the pointer race the callback.
+    with b.function("netdev_unregister") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("dev", f.g("dev_ptr"), label="A1")
+        f.brz("dev", "A_ret", label="A1b")
+        f.call_rcu("netdev_free_rcu", arg="dev", label="A2")
+        f.store(f.g("dev_ptr"), 0, label="A3")
+        f.ret(label="A_ret")
+
+    # Syscall B: a reader that dereferences the device.
+    with b.function("netdev_read_stats") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("dev", f.g("dev_ptr"), label="B1")
+        f.brz("dev", "B_ret", label="B1b")
+        f.load("mtu", f.at("dev"), label="B2")  # UAF once the callback ran
+        f.ret(label="B_ret")
+
+    # The RCU callback (grace period elapsed): free the device.
+    with b.function("netdev_free_rcu") as f:
+        f.free("a0", label="R1")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("netdev_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def ext_rcu_bug() -> Bug:
+    from repro.corpus.spec import KthreadNote
+
+    return Bug(
+        bug_id="EXT-RCU-01",
+        title="netdev: reader races the RCU free of an unregistered "
+              "device (use-after-free)",
+        subsystem="Net core",
+        bug_type=FailureKind.KASAN_UAF,
+        source="extension",
+        build_image=_rcu_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl",
+                          entry="netdev_unregister", fd=21),
+            SyscallThread(proc="B", syscall="getsockopt",
+                          entry="netdev_read_stats", fd=21),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket",
+                         entry="netdev_register", fd=21)],
+        decoys=[DecoyCall(proc="C", syscall="read", entry="fuzz_noise")],
+        kthreads=[KthreadNote(kind=ThreadKind.RCU, func="netdev_free_rcu",
+                              source_proc="A", source_syscall="ioctl")],
+        # B validates the pointer; A queues the RCU free and clears the
+        # slot; the callback frees; B dereferences: B1 | A1..A3 R1 | B2.
+        failing_schedule_spec=[("B", "B2", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="B2",
+        multi_variable=False,
+        expected_chain_pairs=[("B1", "A3"), ("R1", "B2")],
+        description=(
+            "The missing rcu_read_lock: a reader that validated dev_ptr "
+            "races the call_rcu callback, a chain crossing into the RCU "
+            "softirq context (Figure 4-(b))."),
+    )
+
+
+# ----------------------------------------------------------------------
+# EXT-3SC-01: a failure needing three concurrent system calls.
+# ----------------------------------------------------------------------
+def _three_syscall_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("pipe3", 8)
+
+    with b.function("pipe_create") as f:
+        f.alloc("buf", 16, tag="pipe_buf", label="S1")
+        f.store(f.g("pipe_buf"), f.r("buf"), label="S2")
+        f.store(f.g("pipe_len"), 8, label="S3")
+        f.store(f.g("grow_req"), 0, label="S4")
+
+    # Syscall A: fcntl(F_SETPIPE_SZ) worker — grows the pipe if a grow
+    # was requested: bumps the length, then reallocates the buffer.
+    with b.function("pipe_grow") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("rq", f.g("grow_req"), label="A0")
+        f.brz("rq", "A_ret", label="A0b")
+        f.store(f.g("pipe_len"), 24, label="A1")
+        f.alloc("nb", 32, tag="pipe_buf_new", label="A2")
+        f.store(f.g("pipe_buf"), f.r("nb"), label="A3")
+        f.ret(label="A_ret")
+
+    # Syscall B: write() — samples length then buffer.
+    with b.function("pipe_write") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("len", f.g("pipe_len"), label="B1")
+        f.load("buf", f.g("pipe_buf"), label="B2")
+        f.binop("end", "add", f.r("buf"), f.r("len"))
+        f.load("last", f.at("end"), label="B3")  # OOB on stale buffer
+        f.ret(label="B_ret")
+
+    # Syscall C: fcntl(F_SETPIPE_SZ) request — arms the grow.
+    with b.function("pipe_request_grow") as f:
+        emit_stat_updates(f, counters, prefix="C")
+        f.store(f.g("grow_req"), 1, label="C1")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("pipe3_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def ext_three_syscall_bug() -> Bug:
+    return Bug(
+        bug_id="EXT-3SC-01",
+        title="pipe: three-syscall race — grow request, grow worker and "
+              "writer (slab-out-of-bounds)",
+        subsystem="Pipe",
+        bug_type=FailureKind.KASAN_OOB,
+        source="extension",
+        build_image=_three_syscall_image,
+        threads=[
+            SyscallThread(proc="A", syscall="fcntl", entry="pipe_grow",
+                          fd=22),
+            SyscallThread(proc="B", syscall="write", entry="pipe_write",
+                          fd=22),
+            SyscallThread(proc="C", syscall="fcntl",
+                          entry="pipe_request_grow", fd=22),
+        ],
+        setup=[SetupCall(proc="A", syscall="pipe", entry="pipe_create",
+                         fd=22)],
+        decoys=[DecoyCall(proc="D", syscall="poll", entry="fuzz_noise")],
+        # C arms the grow, A bumps the length but is preempted before the
+        # realloc, B writes at new-length into the old buffer:
+        # C1 | A0 A1 | B1 B2 B3 -> OOB.
+        failing_schedule_spec=[("A", "A2", 1, "B")],
+        failing_start_order=["C", "A", "B"],
+        failure_location="B3",
+        multi_variable=True,
+        expected_chain_pairs=[("A1", "B1"), ("C1", "A0")],
+        description=(
+            "The slice needs all three contexts (the paper caps slices at "
+            "three threads for exactly this class): C's request steers A "
+            "into the grow path whose half-done state B then trips over."),
+    )
+
+
+# ----------------------------------------------------------------------
+# EXT-LF-01: lock-free push without a cmpxchg retry loop (memory leak).
+# ----------------------------------------------------------------------
+def _lockfree_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("lfstack", 6)
+
+    with b.function("lf_init") as f:
+        f.store(f.g("stack_head"), 0, label="S1")
+
+    # Path A: the buggy push — a single compare-and-exchange with no
+    # retry.  If another push lands between the head read and the
+    # cmpxchg, the node is silently dropped.
+    with b.function("lf_push_a") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.alloc("node", 16, tag="lf_node_a", leak_tracked=True, label="A1")
+        f.load("head", f.g("stack_head"), label="A2")
+        f.store(f.at("node"), f.r("head"), label="A3")  # node->next = head
+        f.cmpxchg("old", f.g("stack_head"), f.r("head"), f.r("node"),
+                  label="A4")
+        # BUG: no check of old == head, no retry loop.
+
+    # Path B: the same push from a sibling thread.
+    with b.function("lf_push_b") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.alloc("node", 16, tag="lf_node_b", leak_tracked=True, label="B1")
+        f.load("head", f.g("stack_head"), label="B2")
+        f.store(f.at("node"), f.r("head"), label="B3")
+        f.cmpxchg("old", f.g("stack_head"), f.r("head"), f.r("node"),
+                  label="B4")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("lfstack_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def ext_lockfree_bug() -> Bug:
+    return Bug(
+        bug_id="EXT-LF-01",
+        title="lock-free stack: push drops its node when the "
+              "compare-and-exchange loses (memory leak)",
+        subsystem="Lock-free",
+        bug_type=FailureKind.MEMORY_LEAK,
+        source="extension",
+        build_image=_lockfree_image,
+        threads=[
+            SyscallThread(proc="A", syscall="sendmsg", entry="lf_push_a",
+                          fd=23),
+            SyscallThread(proc="B", syscall="sendmsg", entry="lf_push_b",
+                          fd=23),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="lf_init",
+                         fd=23)],
+        decoys=[DecoyCall(proc="C", syscall="recvmsg", entry="fuzz_noise")],
+        # B's push lands between A's head read and A's cmpxchg; A's node
+        # becomes unreachable: A1 A2 | B1..B4 | A3 A4(fails) -> leak.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A1",
+        multi_variable=False,
+        expected_chain_pairs=[("A2", "B4"), ("B4", "A4")],
+        description=(
+            "Lock-free algorithms (the paper's introduction cites them as "
+            "a major race source) race through atomics by design; AITIA "
+            "still separates the harmful interleaving — the lost "
+            "compare-and-exchange — from the benign ones."),
+    )

@@ -1,0 +1,163 @@
+"""The paper's running examples (Figures 1, 5 and 7) as corpus bugs.
+
+These small models exist so the benchmarks can regenerate the paper's
+figures exactly: Figure 1's two-race NULL dereference and its causality
+chain (Figure 3's shape), Figure 5's three-thread search tree with a
+race-steered kworker invocation, and Figure 7's nested/surrounding
+ambiguity construction.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import Bug, KthreadNote, SetupCall, SyscallThread
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+# ----------------------------------------------------------------------
+# Figure 1: ptr_valid / ptr multi-variable race ending in a NULL deref.
+# ----------------------------------------------------------------------
+def _fig1_image() -> KernelImage:
+    b = ProgramBuilder()
+    # Boot-time state: ptr starts out pointing at a valid object.
+    with b.function("fig1_init") as f:
+        f.lea("p", "ptr_target", label="I1")
+        f.store(f.g("ptr"), f.r("p"), label="I2")
+    # Thread A:  A1: ptr_valid = 1;   A2: local = *ptr;
+    with b.function("fig1_writer") as f:
+        f.store(f.g("ptr_valid"), 1, label="A1")
+        f.load("p", f.g("ptr"), label="A1b")
+        f.load("local", f.at("p"), label="A2")
+    # Thread B:  B1: if (ptr_valid == 0) return;   B2: ptr = NULL;
+    with b.function("fig1_clearer") as f:
+        f.load("v", f.g("ptr_valid"), label="B1")
+        f.brz("v", "B_ret", label="B1b")
+        f.store(f.g("ptr"), 0, label="B2")
+        f.ret(label="B_ret")
+    return b.build()
+
+
+def fig1_bug() -> Bug:
+    """Figure 1: if A1 => B1 then B2 => A2 dereferences NULL."""
+    return Bug(
+        bug_id="FIG-1",
+        title="Abstract two-race NULL dereference (Figure 1)",
+        subsystem="example",
+        bug_type=FailureKind.GPF,
+        source="figure",
+        build_image=_fig1_image,
+        threads=[
+            SyscallThread(proc="A", syscall="writer", entry="fig1_writer"),
+            SyscallThread(proc="B", syscall="clearer", entry="fig1_clearer"),
+        ],
+        globals_init={"ptr_valid": 0, "ptr_target": 42},
+        setup=[SetupCall(proc="init", syscall="boot", entry="fig1_init")],
+        multi_variable=True,
+        failing_schedule_spec=[("A", "A1b", 1, "B")],
+        failure_location="A2",
+        expected_chain_pairs=[("A1", "B1"), ("B2", "A1b")],
+        description=(
+            "ptr_valid and ptr are semantically correlated: a non-zero "
+            "ptr_valid means ptr holds a valid pointer.  A1 => B1 steers "
+            "thread B past its early return, enabling the fatal race on "
+            "ptr itself (B2 before A's read), and A2 dereferences NULL."),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: three threads, race-steered kworker invocation.
+# ----------------------------------------------------------------------
+def _fig5_image() -> KernelImage:
+    b = ProgramBuilder()
+    # Thread A: A1(m1), A2(m2), A3(m3) — A3 faults if K1 wrote m3 first.
+    with b.function("fig5_a") as f:
+        f.store(f.g("m1"), 1, label="A1")
+        f.load("x", f.g("m2"), label="A2")
+        f.load("p", f.g("m3"), label="A3a")
+        f.bug_on("p", "A3 observed K1's write", label="A3")
+    # Thread B: B1(m1) steers whether the kworker runs; B2(m2).
+    with b.function("fig5_b") as f:
+        f.load("v", f.g("m1"), label="B1")
+        f.store(f.g("m2"), 7, label="B2")
+        f.brz("v", "B_ret", label="B3a")
+        f.queue_work("fig5_k", label="B3")
+        f.ret(label="B_ret")
+    # Thread K: K1(m3).
+    with b.function("fig5_k") as f:
+        f.store(f.g("m3"), 1, label="K1")
+    return b.build()
+
+
+def fig5_bug() -> Bug:
+    """Figure 5: the kworker is invoked only when A1 => B1 (race-steered),
+    and the failure manifests when K1 => A3."""
+    return Bug(
+        bug_id="FIG-5",
+        title="Race-steered kworker invocation (Figure 5)",
+        subsystem="example",
+        bug_type=FailureKind.ASSERTION,
+        source="figure",
+        build_image=_fig5_image,
+        threads=[
+            SyscallThread(proc="A", syscall="syscall_a", entry="fig5_a"),
+            SyscallThread(proc="B", syscall="syscall_b", entry="fig5_b"),
+        ],
+        globals_init={"m1": 0, "m2": 0, "m3": 0},
+        kthreads=[KthreadNote(kind=ThreadKind.KWORKER, func="fig5_k",
+                              source_proc="B", source_syscall="syscall_b")],
+        failing_schedule_spec=[("A", "A2", 1, "B")],
+        failure_location="A3",
+        expected_chain_pairs=[("A1", "B1"), ("K1", "A3a")],
+        description=(
+            "Thread K exists only in runs where A1 executed before B1; "
+            "LIFS discovers it dynamically and the chain crosses the "
+            "thread boundary (the Figure 4-(a) pattern)."),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: a data race surrounding a nested data race (ambiguity).
+# ----------------------------------------------------------------------
+def _fig7_image() -> KernelImage:
+    b = ProgramBuilder()
+    # Thread A: A1 writes m1, A2 writes m2.
+    with b.function("fig7_a") as f:
+        f.store(f.g("m1"), 1, label="A1")
+        f.store(f.g("m2"), 1, label="A2")
+    # Thread B: B1 reads m2, B2 reads m1; fails when both observed 1.
+    with b.function("fig7_b") as f:
+        f.load("y", f.g("m2"), label="B1")
+        f.load("x", f.g("m1"), label="B2")
+        f.binop("both", "and", f.r("x"), f.r("y"))
+        f.bug_on("both", "observed both writes", label="B3")
+    return b.build()
+
+
+def fig7_bug() -> Bug:
+    """Figure 7: A1 => B2 surrounds A2 => B1; flipping the surrounding race
+    alone is impossible, and since the nested flip also averts the failure,
+    the surrounding race is ambiguous."""
+    return Bug(
+        bug_id="FIG-7",
+        title="Nested/surrounding races and ambiguity (Figure 7)",
+        subsystem="example",
+        bug_type=FailureKind.ASSERTION,
+        source="figure",
+        build_image=_fig7_image,
+        threads=[
+            SyscallThread(proc="A", syscall="syscall_a", entry="fig7_a"),
+            SyscallThread(proc="B", syscall="syscall_b", entry="fig7_b"),
+        ],
+        globals_init={"m1": 0, "m2": 0},
+        failing_schedule_spec=[],  # the serial order A then B already fails
+        failing_start_order=["A", "B"],
+        failure_location="B3",
+        expect_ambiguity=True,
+        expected_chain_pairs=[("A2", "B1")],
+        description=(
+            "Both races are root causes, but flipping the surrounding race "
+            "requires flipping the nested one too, so Causality Analysis "
+            "reports the surrounding race as ambiguous."),
+    )

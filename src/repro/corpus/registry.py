@@ -1,0 +1,81 @@
+"""Registry of every corpus bug.
+
+Bugs are constructed lazily and cached: building an image is cheap, but
+benchmarks iterate the corpus repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.corpus.spec import Bug
+
+_factories: Optional[Dict[str, Callable[[], Bug]]] = None
+_cache: Dict[str, Bug] = {}
+
+
+def _load_factories() -> Dict[str, Callable[[], Bug]]:
+    global _factories
+    if _factories is not None:
+        return _factories
+    # Imported here so a syntax error in one corpus module surfaces at
+    # first registry use rather than at package import.
+    from repro.corpus import extensions, figures
+    from repro.corpus.cves import CVE_FACTORIES
+    from repro.corpus.syzbot import SYZBOT_FACTORIES
+
+    factories: Dict[str, Callable[[], Bug]] = {}
+    for factory in ([figures.fig1_bug, figures.fig5_bug, figures.fig7_bug]
+                    + list(CVE_FACTORIES) + list(SYZBOT_FACTORIES)
+                    + [extensions.ext_irq_bug,
+                       extensions.ext_rcu_bug,
+                       extensions.ext_three_syscall_bug,
+                       extensions.ext_lockfree_bug]):
+        probe = factory()
+        if probe.bug_id in factories:
+            raise ValueError(f"duplicate corpus bug id {probe.bug_id!r}")
+        factories[probe.bug_id] = factory
+        _cache[probe.bug_id] = probe
+    _factories = factories
+    return factories
+
+
+def get_bug(bug_id: str) -> Bug:
+    """Look one bug up by id (e.g. ``"CVE-2017-15649"`` or ``"SYZ-04"``)."""
+    factories = _load_factories()
+    if bug_id not in factories:
+        raise KeyError(
+            f"unknown bug {bug_id!r}; known: {', '.join(sorted(factories))}")
+    if bug_id not in _cache:
+        _cache[bug_id] = factories[bug_id]()
+    return _cache[bug_id]
+
+
+def all_bugs() -> List[Bug]:
+    """The 22 evaluated bugs (CVE + syzkaller), in table order."""
+    return cve_bugs() + syzkaller_bugs()
+
+
+def cve_bugs() -> List[Bug]:
+    """The 10 CVE bugs of Table 2, in table order."""
+    _load_factories()
+    return [bug for bug in _cache.values() if bug.source == "cve"]
+
+
+def syzkaller_bugs() -> List[Bug]:
+    """The 12 Syzkaller bugs of Table 3, in table order."""
+    _load_factories()
+    return [bug for bug in _cache.values() if bug.source == "syzkaller"]
+
+
+def figure_examples() -> List[Bug]:
+    """The figure examples (Figures 1, 5, 7)."""
+    _load_factories()
+    return [bug for bug in _cache.values() if bug.source == "figure"]
+
+
+def extension_bugs() -> List[Bug]:
+    """Bugs beyond the paper's evaluation (e.g. the IRQ-context
+    extension of section 4.6's future work)."""
+    _load_factories()
+    return [bug for bug in _cache.values() if bug.source == "extension"]

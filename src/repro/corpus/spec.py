@@ -1,0 +1,311 @@
+"""Corpus infrastructure: how a real-world bug is modeled.
+
+Each of the paper's 22 bugs (Tables 2 and 3) is modeled as a
+:class:`Bug`: a simulated-kernel image capturing the subsystem's racing
+logic, the initial kernel state, the concurrent system calls involved, a
+*known failing schedule* (used only by the synthetic bug finder — AITIA
+never sees it), an execution-history template with setup calls and decoy
+noise, and the ground-truth expectations the tests and benchmarks assert
+(which races the chain must contain, whether the bug is multi-variable,
+and so on).
+
+Every model is salted with *benign races* — racy statistics counters and
+flag updates of the kind the Linux kernel leaves in production code
+(section 2.3) — so that conciseness is actually exercised: Causality
+Analysis must test and exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import Preemption, Schedule
+from repro.kernel.builder import FunctionBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+from repro.trace.events import KthreadInvocation, SyscallEvent
+from repro.trace.history import ExecutionHistory
+from repro.trace.slicer import Slice
+
+
+@dataclass(frozen=True)
+class SyscallThread:
+    """One concurrent execution context of the bug's racing workload.
+
+    Usually a system call; ``kind`` may name another context type — in
+    particular :attr:`~repro.kernel.threads.ThreadKind.IRQ` for the
+    hardware-interrupt extension (the paper's section 4.6 future work).
+    """
+
+    proc: str  # thread name, e.g. "A"
+    syscall: str  # e.g. "setsockopt"
+    entry: str  # kernel entry function in the image
+    regs: Dict[str, int] = field(default_factory=dict)
+    fd: Optional[int] = None
+    kind: ThreadKind = ThreadKind.SYSCALL
+
+
+@dataclass(frozen=True)
+class SetupCall:
+    """A serial setup call (open/socket/...) preceding the racing part."""
+
+    proc: str
+    syscall: str
+    entry: str
+    fd: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DecoyCall:
+    """An unrelated syscall in the history (fuzzer noise for the slicer)."""
+
+    proc: str
+    syscall: str
+    entry: str
+    #: Decoys marked concurrent overlap each other, forming an innocuous
+    #: concurrent group that AITIA must try and reject before reaching the
+    #: racing slice.
+    concurrent_group: int = 0
+
+
+@dataclass(frozen=True)
+class KthreadNote:
+    """A background-thread invocation appearing in the ftrace history."""
+
+    kind: ThreadKind
+    func: str
+    source_proc: str
+    source_syscall: str = ""
+
+
+class Bug:
+    """A fully specified corpus bug."""
+
+    def __init__(
+        self,
+        bug_id: str,
+        title: str,
+        subsystem: str,
+        bug_type: FailureKind,
+        source: str,
+        build_image: Callable[[], KernelImage],
+        threads: Sequence[SyscallThread],
+        globals_init: Optional[Dict[str, object]] = None,
+        setup: Sequence[SetupCall] = (),
+        decoys: Sequence[DecoyCall] = (),
+        kthreads: Sequence[KthreadNote] = (),
+        failing_schedule_spec: Sequence[Tuple] = (),
+        failing_start_order: Optional[Sequence[str]] = None,
+        failure_location: Optional[str] = None,
+        multi_variable: bool = False,
+        loosely_correlated: bool = False,
+        fixed_at_eval_time: bool = True,
+        expected_chain_pairs: Sequence[Tuple[str, str]] = (),
+        expect_ambiguity: bool = False,
+        description: str = "",
+    ) -> None:
+        self.bug_id = bug_id
+        self.title = title
+        self.subsystem = subsystem
+        self.bug_type = bug_type
+        self.source = source  # "cve" | "syzkaller" | "figure"
+        self._build_image = build_image
+        self.threads = tuple(threads)
+        self.globals_init = dict(globals_init or {})
+        self.setup = tuple(setup)
+        self.decoys = tuple(decoys)
+        self.kthreads = tuple(kthreads)
+        #: (thread, instr_label, occurrence, switch_to) tuples.
+        self.failing_schedule_spec = tuple(failing_schedule_spec)
+        self.failing_start_order = tuple(
+            failing_start_order or [t.proc for t in threads])
+        self.failure_location = failure_location
+        self.multi_variable = multi_variable
+        self.loosely_correlated = loosely_correlated
+        self.fixed_at_eval_time = fixed_at_eval_time
+        #: Undirected (label, label) pairs the causality chain must contain
+        #: — derived from the real fix (the "manual comparison with the
+        #: developers' patch" of section 5.1).
+        self.expected_chain_pairs = tuple(expected_chain_pairs)
+        self.expect_ambiguity = expect_ambiguity
+        self.description = description
+        self._image: Optional[KernelImage] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def image(self) -> KernelImage:
+        if self._image is None:
+            self._image = self._build_image()
+        return self._image
+
+    def _thread_specs(self) -> List[ThreadSpec]:
+        return [ThreadSpec(name=t.proc, entry=t.entry, regs=dict(t.regs),
+                           kind=t.kind)
+                for t in self.threads]
+
+    def _setup_specs(self) -> List[ThreadSpec]:
+        return [ThreadSpec(name=f"setup:{s.proc}:{s.syscall}#{i}",
+                           entry=s.entry)
+                for i, s in enumerate(self.setup)]
+
+    def machine_factory(self) -> KernelMachine:
+        """A fresh machine with the canonical racing threads (setup calls
+        replayed first)."""
+        return KernelMachine(self.image, self._thread_specs(),
+                             globals_init=dict(self.globals_init),
+                             setup=self._setup_specs())
+
+    # -- slice-driven construction (the report pipeline) -----------------
+    def factory_for_slice(self, sl: Slice) -> Callable[[], KernelMachine]:
+        by_proc = {t.proc: t for t in self.threads}
+        specs: List[ThreadSpec] = []
+        for event in sl.syscall_events:
+            known = by_proc.get(event.proc)
+            regs = dict(known.regs) if known and known.entry == event.entry \
+                else {}
+            specs.append(ThreadSpec(name=event.proc, entry=event.entry,
+                                    regs=regs))
+        # Hardware IRQ sources appear in the history as invocation events;
+        # in the slice they become injectable initial contexts.
+        irq_by_entry = {t.entry: t for t in self.threads
+                        if t.kind is ThreadKind.IRQ}
+        for event in sl.kthread_events:
+            if event.kind is ThreadKind.IRQ and event.func in irq_by_entry:
+                irq = irq_by_entry[event.func]
+                specs.append(ThreadSpec(name=irq.proc, entry=irq.entry,
+                                        regs=dict(irq.regs),
+                                        kind=ThreadKind.IRQ))
+        setup_specs = [
+            ThreadSpec(name=f"setup:{e.proc}:{e.name}#{i}", entry=e.entry)
+            for i, e in enumerate(sl.setup)
+        ]
+        image = self.image
+        globals_init = dict(self.globals_init)
+
+        def factory() -> KernelMachine:
+            return KernelMachine(image, specs, globals_init=globals_init,
+                                 setup=setup_specs)
+
+        return factory
+
+    def slice_thread_names(self, sl: Slice) -> List[str]:
+        names = [event.proc for event in sl.syscall_events]
+        irq_by_entry = {t.entry: t for t in self.threads
+                        if t.kind is ThreadKind.IRQ}
+        for event in sl.kthread_events:
+            if event.kind is ThreadKind.IRQ and event.func in irq_by_entry:
+                names.append(irq_by_entry[event.func].proc)
+        return names
+
+    # -- the fuzzer's lucky interleaving ---------------------------------
+    @property
+    def known_failing_schedule(self) -> Schedule:
+        preemptions = []
+        for thread, label, occurrence, switch_to in self.failing_schedule_spec:
+            instr = self.image.instruction_labeled(label)
+            preemptions.append(Preemption(
+                thread=thread, instr_addr=instr.addr, occurrence=occurrence,
+                switch_to=switch_to, instr_label=label))
+        return Schedule(start_order=self.failing_start_order,
+                        preemptions=preemptions,
+                        note=f"{self.bug_id} known failing interleaving")
+
+    # -- history synthesis ------------------------------------------------
+    def history(self) -> ExecutionHistory:
+        """The ftrace-style history of the fuzzing run that crashed: setup
+        calls, decoy noise (including innocuous concurrent groups), the
+        racing concurrent group last, background-thread invocations, and
+        the failure time."""
+        history = ExecutionHistory()
+        t = 0.0
+        for call in self.setup:
+            history.add(SyscallEvent(
+                timestamp=t, proc=call.proc, name=call.syscall,
+                entry=call.entry, fd=call.fd, duration=0.5, is_setup=True))
+            t += 1.0
+
+        sequential = [d for d in self.decoys if d.concurrent_group == 0]
+        grouped: Dict[int, List[DecoyCall]] = {}
+        for d in self.decoys:
+            if d.concurrent_group:
+                grouped.setdefault(d.concurrent_group, []).append(d)
+
+        for decoy in sequential:
+            history.add(SyscallEvent(
+                timestamp=t, proc=decoy.proc, name=decoy.syscall,
+                entry=decoy.entry, duration=0.5))
+            t += 1.0
+
+        racing_start = t + 2.0 * max(len(grouped), 1)
+        for group in sorted(grouped):
+            # Innocuous concurrent decoy groups: id < 100 precede the racing
+            # group; id >= 100 land between the racing group's end and the
+            # failure, so they rank *closer* to the failure than the racing
+            # slice and AITIA must try and reject them first (section 4.2:
+            # "if AITIA cannot reproduce the failure, AITIA selects the next
+            # slice").
+            if group >= 100:
+                base, duration = racing_start + 3.15, 0.3
+            else:
+                base, duration = t, 2.0
+            for i, decoy in enumerate(grouped[group]):
+                history.add(SyscallEvent(
+                    timestamp=base + 0.05 * i, proc=decoy.proc,
+                    name=decoy.syscall, entry=decoy.entry,
+                    duration=duration))
+            if group < 100:
+                t = base + 2.5
+
+        for i, thread in enumerate(self.threads):
+            if thread.kind is not ThreadKind.SYSCALL:
+                continue  # IRQ sources appear as invocation events below
+            history.add(SyscallEvent(
+                timestamp=racing_start + 0.1 * i, proc=thread.proc,
+                name=thread.syscall, entry=thread.entry, fd=thread.fd,
+                duration=3.0))
+        for note in self.kthreads:
+            history.add(KthreadInvocation(
+                timestamp=racing_start + 1.0, kind=note.kind, func=note.func,
+                source_proc=note.source_proc,
+                source_syscall=note.source_syscall, duration=2.0))
+        history.failure_time = racing_start + 3.5
+        return history
+
+    def __repr__(self) -> str:
+        return f"<Bug {self.bug_id}: {self.title}>"
+
+
+# ----------------------------------------------------------------------
+# Benign-race salt
+# ----------------------------------------------------------------------
+def emit_stat_updates(f: FunctionBuilder, counters: Sequence[str],
+                      prefix: str, reps: int = 1) -> None:
+    """Emit racy statistics-counter updates — the classic benign data race
+    kernel developers leave in for performance (section 2.3).  Each update
+    is a single read-modify-write access, racing with the same counters
+    updated from other threads but never affecting control flow.
+
+    Emit these at the *start* of a syscall entry so they appear in the
+    failure-causing instruction sequence: Causality Analysis must then test
+    and exclude every one of them, which is what Table 3's schedule counts
+    and the section 5.2 conciseness numbers measure."""
+    for rep in range(reps):
+        for i, counter in enumerate(counters):
+            f.inc(f.g(counter), 1, label=f"{prefix}_stat{rep}_{i}")
+
+
+def salt_counters(subsys: str, n: int) -> List[str]:
+    """Shared per-subsystem statistics counters (``n`` distinct cells)."""
+    return [f"{subsys}_stat{i}" for i in range(n)]
+
+
+def emit_flag_twiddle(f: FunctionBuilder, flag_global: str, bit: int,
+                      prefix: str) -> None:
+    """Emit a racy read-or-write flag update (different threads touch
+    different bits; the race is real but harmless)."""
+    f.load("stat_r", f.g(flag_global), label=f"{prefix}_flagrd")
+    f.binop("stat_r", "or", f.r("stat_r"), f.i(1 << bit))
+    f.store(f.g(flag_global), f.r("stat_r"), label=f"{prefix}_flagwr")

@@ -1,0 +1,24 @@
+"""The 12 Syzkaller-reported bugs of Table 3.
+
+Bold entries in the paper's table (#7, #8, #9 and the three bugs the
+authors reported) were unfixed at evaluation time; their models carry
+``fixed_at_eval_time=False``.
+"""
+
+from repro.corpus.syzbot.bug01_l2tp_oob import make_bug as bug01
+from repro.corpus.syzbot.bug02_packet_assert import make_bug as bug02
+from repro.corpus.syzbot.bug03_l2tp_uaf import make_bug as bug03
+from repro.corpus.syzbot.bug04_kvm_irqfd import make_bug as bug04
+from repro.corpus.syzbot.bug05_rxrpc_uaf import make_bug as bug05
+from repro.corpus.syzbot.bug06_bpf_gpf import make_bug as bug06
+from repro.corpus.syzbot.bug07_blockdev_uaf import make_bug as bug07
+from repro.corpus.syzbot.bug08_can_j1939 import make_bug as bug08
+from repro.corpus.syzbot.bug09_seccomp_leak import make_bug as bug09
+from repro.corpus.syzbot.bug10_md_raid import make_bug as bug10
+from repro.corpus.syzbot.bug11_floppy import make_bug as bug11
+from repro.corpus.syzbot.bug12_bluetooth_sco import make_bug as bug12
+
+SYZBOT_FACTORIES = [bug01, bug02, bug03, bug04, bug05, bug06,
+                    bug07, bug08, bug09, bug10, bug11, bug12]
+
+__all__ = ["SYZBOT_FACTORIES"]

@@ -1,0 +1,102 @@
+"""Syzkaller bug #1 — L2TP: slab-out-of-bounds read in pppol2tp_connect.
+
+``connect()`` on a PPPoL2TP socket reads a session field at an offset
+taken from the tunnel-layer header length; a concurrent tunnel
+``setsockopt`` grows the header length and then reallocates the session
+to match.  If connect samples the *new* length but the *old* session,
+the field read runs off the end of the old slab object.
+
+The session (PPP layer) and the tunnel configuration (L2TP layer) are
+*loosely correlated* — most tunnel operations never touch sessions — so
+MUVI-style correlation inference cannot relate them (section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+OLD_SESSION_SIZE = 16
+NEW_SESSION_SIZE = 32
+OLD_HDR = 8
+NEW_HDR = 24
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("pppol2tp", 20)
+
+    with b.function("l2tp_session_create") as f:
+        f.alloc("s", OLD_SESSION_SIZE, tag="l2tp_session", label="S1")
+        f.store(f.g("session_ptr"), f.r("s"), label="S2")
+        f.store(f.g("tunnel_hdr_len"), OLD_HDR, label="S3")
+
+    # Thread A: connect() -> pppol2tp_connect().
+    with b.function("pppol2tp_connect") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("hdr", f.g("tunnel_hdr_len"), label="A1")
+        f.load("s", f.g("session_ptr"), label="A2")
+        f.brz("s", "A_ret", label="A2b")
+        f.binop("fieldp", "add", f.r("s"), f.r("hdr"))
+        f.load("field", f.at("fieldp"), label="A3")  # OOB on stale session
+        f.ret(label="A_ret")
+
+    # Thread B: setsockopt() on the tunnel: grow the header length, then
+    # reallocate the session to the new layout.
+    with b.function("l2tp_tunnel_setsockopt") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("old", f.g("tunnel_hdr_len"), label="B1")
+        f.store(f.g("tunnel_hdr_len"), f.i(NEW_HDR), label="B2")
+        f.alloc("ns", NEW_SESSION_SIZE, tag="l2tp_session_new", label="B3")
+        f.store(f.g("session_ptr"), f.r("ns"), label="B4")
+
+    # Tunnel-layer noise that never touches sessions (loose correlation).
+    with b.function("l2tp_tunnel_noise") as f:
+        f.inc(f.g("tunnel_tx_stats"), 1, label="T1")
+        f.load("x", f.g("tunnel_hdr_len"), label="T2")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-01",
+        title="L2TP: slab-out-of-bounds read in pppol2tp_connect",
+        subsystem="L2TP",
+        bug_type=FailureKind.KASAN_OOB,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="connect",
+                          entry="pppol2tp_connect", fd=12),
+            SyscallThread(proc="B", syscall="setsockopt",
+                          entry="l2tp_tunnel_setsockopt", fd=12),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket",
+                         entry="l2tp_session_create", fd=12)],
+        decoys=[
+            DecoyCall(proc="C", syscall="sendmsg", entry="l2tp_tunnel_noise"),
+            DecoyCall(proc="D", syscall="sendmsg", entry="l2tp_tunnel_noise"),
+        ],
+        # B grows the header length but is preempted before reallocating;
+        # A samples new length + old session: B1 B2 | A1 A2 A3 -> OOB.
+        failing_schedule_spec=[("B", "B3", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="A3",
+        multi_variable=True,
+        loosely_correlated=True,
+        expected_chain_pairs=[("B2", "A1")],
+        description=(
+            "The tunnel header length (L2TP layer) and the session layout "
+            "(PPP layer) must change together; sampling them across B's "
+            "reconfiguration reads past the old slab object."),
+    )

@@ -1,0 +1,91 @@
+"""Syzkaller bug #2 — AF_PACKET: assertion in packet_lookup_frame.
+
+Two setsockopt paths manipulate the rx ring's head index without holding
+the ring lock.  The failure needs a *chain* of four races on the single
+variable ``rx_head``: A validates the head, B rewinds the ring, A
+advances the stale head, B's consumer picks the advanced value up and the
+frame lookup asserts.  Single-variable, but the chain is four races long
+(Table 3 row #2: 4 races in chain) — exactly the case where "one pattern"
+diagnosis reports a fraction of the story.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+RING_FRAMES = 4
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("pktring", 24)
+
+    with b.function("ring_init") as f:
+        f.store(f.g("rx_head"), RING_FRAMES - 1, label="S1")
+
+    # Thread A: setsockopt producer path: validate head, then advance it.
+    with b.function("packet_rcv_has_room") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("h1", f.g("rx_head"), label="A1")
+        f.binop("bad", "ge", f.r("h1"), f.i(RING_FRAMES))
+        f.brnz("bad", "A_ret", label="A1b")
+        f.binop("h2", "add", f.r("h1"), f.i(1))
+        f.store(f.g("rx_head"), f.r("h2"), label="A2")
+        f.ret(label="A_ret")
+
+    # Thread B: setsockopt consumer path: rewind the ring, then look the
+    # current frame up and assert it is inside the ring.
+    with b.function("packet_lookup_frame") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("h0", f.g("rx_head"), label="B1")
+        f.store(f.g("rx_head"), 0, label="B2")
+        f.load("h3", f.g("rx_head"), label="B3")
+        f.binop("oob", "ge", f.r("h3"), f.i(RING_FRAMES))
+        f.bug_on("oob", "packet_lookup_frame: head outside ring", label="B4")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("pktring_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-02",
+        title="AF_PACKET: assertion violation in packet_lookup_frame",
+        subsystem="Packet socket",
+        bug_type=FailureKind.ASSERTION,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="setsockopt",
+                          entry="packet_rcv_has_room", fd=3),
+            SyscallThread(proc="B", syscall="getsockopt",
+                          entry="packet_lookup_frame", fd=3),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="ring_init",
+                         fd=3)],
+        decoys=[DecoyCall(proc="C", syscall="poll", entry="fuzz_noise")],
+        # A validates head (3 < 4), B rewinds to 0, A advances the *stale*
+        # head to 4, B reloads: head == 4 -> BUG_ON.
+        # Sequence: A1 | B1 B2 | A2 | B3 B4.
+        failing_schedule_spec=[("A", "A2", 1, "B"),
+                               ("B", "B3", 1, "A")],
+        failure_location="B4",
+        multi_variable=False,
+        expected_chain_pairs=[("A1", "B2"), ("B2", "A2"), ("A2", "B3")],
+        description=(
+            "Four races on a single variable chain into the assertion: "
+            "validate-then-rewind, rewind-then-advance, advance-then-"
+            "reload."),
+    )

@@ -1,0 +1,83 @@
+"""Syzkaller bug #3 — L2TP: use-after-free read in pppol2tp_connect.
+
+``connect()`` looks the session up and takes its tunnel reference in two
+steps; a concurrent ``close()`` of the tunnel drops the last reference
+and frees the session between them.  Multi-variable: the session pointer
+and the tunnel's ``closing`` flag must be observed consistently.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("l2tp_sess", 16)
+
+    with b.function("pppol2tp_open") as f:
+        f.alloc("s", 16, tag="pppol2tp_session", label="S1")
+        f.store(f.g("ppp_session"), f.r("s"), label="S2")
+        f.store(f.g("tunnel_closing"), 0, label="S3")
+
+    # Thread A: connect() -> pppol2tp_connect().
+    with b.function("pppol2tp_connect2") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("closing", f.g("tunnel_closing"), label="A1")
+        f.brnz("closing", "A_ret", label="A1b")
+        f.load("s", f.g("ppp_session"), label="A2")
+        f.load("ref", f.at("s"), label="A3")  # UAF read after B frees
+        f.ret(label="A_ret")
+
+    # Thread B: close() -> l2tp_tunnel_close(): mark closing, free session.
+    with b.function("l2tp_tunnel_close") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.store(f.g("tunnel_closing"), 1, label="B1")
+        f.load("s", f.g("ppp_session"), label="B2")
+        f.free("s", label="B3")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("l2tp_sess_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-03",
+        title="L2TP: use-after-free read in pppol2tp_connect",
+        subsystem="L2TP",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="connect",
+                          entry="pppol2tp_connect2", fd=12),
+            SyscallThread(proc="B", syscall="close",
+                          entry="l2tp_tunnel_close", fd=12),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket", entry="pppol2tp_open",
+                         fd=12)],
+        decoys=[DecoyCall(proc="C", syscall="getsockname",
+                          entry="fuzz_noise")],
+        # A passes the closing check and loads the session, B frees it,
+        # A reads through the stale pointer: A1 A2 | B1 B2 B3 | A3 -> UAF.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="A3",
+        multi_variable=True,
+        expected_chain_pairs=[("A1", "B1"), ("B3", "A3")],
+        description=(
+            "The closing flag and the session pointer are correlated; "
+            "connect's check races ahead of close's flag write and then "
+            "dereferences the freed session."),
+    )

@@ -1,0 +1,108 @@
+"""Syzkaller bug #4 — KVM: irq_bypass_register_consumer use-after-free.
+
+The paper's Figure 9 case study.  Syscall A (irqfd assign) adds the irqfd
+to the consumer list and *then* keeps initializing it; syscall B (irqfd
+deassign) finds the half-initialized irqfd on the list and queues the
+shutdown work; the kworker frees the irqfd while A is still writing into
+it — a use-after-free whose causality crosses the thread boundary:
+
+    A1 => B1  ->  K1 => A2  ->  UAF
+
+Multi-variable and loosely correlated: the consumer list and the irqfd
+object live in different layers (irqbypass vs KVM), and most list
+operations never touch irqfd payload fields.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    KthreadNote,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("irqfd", 12)
+
+    with b.function("kvm_vm_open") as f:
+        f.store(f.g("consumer_list"), 0, label="S1")
+
+    # Thread A: ioctl(KVM_IRQFD) — assign.
+    with b.function("irqfd_assign") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.alloc("irqfd", 24, tag="irqfd", label="A0")
+        # Published on the consumer list before initialization finishes.
+        f.store(f.g("consumer_list"), f.r("irqfd"), label="A1")
+        f.store(f.at("irqfd", 8), 0xDA, label="A2")  # init data: UAF point
+
+    # Thread B: ioctl(KVM_IRQFD) — deassign: find and queue shutdown.
+    with b.function("irqfd_deassign") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("irqfd", f.g("consumer_list"), label="B1")
+        f.brz("irqfd", "B_ret", label="B1b")
+        f.queue_work("irqfd_shutdown", arg="irqfd", label="B2")
+        f.ret(label="B_ret")
+
+    # Kernel background thread: the shutdown work frees the irqfd.
+    with b.function("irqfd_shutdown") as f:
+        f.free("a0", label="K1")
+
+    # Consumer-list walkers that never touch irqfd payload fields: the
+    # loose-correlation evidence that defeats MUVI (section 2.2).
+    with b.function("irqfd_list_walk") as f:
+        f.load("head", f.g("consumer_list"), label="W1")
+        f.inc(f.g("irqfd_walks"), 1, label="W2")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("irqfd_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-04",
+        title="KVM: use-after-free write in irq_bypass_register_consumer "
+              "(Figure 9)",
+        subsystem="KVM",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="irqfd_assign",
+                          fd=4),
+            SyscallThread(proc="B", syscall="ioctl", entry="irqfd_deassign",
+                          fd=4),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="kvm_vm_open",
+                         fd=4)],
+        decoys=[
+            DecoyCall(proc="C", syscall="ioctl", entry="irqfd_list_walk"),
+            DecoyCall(proc="D", syscall="ioctl", entry="irqfd_list_walk"),
+            DecoyCall(proc="E", syscall="ioctl", entry="fuzz_noise"),
+        ],
+        kthreads=[KthreadNote(kind=ThreadKind.KWORKER, func="irqfd_shutdown",
+                              source_proc="B", source_syscall="ioctl")],
+        # A publishes the irqfd, B queues shutdown, the kworker frees it,
+        # then A's init write lands in freed memory:
+        # A0 A1 | B1 B2 | K1 | A2 -> UAF write.
+        failing_schedule_spec=[("A", "A2", 1, "B")],
+        failure_location="A2",
+        multi_variable=True,
+        loosely_correlated=True,
+        expected_chain_pairs=[("A1", "B1"), ("K1", "A2")],
+        description=(
+            "The outcome of the list race (A1 => B1) invokes the kworker "
+            "whose free races with A's initialization — the asynchronous "
+            "pattern of Figure 4-(a), diagnosed across three contexts."),
+    )

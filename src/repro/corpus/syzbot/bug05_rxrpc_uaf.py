@@ -1,0 +1,81 @@
+"""Syzkaller bug #5 — RxRPC: use-after-free read in rxrpc_queue_local.
+
+The smallest bug of Table 3: a single harmful race between the socket
+shutdown freeing the local endpoint and the work-queueing path reading
+it.  One race in the chain, reproduced almost immediately (the paper
+reports 2 LIFS schedules).  The endpoint's teardown happens on a
+kworker, so the failure involves a syscall racing a background thread
+(the Figure 4-(c) shape).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    KthreadNote,
+    SetupCall,
+    SyscallThread,
+    salt_counters,
+    emit_stat_updates,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("rxrpc", 2)
+
+    with b.function("rxrpc_bind") as f:
+        f.alloc("local", 16, tag="rxrpc_local", label="S1")
+        f.store(f.g("rxrpc_local_ptr"), f.r("local"), label="S2")
+
+    # Thread A: sendmsg() -> rxrpc_queue_local(): schedule the teardown
+    # work, then keep using the local endpoint.
+    with b.function("rxrpc_queue_local") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("local", f.g("rxrpc_local_ptr"), label="A1")
+        f.queue_work("rxrpc_local_destroy", arg="local", label="A2")
+        f.load("usage", f.at("local"), label="A3")  # UAF once K ran
+
+    # Kworker: destroy the local endpoint.
+    with b.function("rxrpc_local_destroy") as f:
+        f.free("a0", label="K1")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("rxrpc_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-05",
+        title="RxRPC: use-after-free read in rxrpc_queue_local",
+        subsystem="RxRPC",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="sendmsg",
+                          entry="rxrpc_queue_local", fd=13),
+        ],
+        setup=[SetupCall(proc="A", syscall="bind", entry="rxrpc_bind",
+                         fd=13)],
+        decoys=[DecoyCall(proc="C", syscall="listen", entry="fuzz_noise")],
+        kthreads=[KthreadNote(kind=ThreadKind.KWORKER,
+                              func="rxrpc_local_destroy",
+                              source_proc="A", source_syscall="sendmsg")],
+        # A single syscall racing its own deferred work: A1 A2 | K1 | A3.
+        failing_schedule_spec=[("A", "A3", 1, None)],
+        failure_location="A3",
+        multi_variable=False,
+        expected_chain_pairs=[("K1", "A3")],
+        description=(
+            "Even a single system call can race with the kernel thread it "
+            "queued (Figure 4-(c)); the chain is a single race between "
+            "the kworker's free and the syscall's read."),
+    )

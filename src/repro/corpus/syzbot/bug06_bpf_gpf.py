@@ -1,0 +1,97 @@
+"""Syzkaller bug #6 — BPF: general protection fault in
+dev_map_hash_update_elem.
+
+The Figure 2 topology re-skinned in the BPF map layer: the map-update
+path and the program-detach path communicate through two correlated
+fields (``prog_active`` and ``prog_attached``), and the race-steered
+control flow sends the detach path through a device-slot dereference
+that the update path has not populated yet — a NULL dereference.
+
+Multi-variable with a conjunction node in the chain, like
+CVE-2017-15649 but ending in a GPF instead of a BUG_ON.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("bpfmap", 18)
+
+    with b.function("bpf_map_create") as f:
+        f.store(f.g("prog_active"), 1, label="S1")
+        f.store(f.g("prog_attached"), 0, label="S2")
+        f.store(f.g("dev_slot"), 0, label="S3")
+
+    # Thread A: bpf(BPF_MAP_UPDATE_ELEM).
+    with b.function("dev_map_update") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("act", f.g("prog_active"), label="A1")
+        f.brz("act", "A_ret", label="A1b")
+        # Invariant (broken by the race): prog_active != 0 here.
+        f.store(f.g("prog_attached"), 1, label="A2")
+        f.alloc("dev", 16, tag="bpf_dev", label="A3")
+        f.store(f.g("dev_slot"), f.r("dev"), label="A4")
+        f.ret(label="A_ret")
+
+    # Thread B: bpf(BPF_PROG_DETACH).
+    with b.function("dev_map_detach") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("att", f.g("prog_attached"), label="B1")
+        f.brnz("att", "B_ret", label="B1b")
+        f.store(f.g("prog_active"), 0, label="B2")
+        f.load("att2", f.g("prog_attached"), label="B3")
+        f.brz("att2", "B_ret", label="B3b")
+        # Race-steered path: tear the device slot down.
+        f.load("dev", f.g("dev_slot"), label="B4")
+        f.load("ops", f.at("dev"), label="B5")  # GPF: slot still NULL
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("bpfmap_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-06",
+        title="BPF: general protection fault in dev_map_hash_update_elem",
+        subsystem="BPF",
+        bug_type=FailureKind.GPF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="bpf", entry="dev_map_update",
+                          fd=14),
+            SyscallThread(proc="B", syscall="bpf", entry="dev_map_detach",
+                          fd=14),
+        ],
+        setup=[SetupCall(proc="A", syscall="bpf", entry="bpf_map_create",
+                         fd=14)],
+        decoys=[DecoyCall(proc="C", syscall="bpf", entry="fuzz_noise")],
+        # A1 | B1 B2 | A2 | B3 B4 B5 -> NULL dereference of dev_slot.
+        failing_schedule_spec=[
+            ("B", "B2", 1, "A"),
+            ("A", "A4", 1, "B"),
+        ],
+        failing_start_order=["B", "A"],
+        failure_location="B5",
+        multi_variable=True,
+        expected_chain_pairs=[("B1", "A2"), ("A1", "B2"), ("A2", "B3")],
+        description=(
+            "The conjunction (B1 => A2) ∧ (A1 => B2) steers the detach "
+            "path into dereferencing an unpopulated device slot."),
+    )

@@ -1,0 +1,95 @@
+"""Syzkaller bug #7 — block: use-after-free read in delete_partition.
+
+One of the unfixed bugs AITIA diagnosed; developers submitted the fix
+("block: fix locking in bdev_del_partition") before the authors reported.
+``ioctl(BLKPG_DEL_PARTITION)`` pops the partition and frees it while a
+concurrent ``open()`` of the partition device is still dereferencing it.
+Single-variable: every race is on ``part_ptr`` or the object behind it.
+
+Its history carries an innocuous concurrent decoy group closer to the
+failure, so the first slice AITIA tries cannot reproduce and it must move
+to the next (section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("blkdev", 28)
+
+    with b.function("blkdev_scan") as f:
+        f.alloc("part", 24, tag="hd_struct", label="S1")
+        f.store(f.g("part_ptr"), f.r("part"), label="S2")
+
+    # Thread A: ioctl(BLKPG_DEL_PARTITION) -> delete_partition().
+    with b.function("delete_partition") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("p", f.g("part_ptr"), label="A1")
+        f.brz("p", "A_ret", label="A1b")
+        f.store(f.g("part_ptr"), 0, label="A2")
+        f.free("p", label="A3")
+        f.ret(label="A_ret")
+
+    # Thread B: open("/dev/sda1") -> blkdev_get() -> disk_get_part().
+    with b.function("blkdev_get") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("p", f.g("part_ptr"), label="B1")
+        f.brz("p", "B_ret", label="B1b")
+        f.load("nr", f.at("p"), label="B2")  # UAF read once A freed it
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("blkdev_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-07",
+        title="block: use-after-free read in delete_partition",
+        subsystem="Block device",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl",
+                          entry="delete_partition", fd=15),
+            SyscallThread(proc="B", syscall="open", entry="blkdev_get"),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="blkdev_scan",
+                         fd=15)],
+        decoys=[
+            DecoyCall(proc="C", syscall="read", entry="fuzz_noise"),
+            # Innocuous concurrent pair closest to the failure: the first
+            # slice AITIA tries, which LIFS cannot crash.
+            DecoyCall(proc="D", syscall="lseek", entry="fuzz_noise",
+                      concurrent_group=100),
+            DecoyCall(proc="E", syscall="lseek", entry="fuzz_noise",
+                      concurrent_group=100),
+        ],
+        # B validates the partition, A deletes and frees it, B reads it:
+        # B1 | A1 A2 A3 | B2 -> UAF read.
+        failing_schedule_spec=[("B", "B2", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="B2",
+        multi_variable=False,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("B1", "A2"), ("A3", "B2")],
+        description=(
+            "Check-then-use on part_ptr against delete's clear-and-free; "
+            "the fix serializes deletion behind the bdev mutex."),
+    )

@@ -1,0 +1,98 @@
+"""Syzkaller bug #8 — CAN j1939: refcount warning / use-after-free on
+``rx_kref`` (fix: "can: j1939: fix uaf for rx_kref of j1939_priv").
+
+Unfixed at evaluation time; the deepest chain of Table 3 (5 races, 2
+interleavings, the longest LIFS search).  ``bind()`` publishes its
+binding flag mid-way through attaching to the device's private state;
+``release()`` observes the flags inconsistently, tears the private state
+down through a race-steered path, and the binder's final attach write
+lands in freed memory.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("j1939", 14)
+
+    with b.function("j1939_netdev_start") as f:
+        f.alloc("priv", 24, tag="j1939_priv", label="S1")
+        f.store(f.g("j1939_priv_ptr"), f.r("priv"), label="S2")
+        f.store(f.g("j1939_active"), 1, label="S3")
+        f.store(f.g("j1939_binding"), 0, label="S4")
+
+    # Thread A: bind() -> j1939_sk_bind().
+    with b.function("j1939_sk_bind") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.load("act", f.g("j1939_active"), label="A1")
+        f.brz("act", "A_ret", label="A1b")
+        f.store(f.g("j1939_binding"), 1, label="A2")
+        f.load("p", f.g("j1939_priv_ptr"), label="A3")
+        f.store(f.at("p", 8), 1, label="A4")  # attach: UAF once B freed it
+        f.ret(label="A_ret")
+
+    # Thread B: close() -> j1939_sk_release().
+    with b.function("j1939_sk_release") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("bd", f.g("j1939_binding"), label="B1")
+        f.brnz("bd", "B_ret", label="B1b")
+        f.store(f.g("j1939_active"), 0, label="B2")
+        f.load("bd2", f.g("j1939_binding"), label="B3")
+        f.brz("bd2", "B_ret", label="B3b")
+        # Race-steered teardown: a binder appeared after we went inactive.
+        f.load("p", f.g("j1939_priv_ptr"), label="B4")
+        f.free("p", label="B5")
+        f.ret(label="B_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("j1939_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-08",
+        title="CAN j1939: use-after-free on rx_kref teardown",
+        subsystem="CAN",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="bind", entry="j1939_sk_bind",
+                          fd=16),
+            SyscallThread(proc="B", syscall="close",
+                          entry="j1939_sk_release", fd=16),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket",
+                         entry="j1939_netdev_start", fd=16)],
+        decoys=[DecoyCall(proc="C", syscall="sendmsg", entry="fuzz_noise")],
+        # B1 | A1 A2 A3 | B2 B3 B4 B5 | A4 -> UAF write (two preemptions,
+        # matching Table 3's interleaving count for this bug).
+        failing_schedule_spec=[
+            ("B", "B2", 1, "A"),
+            ("A", "A4", 1, "B"),
+        ],
+        failing_start_order=["B", "A"],
+        failure_location="A4",
+        multi_variable=True,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("A1", "B2"), ("A2", "B3"), ("B5", "A4")],
+        description=(
+            "Three correlated pieces of state (active flag, binding flag, "
+            "priv object) interleave across five races; the developers' "
+            "fix extends the j1939 priv lock over both paths."),
+    )

@@ -1,0 +1,105 @@
+"""Syzkaller bug #9 — seccomp: memory leak in do_seccomp.
+
+Unfixed at evaluation time (fix: "seccomp: don't leave dangling filter
+references").  Two concurrent ``seccomp(SET_MODE_FILTER)`` calls both
+pass the no-filter-installed check; both allocate and install, and the
+first installed filter is silently overwritten — allocated, unreachable,
+never freed.  The failure is detected by the leak checker at the end of
+the execution (the kmemleak report syzkaller attached).
+
+Loosely correlated: the ``filter_installed`` flag and the filter objects
+are touched together only on the install path; dozens of other seccomp
+queries read the flag alone.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("seccomp", 10)
+
+    with b.function("prctl_setup") as f:
+        f.store(f.g("filter_installed"), 0, label="S1")
+
+    # Thread A: seccomp(SET_MODE_FILTER) — buggy path: no free on the
+    # overwrite case.
+    with b.function("do_seccomp_a") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.alloc("filt", 16, tag="seccomp_filter_a", leak_tracked=True,
+                label="A1")
+        f.load("inst", f.g("filter_installed"), label="A2")
+        f.brnz("inst", "A_err", label="A2b")
+        f.store(f.g("task_filter"), f.r("filt"), label="A3")
+        f.store(f.g("filter_installed"), 1, label="A4")
+        f.ret(label="A_ok")
+        f.free("filt", label="A_err")  # correct error path frees
+
+    # Thread B: the same syscall from the sibling thread.
+    with b.function("do_seccomp_b") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.alloc("filt", 16, tag="seccomp_filter_b", leak_tracked=True,
+                label="B1")
+        f.load("inst", f.g("filter_installed"), label="B2")
+        f.brnz("inst", "B_err", label="B2b")
+        f.store(f.g("task_filter"), f.r("filt"), label="B3")
+        f.store(f.g("filter_installed"), 1, label="B4")
+        f.ret(label="B_ok")
+        f.free("filt", label="B_err")
+
+    # Flag-only readers (the loose-correlation evidence).
+    with b.function("seccomp_query") as f:
+        f.load("x", f.g("filter_installed"), label="Q1")
+        f.inc(f.g("seccomp_queries"), 1, label="Q2")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-09",
+        title="seccomp: memory leak in do_seccomp",
+        subsystem="Seccomp",
+        bug_type=FailureKind.MEMORY_LEAK,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="seccomp", entry="do_seccomp_a"),
+            SyscallThread(proc="B", syscall="seccomp", entry="do_seccomp_b"),
+        ],
+        setup=[SetupCall(proc="A", syscall="prctl", entry="prctl_setup")],
+        decoys=[
+            DecoyCall(proc="C", syscall="seccomp", entry="seccomp_query"),
+            DecoyCall(proc="D", syscall="seccomp", entry="seccomp_query"),
+            DecoyCall(proc="E", syscall="prctl", entry="seccomp_query"),
+            DecoyCall(proc="F", syscall="prctl", entry="seccomp_query"),
+            DecoyCall(proc="G", syscall="seccomp", entry="seccomp_query"),
+            DecoyCall(proc="H", syscall="prctl", entry="seccomp_query"),
+            DecoyCall(proc="I", syscall="seccomp", entry="seccomp_query"),
+            DecoyCall(proc="J", syscall="prctl", entry="seccomp_query"),
+        ],
+        # Both pass the installed check; B installs fully, then A's install
+        # overwrites B's filter: A1 A2 | B1..B4 | A3 A4 -> B's filter leaks.
+        failing_schedule_spec=[("A", "A3", 1, "B")],
+        failure_location="B1",
+        multi_variable=True,
+        loosely_correlated=True,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("A2", "B4"), ("B3", "A3")],
+        description=(
+            "A double-install race: the overwritten filter is allocated "
+            "but unreachable, reported by the leak detector at the end of "
+            "the run rather than at a faulting instruction."),
+    )

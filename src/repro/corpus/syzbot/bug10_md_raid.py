@@ -1,0 +1,83 @@
+"""Syzkaller bug #10 — md: assertion raised by concurrent md_ioctl()s
+(fix: "md: fix a warning caused by a race between concurrent
+md_ioctl()s").
+
+Two ioctls drive the array's state word without the reconfig mutex: one
+marks the array busy, does its work and clears the state; the other marks
+it busy and then asserts the mark is still there.  The clear from the
+first ioctl lands between the second's mark and check — the WARN syzbot
+kept hitting.  Single-variable (``md_state``).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("mdraid", 32)
+
+    with b.function("md_open") as f:
+        f.store(f.g("md_state"), 0, label="S1")
+
+    # Thread A: ioctl(RAID_VERSION-ish): busy -> work -> idle.
+    with b.function("md_ioctl_worker") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.store(f.g("md_state"), 1, label="A1")
+        f.inc(f.g("md_ops"), 1, label="A2")
+        f.store(f.g("md_state"), 0, label="A3")
+
+    # Thread B: ioctl(SET_ARRAY_INFO-ish): busy -> assert still busy.
+    with b.function("md_ioctl_checker") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.store(f.g("md_state"), 1, label="B1")
+        f.load("s", f.g("md_state"), label="B2")
+        f.binop("lost", "eq", f.r("s"), f.i(0))
+        f.bug_on("lost", "md: state mark lost while holding the array",
+                 label="B3")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("mdraid_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-10",
+        title="md: assertion violation under concurrent md_ioctl()s",
+        subsystem="Software RAID",
+        bug_type=FailureKind.ASSERTION,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="md_ioctl_worker",
+                          fd=17),
+            SyscallThread(proc="B", syscall="ioctl", entry="md_ioctl_checker",
+                          fd=17),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="md_open", fd=17)],
+        decoys=[DecoyCall(proc="C", syscall="ioctl", entry="fuzz_noise")],
+        # B marks the array busy, A's busy->idle cycle slips between B's
+        # mark and check: B1 | A1 A2 A3 | B2 B3 -> BUG_ON.
+        failing_schedule_spec=[("B", "B2", 1, "A")],
+        failing_start_order=["B", "A"],
+        failure_location="B3",
+        multi_variable=False,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("B1", "A3"), ("A3", "B2")],
+        description=(
+            "Every race is on the single md_state word; the fix serializes "
+            "the ioctls on the reconfig mutex."),
+    )

@@ -1,0 +1,99 @@
+"""Syzkaller bug #11 — floppy: WARNING in schedule_bh.
+
+The floppy driver queues its bottom half expecting the ready mark the
+command path sets afterwards; a concurrent reset ioctl clears the mark
+(it believes no command is pending) and the bottom half fires the WARN.
+A syscall racing a kernel background thread through an intermediate
+syscall — the Figure 4-(b)/(c) flavor of asynchrony.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    KthreadNote,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("floppy", 6)
+
+    with b.function("floppy_open") as f:
+        f.store(f.g("fd_cmd_pending"), 0, label="S1")
+        f.store(f.g("fd_ready"), 0, label="S2")
+
+    # Thread A: ioctl(FDRAWCMD): mark ready, then queue the bottom half.
+    with b.function("floppy_raw_cmd") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.store(f.g("fd_cmd_pending"), 1, label="A1")
+        f.store(f.g("fd_ready"), 1, label="A2")
+        f.queue_work("floppy_schedule_bh", label="A3")
+
+    # Thread B: ioctl(FDRESET): clear the ready mark if nothing pending.
+    with b.function("floppy_reset") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("pend", f.g("fd_cmd_pending"), label="B0")
+        f.brnz("pend", "B_ret", label="B0b")
+        f.store(f.g("fd_ready"), 0, label="B1")
+        f.ret(label="B_ret")
+
+    # The bottom half: WARN if the ready mark is missing.
+    with b.function("floppy_schedule_bh") as f:
+        f.load("rdy", f.g("fd_ready"), label="K1")
+        f.binop("missing", "eq", f.r("rdy"), f.i(0))
+        f.bug_on("missing", "schedule_bh: bottom half without ready mark",
+                 label="K2")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("floppy_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-11",
+        title="floppy: WARNING in schedule_bh",
+        subsystem="Floppy",
+        bug_type=FailureKind.ASSERTION,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="ioctl", entry="floppy_raw_cmd",
+                          fd=18),
+            SyscallThread(proc="B", syscall="ioctl", entry="floppy_reset",
+                          fd=18),
+        ],
+        setup=[SetupCall(proc="A", syscall="open", entry="floppy_open",
+                         fd=18)],
+        decoys=[DecoyCall(proc="C", syscall="read", entry="fuzz_noise")],
+        kthreads=[KthreadNote(kind=ThreadKind.KWORKER,
+                              func="floppy_schedule_bh",
+                              source_proc="A", source_syscall="ioctl")],
+        # B validates nothing is pending, A marks ready and queues the
+        # bottom half, B clears the mark, the bottom half fires:
+        # B0 | A1 A2 A3 | B1 | K1 K2 -> WARN.
+        failing_schedule_spec=[
+            ("B", "B1", 1, "A"),
+            ("kworker/floppy_schedule_bh#3", "K1", 1, "B"),
+        ],
+        failing_start_order=["B", "A"],
+        failure_location="K2",
+        multi_variable=False,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("B0", "A1"), ("B1", "K1")],
+        description=(
+            "The bottom half's expectation (fd_ready) is broken by a reset "
+            "whose no-pending check raced ahead of the command's pending "
+            "mark; the chain crosses into the kworker."),
+    )

@@ -1,0 +1,103 @@
+"""Syzkaller bug #12 — Bluetooth: use-after-free in sco_sock_timeout
+(fix: "Bluetooth: fix dangling sco_conn and use-after-free in
+sco_sock_timeout").
+
+``connect()`` creates the SCO connection, marks it active and arms the
+timeout work; ``close()`` deactivates and frees the connection.  The
+timeout work validates the active flag *before* close deactivates, gets
+parked by the scheduler, and then dereferences the connection after
+close freed it.  A three-context failure: two syscalls and the timeout
+kworker.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.spec import (
+    Bug,
+    DecoyCall,
+    KthreadNote,
+    SetupCall,
+    SyscallThread,
+    emit_stat_updates,
+    salt_counters,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import ThreadKind
+
+
+def build_image() -> KernelImage:
+    b = ProgramBuilder()
+    counters = salt_counters("sco", 22)
+
+    with b.function("sco_sock_create") as f:
+        f.store(f.g("sco_conn"), 0, label="S1")
+        f.store(f.g("sco_active"), 0, label="S2")
+
+    # Thread A: connect() -> sco_connect(): create, publish, arm timeout.
+    with b.function("sco_connect") as f:
+        emit_stat_updates(f, counters, prefix="A")
+        f.alloc("conn", 24, tag="sco_conn_obj", label="A1")
+        f.store(f.g("sco_conn"), f.r("conn"), label="A2")
+        f.store(f.g("sco_active"), 1, label="A3")
+        f.queue_work("sco_sock_timeout", arg="conn", label="A4")
+
+    # Thread B: close() -> sco_sock_release(): deactivate and free.
+    with b.function("sco_sock_release") as f:
+        emit_stat_updates(f, counters, prefix="B")
+        f.load("conn", f.g("sco_conn"), label="B1")
+        f.brz("conn", "B_ret", label="B1b")
+        f.store(f.g("sco_active"), 0, label="B2")
+        f.free("conn", label="B3")
+        f.ret(label="B_ret")
+
+    # Kworker: the SCO timeout handler.
+    with b.function("sco_sock_timeout") as f:
+        f.load("act", f.g("sco_active"), label="K0")
+        f.brz("act", "K_ret", label="K0b")
+        f.load("state", f.at("a0"), label="K1")  # UAF once B freed it
+        f.ret(label="K_ret")
+
+    with b.function("fuzz_noise") as f:
+        f.inc(f.g("sco_noise"), 1, label="N1")
+
+    return b.build()
+
+
+def make_bug() -> Bug:
+    return Bug(
+        bug_id="SYZ-12",
+        title="Bluetooth: use-after-free read in sco_sock_timeout",
+        subsystem="Bluetooth",
+        bug_type=FailureKind.KASAN_UAF,
+        source="syzkaller",
+        build_image=build_image,
+        threads=[
+            SyscallThread(proc="A", syscall="connect", entry="sco_connect",
+                          fd=19),
+            SyscallThread(proc="B", syscall="close",
+                          entry="sco_sock_release", fd=19),
+        ],
+        setup=[SetupCall(proc="A", syscall="socket",
+                         entry="sco_sock_create", fd=19)],
+        decoys=[DecoyCall(proc="C", syscall="getsockopt",
+                          entry="fuzz_noise")],
+        kthreads=[KthreadNote(kind=ThreadKind.KWORKER,
+                              func="sco_sock_timeout",
+                              source_proc="A", source_syscall="connect")],
+        # The timeout validates the active flag, close deactivates and
+        # frees, the timeout dereferences: A.. | K0 | B1 B2 B3 | K1 -> UAF.
+        failing_schedule_spec=[
+            ("B", "B1", 1, None),
+            ("kworker/sco_sock_timeout#3", "K1", 1, "B"),
+        ],
+        failure_location="K1",
+        multi_variable=False,
+        fixed_at_eval_time=False,
+        expected_chain_pairs=[("A2", "B1"), ("B3", "K1")],
+        description=(
+            "The timeout kworker's liveness check races close's "
+            "deactivation; the fix holds the sco_conn lock across the "
+            "timeout (three execution contexts in the chain)."),
+    )

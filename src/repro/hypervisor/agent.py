@@ -1,0 +1,150 @@
+"""The user agent: the guest-side half of AITIA's hypercall protocol.
+
+Paper section 4.3 / Figure 8: a user agent runs inside the guest OS.  It
+executes the slice's system calls one at a time, collects basic-block
+coverage through kcov, maps covered blocks to their memory-accessing
+instructions with a disassembly of the kernel, and then drives the
+hypervisor through two hypercalls:
+
+* ``hcall_monitor(thread, instr)`` — install a breakpoint at a
+  memory-accessing instruction; when the thread hits it, the hypervisor
+  parks the thread on the trampoline and installs a watchpoint on the
+  data address the instruction references;
+* ``hcall_resume(thread)`` — resume another suspended thread; any access
+  it (or a background thread it invokes) makes to the watched address is
+  trapped and reported as a data race with the monitored instruction.
+
+The production pipeline does all of this implicitly inside
+:class:`~repro.hypervisor.controller.ScheduleController`; this module
+exposes the workflow as the explicit, paper-shaped API, which the
+Figure 8 test and benchmark exercise step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.schedule import Preemption, Schedule
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.kernel.instructions import Instruction
+from repro.kernel.kcov import Kcov
+from repro.kernel.machine import KernelMachine
+
+
+@dataclass(frozen=True)
+class ObservedRace:
+    """A racing pair reported by the hypervisor: the monitored (parked)
+    instruction and the access that tripped its watchpoint."""
+
+    monitored_thread: str
+    monitored_label: str
+    racing_thread: str
+    racing_label: str
+    data_addr: int
+
+    def __str__(self) -> str:
+        return (f"{self.monitored_label}({self.monitored_thread}) ~ "
+                f"{self.racing_label}({self.racing_thread})")
+
+
+@dataclass
+class ThreadProfile:
+    """What the agent learned about one thread from a solo run."""
+
+    thread: str
+    covered_blocks: List[int]
+    memory_instructions: List[Instruction]
+
+    @property
+    def memory_labels(self) -> List[str]:
+        return [i.name for i in self.memory_instructions]
+
+
+class UserAgent:
+    """One user agent, bound to a machine factory (a slice)."""
+
+    def __init__(self, machine_factory: Callable[[], KernelMachine]) -> None:
+        self.machine_factory = machine_factory
+        self.image = machine_factory().image
+
+    # ------------------------------------------------------------------
+    # Step 1 (Figure 8 left): profile threads with kcov + disassembly.
+    # ------------------------------------------------------------------
+    def profile_thread(self, thread: str) -> ThreadProfile:
+        """Run one thread solo under kcov; map its covered basic blocks to
+        memory-accessing instructions via the kernel disassembly."""
+        kcov = Kcov(self.image)
+        machine = self.machine_factory()
+        machine.coverage_cb = kcov
+        ctx = machine.thread(thread)
+        while not ctx.done and not machine.halted:
+            machine.step(thread)
+        return ThreadProfile(
+            thread=thread,
+            covered_blocks=kcov.covered_blocks(thread),
+            memory_instructions=kcov.memory_instructions(thread))
+
+    # ------------------------------------------------------------------
+    # Step 2 (Figure 8 right): hcall_monitor + hcall_resume.
+    # ------------------------------------------------------------------
+    def monitor_and_resume(
+        self,
+        monitored_thread: str,
+        monitored_instr: str,
+        occurrence: int = 1,
+        resume: Optional[str] = None,
+    ) -> Tuple[List[ObservedRace], RunResult]:
+        """The Figure 8 probe: run ``monitored_thread`` until it hits the
+        breakpoint at ``monitored_instr`` (hcall_monitor), park it with a
+        watchpoint on the referenced address, resume the other thread
+        (hcall_resume), and report every conflicting access the
+        watchpoint traps — including from background threads the resumed
+        thread invokes.
+        """
+        instr = self.image.instruction_labeled(monitored_instr)
+        if not instr.accesses_memory:
+            raise ValueError(
+                f"{monitored_instr!r} does not access memory; only "
+                f"memory-accessing instructions can be monitored")
+        schedule = Schedule(
+            start_order=(monitored_thread,),
+            preemptions=[Preemption(
+                thread=monitored_thread, instr_addr=instr.addr,
+                occurrence=occurrence, switch_to=resume,
+                instr_label=monitored_instr)],
+            note=f"hcall_monitor({monitored_thread}, {monitored_instr})")
+        controller = ScheduleController(self.machine_factory(), schedule,
+                                        watch_races=True)
+        run = controller.run()
+        races = [
+            ObservedRace(
+                monitored_thread=hit.watchpoint.owner_thread,
+                monitored_label=hit.watchpoint.owner_label,
+                racing_thread=hit.access.thread,
+                racing_label=hit.access.instr_label,
+                data_addr=hit.access.data_addr)
+            for hit in run.watch_hits
+        ]
+        return races, run
+
+    # ------------------------------------------------------------------
+    # Step 3: sweep a thread's memory instructions for racing partners.
+    # ------------------------------------------------------------------
+    def probe_thread(self, monitored_thread: str,
+                     resume: Optional[str] = None) -> List[ObservedRace]:
+        """Monitor every memory-accessing instruction the thread covers,
+        one probe run each — the way LIFS accumulates its race knowledge
+        while searching (section 3.3)."""
+        profile = self.profile_thread(monitored_thread)
+        observed: List[ObservedRace] = []
+        seen = set()
+        for instr in profile.memory_instructions:
+            races, _ = self.monitor_and_resume(
+                monitored_thread, instr.name, resume=resume)
+            for race in races:
+                key = (race.monitored_label, race.racing_label)
+                if key not in seen:
+                    seen.add(key)
+                    observed.append(race)
+        return observed

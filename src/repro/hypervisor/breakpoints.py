@@ -1,0 +1,125 @@
+"""Breakpoints and watchpoints.
+
+The AITIA hypervisor installs a *breakpoint* at a memory-accessing
+instruction to trap the running thread, disassembles the instruction to
+find the address it refers to, and installs a *watchpoint* there so that a
+conflicting access from any other context traps too — that is how data
+races are detected during LIFS (paper section 4.3, Figure 8).
+
+Here a breakpoint is keyed by code address (optionally per thread and per
+occurrence) and a watchpoint by data address.  Hits are recorded; the
+controller decides what to do with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kernel.access import MemoryAccess
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """A code breakpoint; ``thread=None`` traps every thread and
+    ``occurrence=None`` traps every dynamic execution."""
+
+    instr_addr: int
+    thread: Optional[str] = None
+    occurrence: Optional[int] = None
+
+    def matches(self, thread: str, instr_addr: int, occurrence: int) -> bool:
+        if self.instr_addr != instr_addr:
+            return False
+        if self.thread is not None and self.thread != thread:
+            return False
+        if self.occurrence is not None and self.occurrence != occurrence:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Watchpoint:
+    """A data watchpoint on one memory address, installed on behalf of the
+    instruction (and thread) whose access address was disassembled."""
+
+    data_addr: int
+    owner_thread: str
+    owner_instr_addr: int
+    owner_label: str = ""
+
+
+@dataclass(frozen=True)
+class WatchpointHit:
+    """A conflicting access trapped by a watchpoint: the racing pair the
+    hypervisor reports to the user agent."""
+
+    watchpoint: Watchpoint
+    access: MemoryAccess
+
+
+class BreakpointManager:
+    """Installed code breakpoints of one VM."""
+
+    def __init__(self) -> None:
+        self._by_addr: Dict[int, List[Breakpoint]] = {}
+
+    def install(self, bp: Breakpoint) -> None:
+        self._by_addr.setdefault(bp.instr_addr, []).append(bp)
+
+    def remove(self, bp: Breakpoint) -> None:
+        bucket = self._by_addr.get(bp.instr_addr, [])
+        if bp in bucket:
+            bucket.remove(bp)
+
+    def clear(self) -> None:
+        self._by_addr.clear()
+
+    def hit(self, thread: str, instr_addr: int,
+            occurrence: int) -> Optional[Breakpoint]:
+        """The first installed breakpoint matching this execution, if any."""
+        for bp in self._by_addr.get(instr_addr, ()):
+            if bp.matches(thread, instr_addr, occurrence):
+                return bp
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_addr.values())
+
+
+class WatchpointManager:
+    """Installed data watchpoints of one VM."""
+
+    def __init__(self) -> None:
+        self._by_addr: Dict[int, List[Watchpoint]] = {}
+        self.hits: List[WatchpointHit] = []
+
+    def install(self, wp: Watchpoint) -> None:
+        self._by_addr.setdefault(wp.data_addr, []).append(wp)
+
+    def remove_owned_by(self, thread: str, instr_addr: int) -> None:
+        for addr in list(self._by_addr):
+            self._by_addr[addr] = [
+                wp for wp in self._by_addr[addr]
+                if not (wp.owner_thread == thread
+                        and wp.owner_instr_addr == instr_addr)
+            ]
+
+    def clear(self) -> None:
+        self._by_addr.clear()
+
+    def observe(self, access: MemoryAccess) -> List[WatchpointHit]:
+        """Check one executed access against installed watchpoints; a hit is
+        recorded when another context touches the watched address and the
+        pair conflicts (at least one write)."""
+        new_hits: List[WatchpointHit] = []
+        for wp in self._by_addr.get(access.data_addr, ()):
+            if wp.owner_thread == access.thread:
+                continue
+            hit = WatchpointHit(watchpoint=wp, access=access)
+            self.hits.append(hit)
+            new_hits.append(hit)
+        return new_hits
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_addr.values())

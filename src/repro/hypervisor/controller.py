@@ -1,0 +1,364 @@
+"""Schedule enforcement: the hypervisor side of AITIA's hypercall protocol.
+
+:class:`ScheduleController` boots one run of the simulated kernel and makes
+it follow a :class:`~repro.core.schedule.Schedule`:
+
+* **Preemptions** (LIFS reproduce schedules): when the running thread is
+  about to execute a scheduled instruction, it is parked on the trampoline
+  and control switches to the named thread — the breakpoint/VM-exit dance
+  of paper section 4.4.  When a thread finishes, the most recently parked
+  thread resumes (LIFO), and background threads spawned during the run are
+  scheduled after the initial threads.
+* **Order constraints** (Causality Analysis diagnosis schedules): the
+  constrained instructions must execute in queue order.  A thread about to
+  execute a constrained instruction out of turn is parked until its entry
+  becomes the head.  A head entry whose instruction can no longer execute —
+  its thread finished, or skipped the instruction via a race-steered
+  control flow — is *dropped* and recorded: this is exactly the signal
+  Causality Analysis uses to learn that flipping one race made another
+  disappear (section 3.4).
+
+While a preempted instruction is parked, a watchpoint is installed on the
+data address it was about to touch; conflicting accesses from other threads
+are trapped and reported, which is how LIFS identifies data races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.hypervisor.breakpoints import (
+    Breakpoint,
+    BreakpointManager,
+    Watchpoint,
+    WatchpointHit,
+    WatchpointManager,
+)
+from repro.hypervisor.trampoline import ParkReason, Trampoline
+from repro.kernel.access import MemoryAccess
+from repro.kernel.failures import Failure
+from repro.kernel.machine import KernelMachine, SpawnEvent, TraceEntry
+from repro.kernel.threads import ThreadState
+
+#: Upper bound on executed instructions per run; exceeding it indicates a
+#: broken model rather than a kernel failure.
+MAX_RUN_STEPS = 500_000
+
+
+@dataclass
+class RunResult:
+    """Everything one enforced run produced."""
+
+    schedule: Schedule
+    failure: Optional[Failure]
+    trace: List[TraceEntry]
+    accesses: List[MemoryAccess]
+    spawn_events: List[SpawnEvent]
+    fired_preemptions: List[Preemption]
+    #: Global seq at which each fired preemption parked its thread (aligned
+    #: with ``fired_preemptions``).
+    fired_seqs: List[int]
+    dropped_constraints: List[OrderConstraint]
+    infeasible_constraints: List[OrderConstraint]
+    watch_hits: List[WatchpointHit]
+    steps: int
+    #: Forced context switches (fired preemptions) — the paper's
+    #: "interleaving count".
+    interleavings: int
+    #: Of those, how many preempted threads ran again afterwards.
+    resumed_interleavings: int
+    thread_names: List[str]
+    #: thread name -> kind value ("syscall" / "kworker" / "rcu_softirq" /
+    #: "irq"); lets consumers treat IRQ handlers as non-preemptible.
+    thread_kinds: Dict[str, str]
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def executed_constraints(self) -> int:
+        return len(self.schedule.constraints) - len(self.dropped_constraints)
+
+    def signature(self) -> Tuple:
+        """Mazurkiewicz-style equivalence signature: the per-thread
+        instruction sequences plus the per-location order of conflicting
+        accesses.  Two runs with equal signatures are equivalent in the
+        DPOR sense LIFS prunes by (section 3.3)."""
+        per_thread: Dict[str, List[int]] = {}
+        for entry in self.trace:
+            per_thread.setdefault(entry.thread, []).append(entry.instr_addr)
+        per_location: Dict[int, List[Tuple[str, int]]] = {}
+        for access in self.accesses:
+            per_location.setdefault(access.data_addr, []).append(
+                (access.thread, access.instr_addr))
+        return (
+            tuple(sorted((t, tuple(seq)) for t, seq in per_thread.items())),
+            tuple(sorted((loc, tuple(seq))
+                         for loc, seq in per_location.items())),
+        )
+
+
+class ScheduleController:
+    """Runs one freshly booted machine under one schedule."""
+
+    def __init__(self, machine: KernelMachine, schedule: Schedule,
+                 watch_races: bool = True) -> None:
+        self.machine = machine
+        self.schedule = schedule
+        self.watch_races = watch_races
+        self.trampoline = Trampoline()
+        self.breakpoints = BreakpointManager()
+        self.watchpoints = WatchpointManager()
+        self._pending_preemptions: List[Preemption] = list(schedule.preemptions)
+        self._fired: List[Tuple[Preemption, int]] = []  # (preemption, seq)
+        self._constraints: List[OrderConstraint] = list(schedule.constraints)
+        self._head = 0
+        self._dropped: List[OrderConstraint] = []
+        self._infeasible: List[OrderConstraint] = []
+        self._active: Optional[str] = None
+        self._steps = 0
+        for p in self._pending_preemptions:
+            self.breakpoints.install(Breakpoint(p.instr_addr, p.thread,
+                                                p.occurrence))
+        for c in self._constraints:
+            self.breakpoints.install(Breakpoint(c.instr_addr, c.thread,
+                                                c.occurrence))
+
+    # ------------------------------------------------------------------
+    # Thread choice
+    # ------------------------------------------------------------------
+    def _thread_order(self) -> List[str]:
+        """Initial threads in start order, then dynamically spawned threads
+        in spawn order."""
+        names = [t.name for t in self.machine.threads]
+        ordered = [n for n in self.schedule.start_order if n in names]
+        ordered.extend(n for n in names if n not in ordered)
+        return ordered
+
+    def _known(self, name: str) -> bool:
+        try:
+            self.machine.thread(name)
+        except (KeyError, IndexError):
+            return False
+        return True
+
+    def _runnable(self, name: str) -> bool:
+        # Schedules may reference background threads that only exist in
+        # some interleavings (race-steered invocations); an unspawned
+        # thread is simply not runnable.
+        if not self._known(name):
+            return False
+        thread = self.machine.thread(name)
+        return thread.runnable and not self.trampoline.is_parked(name)
+
+    def _head_constraint(self) -> Optional[OrderConstraint]:
+        if self._head < len(self._constraints):
+            return self._constraints[self._head]
+        return None
+
+    def _choose(self) -> Optional[str]:
+        # 1. Drive toward the head constraint: its owner must run to reach
+        #    the constrained instruction.
+        head = self._head_constraint()
+        if head is not None:
+            if self.trampoline.constraint_index(head.thread) == self._head:
+                self.trampoline.release(head.thread)
+            if self._runnable(head.thread):
+                return head.thread
+        # 2. Continue the active thread.
+        if self._active is not None and self._runnable(self._active):
+            return self._active
+        # 3. First runnable, un-parked thread in schedule order.
+        for name in self._thread_order():
+            if self._runnable(name):
+                return name
+        # 4. Resume the most recently preempted runnable thread.
+        for name in self.trampoline.resume_candidates():
+            if self.machine.thread(name).runnable:
+                self.trampoline.release(name)
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Stuck resolution
+    # ------------------------------------------------------------------
+    def _constraint_disappeared(self, head: OrderConstraint) -> bool:
+        """Can the head constraint's instruction still execute?"""
+        if not self._known(head.thread):
+            # The owning background thread was never invoked in this run —
+            # a race-steered control flow made it disappear.
+            return True
+        owner = self.machine.thread(head.thread)
+        if owner.done:
+            return True
+        parked_index = self.trampoline.constraint_index(head.thread)
+        if parked_index is not None and parked_index > self._head:
+            # The owner reached a *later* constrained instruction without
+            # passing the head: a race-steered control flow skipped it.
+            return True
+        return False
+
+    def _drop_head(self, disappeared: bool) -> None:
+        head = self._constraints[self._head]
+        self._dropped.append(head)
+        if not disappeared:
+            self._infeasible.append(head)
+        self._head += 1
+        self.trampoline.release_constraint_parked()
+
+    def _resolve_stuck(self) -> bool:
+        """No thread was choosable.  Returns True when progress was made."""
+        head = self._head_constraint()
+        if head is not None:
+            # Either the head instruction disappeared (its thread finished or
+            # skipped it via a race-steered control flow), or enforcing the
+            # remaining order is infeasible (e.g. the owner is blocked on a
+            # lock held by a parked thread).  Both resolve by dropping the
+            # head; Causality Analysis interprets the two cases differently.
+            self._drop_head(disappeared=self._constraint_disappeared(head))
+            return True
+        blocked = [t for t in self.machine.threads
+                   if t.state is ThreadState.BLOCKED]
+        if blocked and not self.machine.all_done():
+            self.machine.report_deadlock(blocked)
+        return False
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        machine = self.machine
+        while not machine.halted and not machine.all_done():
+            name = self._choose()
+            if name is None:
+                if not self._resolve_stuck():
+                    break
+                continue
+            instr = machine.peek(name)
+            if instr is None:
+                self._active = None
+                continue
+            occurrence = machine.next_occurrence(name, instr.addr)
+
+            preemption = self._match_preemption(name, instr.addr, occurrence)
+            if preemption is not None:
+                self._fire_preemption(preemption, name, instr)
+                continue
+
+            constraint_index = self._match_constraint(name, instr.addr,
+                                                      occurrence)
+            if constraint_index is not None and constraint_index != self._head:
+                self.trampoline.park_on_constraint(name, constraint_index,
+                                                   instr.addr)
+                if self._active == name:
+                    self._active = None
+                continue
+
+            outcome = machine.step(name)
+            self._steps += 1
+            if self._steps > MAX_RUN_STEPS:
+                raise RuntimeError(
+                    f"run exceeded {MAX_RUN_STEPS} steps under schedule "
+                    f"{self.schedule.describe()}")
+            if constraint_index is not None and outcome.executed:
+                self._head += 1
+                self.trampoline.release_constraint_parked()
+            if outcome.executed:
+                self._active = name
+                for access in outcome.accesses:
+                    self.watchpoints.observe(access)
+            if outcome.blocked and self._active == name:
+                self._active = None
+            if outcome.thread_done and self._active == name:
+                self._active = None
+
+        # Constraints whose instructions never executed (their thread
+        # finished early or the run crashed) disappeared.
+        while self._head < len(self._constraints):
+            self._drop_head(disappeared=True)
+
+        machine.finish()
+        return self._result()
+
+    def _match_preemption(self, thread: str, instr_addr: int,
+                          occurrence: int) -> Optional[Preemption]:
+        for p in self._pending_preemptions:
+            if p.matches(thread, instr_addr, occurrence):
+                return p
+        return None
+
+    def _match_constraint(self, thread: str, instr_addr: int,
+                          occurrence: int) -> Optional[int]:
+        for i in range(self._head, len(self._constraints)):
+            if self._constraints[i].matches(thread, instr_addr, occurrence):
+                return i
+        return None
+
+    def _fire_preemption(self, preemption: Preemption, thread: str,
+                         instr) -> None:
+        self._pending_preemptions.remove(preemption)
+        self._fired.append((preemption, self.machine.trace[-1].seq
+                            if self.machine.trace else 0))
+        self.trampoline.park_preempted(thread, instr.addr)
+        if self.watch_races:
+            data_addr = self.machine.resolve_access_addr(thread, instr)
+            if data_addr is not None:
+                self.watchpoints.install(Watchpoint(
+                    data_addr=data_addr, owner_thread=thread,
+                    owner_instr_addr=instr.addr, owner_label=instr.name))
+        target = preemption.switch_to
+        if target is not None:
+            if self.trampoline.is_parked(target) and \
+                    self.trampoline.parked_reason(target) is ParkReason.PREEMPTED:
+                self.trampoline.release(target)
+            self._active = target if self._runnable(target) else None
+        else:
+            self._active = None
+
+    # ------------------------------------------------------------------
+    def _measured_interleavings(self) -> int:
+        count = 0
+        executed_after: Dict[str, int] = {}
+        for entry in self.machine.trace:
+            executed_after[entry.thread] = entry.seq
+        for preemption, seq in self._fired:
+            last = executed_after.get(preemption.thread, 0)
+            if last > seq:
+                count += 1
+        return count
+
+    def _result(self) -> RunResult:
+        return RunResult(
+            schedule=self.schedule,
+            failure=self.machine.failure,
+            trace=list(self.machine.trace),
+            accesses=list(self.machine.access_log),
+            spawn_events=list(self.machine.spawn_events),
+            fired_preemptions=[p for p, _ in self._fired],
+            fired_seqs=[seq for _, seq in self._fired],
+            dropped_constraints=list(self._dropped),
+            infeasible_constraints=list(self._infeasible),
+            watch_hits=list(self.watchpoints.hits),
+            steps=self._steps,
+            interleavings=len(self._fired),
+            resumed_interleavings=self._measured_interleavings(),
+            thread_names=[t.name for t in self.machine.threads],
+            thread_kinds={t.name: t.kind.value
+                          for t in self.machine.threads},
+        )
+
+
+def run_schedule(machine_factory, schedule: Schedule,
+                 watch_races: bool = True) -> RunResult:
+    """Boot a fresh machine from ``machine_factory`` and run ``schedule``."""
+    controller = ScheduleController(machine_factory(), schedule,
+                                    watch_races=watch_races)
+    return controller.run()
+
+
+def serial_schedule(order: Sequence[str], note: str = "") -> Schedule:
+    """A schedule with no interleavings: threads run to completion in the
+    given order (LIFS interleaving count 0)."""
+    return Schedule(start_order=tuple(order), note=note or "serial")

@@ -1,0 +1,116 @@
+"""Deterministic record & replay of enforced runs.
+
+The simulated kernel plus the schedule controller are fully
+deterministic, so a *recording* is just the schedule plus the expected
+outcome signature: replaying re-enforces the schedule on a fresh machine
+and verifies that the execution is bit-for-bit the same Mazurkiewicz
+trace.  This is the property the REPT/RR baseline banks on, and it is
+what lets AITIA hand a developer a reproducer: the failure-causing
+schedule *is* the reproducer.
+
+Recordings serialize to plain dictionaries (JSON-safe), so they can be
+stored next to a bug report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.kernel.machine import KernelMachine
+
+
+class ReplayDivergence(Exception):
+    """The replayed execution differs from the recording."""
+
+
+@dataclass
+class Recording:
+    """A replayable capture of one enforced run."""
+
+    schedule: Schedule
+    failed: bool
+    failure_signature: Optional[str]
+    trace_length: int
+    signature_digest: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "start_order": list(self.schedule.start_order),
+            "preemptions": [
+                {"thread": p.thread, "instr_addr": p.instr_addr,
+                 "occurrence": p.occurrence, "switch_to": p.switch_to,
+                 "instr_label": p.instr_label}
+                for p in self.schedule.preemptions
+            ],
+            "constraints": [
+                {"thread": c.thread, "instr_addr": c.instr_addr,
+                 "occurrence": c.occurrence, "instr_label": c.instr_label}
+                for c in self.schedule.constraints
+            ],
+            "note": self.schedule.note,
+            "failed": self.failed,
+            "failure_signature": self.failure_signature,
+            "trace_length": self.trace_length,
+            "signature_digest": self.signature_digest,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "Recording":
+        schedule = Schedule(
+            start_order=tuple(data["start_order"]),
+            preemptions=[Preemption(**p) for p in data["preemptions"]],
+            constraints=[OrderConstraint(**c) for c in data["constraints"]],
+            note=data.get("note", ""),
+        )
+        return Recording(
+            schedule=schedule, failed=data["failed"],
+            failure_signature=data.get("failure_signature"),
+            trace_length=data["trace_length"],
+            signature_digest=data["signature_digest"],
+        )
+
+
+def record(run: RunResult) -> Recording:
+    """Capture a run for later replay."""
+    return Recording(
+        schedule=run.schedule,
+        failed=run.failed,
+        failure_signature=run.failure.signature if run.failure else None,
+        trace_length=len(run.trace),
+        signature_digest=hash(run.signature()),
+    )
+
+
+def replay(machine_factory: Callable[[], KernelMachine],
+           recording: Recording, strict: bool = True) -> RunResult:
+    """Re-enforce the recorded schedule; verify the execution matches.
+
+    ``strict`` raises :class:`ReplayDivergence` on any mismatch (changed
+    kernel image, different initial state); non-strict returns the run
+    regardless, for inspection.
+    """
+    controller = ScheduleController(machine_factory(), recording.schedule)
+    run = controller.run()
+    if strict:
+        problems: List[str] = []
+        if run.failed != recording.failed:
+            problems.append(
+                f"failure outcome differs: recorded failed="
+                f"{recording.failed}, replay failed={run.failed}")
+        replay_sig = run.failure.signature if run.failure else None
+        if replay_sig != recording.failure_signature:
+            problems.append(
+                f"failure signature differs: {recording.failure_signature}"
+                f" vs {replay_sig}")
+        if len(run.trace) != recording.trace_length:
+            problems.append(
+                f"trace length differs: {recording.trace_length} vs "
+                f"{len(run.trace)}")
+        if hash(run.signature()) != recording.signature_digest:
+            problems.append("Mazurkiewicz signature differs")
+        if problems:
+            raise ReplayDivergence("; ".join(problems))
+    return run

@@ -1,0 +1,74 @@
+"""Whole-machine snapshot / restore.
+
+The AITIA hypervisor reverts the reproducer VM's memory after every run
+(paper section 4.3) instead of rebooting, which is what makes thousands
+of LIFS schedules affordable.  :class:`MachineSnapshot` captures the full
+guest state — memory, thread contexts, locks, the global sequence
+counter — and restores a machine to it in place.
+
+The run pipeline normally builds fresh machines from a factory (equally
+deterministic and simpler); snapshots are the in-place alternative and
+are what an interactive debugging session wants: run to a point, snap,
+try an interleaving, rewind, try another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.kernel.machine import KernelMachine
+
+
+@dataclass
+class MachineSnapshot:
+    """Captured state of one machine."""
+
+    memory: dict
+    threads: List[dict]
+    locks: dict
+    seq: int
+    trace_len: int
+    access_len: int
+    spawn_len: int
+    thread_count: int
+
+
+def capture(machine: KernelMachine) -> MachineSnapshot:
+    """Snapshot a machine (typically mid-run, before trying something)."""
+    if machine.halted:
+        raise ValueError("cannot snapshot a halted machine")
+    return MachineSnapshot(
+        memory=machine.memory.snapshot(),
+        threads=[t.snapshot() for t in machine.threads],
+        locks=machine.locks.snapshot(),
+        seq=machine._seq,
+        trace_len=len(machine.trace),
+        access_len=len(machine.access_log),
+        spawn_len=len(machine.spawn_events),
+        thread_count=len(machine.threads),
+    )
+
+
+def restore(machine: KernelMachine, snapshot: MachineSnapshot) -> None:
+    """Rewind a machine to a snapshot taken from it earlier.
+
+    Threads spawned after the snapshot are discarded; logs are truncated
+    back to the capture point; the failure flag is cleared (a crash that
+    happened after the snapshot never happened).
+    """
+    if len(machine.threads) < snapshot.thread_count:
+        raise ValueError("snapshot does not belong to this machine")
+    machine.memory.restore(snapshot.memory)
+    machine.locks.restore(snapshot.locks)
+    # Drop threads spawned after the capture point.
+    for ctx in machine.threads[snapshot.thread_count:]:
+        del machine._by_name[ctx.name]
+    del machine.threads[snapshot.thread_count:]
+    for ctx, state in zip(machine.threads, snapshot.threads):
+        ctx.restore(state)
+    machine._seq = snapshot.seq
+    del machine.trace[snapshot.trace_len:]
+    del machine.access_log[snapshot.access_len:]
+    del machine.spawn_events[snapshot.spawn_len:]
+    machine.failure = None

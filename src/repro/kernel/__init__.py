@@ -1,0 +1,55 @@
+"""Simulated kernel substrate.
+
+This package stands in for the Linux kernel running under the AITIA
+hypervisor.  It provides an instruction-level virtual machine with a
+sequentially consistent shared memory, a heap allocator with KASAN-style
+poisoning, locks, deferred work (``queue_work``) and RCU callbacks, and a
+failure taxonomy matching the bugs evaluated in the paper (use-after-free,
+out-of-bounds, general protection fault, assertion violation, memory leak,
+deadlock).
+
+The machine executes exactly one thread at a time and only when an external
+scheduler tells it to, which is the property AITIA's hypervisor obtains on
+real hardware through breakpoints and trampolines (paper section 4.4).
+"""
+
+from repro.kernel.access import AccessKind, MemoryAccess
+from repro.kernel.builder import FunctionBuilder, ProgramBuilder
+from repro.kernel.failures import Failure, FailureKind, KernelFault
+from repro.kernel.instructions import (
+    Deref,
+    Global,
+    Imm,
+    Instruction,
+    Op,
+    Reg,
+)
+from repro.kernel.machine import KernelMachine, StepOutcome, ThreadContext
+from repro.kernel.memory import HeapObject, Memory
+from repro.kernel.program import Function, KernelImage
+from repro.kernel.threads import ThreadKind, ThreadState
+
+__all__ = [
+    "AccessKind",
+    "Deref",
+    "Failure",
+    "FailureKind",
+    "Function",
+    "FunctionBuilder",
+    "Global",
+    "HeapObject",
+    "Imm",
+    "Instruction",
+    "KernelFault",
+    "KernelImage",
+    "KernelMachine",
+    "Memory",
+    "MemoryAccess",
+    "Op",
+    "ProgramBuilder",
+    "Reg",
+    "StepOutcome",
+    "ThreadContext",
+    "ThreadKind",
+    "ThreadState",
+]

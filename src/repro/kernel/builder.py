@@ -1,0 +1,206 @@
+"""Fluent builder for simulated-kernel programs.
+
+The corpus models every bug as a small "subsystem" written with this DSL::
+
+    b = ProgramBuilder()
+    with b.function("fanout_add") as f:
+        f.load("r0", f.g("po_running"), label="A2")
+        f.brz("r0", "A3_ret", label="A2b")
+        f.alloc("r1", 16, tag="match", label="A5")
+        f.store(f.g("po_fanout"), f.r("r1"), label="A6")
+        f.call("fanout_link", label="A8")
+        f.ret(label="A3_ret")
+    image = b.build()
+
+Registers are referred to by bare name; ``f.g(name)`` produces a global
+address operand and ``f.r(name)``/``f.i(value)`` produce value sources.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from repro.kernel.instructions import (
+    BINARY_OPERATORS,
+    AddrExpr,
+    Deref,
+    Global,
+    Imm,
+    Instruction,
+    Op,
+    Reg,
+    Source,
+)
+from repro.kernel.program import Function, KernelImage
+
+
+def _as_source(value: Union[Source, int, str]) -> Source:
+    """Coerce ``int`` to :class:`Imm` and ``str`` to :class:`Reg`."""
+    if isinstance(value, (Reg, Imm)):
+        return value
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        return Reg(value)
+    raise TypeError(f"cannot use {value!r} as a value source")
+
+
+def _as_addr(value: Union[AddrExpr, str]) -> AddrExpr:
+    """Coerce ``str`` to :class:`Global`."""
+    if isinstance(value, (Global, Deref)):
+        return value
+    if isinstance(value, str):
+        return Global(value)
+    raise TypeError(f"cannot use {value!r} as an address expression")
+
+
+class FunctionBuilder:
+    """Accumulates instructions for one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # -- operand helpers ------------------------------------------------
+    @staticmethod
+    def g(name: str) -> Global:
+        """The address of global ``name``."""
+        return Global(name)
+
+    @staticmethod
+    def r(name: str) -> Reg:
+        """Register ``name`` as a value source."""
+        return Reg(name)
+
+    @staticmethod
+    def i(value: int) -> Imm:
+        """Immediate ``value``."""
+        return Imm(value)
+
+    @staticmethod
+    def at(reg: str, offset: int = 0) -> Deref:
+        """The address held in register ``reg`` plus ``offset``."""
+        return Deref(reg, offset)
+
+    # -- emitters --------------------------------------------------------
+    def _emit(self, op: Op, operands=(), label: Optional[str] = None,
+              target: Optional[str] = None) -> Instruction:
+        instr = Instruction(op, tuple(operands), label=label, target=target)
+        self._instructions.append(instr)
+        return instr
+
+    def load(self, dst: str, addr, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.LOAD, (Reg(dst), _as_addr(addr)), label)
+
+    def store(self, addr, src, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.STORE, (_as_addr(addr), _as_source(src)), label)
+
+    def inc(self, addr, delta: int = 1, label: Optional[str] = None) -> Instruction:
+        """One read-modify-write access (handy for racy statistics counters)."""
+        return self._emit(Op.INC, (_as_addr(addr), Imm(delta)), label)
+
+    def mov(self, dst: str, src, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.MOV, (Reg(dst), _as_source(src)), label)
+
+    def lea(self, dst: str, global_name: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.LEA, (Reg(dst), Global(global_name)), label)
+
+    def binop(self, dst: str, operator: str, lhs, rhs,
+              label: Optional[str] = None) -> Instruction:
+        if operator not in BINARY_OPERATORS:
+            raise ValueError(f"unknown operator {operator!r}")
+        return self._emit(
+            Op.BINOP, (Reg(dst), operator, _as_source(lhs), _as_source(rhs)),
+            label)
+
+    def brz(self, cond, target: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.BRZ, (_as_source(cond),), label, target=target)
+
+    def brnz(self, cond, target: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.BRNZ, (_as_source(cond),), label, target=target)
+
+    def jmp(self, target: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.JMP, (), label, target=target)
+
+    def call(self, func: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.CALL, (func,), label)
+
+    def ret(self, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.RET, (), label)
+
+    def alloc(self, dst: str, size: int, tag: str,
+              leak_tracked: bool = False,
+              label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.ALLOC, (Reg(dst), size, tag, leak_tracked), label)
+
+    def free(self, src, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.FREE, (_as_source(src),), label)
+
+    def lock(self, name: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.LOCK, (name,), label)
+
+    def unlock(self, name: str, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.UNLOCK, (name,), label)
+
+    def queue_work(self, func: str, arg=0, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.QUEUE_WORK, (func, _as_source(arg)), label)
+
+    def call_rcu(self, func: str, arg=0, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.CALL_RCU, (func, _as_source(arg)), label)
+
+    def bug_on(self, cond, message: str = "", label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.BUG_ON, (_as_source(cond), message), label)
+
+    def cmpxchg(self, dst: str, addr, expected, new,
+                label: Optional[str] = None) -> Instruction:
+        """Atomic compare-and-exchange: one read-modify-write access that
+        stores ``new`` iff the cell equals ``expected``; the old value
+        lands in ``dst`` either way."""
+        return self._emit(
+            Op.CMPXCHG,
+            (Reg(dst), _as_addr(addr), _as_source(expected),
+             _as_source(new)), label)
+
+    def xchg(self, dst: str, addr, new,
+             label: Optional[str] = None) -> Instruction:
+        """Atomic exchange: swap ``new`` into the cell, old value into
+        ``dst``."""
+        return self._emit(Op.XCHG, (Reg(dst), _as_addr(addr),
+                                    _as_source(new)), label)
+
+    def list_add(self, addr, elem, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.LIST_ADD, (_as_addr(addr), _as_source(elem)), label)
+
+    def list_del(self, addr, elem, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.LIST_DEL, (_as_addr(addr), _as_source(elem)), label)
+
+    def list_contains(self, dst: str, addr, elem,
+                      label: Optional[str] = None) -> Instruction:
+        return self._emit(
+            Op.LIST_CONTAINS, (Reg(dst), _as_addr(addr), _as_source(elem)),
+            label)
+
+    def nop(self, label: Optional[str] = None) -> Instruction:
+        return self._emit(Op.NOP, (), label)
+
+    def build(self) -> Function:
+        return Function(self.name, list(self._instructions))
+
+
+class ProgramBuilder:
+    """Accumulates functions and produces a :class:`KernelImage`."""
+
+    def __init__(self) -> None:
+        self._functions: List[Function] = []
+
+    @contextmanager
+    def function(self, name: str) -> Iterator[FunctionBuilder]:
+        fb = FunctionBuilder(name)
+        yield fb
+        if not fb._instructions or fb._instructions[-1].op is not Op.RET:
+            fb.ret()
+        self._functions.append(fb.build())
+
+    def build(self) -> KernelImage:
+        return KernelImage(self._functions)

@@ -1,0 +1,192 @@
+"""Instruction set of the simulated kernel.
+
+The IR is a small register machine.  Each instruction carries an optional
+human-readable *label* (``"A6"``); labels double as branch targets and as the
+names used in causality chains, mirroring how the paper refers to racing
+instructions (``A6 => B12``).
+
+Operands come in two flavours:
+
+* value sources: :class:`Reg` (a thread-local register) or :class:`Imm`
+  (an integer constant);
+* address expressions: :class:`Global` (the address of a named global cell)
+  or :class:`Deref` (the address held in a register plus an offset).
+
+Memory is only touched by ``LOAD``/``STORE``/``INC`` and the ``LIST_*``
+helpers; everything else manipulates registers or control flow.  This keeps
+the set of memory-accessing instructions — the only instructions LIFS ever
+interleaves — easy to enumerate, exactly as AITIA's user agent enumerates
+them by disassembling basic blocks (paper section 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A thread-local register, addressed by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate integer constant."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Global:
+    """The address of a named global memory cell."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class Deref:
+    """The address ``regs[reg] + offset`` (pointer dereference)."""
+
+    reg: str
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        if self.offset:
+            return f"[%{self.reg}+{self.offset}]"
+        return f"[%{self.reg}]"
+
+
+Source = Union[Reg, Imm]
+AddrExpr = Union[Global, Deref]
+
+
+class Op(enum.Enum):
+    """Opcodes of the simulated kernel IR."""
+
+    LOAD = "load"  # dst_reg, addr_expr
+    STORE = "store"  # addr_expr, src
+    INC = "inc"  # addr_expr, src(delta) — one read-modify-write access
+    MOV = "mov"  # dst_reg, src
+    LEA = "lea"  # dst_reg, Global — take the address of a global
+    BINOP = "binop"  # dst_reg, operator, lhs(src), rhs(src)
+    BRZ = "brz"  # cond(src), target_label — branch if zero
+    BRNZ = "brnz"  # cond(src), target_label — branch if non-zero
+    JMP = "jmp"  # target_label
+    CALL = "call"  # function_name
+    RET = "ret"  # return from current function
+    ALLOC = "alloc"  # dst_reg, size, tag, leak_tracked
+    FREE = "free"  # addr(src: pointer value)
+    LOCK = "lock"  # lock_name
+    UNLOCK = "unlock"  # lock_name
+    QUEUE_WORK = "queue_work"  # function_name, arg(src) — spawn a kworker
+    CALL_RCU = "call_rcu"  # function_name, arg(src) — spawn an RCU callback
+    BUG_ON = "bug_on"  # cond(src), message — fail if cond is non-zero
+    CMPXCHG = "cmpxchg"  # dst_reg, addr_expr, expected(src), new(src)
+    XCHG = "xchg"  # dst_reg, addr_expr, new(src) — atomic swap
+    LIST_ADD = "list_add"  # addr_expr(list cell), elem(src)
+    LIST_DEL = "list_del"  # addr_expr(list cell), elem(src)
+    LIST_CONTAINS = "list_contains"  # dst_reg, addr_expr(list cell), elem(src)
+    NOP = "nop"
+
+
+#: Binary operators accepted by ``BINOP``.
+BINARY_OPERATORS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+#: Opcodes that read and/or write shared memory.  Only these instructions
+#: can participate in a data race, and only these are candidate scheduling
+#: points for LIFS.  FREE counts as a write to the object (as KASAN/KCSAN
+#: treat it), so free-vs-use pairs are detectable data races.
+MEMORY_OPS = frozenset(
+    {Op.LOAD, Op.STORE, Op.INC, Op.FREE, Op.CMPXCHG, Op.XCHG,
+     Op.LIST_ADD, Op.LIST_DEL, Op.LIST_CONTAINS}
+)
+
+#: Opcodes that terminate a basic block.
+BLOCK_TERMINATORS = frozenset({Op.BRZ, Op.BRNZ, Op.JMP, Op.RET})
+
+
+class Instruction:
+    """One instruction of the simulated kernel.
+
+    ``addr`` (the code address) and positional metadata are assigned when the
+    enclosing :class:`~repro.kernel.program.KernelImage` is assembled and must
+    not be mutated afterwards.
+    """
+
+    __slots__ = ("op", "operands", "label", "target", "addr", "func", "index")
+
+    def __init__(
+        self,
+        op: Op,
+        operands: Tuple = (),
+        label: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> None:
+        self.op = op
+        self.operands = operands
+        self.label = label
+        self.target = target  # branch target label, resolved at assembly
+        self.addr: int = -1
+        self.func: str = ""
+        self.index: int = -1
+
+    @property
+    def accesses_memory(self) -> bool:
+        """Whether the instruction reads or writes shared memory."""
+        return self.op in MEMORY_OPS
+
+    @property
+    def reads_memory(self) -> bool:
+        return self.op in (Op.LOAD, Op.INC, Op.CMPXCHG, Op.XCHG,
+                           Op.LIST_ADD, Op.LIST_DEL, Op.LIST_CONTAINS)
+
+    @property
+    def writes_memory(self) -> bool:
+        return self.op in (Op.STORE, Op.INC, Op.FREE, Op.CMPXCHG,
+                           Op.XCHG, Op.LIST_ADD, Op.LIST_DEL)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in BLOCK_TERMINATORS
+
+    @property
+    def name(self) -> str:
+        """The display name: the explicit label or ``func+index``."""
+        if self.label is not None:
+            return self.label
+        return f"{self.func}+{self.index}"
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.operands:
+            parts.append(", ".join(repr(o) for o in self.operands))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        body = " ".join(parts)
+        return f"<{self.name}: {body}>"

@@ -1,0 +1,53 @@
+"""kcov analogue: basic-block coverage collection.
+
+AITIA's user agent registers a kcov callback fired at every basic-block
+entry and then maps covered blocks to their memory-accessing instructions
+using a disassembly of the kernel (paper section 4.3).  :class:`Kcov`
+provides the callback side; the mapping side is
+:meth:`repro.kernel.program.KernelImage.memory_instructions_in_block`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernel.instructions import Instruction
+from repro.kernel.program import KernelImage
+
+
+class Kcov:
+    """Collects per-thread basic-block coverage for one run."""
+
+    def __init__(self, image: KernelImage) -> None:
+        self.image = image
+        self._covered: Dict[str, List[int]] = {}
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def __call__(self, thread: str, block_start: int) -> None:
+        """The callback handed to :class:`~repro.kernel.machine.KernelMachine`."""
+        self._covered.setdefault(thread, []).append(block_start)
+        self._seen.add((thread, block_start))
+
+    def covered_blocks(self, thread: str) -> List[int]:
+        """Block entries in execution order (with repetitions, like a raw
+        kcov buffer)."""
+        return list(self._covered.get(thread, []))
+
+    def unique_blocks(self, thread: str) -> Set[int]:
+        return {b for t, b in self._seen if t == thread}
+
+    def memory_instructions(self, thread: str) -> List[Instruction]:
+        """The memory-accessing instructions reachable from the thread's
+        covered blocks — the user agent's view of what can be interleaved."""
+        instrs: List[Instruction] = []
+        seen: Set[int] = set()
+        for block in self._covered.get(thread, []):
+            for instr in self.image.memory_instructions_in_block(block):
+                if instr.addr not in seen:
+                    seen.add(instr.addr)
+                    instrs.append(instr)
+        return instrs
+
+    def reset(self) -> None:
+        self._covered.clear()
+        self._seen.clear()

@@ -1,0 +1,544 @@
+"""The simulated-kernel virtual machine.
+
+:class:`KernelMachine` interprets the IR one instruction at a time, *only*
+when an external scheduler calls :meth:`KernelMachine.step` for a specific
+thread.  Nothing ever runs spontaneously: this gives the layer above the
+same instruction-granular control that AITIA's hypervisor obtains with
+hardware breakpoints, while the machine itself stays a faithful, dumb CPU.
+
+The machine records every memory access (with locksets and occurrence
+indices), every background-thread invocation, and the totally ordered trace
+of executed instructions.  On a fault it converts the exception into a
+:class:`~repro.kernel.failures.Failure` and halts, like a kernel panic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.kernel.access import AccessKind, MemoryAccess
+from repro.kernel.failures import Failure, FailureKind, KernelFault
+from repro.kernel.instructions import (
+    BINARY_OPERATORS,
+    Deref,
+    Global,
+    Imm,
+    Instruction,
+    Op,
+    Reg,
+)
+from repro.kernel.locks import LockTable
+from repro.kernel.memory import Memory
+from repro.kernel.program import KernelImage
+from repro.kernel.threads import Frame, ThreadContext, ThreadKind, ThreadState
+
+#: Hard per-thread step limit; hitting it means the model itself is broken
+#: (an unbounded loop), not a kernel failure.
+MAX_THREAD_STEPS = 200_000
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """Initial thread of a run (a system call in flight)."""
+
+    name: str
+    entry: str
+    kind: ThreadKind = ThreadKind.SYSCALL
+    regs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SpawnEvent:
+    """A background-thread invocation (``queue_work`` / ``call_rcu``)."""
+
+    seq: int
+    parent: str
+    child: str
+    kind: ThreadKind
+    instr_label: str
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction in the totally ordered run trace."""
+
+    seq: int
+    thread: str
+    instr_addr: int
+    instr_label: str
+    func: str
+    occurrence: int
+
+
+@dataclass
+class StepOutcome:
+    """What happened when one instruction was (or was not) executed."""
+
+    executed: bool
+    instr: Optional[Instruction] = None
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    spawned: List[int] = field(default_factory=list)
+    blocked: bool = False
+    thread_done: bool = False
+    failure: Optional[Failure] = None
+
+
+class KernelMachine:
+    """One bootable instance of the simulated kernel."""
+
+    def __init__(
+        self,
+        image: KernelImage,
+        threads: Sequence[ThreadSpec],
+        globals_init: Optional[Dict[str, Any]] = None,
+        coverage_cb: Optional[Callable[[str, int], None]] = None,
+        leak_check: bool = True,
+        setup: Sequence[ThreadSpec] = (),
+    ) -> None:
+        self.image = image
+        self.memory = Memory()
+        self.locks = LockTable()
+        self.coverage_cb = coverage_cb
+        self.leak_check = leak_check
+        self.failure: Optional[Failure] = None
+        self.access_log: List[MemoryAccess] = []
+        self.trace: List[TraceEntry] = []
+        self.spawn_events: List[SpawnEvent] = []
+        self._seq = 0
+        self.threads: List[ThreadContext] = []
+        self._by_name: Dict[str, ThreadContext] = {}
+
+        # Pre-define every global the image mentions (deterministic layout),
+        # then apply the model's initial values.
+        for name in self._referenced_globals():
+            self.memory.define_global(name, 0)
+        for name, value in (globals_init or {}).items():
+            self.memory.define_global(name, value)
+
+        # Setup calls (open/socket/...) run serially to completion before the
+        # concurrent part of a slice, and their activity is not recorded:
+        # they establish the pre-failure kernel state, like replaying the
+        # non-concurrent prefix of an execution history (section 4.2).
+        for spec in setup:
+            ctx = self._add_thread(spec.name, spec.entry, spec.kind,
+                                   regs=dict(spec.regs))
+            while not ctx.done:
+                if self.halted:
+                    raise RuntimeError(
+                        f"setup call {spec.name} crashed the kernel: "
+                        f"{self.failure}")
+                self.step(ctx.tid)
+        self.access_log.clear()
+        self.trace.clear()
+        self.spawn_events.clear()
+
+        for spec in threads:
+            self._add_thread(spec.name, spec.entry, spec.kind,
+                             regs=dict(spec.regs))
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _referenced_globals(self) -> List[str]:
+        names: List[str] = []
+        seen = set()
+        for func in self.image.functions.values():
+            for instr in func.instructions:
+                for operand in instr.operands:
+                    if isinstance(operand, Global) and operand.name not in seen:
+                        seen.add(operand.name)
+                        names.append(operand.name)
+        return names
+
+    def _add_thread(self, name: str, entry: str, kind: ThreadKind,
+                    regs: Optional[Dict[str, Any]] = None,
+                    spawned_by: Optional[str] = None,
+                    spawn_instr: Optional[str] = None) -> ThreadContext:
+        if name in self._by_name:
+            raise ValueError(f"duplicate thread name {name!r}")
+        if entry not in self.image.functions:
+            raise ValueError(f"thread entry {entry!r} is not a function")
+        ctx = ThreadContext(
+            tid=len(self.threads), name=name, kind=kind, entry=entry,
+            regs=regs or {}, frames=[Frame(entry, 0)],
+            spawned_by=spawned_by, spawn_instr=spawn_instr,
+        )
+        self.threads.append(ctx)
+        self._by_name[name] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def thread(self, ref) -> ThreadContext:
+        """Look a thread up by tid or name."""
+        if isinstance(ref, ThreadContext):
+            return ref
+        if isinstance(ref, int):
+            return self.threads[ref]
+        return self._by_name[ref]
+
+    @property
+    def halted(self) -> bool:
+        return self.failure is not None
+
+    def all_done(self) -> bool:
+        return all(t.done for t in self.threads)
+
+    def runnable_threads(self) -> List[ThreadContext]:
+        if self.halted:
+            return []
+        return [t for t in self.threads if t.runnable]
+
+    def peek(self, ref) -> Optional[Instruction]:
+        """The next instruction ``ref`` would execute, or ``None`` if the
+        thread is done.  Blocked threads still report their pending LOCK."""
+        ctx = self.thread(ref)
+        if ctx.done or self.halted:
+            return None
+        frame = ctx.current_frame()
+        func = self.image.functions[frame.func]
+        return func.instructions[frame.pc]
+
+    def resolve_access_addr(self, ref, instr: Instruction) -> Optional[int]:
+        """The data address ``instr`` would access if the thread executed it
+        now, or ``None`` for non-memory instructions.  This mirrors the AITIA
+        hypervisor disassembling a breakpointed instruction to find the
+        address to watch (paper section 4.3)."""
+        if not instr.accesses_memory:
+            return None
+        ctx = self.thread(ref)
+        if instr.op is Op.FREE:
+            return self._value(ctx, instr.operands[0])
+        expr = instr.operands[1] \
+            if instr.op in (Op.LOAD, Op.LIST_CONTAINS, Op.CMPXCHG,
+                            Op.XCHG) \
+            else instr.operands[0]
+        try:
+            return self._effective_addr(ctx, expr)
+        except KeyError:
+            return None
+
+    def next_occurrence(self, ref, instr_addr: int) -> int:
+        """The occurrence index the next execution of ``instr_addr`` by this
+        thread would have (1-based)."""
+        ctx = self.thread(ref)
+        return ctx.exec_counts.get(instr_addr, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Operand evaluation
+    # ------------------------------------------------------------------
+    def _value(self, ctx: ThreadContext, src) -> Any:
+        if isinstance(src, Imm):
+            return src.value
+        if isinstance(src, Reg):
+            return ctx.regs.get(src.name, 0)
+        raise TypeError(f"bad value source {src!r}")
+
+    def _effective_addr(self, ctx: ThreadContext, expr) -> int:
+        if isinstance(expr, Global):
+            return self.memory.global_addr(expr.name)
+        if isinstance(expr, Deref):
+            base = ctx.regs.get(expr.reg, 0)
+            return base + expr.offset
+        raise TypeError(f"bad address expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, ref) -> StepOutcome:
+        """Execute one instruction of the given thread.
+
+        Blocked threads re-attempt their pending LOCK.  Stepping a done
+        thread or a halted machine is an error — the scheduler above must
+        not do it.
+        """
+        if self.halted:
+            raise RuntimeError("machine has halted on a failure")
+        ctx = self.thread(ref)
+        if ctx.done:
+            raise RuntimeError(f"thread {ctx.name} is done")
+        ctx.steps += 1
+        if ctx.steps > MAX_THREAD_STEPS:
+            raise RuntimeError(
+                f"thread {ctx.name} exceeded {MAX_THREAD_STEPS} steps; "
+                f"the model likely has an unbounded loop")
+
+        frame = ctx.current_frame()
+        func = self.image.functions[frame.func]
+        instr = func.instructions[frame.pc]
+
+        if self.coverage_cb is not None:
+            block = self.image.block_containing(instr.addr)
+            if block.start_addr == instr.addr:
+                self.coverage_cb(ctx.name, block.start_addr)
+
+        try:
+            return self._execute(ctx, frame, instr)
+        except KernelFault as fault:
+            # _execute records the trace entry before the access faults, so
+            # the faulting instruction is already the last trace entry.
+            self.failure = Failure(
+                kind=fault.kind, thread=ctx.name, instr_label=instr.name,
+                message=fault.message, data_addr=fault.data_addr,
+                object_tag=fault.object_tag,
+            )
+            return StepOutcome(executed=True, instr=instr,
+                               failure=self.failure)
+
+    def _record_trace(self, ctx: ThreadContext, instr: Instruction) -> int:
+        self._seq += 1
+        count = ctx.exec_counts.get(instr.addr, 0) + 1
+        ctx.exec_counts[instr.addr] = count
+        self.trace.append(TraceEntry(
+            seq=self._seq, thread=ctx.name, instr_addr=instr.addr,
+            instr_label=instr.name, func=instr.func, occurrence=count,
+        ))
+        return count
+
+    def _record_access(self, ctx: ThreadContext, instr: Instruction,
+                       data_addr: int, kind: AccessKind,
+                       occurrence: int) -> MemoryAccess:
+        access = MemoryAccess(
+            seq=self._seq, thread=ctx.name, instr_addr=instr.addr,
+            instr_label=instr.name, func=instr.func, data_addr=data_addr,
+            kind=kind, occurrence=occurrence,
+            lockset=frozenset(ctx.locks_held),
+        )
+        self.access_log.append(access)
+        return access
+
+    def _advance(self, frame: Frame) -> None:
+        frame.pc += 1
+
+    def _execute(self, ctx: ThreadContext, frame: Frame,
+                 instr: Instruction) -> StepOutcome:
+        op = instr.op
+        out = StepOutcome(executed=True, instr=instr)
+
+        # LOCK is special: a failed acquisition blocks without executing.
+        if op is Op.LOCK:
+            name = instr.operands[0]
+            if self.locks.try_acquire(name, ctx.tid):
+                ctx.locks_held.append(name)
+                ctx.state = ThreadState.READY
+                ctx.blocked_on = None
+                self._record_trace(ctx, instr)
+                self._advance(frame)
+            else:
+                ctx.state = ThreadState.BLOCKED
+                ctx.blocked_on = name
+                out.executed = False
+                out.blocked = True
+            return out
+
+        occurrence = self._record_trace(ctx, instr)
+
+        if op is Op.LOAD:
+            dst, expr = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ,
+                                    occurrence))
+            ctx.regs[dst.name] = self.memory.load(addr)
+            self._advance(frame)
+        elif op is Op.STORE:
+            expr, src = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.WRITE,
+                                    occurrence))
+            self.memory.store(addr, self._value(ctx, src))
+            self._advance(frame)
+        elif op is Op.INC:
+            expr, delta = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                                    occurrence))
+            self.memory.store(addr, self.memory.load(addr) + delta.value)
+            self._advance(frame)
+        elif op is Op.MOV:
+            dst, src = instr.operands
+            ctx.regs[dst.name] = self._value(ctx, src)
+            self._advance(frame)
+        elif op is Op.LEA:
+            dst, glob = instr.operands
+            ctx.regs[dst.name] = self.memory.global_addr(glob.name)
+            self._advance(frame)
+        elif op is Op.BINOP:
+            dst, operator, lhs, rhs = instr.operands
+            fn = BINARY_OPERATORS[operator]
+            ctx.regs[dst.name] = fn(self._value(ctx, lhs),
+                                    self._value(ctx, rhs))
+            self._advance(frame)
+        elif op in (Op.BRZ, Op.BRNZ):
+            cond = self._value(ctx, instr.operands[0])
+            taken = (cond == 0) if op is Op.BRZ else (cond != 0)
+            if taken:
+                func = self.image.functions[frame.func]
+                frame.pc = func.label_index(instr.target)
+            else:
+                self._advance(frame)
+        elif op is Op.JMP:
+            func = self.image.functions[frame.func]
+            frame.pc = func.label_index(instr.target)
+        elif op is Op.CALL:
+            callee = instr.operands[0]
+            self._advance(frame)
+            ctx.frames.append(Frame(callee, 0))
+        elif op is Op.RET:
+            ctx.frames.pop()
+            if not ctx.frames:
+                ctx.state = ThreadState.DONE
+                out.thread_done = True
+        elif op is Op.ALLOC:
+            dst, size, tag, leak_tracked = instr.operands
+            addr = self.memory.alloc(size, tag, site=instr.name,
+                                     leak_tracked=leak_tracked)
+            ctx.regs[dst.name] = addr
+            self._advance(frame)
+        elif op is Op.FREE:
+            ptr = self._value(ctx, instr.operands[0])
+            # Freeing writes the *whole* object (as KASAN poisons it), so
+            # the free conflicts with accesses to any field of the object,
+            # not just its base.
+            obj = self.memory.object_at(ptr, include_freed=True)
+            if obj is not None and obj.base == ptr:
+                for offset in range(0, obj.size, 8):
+                    out.accesses.append(
+                        self._record_access(ctx, instr, ptr + offset,
+                                            AccessKind.WRITE, occurrence))
+            else:
+                out.accesses.append(
+                    self._record_access(ctx, instr, ptr, AccessKind.WRITE,
+                                        occurrence))
+            self.memory.free(ptr, site=instr.name)
+            self._advance(frame)
+        elif op is Op.UNLOCK:
+            name = instr.operands[0]
+            woken = self.locks.release(name, ctx.tid)
+            ctx.locks_held.remove(name)
+            for tid in woken:
+                waiter = self.threads[tid]
+                waiter.state = ThreadState.READY
+                waiter.blocked_on = None
+            self._advance(frame)
+        elif op in (Op.QUEUE_WORK, Op.CALL_RCU):
+            func_name, arg = instr.operands
+            kind = ThreadKind.KWORKER if op is Op.QUEUE_WORK else ThreadKind.RCU
+            prefix = "kworker" if kind is ThreadKind.KWORKER else "rcu"
+            child_name = f"{prefix}/{func_name}#{len(self.threads)}"
+            child = self._add_thread(
+                child_name, func_name, kind,
+                regs={"a0": self._value(ctx, arg)},
+                spawned_by=ctx.name, spawn_instr=instr.name)
+            self.spawn_events.append(SpawnEvent(
+                seq=self._seq, parent=ctx.name, child=child_name,
+                kind=kind, instr_label=instr.name))
+            out.spawned.append(child.tid)
+            self._advance(frame)
+        elif op is Op.BUG_ON:
+            cond, message = instr.operands
+            if self._value(ctx, cond):
+                raise KernelFault(FailureKind.ASSERTION,
+                                  message or f"BUG_ON at {instr.name}")
+            self._advance(frame)
+        elif op is Op.LIST_ADD:
+            expr, elem = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                                    occurrence))
+            current = self.memory.load(addr)
+            items = current if isinstance(current, tuple) else ()
+            self.memory.store(addr, items + (self._value(ctx, elem),))
+            self._advance(frame)
+        elif op is Op.LIST_DEL:
+            expr, elem = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                                    occurrence))
+            current = self.memory.load(addr)
+            items = list(current) if isinstance(current, tuple) else []
+            value = self._value(ctx, elem)
+            if value in items:
+                items.remove(value)
+            self.memory.store(addr, tuple(items))
+            self._advance(frame)
+        elif op is Op.LIST_CONTAINS:
+            dst, expr, elem = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ,
+                                    occurrence))
+            current = self.memory.load(addr)
+            items = current if isinstance(current, tuple) else ()
+            ctx.regs[dst.name] = int(self._value(ctx, elem) in items)
+            self._advance(frame)
+        elif op is Op.CMPXCHG:
+            dst, expr, expected, new_value = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                                    occurrence))
+            old_value = self.memory.load(addr)
+            if old_value == self._value(ctx, expected):
+                self.memory.store(addr, self._value(ctx, new_value))
+            ctx.regs[dst.name] = old_value
+            self._advance(frame)
+        elif op is Op.XCHG:
+            dst, expr, new_value = instr.operands
+            addr = self._effective_addr(ctx, expr)
+            out.accesses.append(
+                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                                    occurrence))
+            ctx.regs[dst.name] = self.memory.load(addr)
+            self.memory.store(addr, self._value(ctx, new_value))
+            self._advance(frame)
+        elif op is Op.NOP:
+            self._advance(frame)
+        else:  # pragma: no cover — every opcode is handled above
+            raise NotImplementedError(f"unhandled opcode {op}")
+
+        return out
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def finish(self) -> Optional[Failure]:
+        """Run end-of-execution detectors (memory leaks).  Returns the run's
+        failure, if any — either one that already halted the machine or one
+        found now."""
+        if self.failure is not None:
+            return self.failure
+        if self.leak_check and self.all_done():
+            leaked = self.memory.live_leaked_objects()
+            if leaked:
+                obj = leaked[0]
+                self.failure = Failure(
+                    kind=FailureKind.MEMORY_LEAK,
+                    instr_label=obj.alloc_site,
+                    message=f"object {obj.tag} allocated at "
+                            f"{obj.alloc_site} was never freed",
+                    object_tag=obj.tag)
+        return self.failure
+
+    def report_deadlock(self, blocked: Sequence[ThreadContext]) -> Failure:
+        """Record a deadlock failure (called by the scheduler when it proves
+        no thread can make progress)."""
+        names = ", ".join(t.name for t in blocked)
+        waits = ", ".join(f"{t.name}->{t.blocked_on}" for t in blocked)
+        instr_label = ""
+        if blocked:
+            pending = self.peek(blocked[0])
+            if pending is not None:
+                instr_label = pending.name
+        self.failure = Failure(
+            kind=FailureKind.DEADLOCK,
+            thread=blocked[0].name if blocked else "",
+            instr_label=instr_label,
+            message=f"threads hung: {names} ({waits})")
+        return self.failure

@@ -1,0 +1,228 @@
+"""Shared memory of the simulated kernel.
+
+The address space is split into a global segment (named cells, one word
+each) and a heap segment.  The heap allocator never reuses addresses and
+keeps freed objects poisoned in a quarantine, so use-after-free and
+out-of-bounds accesses are always detectable — the same property KASAN's
+redzones and quarantine give the instrumented kernels used in the paper's
+evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.kernel.failures import FailureKind, KernelFault
+
+GLOBAL_BASE = 0x1_0000
+HEAP_BASE = 0x10_0000
+#: Gap between heap objects; accesses landing in it are out-of-bounds.
+REDZONE = 16
+
+
+class ObjectState(enum.Enum):
+    ALLOCATED = "allocated"
+    FREED = "freed"
+
+
+@dataclass
+class HeapObject:
+    """Metadata for one heap allocation."""
+
+    base: int
+    size: int
+    tag: str
+    state: ObjectState = ObjectState.ALLOCATED
+    leak_tracked: bool = False
+    alloc_site: str = ""
+    free_site: str = ""
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def in_redzone(self, addr: int) -> bool:
+        return self.base + self.size <= addr < self.base + self.size + REDZONE
+
+
+class Memory:
+    """The sequentially consistent shared memory.
+
+    Values are plain Python integers (pointers are addresses) except for
+    list cells, which hold tuples and are manipulated through the ``LIST_*``
+    instructions as single read-modify-write accesses.
+    """
+
+    def __init__(self, globals_init: Optional[Dict[str, Any]] = None) -> None:
+        self._cells: Dict[int, Any] = {}
+        self._globals: Dict[str, int] = {}
+        self._objects: Dict[int, HeapObject] = {}
+        self._next_global = GLOBAL_BASE
+        self._next_heap = HEAP_BASE
+        for name, value in (globals_init or {}).items():
+            self.define_global(name, value)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def define_global(self, name: str, value: Any = 0) -> int:
+        """Allocate a named global cell; idempotent re-definition updates the
+        initial value."""
+        if name in self._globals:
+            addr = self._globals[name]
+        else:
+            addr = self._next_global
+            self._next_global += 8
+            self._globals[name] = addr
+        self._cells[addr] = value
+        return addr
+
+    def global_addr(self, name: str) -> int:
+        try:
+            return self._globals[name]
+        except KeyError:
+            raise KeyError(f"undefined global {name!r}") from None
+
+    @property
+    def global_names(self) -> Dict[str, int]:
+        return dict(self._globals)
+
+    def symbolize(self, addr: int) -> str:
+        """Best-effort symbolic name for a data address (for reports)."""
+        for name, gaddr in self._globals.items():
+            if gaddr == addr:
+                return name
+        obj = self.object_at(addr, include_freed=True)
+        if obj is not None:
+            offset = addr - obj.base
+            return f"{obj.tag}+{offset}" if offset else obj.tag
+        return f"0x{addr:x}"
+
+    # ------------------------------------------------------------------
+    # Heap
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, tag: str, site: str = "",
+              leak_tracked: bool = False) -> int:
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        base = self._next_heap
+        self._next_heap = base + size + REDZONE
+        obj = HeapObject(base=base, size=size, tag=tag,
+                         leak_tracked=leak_tracked, alloc_site=site)
+        self._objects[base] = obj
+        for offset in range(0, size, 8):
+            self._cells[base + offset] = 0
+        return base
+
+    def free(self, addr: int, site: str = "") -> HeapObject:
+        obj = self.object_at(addr, include_freed=True)
+        if obj is None:
+            raise KernelFault(FailureKind.GPF,
+                              f"free of non-heap address 0x{addr:x}",
+                              data_addr=addr)
+        if obj.state is ObjectState.FREED:
+            raise KernelFault(FailureKind.DOUBLE_FREE,
+                              f"double free of {obj.tag}",
+                              data_addr=addr, object_tag=obj.tag)
+        obj.state = ObjectState.FREED
+        obj.free_site = site
+        return obj
+
+    def object_at(self, addr: int, include_freed: bool = False) -> Optional[HeapObject]:
+        """Find the heap object containing ``addr`` (or whose redzone does)."""
+        for obj in self._objects.values():
+            if obj.contains(addr) or obj.in_redzone(addr):
+                if obj.state is ObjectState.FREED and not include_freed:
+                    continue
+                return obj
+        return None
+
+    def live_leaked_objects(self) -> list:
+        """Leak-tracked objects that are still allocated but no longer
+        referenced from anywhere in memory — the kmemleak criterion: an
+        allocated block whose address appears in no live cell is
+        unreachable and therefore leaked."""
+        referenced = set()
+        for value in self._cells.values():
+            if isinstance(value, int):
+                referenced.add(value)
+            elif isinstance(value, tuple):
+                referenced.update(v for v in value if isinstance(v, int))
+        return [
+            obj for obj in self._objects.values()
+            if obj.leak_tracked and obj.state is ObjectState.ALLOCATED
+            and obj.base not in referenced
+        ]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, writing: bool) -> None:
+        if addr == 0:
+            raise KernelFault(FailureKind.GPF, "NULL pointer dereference",
+                              data_addr=addr)
+        if addr in self._cells:
+            obj = self.object_at(addr, include_freed=True)
+            if obj is not None and obj.state is ObjectState.FREED:
+                action = "write" if writing else "read"
+                raise KernelFault(
+                    FailureKind.KASAN_UAF,
+                    f"use-after-free {action} in {obj.tag} "
+                    f"(freed at {obj.free_site or '?'})",
+                    data_addr=addr, object_tag=obj.tag)
+            return
+        obj = self.object_at(addr, include_freed=True)
+        if obj is not None:
+            if obj.in_redzone(addr) or not addr % 8 == 0:
+                raise KernelFault(
+                    FailureKind.KASAN_OOB,
+                    f"slab-out-of-bounds access in {obj.tag} "
+                    f"(offset {addr - obj.base}, size {obj.size})",
+                    data_addr=addr, object_tag=obj.tag)
+            if obj.state is ObjectState.FREED:
+                raise KernelFault(FailureKind.KASAN_UAF,
+                                  f"use-after-free access in {obj.tag}",
+                                  data_addr=addr, object_tag=obj.tag)
+            # Valid but uninitialised slot inside an object.
+            self._cells[addr] = 0
+            return
+        raise KernelFault(FailureKind.GPF,
+                          f"wild memory access at 0x{addr:x}", data_addr=addr)
+
+    def load(self, addr: int) -> Any:
+        self._check(addr, writing=False)
+        return self._cells[addr]
+
+    def store(self, addr: int, value: Any) -> None:
+        self._check(addr, writing=True)
+        self._cells[addr] = value
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (used by the hypervisor between runs)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "cells": dict(self._cells),
+            "globals": dict(self._globals),
+            "objects": {
+                base: HeapObject(base=o.base, size=o.size, tag=o.tag,
+                                 state=o.state, leak_tracked=o.leak_tracked,
+                                 alloc_site=o.alloc_site, free_site=o.free_site)
+                for base, o in self._objects.items()
+            },
+            "next_global": self._next_global,
+            "next_heap": self._next_heap,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._cells = dict(snap["cells"])
+        self._globals = dict(snap["globals"])
+        self._objects = {
+            base: HeapObject(base=o.base, size=o.size, tag=o.tag,
+                             state=o.state, leak_tracked=o.leak_tracked,
+                             alloc_site=o.alloc_site, free_site=o.free_site)
+            for base, o in snap["objects"].items()
+        }
+        self._next_global = snap["next_global"]
+        self._next_heap = snap["next_heap"]

@@ -1,0 +1,189 @@
+"""Programs of the simulated kernel: functions, images, basic blocks.
+
+A :class:`KernelImage` is the analogue of a built ``vmlinux``: it holds every
+function, assigns each instruction a unique code address, resolves branch
+targets, and precomputes basic blocks.  The basic-block table is what the
+kcov analogue reports against, and the per-block list of memory-accessing
+instructions is what AITIA's user agent extracts by disassembling the kernel
+around each covered block (paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernel.instructions import Instruction, Op
+
+#: Code addresses start here and advance by 4 per instruction, like a
+#: fixed-width ISA.
+CODE_BASE = 0x40_0000
+CODE_STEP = 4
+
+
+@dataclass
+class Function:
+    """A named function: a straight list of instructions with local labels."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def label_index(self, label: str) -> int:
+        for i, instr in enumerate(self.instructions):
+            if instr.label == label:
+                return i
+        raise KeyError(f"label {label!r} not found in function {self.name!r}")
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line region of one function."""
+
+    func: str
+    start_addr: int
+    instr_addrs: tuple
+
+    @property
+    def entry(self) -> int:
+        return self.start_addr
+
+
+class KernelImage:
+    """The assembled simulated kernel: functions, addresses, basic blocks."""
+
+    def __init__(self, functions: Sequence[Function]) -> None:
+        self.functions: Dict[str, Function] = {}
+        self._by_addr: Dict[int, Instruction] = {}
+        self._by_label: Dict[str, Instruction] = {}
+        self._blocks: Dict[int, BasicBlock] = {}
+        self._block_of_instr: Dict[int, int] = {}
+        for func in functions:
+            if func.name in self.functions:
+                raise ValueError(f"duplicate function {func.name!r}")
+            self.functions[func.name] = func
+        self._assemble()
+        self._compute_blocks()
+
+    # ------------------------------------------------------------------
+    def _assemble(self) -> None:
+        addr = CODE_BASE
+        for func in self.functions.values():
+            if not func.instructions:
+                raise ValueError(f"function {func.name!r} is empty")
+            if func.instructions[-1].op is not Op.RET:
+                raise ValueError(
+                    f"function {func.name!r} must end with RET "
+                    f"(got {func.instructions[-1].op})"
+                )
+            for index, instr in enumerate(func.instructions):
+                instr.addr = addr
+                instr.func = func.name
+                instr.index = index
+                addr += CODE_STEP
+                self._by_addr[instr.addr] = instr
+                if instr.label is not None:
+                    if instr.label in self._by_label:
+                        raise ValueError(
+                            f"duplicate instruction label {instr.label!r}")
+                    self._by_label[instr.label] = instr
+        # Validate branch targets and CALL targets.
+        for func in self.functions.values():
+            for instr in func.instructions:
+                if instr.target is not None:
+                    func.label_index(instr.target)
+                if instr.op is Op.CALL:
+                    callee = instr.operands[0]
+                    if callee not in self.functions:
+                        raise ValueError(
+                            f"CALL to undefined function {callee!r} "
+                            f"in {func.name!r}")
+                if instr.op in (Op.QUEUE_WORK, Op.CALL_RCU):
+                    callee = instr.operands[0]
+                    if callee not in self.functions:
+                        raise ValueError(
+                            f"{instr.op.value} of undefined function "
+                            f"{callee!r} in {func.name!r}")
+
+    def _compute_blocks(self) -> None:
+        for func in self.functions.values():
+            leaders = {0}
+            for i, instr in enumerate(func.instructions):
+                if instr.target is not None:
+                    leaders.add(func.label_index(instr.target))
+                if instr.is_terminator and i + 1 < len(func.instructions):
+                    leaders.add(i + 1)
+            ordered = sorted(leaders)
+            for j, start in enumerate(ordered):
+                end = ordered[j + 1] if j + 1 < len(ordered) else len(func.instructions)
+                addrs = tuple(func.instructions[k].addr for k in range(start, end))
+                block = BasicBlock(func=func.name,
+                                   start_addr=addrs[0],
+                                   instr_addrs=addrs)
+                self._blocks[block.start_addr] = block
+                for a in addrs:
+                    self._block_of_instr[a] = block.start_addr
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def instruction_at(self, addr: int) -> Instruction:
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise KeyError(f"no instruction at 0x{addr:x}") from None
+
+    def instruction_labeled(self, label: str) -> Instruction:
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise KeyError(f"no instruction labeled {label!r}") from None
+
+    def resolve(self, ref) -> Instruction:
+        """Resolve an instruction reference given as an address, a label, or
+        an :class:`Instruction` itself."""
+        if isinstance(ref, Instruction):
+            return ref
+        if isinstance(ref, int):
+            return self.instruction_at(ref)
+        return self.instruction_labeled(ref)
+
+    def block_containing(self, addr: int) -> BasicBlock:
+        return self._blocks[self._block_of_instr[addr]]
+
+    def block_at(self, start_addr: int) -> BasicBlock:
+        return self._blocks[start_addr]
+
+    @property
+    def blocks(self) -> Dict[int, BasicBlock]:
+        return dict(self._blocks)
+
+    def memory_instructions_in_block(self, block_start: int) -> List[Instruction]:
+        """The memory-accessing instructions of one basic block — what the
+        user agent finds by disassembling around a covered block."""
+        block = self._blocks[block_start]
+        return [
+            self._by_addr[a] for a in block.instr_addrs
+            if self._by_addr[a].accesses_memory
+        ]
+
+    def memory_instructions(self, func: Optional[str] = None) -> List[Instruction]:
+        """All memory-accessing instructions (optionally of one function)."""
+        instrs = []
+        functions = [self.functions[func]] if func else self.functions.values()
+        for f in functions:
+            instrs.extend(i for i in f.instructions if i.accesses_memory)
+        return instrs
+
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def disassemble(self, func: Optional[str] = None) -> str:
+        """Human-readable listing, for debugging and examples."""
+        lines = []
+        functions = [self.functions[func]] if func else self.functions.values()
+        for f in functions:
+            lines.append(f"{f.name}:")
+            for instr in f.instructions:
+                label = f"{instr.label}:" if instr.label else ""
+                lines.append(f"  0x{instr.addr:06x} {label:>10s} {instr!r}")
+        return "\n".join(lines)

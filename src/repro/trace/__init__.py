@@ -1,0 +1,38 @@
+"""Execution-history modeling (paper section 4.2).
+
+AITIA's input comes from a bug-finding system: timestamped system-call
+traces (ftrace), kernel background-thread invocation events, and failure
+information extracted from a coredump.  This package models that input:
+
+* :mod:`repro.trace.events` — timestamped syscall / kthread events;
+* :mod:`repro.trace.history` — the execution history of one fuzzing run;
+* :mod:`repro.trace.slicer` — splitting the history into *slices* of up to
+  three concurrent threads, backward from the failure, closing file-
+  descriptor semantics (open/close of fds used inside a slice);
+* :mod:`repro.trace.syzkaller` — a synthetic Syzkaller-like front end that
+  replays corpus workloads and emits histories plus crash reports.
+"""
+
+from repro.trace.crash import parse_crash_report, render_crash_report
+from repro.trace.events import KthreadInvocation, SyscallEvent
+from repro.trace.ftrace import parse_ftrace, render_ftrace
+from repro.trace.fuzzer import FuzzResult, RandomScheduleFuzzer
+from repro.trace.history import ExecutionHistory
+from repro.trace.slicer import Slice, Slicer
+from repro.trace.syzkaller import SyzkallerReport, run_bug_finder
+
+__all__ = [
+    "ExecutionHistory",
+    "FuzzResult",
+    "RandomScheduleFuzzer",
+    "KthreadInvocation",
+    "Slice",
+    "Slicer",
+    "SyscallEvent",
+    "SyzkallerReport",
+    "parse_crash_report",
+    "parse_ftrace",
+    "render_crash_report",
+    "render_ftrace",
+    "run_bug_finder",
+]

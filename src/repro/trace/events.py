@@ -1,0 +1,76 @@
+"""Timestamped events of an execution history.
+
+Every entry carries a fine-grained timestamp (and a duration for
+syscalls) so the slicer can identify *concurrent* events, exactly the
+information AITIA extracts from ftrace event logs (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.kernel.threads import ThreadKind
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """One executed system call.
+
+    ``entry`` names the kernel function (in the simulated image) the call
+    enters; ``proc`` is the issuing user process/thread; ``fd`` is the file
+    descriptor the call operates on, used for semantic closure (a slice
+    containing ``write(fd)`` also needs ``open``/``close`` of the same fd).
+    """
+
+    timestamp: float
+    proc: str
+    name: str
+    entry: str
+    args: Tuple = ()
+    fd: Optional[int] = None
+    duration: float = 1.0
+    #: True for calls that only set state up (open, socket, ...) and are
+    #: replayed serially before a slice's concurrent part.
+    is_setup: bool = False
+
+    @property
+    def start(self) -> float:
+        return self.timestamp
+
+    @property
+    def end(self) -> float:
+        return self.timestamp + self.duration
+
+    def overlaps(self, other: "SyscallEvent") -> bool:
+        """Temporal overlap — the concurrency test used when slicing."""
+        return self.start < other.end and other.start < self.end
+
+    def __str__(self) -> str:
+        fd = f", fd={self.fd}" if self.fd is not None else ""
+        return f"[{self.timestamp:.3f}] {self.proc}: {self.name}({fd.strip(', ')})"
+
+
+@dataclass(frozen=True)
+class KthreadInvocation:
+    """An invocation of a kernel background thread (deferred work, RCU
+    callback), with the source of the invocation as ftrace reports it."""
+
+    timestamp: float
+    kind: ThreadKind
+    func: str
+    source_proc: str
+    source_syscall: str = ""
+    duration: float = 1.0
+
+    @property
+    def start(self) -> float:
+        return self.timestamp
+
+    @property
+    def end(self) -> float:
+        return self.timestamp + self.duration
+
+    def __str__(self) -> str:
+        return (f"[{self.timestamp:.3f}] {self.kind.value}:{self.func} "
+                f"(from {self.source_proc}/{self.source_syscall})")

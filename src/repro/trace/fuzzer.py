@@ -1,0 +1,149 @@
+"""A randomized concurrency fuzzer: how crashes are *found*.
+
+The synthetic Syzkaller front end normally replays each corpus bug's
+known failing schedule (the "lucky interleaving" a real fuzzer
+stumbled on).  This module removes the oracle: a seeded random
+scheduler drives the machine directly, context-switching at random
+instruction boundaries — the way stress testing actually trips kernel
+races — until a run crashes or the budget runs out.
+
+The winning interleaving is recorded as per-step thread choices and
+distilled into a replayable :class:`~repro.core.schedule.Schedule` of
+preemptions, so everything downstream (crash report, LIFS, Causality
+Analysis) works unchanged.  Determinism: same seed, same crash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.schedule import Preemption, Schedule
+from repro.hypervisor.controller import ScheduleController
+from repro.kernel.failures import Failure
+from repro.kernel.machine import KernelMachine
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    crashed: bool
+    failure: Optional[Failure]
+    runs_executed: int
+    seed: int
+    #: A replayable preemption schedule distilled from the crashing run
+    #: (None when no crash was found).
+    schedule: Optional[Schedule] = None
+
+
+def _random_run(machine: KernelMachine, rng: random.Random,
+                switch_probability: float) -> List[Tuple[str, int, int, str]]:
+    """Drive one run with random context switches; returns the switch
+    points as (thread, instr_addr, occurrence, target) — i.e. where the
+    scheduler preempted a thread that still had work and who it switched
+    to."""
+    switches: List[Tuple[str, int, int, str]] = []
+    current: Optional[str] = None
+    while not machine.halted and not machine.all_done():
+        runnable = [t.name for t in machine.runnable_threads()]
+        if not runnable:
+            break  # all blocked: the run wedged (treated as no crash)
+        if current not in runnable:
+            current = rng.choice(runnable)
+        elif len(runnable) > 1 and rng.random() < switch_probability:
+            target = rng.choice([n for n in runnable if n != current])
+            pending = machine.peek(current)
+            if pending is not None:
+                switches.append((
+                    current, pending.addr,
+                    machine.next_occurrence(current, pending.addr),
+                    target))
+            current = target
+        machine.step(current)
+    machine.finish()
+    return switches
+
+
+class RandomScheduleFuzzer:
+    """A seeded random concurrency fuzzer over one workload."""
+
+    def __init__(
+        self,
+        machine_factory: Callable[[], KernelMachine],
+        seed: int = 0,
+        max_runs: int = 2000,
+        switch_probability: float = 0.2,
+    ) -> None:
+        self.machine_factory = machine_factory
+        self.seed = seed
+        self.max_runs = max_runs
+        self.switch_probability = switch_probability
+
+    def fuzz(self) -> FuzzResult:
+        """Run random schedules until one crashes."""
+        rng = random.Random(self.seed)
+        for run_index in range(1, self.max_runs + 1):
+            machine = self.machine_factory()
+            switches = _random_run(machine, rng, self.switch_probability)
+            if machine.failure is not None:
+                schedule = self._distill(machine, switches)
+                return FuzzResult(
+                    crashed=True, failure=machine.failure,
+                    runs_executed=run_index, seed=self.seed,
+                    schedule=schedule)
+        return FuzzResult(crashed=False, failure=None,
+                          runs_executed=self.max_runs, seed=self.seed)
+
+    def _distill(self, machine: KernelMachine,
+                 switches: List[Tuple[str, int, int]]) -> Schedule:
+        """Turn the crashing run's random switch points into a replayable
+        preemption schedule, verify it reproduces the same crash, and
+        delta-debug it down to a minimal reproducer."""
+        traced = {entry.thread for entry in machine.trace}
+        first_thread = machine.trace[0].thread if machine.trace else \
+            machine.threads[0].name
+        order = [first_thread] + [
+            t.name for t in machine.threads
+            if t.name != first_thread and (t.name in traced or not t.done)]
+        preemptions = [
+            Preemption(thread=thread, instr_addr=addr,
+                       occurrence=occurrence, switch_to=target,
+                       instr_label=machine.image.instruction_at(addr).name)
+            for thread, addr, occurrence, target in switches
+        ]
+        schedule = Schedule(start_order=tuple(order),
+                            preemptions=preemptions,
+                            note=f"fuzzer seed={self.seed}")
+        replay = ScheduleController(self.machine_factory(), schedule).run()
+        if replay.failure is None or \
+                replay.failure.signature != machine.failure.signature:
+            # The default resume policy diverged from the random walk;
+            # keep the schedule as a hint but flag the weaker guarantee.
+            return Schedule(
+                start_order=tuple(order), preemptions=preemptions,
+                note=f"fuzzer seed={self.seed} (approximate reproducer)")
+        # Exact reproducer: shrink the random junk away.
+        from repro.core.minimize import minimize_schedule
+        minimal = minimize_schedule(self.machine_factory, schedule)
+        return Schedule(
+            start_order=minimal.schedule.start_order,
+            preemptions=minimal.schedule.preemptions,
+            constraints=minimal.schedule.constraints,
+            note=f"fuzzer seed={self.seed} (minimized)")
+
+
+def reproduce_random_walk(machine_factory: Callable[[], KernelMachine],
+                          seed: int, runs: int,
+                          switch_probability: float = 0.2) -> KernelMachine:
+    """Re-execute the fuzzer's exact random walk up to (and including) its
+    ``runs``-th run and return that run's machine — the byte-identical way
+    to revisit a fuzzer-found crash when the distilled schedule is only
+    approximate."""
+    rng = random.Random(seed)
+    machine = machine_factory()
+    for _ in range(runs):
+        machine = machine_factory()
+        _random_run(machine, rng, switch_probability)
+    return machine

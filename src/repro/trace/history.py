@@ -1,0 +1,60 @@
+"""The execution history of one fuzzing run.
+
+An ordered, timestamped mix of system calls and kernel-thread invocation
+events, ending at (or containing) a failure.  This is what AITIA models
+from ftrace output before slicing (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.trace.events import KthreadInvocation, SyscallEvent
+
+Event = Union[SyscallEvent, KthreadInvocation]
+
+
+@dataclass
+class ExecutionHistory:
+    """All events of one run, sorted by timestamp."""
+
+    events: List[Event] = field(default_factory=list)
+    #: Timestamp at which the failure manifested (the end of the history
+    #: when the kernel panicked).
+    failure_time: Optional[float] = None
+
+    def add(self, event: Event) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.timestamp)
+
+    @property
+    def syscalls(self) -> List[SyscallEvent]:
+        return [e for e in self.events if isinstance(e, SyscallEvent)]
+
+    @property
+    def kthread_invocations(self) -> List[KthreadInvocation]:
+        return [e for e in self.events if isinstance(e, KthreadInvocation)]
+
+    def before_failure(self) -> List[Event]:
+        """Events that started before the failure manifested."""
+        if self.failure_time is None:
+            return list(self.events)
+        return [e for e in self.events if e.start <= self.failure_time]
+
+    def syscalls_with_fd(self, fd: int) -> List[SyscallEvent]:
+        return [e for e in self.syscalls if e.fd == fd]
+
+    def setup_for_fd(self, fd: int) -> List[SyscallEvent]:
+        """The setup calls (open/socket/...) of a file descriptor, searched
+        over the whole history — the fd-semantics closure of section 4.2."""
+        return [e for e in self.syscalls if e.fd == fd and e.is_setup]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render(self) -> str:
+        lines = [str(e) for e in self.events]
+        if self.failure_time is not None:
+            lines.append(f"[{self.failure_time:.3f}] *** FAILURE ***")
+        return "\n".join(lines)

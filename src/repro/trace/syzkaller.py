@@ -1,0 +1,132 @@
+"""A synthetic Syzkaller-like bug-finding front end.
+
+The paper takes AITIA's inputs from Syzkaller: when the fuzzer crashes the
+kernel, it leaves behind an ftrace event log and a coredump.  Here the
+"fuzzer" replays a corpus workload: it executes a few benign schedules
+(fuzzing that found nothing), then the workload's crashing schedule, and
+packages the resulting failure information together with the workload's
+timestamped execution history — decoy syscalls included, so the slicer has
+real work to do.
+
+A *workload* is any object exposing:
+
+* ``bug_id`` — identifier string;
+* ``machine_factory()`` — a fresh :class:`~repro.kernel.machine.KernelMachine`;
+* ``known_failing_schedule`` — a :class:`~repro.core.schedule.Schedule`
+  that manifests the failure (the fuzzer's lucky interleaving);
+* ``history()`` — the :class:`~repro.trace.history.ExecutionHistory` of the
+  fuzzing run.
+
+Importantly, AITIA never sees the crashing schedule — only the history and
+the crash report, exactly like the real pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.schedule import Schedule
+from repro.hypervisor.controller import ScheduleController
+from repro.kernel.failures import CrashReport
+from repro.trace.history import ExecutionHistory
+
+
+@dataclass
+class SyzkallerReport:
+    """What the bug finder hands to AITIA."""
+
+    bug_id: str
+    history: ExecutionHistory
+    crash: CrashReport
+    #: How many schedules the fuzzer executed before hitting the crash.
+    fuzzing_runs: int = 0
+
+
+def run_bug_finder(workload, benign_probes: int = 2,
+                   fuzz_seed: int = None,
+                   max_fuzz_runs: int = 5000) -> SyzkallerReport:
+    """Fuzz the workload until it crashes; return the report AITIA consumes.
+
+    By default the crash comes from the workload's recorded lucky
+    interleaving (after ``benign_probes`` serial probes that find
+    nothing).  With ``fuzz_seed`` set, the crash is *discovered* by the
+    seeded random scheduler in :mod:`repro.trace.fuzzer` instead — no
+    oracle involved.
+    """
+    runs = 0
+    if fuzz_seed is not None:
+        from repro.trace.fuzzer import RandomScheduleFuzzer
+        fuzzer = RandomScheduleFuzzer(workload.machine_factory,
+                                      seed=fuzz_seed,
+                                      max_runs=max_fuzz_runs)
+        result = fuzzer.fuzz()
+        if not result.crashed:
+            raise RuntimeError(
+                f"workload {workload.bug_id}: random fuzzing found no "
+                f"crash in {max_fuzz_runs} runs (seed {fuzz_seed})")
+        controller = ScheduleController(workload.machine_factory(),
+                                        result.schedule)
+        crash_run = controller.run()
+        if crash_run.failure is None:
+            # The distilled schedule was approximate; revisit the crash by
+            # replaying the fuzzer's exact random walk.
+            from repro.trace.fuzzer import reproduce_random_walk
+            machine = reproduce_random_walk(
+                workload.machine_factory, fuzz_seed,
+                result.runs_executed, fuzzer.switch_probability)
+            crash_run = _FuzzRunShim(machine)
+        runs += result.runs_executed
+        log_lines = [f"BUG: {crash_run.failure}", "Call trace:"]
+        log_lines.extend(
+            f"  {entry.thread}: {entry.func}+{entry.instr_label}"
+            for entry in crash_run.trace[-6:])
+        crash = CrashReport(failure=crash_run.failure,
+                            kernel_log="\n".join(log_lines),
+                            extra={"schedules": runs,
+                                   "fuzz_seed": fuzz_seed})
+        return SyzkallerReport(bug_id=workload.bug_id,
+                               history=workload.history(),
+                               crash=crash, fuzzing_runs=runs)
+
+    thread_names = [t.name for t in workload.machine_factory().threads]
+    for order in itertools.islice(
+            itertools.permutations(thread_names), benign_probes):
+        controller = ScheduleController(
+            workload.machine_factory(),
+            Schedule(start_order=tuple(order), note="fuzzing probe"))
+        controller.run()
+        runs += 1
+
+    controller = ScheduleController(workload.machine_factory(),
+                                    workload.known_failing_schedule)
+    crash_run = controller.run()
+    runs += 1
+    if crash_run.failure is None:
+        raise RuntimeError(
+            f"workload {workload.bug_id}: the known failing schedule did "
+            f"not crash — the model is inconsistent")
+
+    log_lines: List[str] = [
+        f"BUG: {crash_run.failure}",
+        "Call trace:",
+    ]
+    log_lines.extend(
+        f"  {entry.thread}: {entry.func}+{entry.instr_label}"
+        for entry in crash_run.trace[-6:])
+    crash = CrashReport(failure=crash_run.failure,
+                        kernel_log="\n".join(log_lines),
+                        extra={"schedules": runs})
+    return SyzkallerReport(bug_id=workload.bug_id,
+                           history=workload.history(),
+                           crash=crash, fuzzing_runs=runs)
+
+
+class _FuzzRunShim:
+    """Adapter exposing a crashed machine as the bits of a RunResult the
+    report builder needs (failure + trace)."""
+
+    def __init__(self, machine) -> None:
+        self.failure = machine.failure
+        self.trace = machine.trace

@@ -1,0 +1,84 @@
+"""Shared test fixtures: small kernel models used across the suite."""
+
+from __future__ import annotations
+
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.machine import KernelMachine, ThreadSpec
+from repro.kernel.program import KernelImage
+
+
+def fig2_image() -> KernelImage:
+    """The paper's Figure 2 (CVE-2017-15649), without benign-race salt."""
+    b = ProgramBuilder()
+    with b.function("fanout_add") as f:
+        f.load("r0", f.g("po_running"), label="A2")
+        f.brz("r0", "A3", label="A2b")
+        f.alloc("r1", 16, tag="match", label="A5")
+        f.store(f.g("po_fanout"), f.r("r1"), label="A6")
+        f.call("fanout_link", label="A8")
+        f.ret(label="A3")
+    with b.function("fanout_link") as f:
+        f.list_add(f.g("global_list"), f.i(77), label="A12")
+    with b.function("packet_do_bind") as f:
+        f.load("r0", f.g("po_fanout"), label="B2")
+        f.brnz("r0", "B3", label="B2b")
+        f.call("unregister_hook", label="B5")
+        f.ret(label="B3")
+    with b.function("unregister_hook") as f:
+        f.store(f.g("po_running"), f.i(0), label="B11")
+        f.load("r0", f.g("po_fanout"), label="B12")
+        f.brz("r0", "B14", label="B12b")
+        f.call("fanout_unlink", label="B13")
+        f.ret(label="B14")
+    with b.function("fanout_unlink") as f:
+        f.list_contains("r1", f.g("global_list"), f.i(77), label="B17a")
+        f.binop("r2", "eq", f.r("r1"), f.i(0))
+        f.bug_on("r2", "sk not on global_list", label="B17")
+    return b.build()
+
+
+def fig2_machine() -> KernelMachine:
+    return KernelMachine(
+        fig2_image(),
+        [ThreadSpec("A", "fanout_add"), ThreadSpec("B", "packet_do_bind")],
+        globals_init={"po_running": 1, "po_fanout": 0, "global_list": ()},
+    )
+
+
+def fig2_factory():
+    return fig2_machine
+
+
+def two_counter_image() -> KernelImage:
+    """Two threads bumping shared counters — benign races only."""
+    b = ProgramBuilder()
+    with b.function("bump_a") as f:
+        f.inc(f.g("c1"), 1, label="A1")
+        f.inc(f.g("c2"), 1, label="A2")
+    with b.function("bump_b") as f:
+        f.inc(f.g("c1"), 1, label="B1")
+        f.inc(f.g("c2"), 1, label="B2")
+    return b.build()
+
+
+def two_counter_machine() -> KernelMachine:
+    return KernelMachine(
+        two_counter_image(),
+        [ThreadSpec("A", "bump_a"), ThreadSpec("B", "bump_b")],
+    )
+
+
+def run_thread(machine: KernelMachine, name: str) -> None:
+    """Run one thread to completion (no other thread scheduled)."""
+    thread = machine.thread(name)
+    while not thread.done and not machine.halted:
+        machine.step(name)
+
+
+def run_until(machine: KernelMachine, name: str, stop_label: str) -> None:
+    """Run a thread until it is about to execute ``stop_label``."""
+    while True:
+        instr = machine.peek(name)
+        if instr is None or machine.halted or instr.name == stop_label:
+            return
+        machine.step(name)

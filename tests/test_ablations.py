@@ -1,0 +1,117 @@
+"""Tests for the ablation switches: they must change the mechanism they
+claim to, and the diagnosis result must survive (or degrade exactly as
+documented)."""
+
+import pytest
+
+from repro.core.causality import CaConfig, CausalityAnalysis
+from repro.core.lifs import (
+    FailureMatcher,
+    LeastInterleavingFirstSearch,
+    LifsConfig,
+)
+from repro.corpus.registry import get_bug
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_factory
+
+
+class TestConflictPruningAblation:
+    def test_disabling_pruning_explores_more(self):
+        matcher = FailureMatcher(kind=FailureKind.ASSERTION)
+        pruned = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"], matcher,
+            config=LifsConfig(conflict_pruning=True)).search()
+        unpruned = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"], matcher,
+            config=LifsConfig(conflict_pruning=False)).search()
+        assert pruned.reproduced and unpruned.reproduced
+        assert (unpruned.stats.schedules_executed
+                > pruned.stats.schedules_executed)
+        assert unpruned.stats.candidates_pruned == 0
+
+    def test_same_failure_either_way(self):
+        matcher = FailureMatcher(kind=FailureKind.ASSERTION)
+        for pruning in (True, False):
+            result = LeastInterleavingFirstSearch(
+                fig2_factory(), ["A", "B"], matcher,
+                config=LifsConfig(conflict_pruning=pruning)).search()
+            assert result.failure_run.failure.instr_label == "B17"
+
+
+class TestEquivalenceDedupAblation:
+    def test_disabling_dedup_keeps_equivalent_runs_in_frontier(self):
+        matcher = FailureMatcher(kind=FailureKind.ASSERTION)
+        base = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"], matcher,
+            config=LifsConfig(equivalence_dedup=True)).search()
+        ablated = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"], matcher,
+            config=LifsConfig(equivalence_dedup=False)).search()
+        assert base.reproduced and ablated.reproduced
+        assert (ablated.stats.schedules_executed
+                >= base.stats.schedules_executed)
+
+
+class TestCriticalSectionAblation:
+    def _locked_factory(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L", label="ALock")
+            f.store(f.g("x"), 1, label="A1")
+            f.store(f.g("y"), 1, label="A2")
+            f.unlock("L", label="AUnlock")
+        with b.function("bb") as f:
+            f.load("vx", f.g("x"), label="B1")
+            f.load("vy", f.g("y"), label="B2")
+            f.binop("both", "and", f.r("vx"), f.r("vy"))
+            f.bug_on("both", "saw both", label="B3")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+        return factory
+
+    def test_collapsing_creates_units_ablation_removes_them(self):
+        factory = self._locked_factory()
+        lifs = LeastInterleavingFirstSearch(
+            factory, ["A", "B"], FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        assert result.reproduced
+
+        with_sections = CausalityAnalysis(factory, result).analyze()
+        without = CausalityAnalysis(
+            factory, result,
+            config=CaConfig(collapse_critical_sections=False)).analyze()
+
+        assert any(u.is_critical_section
+                   for u in with_sections.root_cause_units)
+        assert not any(u.is_critical_section
+                       for u in (without.root_cause_units
+                                 + without.benign_units))
+        # Without collapsing there are more flip units to test.
+        assert (len(without.root_cause_units) + len(without.benign_units)
+                + len(without.unflippable_units)
+                >= len(with_sections.root_cause_units)
+                + len(with_sections.benign_units))
+
+
+class TestRecheckEdgesAblation:
+    def test_fewer_schedules_without_recheck(self):
+        bug = get_bug("CVE-2017-2671")
+        lifs = LeastInterleavingFirstSearch(
+            bug.machine_factory, ["A", "B"],
+            FailureMatcher(kind=FailureKind.GPF))
+        result = lifs.search()
+        with_recheck = CausalityAnalysis(
+            bug.machine_factory, result,
+            config=CaConfig(recheck_edges=True)).analyze()
+        without = CausalityAnalysis(
+            bug.machine_factory, result,
+            config=CaConfig(recheck_edges=False)).analyze()
+        assert (without.stats.schedules_executed
+                < with_recheck.stats.schedules_executed)
+        assert (with_recheck.chain.render() == without.chain.render())

@@ -1,0 +1,64 @@
+"""Tests for the user agent (the Figure 8 hypercall workflow)."""
+
+import pytest
+
+from repro.corpus.registry import get_bug
+from repro.hypervisor.agent import UserAgent
+
+from helpers import fig2_factory
+
+
+class TestProfiling:
+    def test_profile_maps_blocks_to_memory_instructions(self):
+        agent = UserAgent(fig2_factory())
+        profile = agent.profile_thread("A")
+        assert {"A2", "A6", "A12"} <= set(profile.memory_labels)
+        assert profile.covered_blocks
+
+    def test_profile_respects_control_flow(self):
+        agent = UserAgent(fig2_factory())
+        profile = agent.profile_thread("B")
+        # Solo, B reads po_fanout == NULL and walks into unregister_hook.
+        assert "B11" in profile.memory_labels
+        assert "B12" in profile.memory_labels
+
+
+class TestMonitorAndResume:
+    def test_watchpoint_reports_the_racing_pair(self):
+        agent = UserAgent(fig2_factory())
+        races, run = agent.monitor_and_resume("A", "A6", resume="B")
+        pairs = {(r.monitored_label, r.racing_label) for r in races}
+        # A parked before its po_fanout store; B reads po_fanout at B2
+        # (and at B12, since the store never landed).
+        assert ("A6", "B2") in pairs
+        assert run.failure is None
+
+    def test_background_thread_hit_is_attributed(self):
+        """Figure 8's punchline: the racing access may come from a kernel
+        thread the resumed syscall invoked."""
+        bug = get_bug("SYZ-04")
+        agent = UserAgent(bug.machine_factory)
+        races, _ = agent.monitor_and_resume("A", "A2", resume="B")
+        racers = {(r.racing_thread.split("/")[0], r.racing_label)
+                  for r in races}
+        assert ("kworker", "K1") in racers
+
+    def test_non_memory_instruction_rejected(self):
+        agent = UserAgent(fig2_factory())
+        with pytest.raises(ValueError, match="does not access memory"):
+            agent.monitor_and_resume("A", "A8")  # a CALL
+
+
+class TestProbeSweep:
+    def test_sweep_finds_the_known_conflicts(self):
+        agent = UserAgent(fig2_factory())
+        observed = agent.probe_thread("A", resume="B")
+        pairs = {(r.monitored_label, r.racing_label) for r in observed}
+        assert ("A2", "B11") in pairs  # po_running
+        assert ("A6", "B2") in pairs  # po_fanout
+
+    def test_sweep_is_deduplicated(self):
+        agent = UserAgent(fig2_factory())
+        observed = agent.probe_thread("A", resume="B")
+        keys = [(r.monitored_label, r.racing_label) for r in observed]
+        assert len(keys) == len(set(keys))

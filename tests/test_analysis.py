@@ -1,0 +1,59 @@
+"""Tests for the cost model and table renderer."""
+
+import pytest
+
+from repro.analysis.metrics import CostModel, StageCost
+from repro.analysis.tables import Table, render_table
+
+
+class TestCostModel:
+    def test_crashing_run_costs_a_reboot(self):
+        model = CostModel()
+        crash = model.run_cost(steps=100, crashed=True)
+        ok = model.run_cost(steps=100, crashed=False)
+        assert crash - ok == pytest.approx(
+            model.reboot_s - model.snapshot_restore_s)
+
+    def test_stage_cost_components(self):
+        model = CostModel(schedule_setup_s=1.0, instruction_s=0.0,
+                          snapshot_restore_s=0.0, reboot_s=10.0)
+        cost = model.stage_cost(schedules=5, total_steps=0, crashes=2)
+        assert cost.seconds == pytest.approx(5 * 1.0 + 2 * 10.0)
+        assert cost.schedules == 5
+        assert cost.crashes == 2
+
+    def test_parallel_seconds(self):
+        cost = StageCost(schedules=10, crashes=0, seconds=64.0)
+        assert cost.parallel_seconds(32) == pytest.approx(2.0)
+        assert cost.parallel_seconds(0) == pytest.approx(64.0)
+
+    def test_reboots_dominate_ca_shape(self):
+        """The calibrated constants must keep the paper's shape: a CA
+        schedule (mostly crashing) costs ~25x a LIFS schedule (mostly
+        clean)."""
+        model = CostModel()
+        ca = model.run_cost(steps=100, crashed=True)
+        lifs = model.run_cost(steps=100, crashed=False)
+        assert ca / lifs > 10
+
+
+class TestTableRenderer:
+    def test_rows_align_with_columns(self):
+        table = Table("T", ["a", "bb"])
+        table.add_row(1, 2.5)
+        out = table.render()
+        assert "T" in out and "a" in out and "2.5" in out
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_floats_formatted_to_one_decimal(self):
+        out = render_table("T", ["x"], [[3.14159]])
+        assert "3.1" in out and "3.14" not in out
+
+    def test_separator_line_present(self):
+        out = render_table("T", ["col1", "col2"], [["a", "b"]])
+        assert any(set(line) <= {"-", "+", " "}
+                   for line in out.splitlines()[2:3])

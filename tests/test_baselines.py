@@ -1,0 +1,146 @@
+"""Tests for the baseline diagnosers and the Table 1 scoring."""
+
+import pytest
+
+from repro.analysis.requirements import (
+    Verdict,
+    aitia_row,
+    bug_category,
+    score_tool,
+)
+from repro.baselines import (
+    ALL_BASELINES,
+    CooperativeLocalization,
+    Kairux,
+    Muvi,
+    RecordReplay,
+)
+from repro.core.diagnose import Aitia
+from repro.corpus import registry
+
+
+@pytest.fixture(scope="module")
+def diagnoses():
+    registry._load_factories()
+    bugs = registry.all_bugs()
+    return bugs, [Aitia(b).diagnose() for b in bugs]
+
+
+def _bug_diag(diagnoses, bug_id):
+    bugs, ds = diagnoses
+    for b, d in zip(bugs, ds):
+        if b.bug_id == bug_id:
+            return b, d
+    raise KeyError(bug_id)
+
+
+class TestKairux:
+    def test_reports_single_instruction(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = Kairux().diagnose(bug, d)
+        assert report.diagnosed
+        assert "inflection point" in report.summary
+        assert report.concise
+
+    def test_not_comprehensive_for_multi_race_chains(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = Kairux().diagnose(bug, d)
+        assert not report.comprehensive
+
+    def test_is_structurally_pattern_agnostic(self):
+        assert not Kairux.uses_predefined_patterns
+
+
+class TestCooperativeLocalization:
+    def test_reports_one_pattern(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = CooperativeLocalization().diagnose(bug, d)
+        assert report.diagnosed
+        assert "violation" in report.summary
+
+    def test_multi_variable_bug_not_comprehensive(self, diagnoses):
+        """The paper's key argument: a single-variable pattern cannot fix
+        CVE-2017-15649."""
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = CooperativeLocalization().diagnose(bug, d)
+        assert not report.comprehensive
+
+    def test_some_single_variable_bug_is_comprehensive(self, diagnoses):
+        bugs, ds = diagnoses
+        hits = [
+            CooperativeLocalization().diagnose(b, d).comprehensive
+            for b, d in zip(bugs, ds) if not b.multi_variable
+        ]
+        assert any(hits), "coop must fully diagnose some single-var bug"
+
+
+class TestMuvi:
+    def test_rejects_single_variable_bugs(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2018-12232")
+        report = Muvi().diagnose(bug, d)
+        assert not report.diagnosed
+        assert "single-variable" in report.summary
+
+    def test_rejects_loosely_correlated_bugs(self, diagnoses):
+        for bug_id in ("CVE-2019-6974", "SYZ-01", "SYZ-04", "SYZ-09"):
+            bug, d = _bug_diag(diagnoses, bug_id)
+            report = Muvi().diagnose(bug, d)
+            assert not report.diagnosed, f"{bug_id} must defeat MUVI"
+
+    def test_diagnoses_tightly_correlated_bug(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = Muvi().diagnose(bug, d)
+        assert report.diagnosed
+        assert report.comprehensive
+
+    def test_explains_few_syzkaller_bugs(self, diagnoses):
+        """Section 5.3: only 3 of 12 Table 3 bugs satisfy MUVI's
+        assumption (we land within one of that)."""
+        bugs, ds = diagnoses
+        count = sum(
+            Muvi().diagnose(b, d).diagnosed
+            for b, d in zip(bugs, ds) if b.source == "syzkaller")
+        assert 2 <= count <= 5
+
+
+class TestRecordReplay:
+    def test_comprehensive_but_not_concise(self, diagnoses):
+        bug, d = _bug_diag(diagnoses, "CVE-2017-15649")
+        report = RecordReplay().diagnose(bug, d)
+        assert report.comprehensive
+        assert not report.concise  # benign races included
+
+
+class TestTable1Scoring:
+    def test_aitia_row_is_all_yes(self, diagnoses):
+        bugs, ds = diagnoses
+        row = aitia_row(bugs, ds)
+        assert row.comprehensive is Verdict.YES
+        assert row.pattern_agnostic is Verdict.YES
+        assert row.concise is Verdict.YES
+        assert row.bugs_diagnosed == 22
+
+    def test_table1_verdicts_match_paper(self, diagnoses):
+        bugs, ds = diagnoses
+        expected = {
+            "Kairux": (Verdict.NO, Verdict.YES, Verdict.YES),
+            "CoopLocalization": (Verdict.PARTIAL, Verdict.NO, Verdict.YES),
+            "MUVI": (Verdict.PARTIAL, Verdict.NO, Verdict.YES),
+            "Record&Replay": (Verdict.YES, Verdict.YES, Verdict.NO),
+        }
+        for cls in ALL_BASELINES:
+            tool = cls()
+            reports = [tool.diagnose(b, d) for b, d in zip(bugs, ds)]
+            row = score_tool(tool, bugs, reports)
+            assert (row.comprehensive, row.pattern_agnostic,
+                    row.concise) == expected[tool.name], tool.name
+
+    def test_bug_category_partition(self):
+        cats = {bug_category(b) for b in registry.all_bugs()}
+        assert cats == {"single-variable", "multi-variable",
+                        "loosely-correlated"}
+
+    def test_evidence_string(self, diagnoses):
+        bugs, ds = diagnoses
+        row = aitia_row(bugs, ds)
+        assert "diagnosed per category" in row.evidence()

@@ -1,0 +1,115 @@
+"""Unit tests for the ProgramBuilder / FunctionBuilder DSL."""
+
+import pytest
+
+from repro.kernel.builder import (
+    FunctionBuilder,
+    ProgramBuilder,
+    _as_addr,
+    _as_source,
+)
+from repro.kernel.instructions import Deref, Global, Imm, Op, Reg
+
+
+class TestOperandCoercion:
+    def test_int_becomes_immediate(self):
+        assert _as_source(5) == Imm(5)
+
+    def test_str_becomes_register(self):
+        assert _as_source("r0") == Reg("r0")
+
+    def test_passthrough_sources(self):
+        assert _as_source(Imm(1)) == Imm(1)
+        assert _as_source(Reg("a")) == Reg("a")
+
+    def test_bad_source_raises(self):
+        with pytest.raises(TypeError):
+            _as_source(1.5)
+
+    def test_str_becomes_global_address(self):
+        assert _as_addr("po_fanout") == Global("po_fanout")
+
+    def test_passthrough_addresses(self):
+        assert _as_addr(Deref("p", 8)) == Deref("p", 8)
+
+    def test_bad_address_raises(self):
+        with pytest.raises(TypeError):
+            _as_addr(42)
+
+
+class TestEmitters:
+    def _one(self, emit):
+        fb = FunctionBuilder("f")
+        emit(fb)
+        return fb._instructions[-1]
+
+    def test_every_emitter_produces_its_opcode(self):
+        cases = [
+            (lambda f: f.load("r", f.g("x")), Op.LOAD),
+            (lambda f: f.store(f.g("x"), 1), Op.STORE),
+            (lambda f: f.inc(f.g("x"), 2), Op.INC),
+            (lambda f: f.mov("r", 1), Op.MOV),
+            (lambda f: f.lea("r", "x"), Op.LEA),
+            (lambda f: f.binop("r", "add", 1, 2), Op.BINOP),
+            (lambda f: f.brz(0, "t"), Op.BRZ),
+            (lambda f: f.brnz(1, "t"), Op.BRNZ),
+            (lambda f: f.jmp("t"), Op.JMP),
+            (lambda f: f.call("g"), Op.CALL),
+            (lambda f: f.ret(), Op.RET),
+            (lambda f: f.alloc("r", 8, "tag"), Op.ALLOC),
+            (lambda f: f.free("r"), Op.FREE),
+            (lambda f: f.lock("L"), Op.LOCK),
+            (lambda f: f.unlock("L"), Op.UNLOCK),
+            (lambda f: f.queue_work("g"), Op.QUEUE_WORK),
+            (lambda f: f.call_rcu("g"), Op.CALL_RCU),
+            (lambda f: f.bug_on(1, "m"), Op.BUG_ON),
+            (lambda f: f.list_add(f.g("l"), 1), Op.LIST_ADD),
+            (lambda f: f.list_del(f.g("l"), 1), Op.LIST_DEL),
+            (lambda f: f.list_contains("r", f.g("l"), 1), Op.LIST_CONTAINS),
+            (lambda f: f.nop(), Op.NOP),
+        ]
+        for emit, op in cases:
+            assert self._one(emit).op is op
+
+    def test_binop_rejects_unknown_operator(self):
+        fb = FunctionBuilder("f")
+        with pytest.raises(ValueError, match="unknown operator"):
+            fb.binop("r", "pow", 2, 3)
+
+    def test_labels_and_targets_attached(self):
+        fb = FunctionBuilder("f")
+        instr = fb.brz("r", "out", label="B1")
+        assert instr.label == "B1"
+        assert instr.target == "out"
+
+    def test_operand_helpers(self):
+        assert FunctionBuilder.g("x") == Global("x")
+        assert FunctionBuilder.r("a") == Reg("a")
+        assert FunctionBuilder.i(3) == Imm(3)
+        assert FunctionBuilder.at("p", 16) == Deref("p", 16)
+
+    def test_alloc_leak_tracked_flag(self):
+        fb = FunctionBuilder("f")
+        instr = fb.alloc("r", 8, "filt", leak_tracked=True)
+        assert instr.operands[3] is True
+
+
+class TestProgramBuilder:
+    def test_function_context_manager_registers(self):
+        b = ProgramBuilder()
+        with b.function("one") as f:
+            f.nop()
+        with b.function("two") as f:
+            f.nop()
+        image = b.build()
+        assert set(image.functions) == {"one", "two"}
+
+    def test_explicit_ret_not_duplicated(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.nop()
+            f.ret(label="out")
+        image = b.build()
+        rets = [i for i in image.functions["f"].instructions
+                if i.op is Op.RET]
+        assert len(rets) == 1

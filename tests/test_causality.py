@@ -1,0 +1,231 @@
+"""Tests for Causality Analysis."""
+
+import pytest
+
+from repro.core.causality import CaConfig, CausalityAnalysis
+from repro.core.lifs import (
+    FailureMatcher,
+    LeastInterleavingFirstSearch,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_factory
+
+
+def _diagnose(factory, threads, kind=None, config=None):
+    matcher = FailureMatcher(kind=kind) if kind else None
+    lifs = LeastInterleavingFirstSearch(factory, threads, matcher)
+    result = lifs.search()
+    assert result.reproduced
+    ca = CausalityAnalysis(factory, result, config=config)
+    return ca.analyze()
+
+
+class TestFig2Chain:
+    def test_chain_structure_matches_figure_3(self):
+        result = _diagnose(fig2_factory(), ["A", "B"],
+                           FailureKind.ASSERTION.ASSERTION)
+        chain = result.chain
+        # The conjunction node (B2 => A6) ∧ (A2 => B11) steering A6 => B12.
+        assert chain.contains_race_between("B2", "A6")
+        assert chain.contains_race_between("A2", "B11")
+        assert chain.contains_race_between("A6", "B12")
+        conjunction = [n for n in chain.nodes if n.is_conjunction]
+        assert len(conjunction) == 1
+        assert len(conjunction[0].races) == 2
+        assert not chain.has_ambiguity
+
+    def test_all_races_are_root_causes_in_pure_fig2(self):
+        result = _diagnose(fig2_factory(), ["A", "B"])
+        assert len(result.benign_units) == 0
+        assert len(result.root_cause_units) == 3
+
+    def test_flip_tests_run_backward(self):
+        result = _diagnose(fig2_factory(), ["A", "B"])
+        tested_last_seqs = [t.unit.last_seq for t in result.tests
+                            if not t.note]
+        assert tested_last_seqs == sorted(tested_last_seqs, reverse=True)
+
+    def test_requires_reproduced_failure(self):
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"], FailureMatcher(kind=FailureKind.GPF))
+        result = lifs.search()
+        assert not result.reproduced
+        with pytest.raises(ValueError, match="reproduced failure"):
+            CausalityAnalysis(fig2_factory(), result)
+
+
+class TestBenignExclusion:
+    def _salted_factory(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.inc(f.g("stat1"), 1, label="AS1")
+            f.inc(f.g("stat2"), 1, label="AS2")
+            f.store(f.g("flag"), 1, label="A1")
+        with b.function("bb") as f:
+            f.inc(f.g("stat1"), 1, label="BS1")
+            f.inc(f.g("stat2"), 1, label="BS2")
+            f.load("v", f.g("flag"), label="B1")
+            f.bug_on("v", "observed the flag", label="B2")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+        return factory
+
+    def test_stat_counter_races_are_benign(self):
+        factory = self._salted_factory()
+        result = _diagnose(factory, ["A", "B"], FailureKind.ASSERTION)
+        benign_labels = {
+            str(r) for u in result.benign_units for r in u.races}
+        assert any("stat" in s or "S1" in s for s in benign_labels)
+        chain_races = {str(r) for r in result.chain.races}
+        assert chain_races == {"A1 => B1"}
+        assert result.benign_race_count >= 2
+
+    def test_no_false_negatives(self):
+        """Causality Analysis tests every race: root causes + benign
+        races together must cover all detected units."""
+        factory = self._salted_factory()
+        result = _diagnose(factory, ["A", "B"], FailureKind.ASSERTION)
+        tested = len(result.root_cause_units) + len(result.benign_units) \
+            + len(result.unflippable_units)
+        lifs_units = len(result.root_cause_units) + \
+            len(result.benign_units) + len(result.unflippable_units)
+        assert tested == lifs_units  # nothing silently skipped
+        assert result.stats.schedules_executed >= tested
+
+
+class TestAmbiguity:
+    def _fig7_factory(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.store(f.g("m1"), 1, label="A1")
+            f.store(f.g("m2"), 1, label="A2")
+        with b.function("bb") as f:
+            f.load("y", f.g("m2"), label="B1")
+            f.load("x", f.g("m1"), label="B2")
+            f.binop("both", "and", f.r("x"), f.r("y"))
+            f.bug_on("both", "saw both", label="B3")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+        return factory
+
+    def test_surrounding_race_reported_ambiguous(self):
+        result = _diagnose(self._fig7_factory(), ["A", "B"],
+                           FailureKind.ASSERTION)
+        assert result.ambiguous_uids, "Figure 7 must produce an ambiguity"
+        assert result.chain.has_ambiguity
+        # Both races are root causes nonetheless.
+        rendered = {str(r) for u in result.root_cause_units
+                    for r in u.races}
+        assert rendered == {"A1 => B2", "A2 => B1"}
+
+    def test_nested_race_is_unambiguous(self):
+        result = _diagnose(self._fig7_factory(), ["A", "B"])
+        ambiguous_races = {
+            str(r) for u in result.root_cause_units for r in u.races
+            if u.uid in result.ambiguous_uids}
+        assert "A2 => B1" not in ambiguous_races
+
+
+class TestCriticalSections:
+    def test_section_races_grouped_into_units(self):
+        """Races under a lock pair are flipped as one unit (liveness)."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L", label="ALock")
+            f.store(f.g("x"), 1, label="A1")
+            f.store(f.g("y"), 1, label="A2")
+            f.unlock("L", label="AUnlock")
+        with b.function("bb") as f:
+            f.load("vx", f.g("x"), label="B1")
+            f.load("vy", f.g("y"), label="B2")
+            f.binop("both", "and", f.r("vx"), f.r("vy"))
+            f.bug_on("both", "saw both", label="B3")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+
+        result = _diagnose(factory, ["A", "B"], FailureKind.ASSERTION)
+        section_units = [u for u in (result.root_cause_units
+                                     + result.benign_units)
+                         if u.is_critical_section]
+        assert section_units, "x and y races share A's critical section"
+        unit = section_units[0]
+        assert len(unit.races) == 2
+
+    def test_section_flip_averts_failure(self):
+        """Flipping the whole section (B before A's lock) must avert the
+        failure without deadlocking the enforcement."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L", label="ALock")
+            f.store(f.g("x"), 1, label="A1")
+            f.store(f.g("y"), 1, label="A2")
+            f.unlock("L", label="AUnlock")
+        with b.function("bb") as f:
+            f.load("vx", f.g("x"), label="B1")
+            f.load("vy", f.g("y"), label="B2")
+            f.binop("both", "and", f.r("vx"), f.r("vy"))
+            f.bug_on("both", "saw both", label="B3")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+
+        result = _diagnose(factory, ["A", "B"], FailureKind.ASSERTION)
+        assert result.root_cause_units  # the section unit averts the bug
+
+
+class TestSpawnCausality:
+    def test_kworker_flip_respects_spawn_order(self):
+        """A flip must never schedule a kworker's access before the
+        queue_work that creates it (regression test for the Figure 5
+        chain)."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.store(f.g("m1"), 1, label="A1")
+            f.load("x", f.g("m2"), label="A2")
+            f.load("p", f.g("m3"), label="A3a")
+            f.bug_on("p", "K1 won", label="A3")
+        with b.function("bb") as f:
+            f.load("v", f.g("m1"), label="B1")
+            f.store(f.g("m2"), 7, label="B2")
+            f.brz("v", "out", label="B3a")
+            f.queue_work("k", label="B3")
+            f.ret(label="out")
+        with b.function("k") as f:
+            f.store(f.g("m3"), 1, label="K1")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+
+        result = _diagnose(factory, ["A", "B"], FailureKind.ASSERTION)
+        chain_races = {str(r) for r in result.chain.races}
+        assert chain_races == {"A1 => B1", "K1 => A3a"}
+        benign = {str(r) for u in result.benign_units for r in u.races}
+        assert "B2 => A2" in benign
+
+
+class TestConfig:
+    def test_recheck_edges_disabled_reuses_runs(self):
+        config = CaConfig(recheck_edges=False)
+        result_cached = _diagnose(fig2_factory(), ["A", "B"],
+                                  config=config)
+        result_fresh = _diagnose(fig2_factory(), ["A", "B"])
+        # Same chain either way; fewer schedules without the recheck.
+        assert result_cached.chain.render() == result_fresh.chain.render()
+        assert (result_cached.stats.schedules_executed
+                < result_fresh.stats.schedules_executed)

@@ -1,0 +1,135 @@
+"""Tests for causality-chain construction and rendering."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.core.chain import (
+    CausalityChain,
+    ChainNode,
+    build_chain,
+    _strongly_connected_components,
+)
+from repro.core.races import DataRace
+from repro.kernel.access import AccessKind, MemoryAccess
+from repro.kernel.failures import Failure, FailureKind
+
+
+def _race(label1, label2, seq1=1, seq2=2):
+    a = MemoryAccess(seq=seq1, thread="A", instr_addr=0x10 + seq1 * 4,
+                     instr_label=label1, func="f", data_addr=100,
+                     kind=AccessKind.WRITE, occurrence=1)
+    b = MemoryAccess(seq=seq2, thread="B", instr_addr=0x10 + seq2 * 4,
+                     instr_label=label2, func="f", data_addr=100,
+                     kind=AccessKind.READ, occurrence=1)
+    return DataRace(first=a, second=b)
+
+
+@dataclass
+class _Unit:
+    uid: int
+    races: Tuple
+    last_seq: int
+
+
+def _unit(uid, label1, label2, last_seq):
+    return _Unit(uid=uid, races=(_race(label1, label2, last_seq - 1,
+                                       last_seq),), last_seq=last_seq)
+
+
+FAILURE = Failure(FailureKind.ASSERTION, instr_label="B17")
+
+
+class TestScc:
+    def test_singletons_without_edges(self):
+        comps = _strongly_connected_components([1, 2, 3], {})
+        assert sorted(map(tuple, comps)) == [(1,), (2,), (3,)]
+
+    def test_mutual_pair_merges(self):
+        comps = _strongly_connected_components(
+            [1, 2, 3], {1: {2}, 2: {1, 3}})
+        assert sorted(map(tuple, comps)) == [(1, 2), (3,)]
+
+    def test_three_cycle(self):
+        comps = _strongly_connected_components(
+            [1, 2, 3], {1: {2}, 2: {3}, 3: {1}})
+        assert sorted(map(tuple, comps)) == [(1, 2, 3)]
+
+
+class TestBuildChain:
+    def test_linear_chain(self):
+        u1, u2 = _unit(0, "A1", "B1", 2), _unit(1, "A2", "B2", 4)
+        chain = build_chain([u1, u2], {0: {1}}, FAILURE)
+        assert len(chain.nodes) == 2
+        assert chain.edges == [(0, 1)]
+        assert "A1 => B1 -> A2 => B2" in chain.render()
+
+    def test_mutual_disappearance_becomes_conjunction(self):
+        u1, u2, u3 = (_unit(0, "A1", "B1", 2), _unit(1, "A2", "B2", 4),
+                      _unit(2, "A3", "B3", 6))
+        chain = build_chain([u1, u2, u3], {0: {1, 2}, 1: {0, 2}}, FAILURE)
+        conjunctions = [n for n in chain.nodes if n.is_conjunction]
+        assert len(conjunctions) == 1
+        assert len(conjunctions[0].races) == 2
+        assert chain.edges == [(0, 1)]
+
+    def test_transitive_reduction(self):
+        units = [_unit(i, f"A{i}", f"B{i}", 2 * i + 2) for i in range(3)]
+        chain = build_chain(units, {0: {1, 2}, 1: {2}}, FAILURE)
+        # 0 -> 2 is implied by 0 -> 1 -> 2.
+        assert (0, 2) not in chain.edges
+        assert set(chain.edges) == {(0, 1), (1, 2)}
+
+    def test_ambiguous_flag_propagates(self):
+        u1 = _unit(0, "A1", "B1", 2)
+        chain = build_chain([u1], {}, FAILURE, ambiguous_unit_ids={0})
+        assert chain.nodes[0].ambiguous
+        assert chain.has_ambiguity
+        assert "[ambiguous]" in chain.render()
+
+    def test_edges_to_non_root_units_ignored(self):
+        u1 = _unit(0, "A1", "B1", 2)
+        chain = build_chain([u1], {0: {99}}, FAILURE)
+        assert chain.edges == []
+
+    def test_race_count(self):
+        units = [_unit(i, f"A{i}", f"B{i}", 2 * i + 2) for i in range(4)]
+        chain = build_chain(units, {}, FAILURE)
+        assert chain.race_count == 4
+
+
+class TestChainQueries:
+    def _chain(self):
+        units = [_unit(i, f"A{i}", f"B{i}", 2 * i + 2) for i in range(3)]
+        return build_chain(units, {0: {1}, 1: {2}}, FAILURE)
+
+    def test_successors_predecessors(self):
+        chain = self._chain()
+        assert chain.successors(0) == [1]
+        assert chain.predecessors(2) == [1]
+
+    def test_terminal_nodes(self):
+        chain = self._chain()
+        assert chain.terminal_nodes() == [2]
+
+    def test_contains_race_between_is_order_insensitive(self):
+        chain = self._chain()
+        assert chain.contains_race_between("A1", "B1")
+        assert chain.contains_race_between("B1", "A1")
+        assert not chain.contains_race_between("A1", "B2")
+
+    def test_render_ends_with_failure(self):
+        chain = self._chain()
+        assert chain.render().endswith(FailureKind.ASSERTION.value)
+
+    def test_empty_chain_renders_placeholder(self):
+        chain = CausalityChain(nodes=[], edges=[], failure=FAILURE)
+        assert chain.render() == "<empty chain>"
+
+    def test_topological_render_order(self):
+        # Chain built in reverse order must still render source-first.
+        units = [_unit(0, "A0", "B0", 10), _unit(1, "A1", "B1", 2)]
+        chain = build_chain(units, {1: {0}}, FAILURE)
+        rendered = chain.render()
+        assert rendered.index("A1 => B1") < rendered.index("A0 => B0")

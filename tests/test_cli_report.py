@@ -1,0 +1,105 @@
+"""Tests for the CLI and the developer report generator."""
+
+import pytest
+
+from repro.analysis.report import render_report
+from repro.cli import build_parser, main
+from repro.core.diagnose import Aitia
+from repro.core.lifs import LifsConfig
+from repro.corpus.registry import get_bug
+
+
+class TestReport:
+    def test_report_mentions_chain_and_triage(self):
+        bug = get_bug("CVE-2017-15649")
+        diagnosis = Aitia(bug).diagnose()
+        report = render_report(diagnosis, image=bug.image)
+        assert "AITIA root-cause report" in report
+        assert "A6 => B12" in report or "A6 (A) => B12" in report
+        assert "multi-variable conjunction" in report
+        assert "benign (excluded)" in report
+        assert "fix option" in report
+
+    def test_report_shows_code_context(self):
+        bug = get_bug("CVE-2017-15649")
+        diagnosis = Aitia(bug).diagnose()
+        report = render_report(diagnosis, image=bug.image)
+        assert ">>" in report
+        assert "fanout_add" in report
+
+    def test_report_without_image_is_compact(self):
+        bug = get_bug("SYZ-05")
+        diagnosis = Aitia(bug).diagnose()
+        report = render_report(diagnosis)
+        assert "race 1:" in report
+        assert ">>" not in report
+
+    def test_unreproduced_report(self):
+        bug = get_bug("CVE-2017-15649")
+        diagnosis = Aitia(bug,
+                          lifs_config=LifsConfig(max_schedules=2)).diagnose()
+        report = render_report(diagnosis)
+        assert "could NOT be reproduced" in report
+
+    def test_ambiguous_report_flags_it(self):
+        bug = get_bug("CVE-2016-10200")
+        diagnosis = Aitia(bug).diagnose()
+        report = render_report(diagnosis, image=bug.image)
+        assert "AMBIGUOUS" in report
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2017-15649" in out
+        assert "SYZ-12" in out
+        assert "EXT-IRQ-01" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "FIG-1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1_writer" in out
+        assert "ptr_valid" in out
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose", "SYZ-05"]) == 0
+        out = capsys.readouterr().out
+        assert "K1" in out and "chain" in out
+
+    def test_diagnose_pipeline(self, capsys):
+        assert main(["diagnose", "SYZ-04", "--pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "[bug finder]" in out
+        assert "K1 => A2" in out
+
+    def test_replay(self, capsys):
+        assert main(["replay", "CVE-2017-2636"]) == 0
+        out = capsys.readouterr().out
+        assert "identical execution" in out
+
+    def test_unknown_bug_exits_2(self, capsys):
+        assert main(["show", "CVE-0000-0000"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliFuzz:
+    def test_fuzz_command(self, capsys):
+        assert main(["fuzz", "CVE-2017-2671", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "crash found after" in out
+        assert "distilled reproducer" in out
+
+    def test_fuzz_with_diagnosis(self, capsys):
+        assert main(["fuzz", "SYZ-05", "--seed", "1", "--diagnose"]) == 0
+        out = capsys.readouterr().out
+        assert "AITIA root-cause report" in out
+
+    def test_fuzz_budget_exhausted_exits_1(self, capsys):
+        assert main(["fuzz", "SYZ-08", "--seed", "0",
+                     "--max-runs", "1"]) == 1
+        assert "no crash" in capsys.readouterr().out

@@ -1,0 +1,300 @@
+"""Unit tests for schedule enforcement (the hypervisor controller)."""
+
+import pytest
+
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.hypervisor.controller import (
+    ScheduleController,
+    serial_schedule,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_image, fig2_machine
+
+
+def _addr(image, label):
+    return image.instruction_labeled(label).addr
+
+
+def _preempt(image, thread, label, switch_to=None, occurrence=1):
+    return Preemption(thread=thread, instr_addr=_addr(image, label),
+                      occurrence=occurrence, switch_to=switch_to,
+                      instr_label=label)
+
+
+def _constraint(image, thread, label, occurrence=1):
+    return OrderConstraint(thread=thread, instr_addr=_addr(image, label),
+                           occurrence=occurrence, instr_label=label)
+
+
+class TestSerialSchedules:
+    def test_serial_order_is_respected(self):
+        m = fig2_machine()
+        run = ScheduleController(m, serial_schedule(["A", "B"])).run()
+        threads = [t.thread for t in run.trace]
+        # All of A's instructions precede all of B's.
+        switch = threads.index("B")
+        assert all(t == "A" for t in threads[:switch])
+        assert all(t == "B" for t in threads[switch:])
+        assert run.failure is None
+        assert run.interleavings == 0
+
+    def test_reverse_serial_order(self):
+        m = fig2_machine()
+        run = ScheduleController(m, serial_schedule(["B", "A"])).run()
+        assert run.trace[0].thread == "B"
+        assert run.failure is None
+
+
+class TestPreemptions:
+    def test_single_preemption_switches(self):
+        image = fig2_image()
+        m = fig2_machine()
+        schedule = Schedule(start_order=("A", "B"),
+                            preemptions=[_preempt(image, "A", "A6", "B")])
+        run = ScheduleController(m, schedule).run()
+        labels = [t.instr_label for t in run.trace]
+        # A parked right before A6; B ran; A6 executed after B's work.
+        assert labels.index("B2") < labels.index("A6")
+        assert run.interleavings == 1
+        assert len(run.fired_preemptions) == 1
+
+    def test_fig2_failure_schedule(self):
+        image = fig2_image()
+        m = fig2_machine()
+        schedule = Schedule(
+            start_order=("B", "A"),
+            preemptions=[_preempt(image, "B", "B11", "A"),
+                         _preempt(image, "A", "A12", "B")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failed
+        assert run.failure.kind is FailureKind.ASSERTION
+        assert run.failure.instr_label == "B17"
+        assert run.interleavings == 2
+
+    def test_preemption_occurrence_matching(self):
+        b = ProgramBuilder()
+        with b.function("loop") as f:
+            f.inc(f.g("c"), 1, label="I")
+            f.load("v", f.g("c"))
+            f.binop("done", "ge", f.r("v"), 3)
+            f.brz("done", "I")
+        with b.function("other") as f:
+            f.store(f.g("seen"), 1, label="O")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("L", "loop"),
+                                  ThreadSpec("O", "other")])
+        schedule = Schedule(
+            start_order=("L", "O"),
+            preemptions=[Preemption("L", _addr(image, "I"), occurrence=2,
+                                    switch_to="O", instr_label="I")])
+        run = ScheduleController(m, schedule).run()
+        labels = [t.instr_label for t in run.trace]
+        first_i = labels.index("I")
+        o_pos = labels.index("O")
+        second_i = labels.index("I", first_i + 1)
+        assert first_i < o_pos < second_i  # parked before the 2nd I only
+
+    def test_unfired_preemption_is_harmless(self):
+        image = fig2_image()
+        m = fig2_machine()
+        # B12 is never reached when B runs second (fanout already set).
+        schedule = Schedule(start_order=("A", "B"),
+                            preemptions=[_preempt(image, "B", "B12", "A")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failure is None
+        assert run.fired_preemptions == []
+
+    def test_preemption_to_unknown_thread_falls_back(self):
+        image = fig2_image()
+        m = fig2_machine()
+        schedule = Schedule(
+            start_order=("A", "B"),
+            preemptions=[_preempt(image, "A", "A6", "kworker/ghost#9")])
+        run = ScheduleController(m, schedule).run()
+        # The run must complete despite the unknown switch target.
+        assert run.failure is None
+        assert len(run.fired_preemptions) == 1
+
+
+class TestConstraints:
+    def test_constraints_enforce_total_order(self):
+        image = fig2_image()
+        m = fig2_machine()
+        # Force B2 before A2 (B starts even though A is first in order).
+        schedule = Schedule(
+            start_order=("A", "B"),
+            constraints=[_constraint(image, "B", "B2"),
+                         _constraint(image, "A", "A2")])
+        run = ScheduleController(m, schedule).run()
+        labels = [t.instr_label for t in run.trace]
+        assert labels.index("B2") < labels.index("A2")
+        assert run.dropped_constraints == []
+
+    def test_disappeared_constraint_is_dropped(self):
+        image = fig2_image()
+        m = fig2_machine()
+        # Run A fully first; then B2 reads non-NULL and B returns early,
+        # so a constraint on B11 can never execute.
+        schedule = Schedule(
+            start_order=("A", "B"),
+            constraints=[_constraint(image, "A", "A6"),
+                         _constraint(image, "B", "B11")])
+        run = ScheduleController(m, schedule).run()
+        assert [c.instr_label for c in run.dropped_constraints] == ["B11"]
+        assert run.failure is None
+
+    def test_enforced_failure_order_via_constraints(self):
+        image = fig2_image()
+        m = fig2_machine()
+        schedule = Schedule(
+            start_order=("A", "B"),
+            constraints=[
+                _constraint(image, "A", "A2"),
+                _constraint(image, "B", "B2"),
+                _constraint(image, "B", "B11"),
+                _constraint(image, "A", "A6"),
+                _constraint(image, "B", "B12"),
+            ])
+        run = ScheduleController(m, schedule).run()
+        assert run.failed
+        assert run.failure.instr_label == "B17"
+
+    def test_signature_equality_for_equivalent_runs(self):
+        image = fig2_image()
+        run1 = ScheduleController(fig2_machine(),
+                                  serial_schedule(["A", "B"])).run()
+        # Preempting where the other thread has already finished changes
+        # nothing: same Mazurkiewicz trace.
+        schedule = Schedule(start_order=("A", "B"),
+                            preemptions=[_preempt(image, "B", "B2", "A")])
+        run2 = ScheduleController(fig2_machine(), schedule).run()
+        assert run1.signature() == run2.signature()
+
+    def test_signature_differs_across_conflict_orders(self):
+        run1 = ScheduleController(fig2_machine(),
+                                  serial_schedule(["A", "B"])).run()
+        run2 = ScheduleController(fig2_machine(),
+                                  serial_schedule(["B", "A"])).run()
+        assert run1.signature() != run2.signature()
+
+
+class TestDeadlockDetection:
+    def test_abba_deadlock_reported(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L1", label="A1")
+            f.lock("L2", label="A2")
+            f.unlock("L2")
+            f.unlock("L1")
+        with b.function("bb") as f:
+            f.lock("L2", label="B1")
+            f.lock("L1", label="B2")
+            f.unlock("L1")
+            f.unlock("L2")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        schedule = Schedule(
+            start_order=("A", "B"),
+            preemptions=[Preemption("A", _addr(image, "A2"), 1, "B",
+                                    instr_label="A2")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failed
+        assert run.failure.kind is FailureKind.DEADLOCK
+
+    def test_blocked_then_released_completes(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L")
+            f.inc(f.g("c"), 1, label="AI")
+            f.unlock("L")
+        with b.function("bb") as f:
+            f.lock("L")
+            f.inc(f.g("c"), 1, label="BI")
+            f.unlock("L")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        schedule = Schedule(
+            start_order=("A", "B"),
+            preemptions=[Preemption("A", _addr(image, "AI"), 1, "B",
+                                    instr_label="AI")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failure is None
+        assert m.memory.load(m.memory.global_addr("c")) == 2
+
+
+class TestWatchpoints:
+    def test_preemption_installs_watchpoint_and_traps_conflicts(self):
+        image = fig2_image()
+        m = fig2_machine()
+        # Park A right before A6 (po_fanout store); B then reads po_fanout
+        # at B2 and B12 -> watchpoint hits identify the racing pair.
+        schedule = Schedule(start_order=("A", "B"),
+                            preemptions=[_preempt(image, "A", "A6", "B")])
+        run = ScheduleController(m, schedule).run()
+        hit_labels = {(h.watchpoint.owner_label, h.access.instr_label)
+                      for h in run.watch_hits}
+        assert ("A6", "B2") in hit_labels
+
+
+class TestStuckResolution:
+    def test_infeasible_constraint_dropped_without_deadlock(self):
+        """A constraint queue that would park a lock holder while the
+        other thread needs the lock must resolve by dropping, not hang."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L", label="ALock")
+            f.store(f.g("x"), 1, label="A1")
+            f.unlock("L", label="AUnlock")
+            f.store(f.g("y"), 1, label="A2")
+        with b.function("bb") as f:
+            f.lock("L", label="BLock")
+            f.load("vx", f.g("x"), label="B1")
+            f.unlock("L", label="BUnlock")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        # Demand B1 before A1: B needs L, but the schedule starts A which
+        # grabs L and then parks before A1 (its constrained instruction is
+        # later in the queue).  Enforcement must drop and finish.
+        schedule = Schedule(
+            start_order=("A", "B"),
+            constraints=[_constraint(image, "B", "B1"),
+                         _constraint(image, "A", "A1")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failure is None
+        assert m.all_done()
+
+    def test_constraint_on_never_spawned_kworker_disappears(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.load("v", f.g("flag"), label="M1")
+            f.brz("v", "out", label="M2")
+            f.queue_work("work", label="M3")
+            f.ret(label="out")
+        with b.function("work") as f:
+            f.store(f.g("done"), 1, label="W1")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("T", "main")],
+                          globals_init={"flag": 0})
+        schedule = Schedule(
+            start_order=("T",),
+            constraints=[OrderConstraint(
+                thread="kworker/work#1",
+                instr_addr=image.instruction_labeled("W1").addr,
+                occurrence=1, instr_label="W1")])
+        run = ScheduleController(m, schedule).run()
+        assert run.failure is None
+        assert [c.instr_label for c in run.dropped_constraints] == ["W1"]
+
+    def test_thread_kinds_reported(self):
+        from repro.corpus.registry import get_bug
+        bug = get_bug("SYZ-04")
+        run = ScheduleController(bug.machine_factory(),
+                                 bug.known_failing_schedule).run()
+        kinds = set(run.thread_kinds.values())
+        assert "syscall" in kinds and "kworker" in kinds

@@ -1,0 +1,92 @@
+"""Corpus consistency tests: every bug model must behave as specified."""
+
+import itertools
+
+import pytest
+
+from repro.corpus import registry
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+
+
+def _all_bugs():
+    registry._load_factories()
+    return registry.figure_examples() + registry.all_bugs()
+
+
+ALL_BUGS = _all_bugs()
+IDS = [b.bug_id for b in ALL_BUGS]
+
+
+class TestRegistry:
+    def test_twenty_two_evaluated_bugs(self):
+        assert len(registry.all_bugs()) == 22
+
+    def test_ten_cves(self):
+        cves = registry.cve_bugs()
+        assert len(cves) == 10
+        assert all(b.bug_id.startswith("CVE-") for b in cves)
+
+    def test_twelve_syzkaller_bugs(self):
+        syz = registry.syzkaller_bugs()
+        assert len(syz) == 12
+        assert all(b.bug_id.startswith("SYZ-") for b in syz)
+
+    def test_get_bug_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown bug"):
+            registry.get_bug("CVE-0000-0000")
+
+    def test_get_bug_is_cached(self):
+        assert registry.get_bug("SYZ-01") is registry.get_bug("SYZ-01")
+
+    def test_six_syzkaller_bugs_were_unfixed(self):
+        # The six bold rows of Table 3: #7-#9 were fixed concurrently by
+        # developers, #10-#12 were reported by the authors.
+        unfixed = {b.bug_id for b in registry.syzkaller_bugs()
+                   if not b.fixed_at_eval_time}
+        assert unfixed == {"SYZ-07", "SYZ-08", "SYZ-09",
+                           "SYZ-10", "SYZ-11", "SYZ-12"}
+
+    def test_multi_variable_split_matches_table3(self):
+        syz = registry.syzkaller_bugs()
+        multi = [b for b in syz if b.multi_variable]
+        loose = [b for b in syz if b.loosely_correlated]
+        assert len(multi) == 6  # six of twelve involve multiple variables
+        assert len(loose) == 3  # three of them loosely correlated
+
+
+@pytest.mark.parametrize("bug", ALL_BUGS, ids=IDS)
+class TestBugModels:
+    def test_known_failing_schedule_crashes_as_specified(self, bug):
+        run = ScheduleController(bug.machine_factory(),
+                                 bug.known_failing_schedule).run()
+        assert run.failure is not None, "known schedule must crash"
+        assert run.failure.kind is bug.bug_type
+        if bug.failure_location:
+            assert run.failure.instr_label == bug.failure_location
+
+    def test_serial_orders_do_not_crash(self, bug):
+        if bug.bug_id == "FIG-7":
+            pytest.skip("FIG-7 fails serially by construction")
+        names = [t.proc for t in bug.threads]
+        for order in itertools.permutations(names):
+            run = ScheduleController(bug.machine_factory(),
+                                     serial_schedule(order)).run()
+            assert run.failure is None, (
+                f"serial order {order} crashed: {run.failure}")
+
+    def test_history_ends_in_failure_window(self, bug):
+        history = bug.history()
+        assert history.failure_time is not None
+        assert all(e.start <= history.failure_time
+                   for e in history.before_failure())
+
+    def test_history_contains_racing_calls(self, bug):
+        history = bug.history()
+        procs = {e.proc for e in history.syscalls}
+        for thread in bug.threads:
+            assert thread.proc in procs
+
+    def test_machine_factory_builds_fresh_instances(self, bug):
+        m1, m2 = bug.machine_factory(), bug.machine_factory()
+        assert m1 is not m2
+        assert m1.trace == [] and m1.failure is None

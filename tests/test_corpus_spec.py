@@ -1,0 +1,116 @@
+"""Unit tests for the corpus Bug infrastructure (spec.py)."""
+
+import pytest
+
+from repro.corpus.registry import get_bug
+from repro.corpus.spec import emit_stat_updates, salt_counters
+from repro.kernel.builder import FunctionBuilder
+from repro.kernel.threads import ThreadKind
+from repro.trace.slicer import Slicer
+
+
+class TestSaltHelpers:
+    def test_salt_counters_are_distinct(self):
+        names = salt_counters("pkt", 5)
+        assert len(set(names)) == 5
+        assert all(n.startswith("pkt_stat") for n in names)
+
+    def test_emit_stat_updates_emits_incs(self):
+        fb = FunctionBuilder("f")
+        emit_stat_updates(fb, ["c1", "c2"], prefix="A", reps=3)
+        assert len(fb._instructions) == 6
+        labels = {i.label for i in fb._instructions}
+        assert "A_stat0_0" in labels and "A_stat2_1" in labels
+
+
+class TestKnownFailingSchedule:
+    def test_labels_resolve_to_addresses(self):
+        bug = get_bug("CVE-2017-15649")
+        schedule = bug.known_failing_schedule
+        assert len(schedule.preemptions) == 2
+        for p in schedule.preemptions:
+            instr = bug.image.instruction_at(p.instr_addr)
+            assert instr.label == p.instr_label
+
+    def test_start_order_defaults_to_thread_order(self):
+        bug = get_bug("SYZ-05")
+        assert bug.known_failing_schedule.start_order == ("A",)
+
+
+class TestHistorySynthesis:
+    def test_setup_events_precede_racing_group(self):
+        bug = get_bug("CVE-2017-15649")
+        history = bug.history()
+        setup = [e for e in history.syscalls if e.is_setup]
+        racing = [e for e in history.syscalls
+                  if e.proc in {"A", "B"} and not e.is_setup]
+        assert setup and racing
+        assert max(e.end for e in setup) < min(e.start for e in racing)
+
+    def test_decoys_present(self):
+        bug = get_bug("CVE-2017-15649")
+        procs = {e.proc for e in bug.history().syscalls}
+        assert "C" in procs  # decoy caller
+
+    def test_kthread_notes_become_invocations(self):
+        bug = get_bug("SYZ-04")
+        invocations = bug.history().kthread_invocations
+        assert len(invocations) == 1
+        assert invocations[0].func == "irqfd_shutdown"
+
+    def test_concurrent_decoy_group_ranks_before_racing_slice(self):
+        bug = get_bug("SYZ-07")
+        slices = Slicer(bug.history()).slices()
+        assert len(slices) >= 2
+        first_procs = {e.proc for e in slices[0].syscall_events}
+        assert first_procs == {"D", "E"}  # the innocuous pair
+
+    def test_irq_thread_not_a_syscall_event(self):
+        bug = get_bug("EXT-IRQ-01")
+        history = bug.history()
+        assert all(e.proc != "irq0" for e in history.syscalls)
+        assert any(e.kind is ThreadKind.IRQ
+                   for e in history.kthread_invocations)
+
+
+class TestSliceFactories:
+    def _racing_slice(self, bug):
+        slices = Slicer(bug.history()).slices()
+        racing_procs = {t.proc for t in bug.threads
+                        if t.kind is ThreadKind.SYSCALL}
+        for s in slices:
+            if {e.proc for e in s.syscall_events} == racing_procs:
+                return s
+        raise AssertionError("racing slice not found")
+
+    def test_factory_rebuilds_canonical_threads(self):
+        bug = get_bug("CVE-2017-15649")
+        s = self._racing_slice(bug)
+        machine = bug.factory_for_slice(s)()
+        names = {t.name for t in machine.threads if not t.done}
+        assert names == {"A", "B"}
+
+    def test_setup_replayed_in_slice_machine(self):
+        bug = get_bug("CVE-2017-15649")
+        s = self._racing_slice(bug)
+        machine = bug.factory_for_slice(s)()
+        running = machine.memory.load(
+            machine.memory.global_addr("po_running"))
+        assert running == 1  # packet_create ran
+
+    def test_irq_context_included_in_slice(self):
+        bug = get_bug("EXT-IRQ-01")
+        s = self._racing_slice(bug)
+        machine = bug.factory_for_slice(s)()
+        assert machine.thread("irq0").kind is ThreadKind.IRQ
+        assert "irq0" in bug.slice_thread_names(s)
+
+
+class TestMetadata:
+    def test_repr(self):
+        bug = get_bug("FIG-1")
+        assert "FIG-1" in repr(bug)
+
+    def test_image_is_cached(self):
+        bug = get_bug("FIG-1")
+        assert bug.image is bug.image

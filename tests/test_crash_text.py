@@ -1,0 +1,81 @@
+"""Tests for the crash-report text format."""
+
+import pytest
+
+from repro.corpus.registry import get_bug
+from repro.kernel.failures import CrashReport, Failure, FailureKind
+from repro.trace.crash import (
+    CrashParseError,
+    parse_crash_report,
+    render_crash_report,
+)
+from repro.trace.syzkaller import run_bug_finder
+
+
+class TestRoundTrip:
+    def _report(self, kind=FailureKind.KASAN_UAF):
+        failure = Failure(kind=kind, thread="A", instr_label="A3",
+                          message="use-after-free write in irqfd")
+        return CrashReport(failure=failure,
+                           kernel_log="Call trace:\n  A: irqfd_assign+A2")
+
+    def test_simple_round_trip(self):
+        original = self._report()
+        parsed = parse_crash_report(render_crash_report(original))
+        assert parsed.symptom is original.symptom
+        assert parsed.location == original.location
+        assert parsed.failure.thread == "A"
+        assert parsed.failure.message == original.failure.message
+        assert "Call trace:" in parsed.kernel_log
+
+    @pytest.mark.parametrize("kind", list(FailureKind))
+    def test_every_failure_kind_round_trips(self, kind):
+        parsed = parse_crash_report(render_crash_report(self._report(kind)))
+        assert parsed.symptom is kind
+
+    def test_failure_without_location(self):
+        failure = Failure(kind=FailureKind.MEMORY_LEAK,
+                          message="object filter was never freed")
+        parsed = parse_crash_report(
+            render_crash_report(CrashReport(failure=failure)))
+        assert parsed.symptom is FailureKind.MEMORY_LEAK
+        assert parsed.location == ""
+        assert "never freed" in parsed.failure.message
+
+    def test_syzkaller_report_round_trips(self):
+        bug = get_bug("SYZ-04")
+        report = run_bug_finder(bug).crash
+        parsed = parse_crash_report(render_crash_report(report))
+        assert parsed.symptom is report.symptom
+        assert parsed.location == report.location
+
+    def test_parsed_report_drives_diagnosis(self):
+        """An archived crash report must still target the diagnosis."""
+        from repro.core.diagnose import Aitia
+
+        bug = get_bug("SYZ-04")
+        syz = run_bug_finder(bug)
+        syz.crash = parse_crash_report(render_crash_report(syz.crash))
+        diagnosis = Aitia(bug, report=syz).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("K1", "A2")
+
+    def test_header_not_duplicated(self):
+        bug = get_bug("SYZ-04")
+        report = run_bug_finder(bug).crash  # kernel_log starts with BUG:
+        text = render_crash_report(report)
+        assert text.count("BUG:") == 1
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(CrashParseError, match="BUG"):
+            parse_crash_report("KASAN: use-after-free in A at A3")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CrashParseError, match="unknown failure kind"):
+            parse_crash_report("BUG: exploded spectacularly in A at A3")
+
+    def test_empty_text(self):
+        with pytest.raises(CrashParseError):
+            parse_crash_report("")

@@ -1,0 +1,129 @@
+"""Integration tests for the Aitia orchestrator and the syzkaller
+front-end pipeline."""
+
+import pytest
+
+from repro.core.diagnose import Aitia
+from repro.core.lifs import LifsConfig
+from repro.corpus.registry import get_bug
+from repro.trace.syzkaller import run_bug_finder
+
+
+class TestDirectDiagnosis:
+    def test_cve_2017_15649_direct(self):
+        bug = get_bug("CVE-2017-15649")
+        diagnosis = Aitia(bug).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.interleaving_count == 2
+        assert diagnosis.chain.contains_race_between("B2", "A6")
+        assert diagnosis.chain.contains_race_between("A2", "B11")
+        assert diagnosis.chain.contains_race_between("A6", "B12")
+
+    def test_costs_are_populated(self):
+        bug = get_bug("CVE-2017-2671")
+        diagnosis = Aitia(bug).diagnose()
+        assert diagnosis.lifs_cost.seconds > 0
+        assert diagnosis.ca_cost.seconds > 0
+        # CA is dominated by reboots (failing flips), so its per-schedule
+        # cost must exceed LIFS's.
+        lifs_per = diagnosis.lifs_cost.seconds / diagnosis.lifs_schedules
+        ca_per = diagnosis.ca_cost.seconds / diagnosis.ca_schedules
+        assert ca_per > lifs_per
+
+    def test_render_mentions_chain(self):
+        bug = get_bug("SYZ-04")
+        diagnosis = Aitia(bug).diagnose()
+        text = diagnosis.render()
+        assert "chain:" in text
+        assert "K1 => A2" in text
+
+    def test_unreproduced_diagnosis(self):
+        bug = get_bug("CVE-2017-15649")
+        diagnosis = Aitia(bug,
+                          lifs_config=LifsConfig(max_schedules=3)).diagnose()
+        assert not diagnosis.reproduced
+        assert diagnosis.chain is None
+        assert "NOT reproduced" in diagnosis.render()
+
+
+class TestBugFinderPipeline:
+    def test_report_contains_history_and_crash(self):
+        bug = get_bug("CVE-2017-15649")
+        report = run_bug_finder(bug)
+        assert report.crash.symptom is bug.bug_type
+        assert report.crash.location == bug.failure_location
+        assert len(report.history.syscalls) >= len(bug.threads)
+        assert report.fuzzing_runs >= 1
+
+    def test_report_driven_diagnosis(self):
+        bug = get_bug("CVE-2017-15649")
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.slice_used is not None
+        assert diagnosis.slices_tried >= 1
+        assert diagnosis.chain.contains_race_between("A6", "B12")
+
+    def test_decoy_slice_is_rejected_first(self):
+        """CVE-2019-6974's history has an innocuous concurrent group
+        closer to the failure; AITIA must reject it and move on."""
+        bug = get_bug("CVE-2019-6974")
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.slices_tried >= 2
+        procs = {e.proc for e in diagnosis.slice_used.syscall_events}
+        assert procs == {"A", "B"}
+
+    def test_inconsistent_workload_raises(self):
+        bug = get_bug("CVE-2017-15649")
+
+        class Broken:
+            bug_id = "broken"
+            machine_factory = bug.machine_factory
+            known_failing_schedule = type(bug.known_failing_schedule)(
+                start_order=("A", "B"))  # serial order does not crash
+            history = bug.history
+
+        with pytest.raises(RuntimeError, match="did not crash"):
+            run_bug_finder(Broken())
+
+    def test_setup_calls_replayed_in_slices(self):
+        bug = get_bug("CVE-2017-15649")
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert len(diagnosis.slice_used.setup) >= 1
+        assert diagnosis.slice_used.setup[0].name == "socket"
+
+
+class TestKthreadBugsThroughPipeline:
+    @pytest.mark.parametrize("bug_id", ["SYZ-04", "SYZ-11", "SYZ-12"])
+    def test_background_thread_bug(self, bug_id):
+        bug = get_bug(bug_id)
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        threads = {t.thread for t in diagnosis.lifs_result.failure_run.trace}
+        assert any(t.startswith(("kworker/", "rcu/")) for t in threads)
+
+
+class TestSliceAccounting:
+    def test_rejected_slices_counted(self):
+        """SYZ-07's closest slice is an innocuous decoy pair: its LIFS
+        work must be accounted separately from the winner's."""
+        bug = get_bug("SYZ-07")
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.slices_tried >= 2
+        assert diagnosis.rejected_slice_schedules >= 2
+        assert (diagnosis.total_lifs_schedules
+                == diagnosis.lifs_schedules
+                + diagnosis.rejected_slice_schedules)
+
+    def test_single_slice_has_no_rejected_work(self):
+        bug = get_bug("CVE-2017-15649")
+        report = run_bug_finder(bug)
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.rejected_slice_schedules == 0
+        assert diagnosis.total_lifs_schedules == diagnosis.lifs_schedules

@@ -1,0 +1,77 @@
+"""Tests for the whole-corpus evaluation module and its CLI commands."""
+
+import json
+
+import pytest
+
+from repro.analysis.evaluation import (
+    BugEvaluation,
+    CorpusEvaluation,
+    evaluate_bug,
+    evaluate_corpus,
+)
+from repro.cli import main
+from repro.corpus.registry import get_bug
+
+
+class TestEvaluateBug:
+    def test_row_fields(self):
+        row = evaluate_bug(get_bug("CVE-2017-2671"))
+        assert row.reproduced
+        assert row.bug_id == "CVE-2017-2671"
+        assert row.interleavings == 1
+        assert row.races_in_chain == 2
+        assert row.races_detected > row.races_in_chain
+        assert row.benign_excluded > 0
+        assert "GPF" in row.bug_type
+        assert "->" in row.chain
+
+    def test_pipeline_mode_counts_slices(self):
+        row = evaluate_bug(get_bug("SYZ-04"), pipeline=True)
+        assert row.reproduced
+        assert row.slices_tried >= 1
+
+
+class TestCorpusEvaluation:
+    @pytest.fixture(scope="class")
+    def small_eval(self):
+        bugs = [get_bug("CVE-2017-2671"), get_bug("SYZ-05"),
+                get_bug("CVE-2016-10200")]
+        return evaluate_corpus(bugs)
+
+    def test_counts(self, small_eval):
+        assert small_eval.reproduced_count == 3
+        assert small_eval.ambiguous_bugs == ["CVE-2016-10200"]
+
+    def test_averages(self, small_eval):
+        averages = small_eval.averages()
+        assert averages["races_in_chain"] >= 1
+        assert (averages["races_detected"]
+                >= averages["races_in_chain"])
+        assert (averages["memory_accesses"]
+                >= averages["races_detected"])
+
+    def test_json_export(self, small_eval):
+        payload = json.loads(small_eval.to_json())
+        assert payload["aggregates"]["reproduced"] == 3
+        assert len(payload["rows"]) == 3
+        assert payload["rows"][0]["bug_id"] == "CVE-2017-2671"
+
+    def test_empty_evaluation_averages(self):
+        assert CorpusEvaluation().averages()["races_detected"] == 0.0
+
+
+class TestCliEvaluateMinimize:
+    def test_evaluate_command(self, capsys, tmp_path):
+        out_json = tmp_path / "eval.json"
+        assert main(["evaluate", "SYZ-05", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "SYZ-05" in out and "averages" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["aggregates"]["bugs"] == 1
+
+    def test_minimize_command(self, capsys):
+        assert main(["minimize", "SYZ-04"]) == 0
+        out = capsys.readouterr().out
+        assert "minimized:" in out
+        assert "still fails" in out

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run end-to-end and produce the
+output it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "AITIA diagnosis: FIG-1" in out
+    assert "chain:" in out
+
+
+def test_cve_walkthrough():
+    out = _run("diagnose_cve_2017_15649.py")
+    assert "LIFS: reproduced" in out
+    assert "B2 => A6" in out
+    assert "Causality chain" in out
+
+
+def test_syzkaller_pipeline():
+    out = _run("syzkaller_pipeline.py")
+    assert "bug finder report" in out
+    assert "slices, backward from the failure" in out
+    assert "K1 => A2" in out
+
+
+def test_authoring_new_bugs():
+    out = _run("authoring_new_bugs.py")
+    assert "reproduced: True" in out
+    assert "chain:" in out
+    assert "example-conn-uaf" in out
+
+
+def test_benign_race_triage():
+    out = _run("benign_race_triage.py")
+    assert "ROOT CAUSE" in out
+    assert "benign" in out
+    assert "conciseness" in out
+
+
+def test_interactive_rewind():
+    out = _run("interactive_rewind.py")
+    assert "future 1" in out and "failure = None" in out
+    assert "future 2" in out and "BUG" in out
+
+
+def test_archive_and_rediagnose():
+    out = _run("archive_and_rediagnose.py")
+    assert "archived fuzzer output" in out
+    assert "re-diagnosis from the archived files" in out
+    assert "verified: replay crashes identically" in out

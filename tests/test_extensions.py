@@ -1,0 +1,153 @@
+"""Tests for the IRQ-context extension (paper section 4.6 future work)."""
+
+import itertools
+
+import pytest
+
+from repro.core.diagnose import Aitia
+from repro.corpus.registry import extension_bugs, get_bug
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.kernel.threads import ThreadKind
+from repro.trace.syzkaller import run_bug_finder
+
+
+@pytest.fixture(scope="module")
+def irq_bug():
+    return get_bug("EXT-IRQ-01")
+
+
+class TestIrqExtensionModel:
+    def test_registered_as_extension(self, irq_bug):
+        assert irq_bug in extension_bugs()
+        assert irq_bug.source == "extension"
+
+    def test_irq_thread_kind(self, irq_bug):
+        machine = irq_bug.machine_factory()
+        assert machine.thread("irq0").kind is ThreadKind.IRQ
+
+    def test_known_injection_crashes(self, irq_bug):
+        run = ScheduleController(irq_bug.machine_factory(),
+                                 irq_bug.known_failing_schedule).run()
+        assert run.failed
+        assert run.failure.thread == "irq0"
+
+    def test_serial_orders_are_safe(self, irq_bug):
+        for order in itertools.permutations(["A", "irq0"]):
+            run = ScheduleController(irq_bug.machine_factory(),
+                                     serial_schedule(order)).run()
+            assert run.failure is None
+
+
+class TestIrqDiagnosis:
+    def test_direct_diagnosis(self, irq_bug):
+        diagnosis = Aitia(irq_bug).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("A2", "I2")
+        assert diagnosis.interleaving_count == 1
+
+    def test_handler_is_never_preempted(self, irq_bug):
+        """In every run LIFS executed, the IRQ handler's instructions are
+        contiguous in the global order (atomic injection)."""
+        diagnosis = Aitia(irq_bug).diagnose()
+        runs = list(diagnosis.lifs_result.sample_runs)
+        runs.append(diagnosis.lifs_result.failure_run)
+        for run in runs:
+            seqs = [t.seq for t in run.trace if t.thread == "irq0"]
+            if len(seqs) > 1:
+                assert seqs == list(range(min(seqs), max(seqs) + 1)), (
+                    f"IRQ handler interleaved in {run.schedule.describe()}")
+
+    def test_report_pipeline_with_irq_event(self, irq_bug):
+        report = run_bug_finder(irq_bug)
+        irq_events = [e for e in report.history.kthread_invocations
+                      if e.kind is ThreadKind.IRQ]
+        assert irq_events, "history must carry the IRQ invocation"
+        diagnosis = Aitia(irq_bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("A2", "I2")
+
+    def test_ca_flip_averts_the_uaf(self, irq_bug):
+        diagnosis = Aitia(irq_bug).diagnose()
+        result = diagnosis.ca_result
+        fatal = [u for u in result.root_cause_units
+                 if "A2 => I2" in str(u)]
+        assert fatal, "the free-vs-read race must be the root cause"
+        assert not diagnosis.chain.has_ambiguity
+
+
+class TestRcuExtension:
+    @pytest.fixture(scope="class")
+    def rcu_bug(self):
+        return get_bug("EXT-RCU-01")
+
+    def test_rcu_callback_context(self, rcu_bug):
+        diagnosis = Aitia(rcu_bug).diagnose()
+        assert diagnosis.reproduced
+        threads = {t.thread for t in diagnosis.lifs_result.failure_run.trace}
+        assert any(t.startswith("rcu/") for t in threads)
+
+    def test_chain_crosses_into_rcu(self, rcu_bug):
+        diagnosis = Aitia(rcu_bug).diagnose()
+        assert diagnosis.chain.contains_race_between("R1", "B2")
+        assert diagnosis.chain.contains_race_between("B1", "A3")
+
+    def test_report_pipeline(self, rcu_bug):
+        report = run_bug_finder(rcu_bug)
+        diagnosis = Aitia(rcu_bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("R1", "B2")
+
+
+class TestThreeSyscallExtension:
+    @pytest.fixture(scope="class")
+    def tri_bug(self):
+        return get_bug("EXT-3SC-01")
+
+    def test_serial_orders_safe(self, tri_bug):
+        names = [t.proc for t in tri_bug.threads]
+        for order in itertools.permutations(names):
+            run = ScheduleController(tri_bug.machine_factory(),
+                                     serial_schedule(order)).run()
+            assert run.failure is None, order
+
+    def test_three_context_chain(self, tri_bug):
+        diagnosis = Aitia(tri_bug).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("C1", "A0")
+        assert diagnosis.chain.contains_race_between("A1", "B1")
+        threads = {r.first.thread for r in diagnosis.chain.races}
+        threads |= {r.second.thread for r in diagnosis.chain.races}
+        assert threads == {"A", "B", "C"}
+
+    def test_slicer_builds_three_thread_slice(self, tri_bug):
+        report = run_bug_finder(tri_bug)
+        diagnosis = Aitia(tri_bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.slice_used.thread_count == 3
+
+
+class TestLockFreeExtension:
+    @pytest.fixture(scope="class")
+    def lf_bug(self):
+        return get_bug("EXT-LF-01")
+
+    def test_atomic_ops_race_but_stay_benign_when_ordered(self, lf_bug):
+        """Serial pushes never leak: the cmpxchg succeeds either way."""
+        names = [t.proc for t in lf_bug.threads]
+        for order in itertools.permutations(names):
+            run = ScheduleController(lf_bug.machine_factory(),
+                                     serial_schedule(order)).run()
+            assert run.failure is None, order
+
+    def test_lost_cmpxchg_is_diagnosed(self, lf_bug):
+        diagnosis = Aitia(lf_bug).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("A2", "B4")
+        assert diagnosis.chain.contains_race_between("B4", "A4")
+        assert not diagnosis.chain.has_ambiguity
+
+    def test_leak_failure_names_the_lost_allocation(self, lf_bug):
+        diagnosis = Aitia(lf_bug).diagnose()
+        failure = diagnosis.lifs_result.failure_run.failure
+        assert failure.kind.name == "MEMORY_LEAK"
+        assert failure.instr_label == "A1"

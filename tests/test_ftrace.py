@@ -1,0 +1,109 @@
+"""Tests for the textual ftrace log format."""
+
+import pytest
+
+from repro.corpus.registry import get_bug
+from repro.kernel.threads import ThreadKind
+from repro.trace.events import KthreadInvocation, SyscallEvent
+from repro.trace.ftrace import (
+    FtraceParseError,
+    parse_ftrace,
+    render_ftrace,
+)
+from repro.trace.history import ExecutionHistory
+
+
+def _sample_history():
+    history = ExecutionHistory(failure_time=15.5)
+    history.add(SyscallEvent(timestamp=1.0, proc="A", name="open",
+                             entry="tty_open", fd=5, duration=0.5,
+                             is_setup=True))
+    history.add(SyscallEvent(timestamp=12.0, proc="A", name="ioctl",
+                             entry="tty_set_ldisc", fd=5, duration=3.0))
+    history.add(SyscallEvent(timestamp=12.1, proc="B", name="write",
+                             entry="tty_write", duration=3.0))
+    history.add(KthreadInvocation(timestamp=13.0, kind=ThreadKind.KWORKER,
+                                  func="flush_work", source_proc="A",
+                                  source_syscall="ioctl", duration=2.0))
+    return history
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        history = _sample_history()
+        parsed = parse_ftrace(render_ftrace(history))
+        assert parsed.failure_time == history.failure_time
+        assert len(parsed) == len(history)
+        for original, back in zip(history.events, parsed.events):
+            assert type(original) is type(back)
+            assert original.timestamp == back.timestamp
+            assert original.duration == back.duration
+
+    def test_syscall_fields_survive(self):
+        parsed = parse_ftrace(render_ftrace(_sample_history()))
+        call = parsed.syscalls[1]
+        assert call.proc == "A"
+        assert call.name == "ioctl"
+        assert call.entry == "tty_set_ldisc"
+        assert call.fd == 5
+        assert not call.is_setup
+        assert parsed.syscalls[0].is_setup
+
+    def test_missing_fd_round_trips_as_none(self):
+        parsed = parse_ftrace(render_ftrace(_sample_history()))
+        assert parsed.syscalls[2].fd is None
+
+    def test_kthread_fields_survive(self):
+        parsed = parse_ftrace(render_ftrace(_sample_history()))
+        invocation = parsed.kthread_invocations[0]
+        assert invocation.kind is ThreadKind.KWORKER
+        assert invocation.func == "flush_work"
+        assert invocation.source_proc == "A"
+        assert invocation.source_syscall == "ioctl"
+
+    @pytest.mark.parametrize("bug_id",
+                             ["CVE-2017-15649", "SYZ-04", "EXT-IRQ-01"])
+    def test_corpus_histories_round_trip(self, bug_id):
+        history = get_bug(bug_id).history()
+        parsed = parse_ftrace(render_ftrace(history))
+        assert len(parsed) == len(history)
+        assert parsed.failure_time == history.failure_time
+
+    def test_parsed_corpus_history_still_diagnoses(self):
+        """A history archived as text and re-parsed must drive the same
+        diagnosis."""
+        from repro.core.diagnose import Aitia
+        from repro.trace.syzkaller import run_bug_finder
+
+        bug = get_bug("SYZ-04")
+        report = run_bug_finder(bug)
+        report.history = parse_ftrace(render_ftrace(report.history))
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert diagnosis.reproduced
+        assert diagnosis.chain.contains_race_between("K1", "A2")
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(FtraceParseError, match="header"):
+            parse_ftrace("1.0 A sys_enter: open(fd=1) entry=e dur=1.0")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(FtraceParseError, match="timestamp"):
+            parse_ftrace("# tracer: aitia\nnot_a_number A sys_enter: x")
+
+    def test_unknown_event_kind(self):
+        with pytest.raises(FtraceParseError, match="unknown event"):
+            parse_ftrace("# tracer: aitia\n1.0 A frobnicate: x")
+
+    def test_malformed_kv(self):
+        with pytest.raises(FtraceParseError):
+            parse_ftrace("# tracer: aitia\n"
+                         "1.0 A sys_enter: open(fd=1) oops=e dur=1.0")
+
+    def test_comments_are_ignored(self):
+        text = ("# tracer: aitia\n"
+                "#   TIMESTAMP  PROC  EVENT\n"
+                "1.000000 A sys_enter: open(fd=-) entry=e dur=1.000\n")
+        parsed = parse_ftrace(text)
+        assert len(parsed) == 1

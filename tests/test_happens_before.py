@@ -1,0 +1,170 @@
+"""Tests for the vector-clock happens-before analysis."""
+
+import pytest
+
+from repro.core.happens_before import (
+    VectorClock,
+    compute_happens_before,
+    find_data_races_hb,
+)
+from repro.core.races import find_data_races
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.core.schedule import Preemption, Schedule
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_image, fig2_machine
+
+
+class TestVectorClock:
+    def test_tick_advances_own_component(self):
+        clock = VectorClock().tick("A").tick("A").tick("B")
+        assert clock.get("A") == 2
+        assert clock.get("B") == 1
+        assert clock.get("C") == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock.of({"A": 3, "B": 1})
+        b = VectorClock.of({"B": 5, "C": 2})
+        joined = a.join(b)
+        assert joined.as_dict() == {"A": 3, "B": 5, "C": 2}
+
+    def test_leq(self):
+        small = VectorClock.of({"A": 1})
+        big = VectorClock.of({"A": 2, "B": 1})
+        assert small.leq(big)
+        assert not big.leq(small)
+
+    def test_concurrent_clocks_not_ordered(self):
+        a = VectorClock.of({"A": 2, "B": 0})
+        b = VectorClock.of({"A": 1, "B": 3})
+        assert not a.leq(b) and not b.leq(a)
+
+
+def _run_serial(order=("A", "B")):
+    m = fig2_machine()
+    return m, ScheduleController(m, serial_schedule(order)).run()
+
+
+class TestHappensBefore:
+    def test_program_order(self):
+        m, run = _run_serial()
+        index = compute_happens_before(run.trace, m.image,
+                                       run.spawn_events)
+        a_seqs = [t.seq for t in run.trace if t.thread == "A"]
+        assert index.happens_before(a_seqs[0], a_seqs[-1])
+        assert not index.happens_before(a_seqs[-1], a_seqs[0])
+
+    def test_unsynchronized_threads_are_concurrent(self):
+        m, run = _run_serial()
+        index = compute_happens_before(run.trace, m.image,
+                                       run.spawn_events)
+        a_seq = next(t.seq for t in run.trace if t.thread == "A")
+        b_seq = next(t.seq for t in run.trace if t.thread == "B")
+        assert index.concurrent(a_seq, b_seq)
+
+    def test_lock_handoff_orders_sections(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L")
+            f.store(f.g("x"), 1, label="A1")
+            f.unlock("L")
+        with b.function("bb") as f:
+            f.lock("L")
+            f.load("v", f.g("x"), label="B1")
+            f.unlock("L")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        run = ScheduleController(m, serial_schedule(["A", "B"])).run()
+        index = compute_happens_before(run.trace, image, run.spawn_events)
+        a1 = next(t.seq for t in run.trace if t.instr_label == "A1")
+        b1 = next(t.seq for t in run.trace if t.instr_label == "B1")
+        # A released L before B acquired it: A1 happens-before B1.
+        assert index.happens_before(a1, b1)
+        assert not index.concurrent(a1, b1)
+
+    def test_spawn_edge_orders_parent_prefix_before_child(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.store(f.g("x"), 1, label="M1")
+            f.queue_work("work", label="M2")
+            f.store(f.g("y"), 1, label="M3")
+        with b.function("work") as f:
+            f.load("v", f.g("x"), label="W1")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("T", "main")])
+        run = ScheduleController(m, serial_schedule(["T"])).run()
+        index = compute_happens_before(run.trace, image, run.spawn_events)
+        m1 = next(t.seq for t in run.trace if t.instr_label == "M1")
+        w1 = next(t.seq for t in run.trace if t.instr_label == "W1")
+        assert index.happens_before(m1, w1)
+
+    def test_unknown_seq_raises(self):
+        m, run = _run_serial()
+        index = compute_happens_before(run.trace, m.image, ())
+        with pytest.raises(KeyError):
+            index.happens_before(10**9, 1)
+
+
+class TestHbRaces:
+    def test_hb_races_subset_of_lockset_races(self):
+        m, run = _run_serial()
+        lockset = {r.key for r in find_data_races(run.accesses)}
+        hb = {r.key for r in find_data_races_hb(
+            run.accesses, run.trace, m.image, run.spawn_events)}
+        assert hb <= lockset
+
+    def test_lock_handoff_pair_excluded_by_hb(self):
+        """A pair ordered only through a third variable's lock chain is
+        a lockset race but not an HB race."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.store(f.g("x"), 1, label="A1")  # no lock held
+            f.lock("L")
+            f.store(f.g("token"), 1, label="A2")
+            f.unlock("L")
+        with b.function("bb") as f:
+            f.lock("L")
+            f.load("t", f.g("token"), label="B1")
+            f.unlock("L")
+            f.load("v", f.g("x"), label="B2")  # no lock held
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        run = ScheduleController(m, serial_schedule(["A", "B"])).run()
+        lockset = {str(r) for r in find_data_races(run.accesses)}
+        hb = {str(r) for r in find_data_races_hb(
+            run.accesses, run.trace, image, run.spawn_events)}
+        # A1 => B2 is ordered transitively through the L hand-off.
+        assert "A1 => B2" in lockset
+        assert "A1 => B2" not in hb
+
+    def test_spawn_ordered_pair_excluded_by_hb(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.store(f.g("x"), 1, label="M1")
+            f.queue_work("work", label="M2")
+        with b.function("work") as f:
+            f.load("v", f.g("x"), label="W1")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("T", "main")])
+        run = ScheduleController(m, serial_schedule(["T"])).run()
+        lockset = {str(r) for r in find_data_races(run.accesses)}
+        hb = {str(r) for r in find_data_races_hb(
+            run.accesses, run.trace, image, run.spawn_events)}
+        assert "M1 => W1" in lockset  # lockset cannot see the spawn edge
+        assert "M1 => W1" not in hb
+
+    def test_fig2_failure_races_survive_hb(self):
+        """The real races of the Figure 2 failure are genuinely
+        concurrent: happens-before must keep all of them."""
+        from helpers import run_thread, run_until
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        run_until(m, "B", "B12")
+        run_until(m, "A", "A12")
+        run_thread(m, "B")
+        hb = {str(r) for r in find_data_races_hb(
+            m.access_log, m.trace, m.image, m.spawn_events)}
+        assert {"A2 => B11", "B2 => A6", "A6 => B12"} <= hb

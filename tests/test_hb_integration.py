@@ -1,0 +1,58 @@
+"""Integration of happens-before filtering into Causality Analysis."""
+
+import pytest
+
+from repro.core.causality import CaConfig, CausalityAnalysis
+from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
+from repro.corpus.registry import get_bug
+
+
+def _lifs_result(bug):
+    lifs = LeastInterleavingFirstSearch(
+        bug.machine_factory, [t.proc for t in bug.threads],
+        FailureMatcher(kind=bug.bug_type, location=bug.failure_location))
+    result = lifs.search()
+    assert result.reproduced
+    return result
+
+
+@pytest.mark.parametrize("bug_id", [
+    "CVE-2017-15649", "SYZ-04", "SYZ-08", "SYZ-12", "FIG-5",
+])
+def test_hb_filtering_preserves_the_chain(bug_id):
+    """Happens-before refinement removes only unflippable pairs, so the
+    diagnosis must be identical while testing no more units."""
+    bug = get_bug(bug_id)
+    result = _lifs_result(bug)
+    base_ca = CausalityAnalysis(bug.machine_factory, result)
+    base_units = len(base_ca.units)
+    base = base_ca.analyze()
+    hb_ca = CausalityAnalysis(bug.machine_factory, result,
+                              config=CaConfig(use_happens_before=True))
+    hb_units = len(hb_ca.units)
+    hb = hb_ca.analyze()
+    assert hb.chain.render() == base.chain.render()
+    assert hb_units <= base_units
+
+
+def test_hb_filtering_drops_spawn_ordered_pairs():
+    """A pair ordered by the queue_work edge is not testable as a race;
+    the HB-refined unit set must be strictly smaller when one exists."""
+    bug = get_bug("SYZ-12")
+    result = _lifs_result(bug)
+    base = CausalityAnalysis(bug.machine_factory, result)
+    refined = CausalityAnalysis(bug.machine_factory, result,
+                                config=CaConfig(use_happens_before=True))
+    assert len(refined.units) < len(base.units)
+
+
+def test_hb_filtering_never_drops_root_causes():
+    for bug_id in ("CVE-2019-6974", "SYZ-04", "EXT-RCU-01"):
+        bug = get_bug(bug_id)
+        result = _lifs_result(bug)
+        refined = CausalityAnalysis(
+            bug.machine_factory, result,
+            config=CaConfig(use_happens_before=True)).analyze()
+        for pair in bug.expected_chain_pairs:
+            assert refined.chain.contains_race_between(*pair), (
+                bug_id, pair)

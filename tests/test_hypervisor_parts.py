@@ -1,0 +1,140 @@
+"""Unit tests for breakpoints, watchpoints, trampoline, VMs and the pool."""
+
+import pytest
+
+from repro.hypervisor.breakpoints import (
+    Breakpoint,
+    BreakpointManager,
+    Watchpoint,
+    WatchpointManager,
+)
+from repro.hypervisor.manager import VmPool
+from repro.hypervisor.trampoline import ParkReason, Trampoline
+from repro.hypervisor.vm import VirtualMachine
+from repro.hypervisor.controller import serial_schedule
+from repro.kernel.access import AccessKind, MemoryAccess
+
+from helpers import fig2_machine
+
+
+def _access(thread="B", addr=100, kind=AccessKind.READ):
+    return MemoryAccess(seq=1, thread=thread, instr_addr=0x20,
+                        instr_label="B2", func="f", data_addr=addr,
+                        kind=kind, occurrence=1)
+
+
+class TestBreakpoints:
+    def test_wildcard_breakpoint_matches_any_thread(self):
+        bpm = BreakpointManager()
+        bpm.install(Breakpoint(0x10))
+        assert bpm.hit("A", 0x10, 1)
+        assert bpm.hit("B", 0x10, 5)
+        assert bpm.hit("A", 0x14, 1) is None
+
+    def test_thread_and_occurrence_filters(self):
+        bp = Breakpoint(0x10, thread="A", occurrence=2)
+        assert bp.matches("A", 0x10, 2)
+        assert not bp.matches("B", 0x10, 2)
+        assert not bp.matches("A", 0x10, 1)
+
+    def test_remove_and_clear(self):
+        bpm = BreakpointManager()
+        bp = Breakpoint(0x10)
+        bpm.install(bp)
+        assert len(bpm) == 1
+        bpm.remove(bp)
+        assert len(bpm) == 0
+        bpm.install(bp)
+        bpm.clear()
+        assert bpm.hit("A", 0x10, 1) is None
+
+
+class TestWatchpoints:
+    def test_other_thread_access_traps(self):
+        wpm = WatchpointManager()
+        wpm.install(Watchpoint(data_addr=100, owner_thread="A",
+                               owner_instr_addr=0x10, owner_label="A6"))
+        hits = wpm.observe(_access(thread="B", addr=100))
+        assert len(hits) == 1
+        assert hits[0].watchpoint.owner_label == "A6"
+
+    def test_owner_access_does_not_trap(self):
+        wpm = WatchpointManager()
+        wpm.install(Watchpoint(100, "A", 0x10))
+        assert wpm.observe(_access(thread="A", addr=100)) == []
+
+    def test_unwatched_address_ignored(self):
+        wpm = WatchpointManager()
+        wpm.install(Watchpoint(100, "A", 0x10))
+        assert wpm.observe(_access(addr=200)) == []
+
+    def test_remove_owned_by(self):
+        wpm = WatchpointManager()
+        wpm.install(Watchpoint(100, "A", 0x10))
+        wpm.remove_owned_by("A", 0x10)
+        assert wpm.observe(_access(addr=100)) == []
+
+
+class TestTrampoline:
+    def test_preempted_parking_is_lifo(self):
+        t = Trampoline()
+        t.park_preempted("A", 0x10)
+        t.park_preempted("B", 0x20)
+        assert t.resume_candidates() == ["B", "A"]
+        t.release("B")
+        assert t.resume_candidates() == ["A"]
+        assert not t.is_parked("B")
+
+    def test_constraint_parking(self):
+        t = Trampoline()
+        t.park_on_constraint("A", 3, 0x10)
+        assert t.parked_reason("A") is ParkReason.CONSTRAINT
+        assert t.constraint_index("A") == 3
+        released = t.release_constraint_parked()
+        assert released == ["A"]
+        assert not t.is_parked("A")
+
+    def test_release_constraint_leaves_preempted(self):
+        t = Trampoline()
+        t.park_preempted("A", 0x10)
+        t.park_on_constraint("B", 1, 0x20)
+        assert t.release_constraint_parked() == ["B"]
+        assert t.is_parked("A")
+
+    def test_clear(self):
+        t = Trampoline()
+        t.park_preempted("A", 0x10)
+        t.clear()
+        assert t.parked_threads() == []
+
+
+class TestVirtualMachine:
+    def test_accounting_counts_reboots_and_restores(self):
+        vm = VirtualMachine(0, fig2_machine)
+        ok = vm.execute(serial_schedule(["A", "B"]))
+        assert not ok.failed
+        assert vm.accounting.restores == 1
+        assert vm.accounting.reboots == 0
+        assert vm.accounting.runs == 1
+        assert vm.accounting.steps == ok.steps
+
+
+class TestVmPool:
+    def test_round_robin_assignment(self):
+        pool = VmPool(fig2_machine, vm_count=3)
+        for _ in range(6):
+            pool.execute(serial_schedule(["A", "B"]))
+        assert [vm.accounting.runs for vm in pool.vms] == [2, 2, 2]
+        assert pool.total_runs == 6
+        assert pool.busy_vms == 3
+
+    def test_execute_all(self):
+        pool = VmPool(fig2_machine, vm_count=2)
+        runs = pool.execute_all([serial_schedule(["A", "B"]),
+                                 serial_schedule(["B", "A"])])
+        assert len(runs) == 2
+        assert pool.parallel_speedup() == 2.0
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            VmPool(fig2_machine, vm_count=0)

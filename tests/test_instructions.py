@@ -1,0 +1,108 @@
+"""Unit tests for the instruction IR and operand model."""
+
+import pytest
+
+from repro.kernel.instructions import (
+    BINARY_OPERATORS,
+    BLOCK_TERMINATORS,
+    MEMORY_OPS,
+    Deref,
+    Global,
+    Imm,
+    Instruction,
+    Op,
+    Reg,
+)
+
+
+class TestOperands:
+    def test_reg_repr(self):
+        assert repr(Reg("r0")) == "%r0"
+
+    def test_imm_repr(self):
+        assert repr(Imm(7)) == "$7"
+
+    def test_global_repr(self):
+        assert repr(Global("po_fanout")) == "@po_fanout"
+
+    def test_deref_repr_no_offset(self):
+        assert repr(Deref("p")) == "[%p]"
+
+    def test_deref_repr_with_offset(self):
+        assert repr(Deref("p", 8)) == "[%p+8]"
+
+    def test_operands_are_hashable(self):
+        assert {Reg("a"), Reg("a")} == {Reg("a")}
+        assert {Deref("p", 0), Deref("p", 8)} != {Deref("p", 0)}
+
+
+class TestInstructionProperties:
+    def test_load_accesses_and_reads(self):
+        instr = Instruction(Op.LOAD, (Reg("r"), Global("x")))
+        assert instr.accesses_memory
+        assert instr.reads_memory
+        assert not instr.writes_memory
+
+    def test_store_writes(self):
+        instr = Instruction(Op.STORE, (Global("x"), Imm(1)))
+        assert instr.accesses_memory
+        assert instr.writes_memory
+        assert not instr.reads_memory
+
+    def test_inc_reads_and_writes(self):
+        instr = Instruction(Op.INC, (Global("x"), Imm(1)))
+        assert instr.reads_memory and instr.writes_memory
+
+    def test_free_is_a_write_access(self):
+        # KASAN semantics: free conflicts with any access to the object.
+        instr = Instruction(Op.FREE, (Reg("p"),))
+        assert instr.accesses_memory
+        assert instr.writes_memory
+
+    def test_mov_is_not_a_memory_op(self):
+        instr = Instruction(Op.MOV, (Reg("a"), Imm(0)))
+        assert not instr.accesses_memory
+
+    def test_branches_terminate_blocks(self):
+        for op in (Op.BRZ, Op.BRNZ, Op.JMP, Op.RET):
+            assert op in BLOCK_TERMINATORS
+        assert Op.LOAD not in BLOCK_TERMINATORS
+
+    def test_memory_ops_set_is_consistent_with_properties(self):
+        for op in MEMORY_OPS:
+            instr = Instruction(op, ())
+            assert instr.accesses_memory
+
+    def test_name_prefers_label(self):
+        instr = Instruction(Op.NOP, (), label="A6")
+        assert instr.name == "A6"
+
+    def test_name_falls_back_to_position(self):
+        instr = Instruction(Op.NOP, ())
+        instr.func = "foo"
+        instr.index = 3
+        assert instr.name == "foo+3"
+
+    def test_repr_includes_target(self):
+        instr = Instruction(Op.JMP, (), target="out")
+        assert "-> out" in repr(instr)
+
+
+class TestBinaryOperators:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 2, 3, 5),
+        ("sub", 5, 3, 2),
+        ("mul", 4, 3, 12),
+        ("and", 6, 3, 2),
+        ("or", 4, 1, 5),
+        ("xor", 7, 2, 5),
+        ("eq", 3, 3, 1),
+        ("eq", 3, 4, 0),
+        ("ne", 3, 4, 1),
+        ("lt", 2, 3, 1),
+        ("le", 3, 3, 1),
+        ("gt", 4, 3, 1),
+        ("ge", 2, 3, 0),
+    ])
+    def test_semantics(self, op, a, b, expected):
+        assert BINARY_OPERATORS[op](a, b) == expected

@@ -1,0 +1,52 @@
+"""Tests for the kcov analogue (basic-block coverage)."""
+
+from repro.kernel.kcov import Kcov
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_image, run_thread
+
+
+def _covered_machine():
+    image = fig2_image()
+    kcov = Kcov(image)
+    machine = KernelMachine(
+        image,
+        [ThreadSpec("A", "fanout_add"), ThreadSpec("B", "packet_do_bind")],
+        globals_init={"po_running": 1, "po_fanout": 0, "global_list": ()},
+        coverage_cb=kcov,
+    )
+    return image, kcov, machine
+
+
+class TestKcov:
+    def test_blocks_reported_per_thread(self):
+        image, kcov, machine = _covered_machine()
+        run_thread(machine, "A")
+        blocks_a = kcov.covered_blocks("A")
+        assert blocks_a, "thread A must cover blocks"
+        assert kcov.covered_blocks("B") == []
+
+    def test_covered_blocks_map_to_memory_instructions(self):
+        image, kcov, machine = _covered_machine()
+        run_thread(machine, "A")
+        labels = {i.label for i in kcov.memory_instructions("A")}
+        # A's path: A2 (load), A6 (store), A12 (list_add).
+        assert {"A2", "A6", "A12"} <= labels
+
+    def test_untaken_path_not_covered(self):
+        image, kcov, machine = _covered_machine()
+        run_thread(machine, "A")  # sets po_fanout
+        run_thread(machine, "B")  # B2 reads non-NULL -> early return
+        labels = {i.label for i in kcov.memory_instructions("B")}
+        assert "B11" not in labels  # unregister_hook never entered
+
+    def test_unique_blocks_deduplicate(self):
+        image, kcov, machine = _covered_machine()
+        run_thread(machine, "A")
+        assert len(kcov.unique_blocks("A")) <= len(kcov.covered_blocks("A"))
+
+    def test_reset_clears_coverage(self):
+        image, kcov, machine = _covered_machine()
+        run_thread(machine, "A")
+        kcov.reset()
+        assert kcov.covered_blocks("A") == []

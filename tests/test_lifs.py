@@ -1,0 +1,175 @@
+"""Tests for Least Interleaving First Search."""
+
+import pytest
+
+from repro.core.lifs import (
+    FailureMatcher,
+    LeastInterleavingFirstSearch,
+    LifsConfig,
+)
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import Failure, FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_factory, fig2_machine
+
+
+class TestFailureMatcher:
+    def test_any_failure_matches_everything(self):
+        matcher = FailureMatcher.any_failure()
+        assert matcher.matches(Failure(FailureKind.GPF, instr_label="X"))
+        assert not matcher.matches(None)
+
+    def test_kind_filter(self):
+        matcher = FailureMatcher(kind=FailureKind.ASSERTION)
+        assert matcher.matches(Failure(FailureKind.ASSERTION))
+        assert not matcher.matches(Failure(FailureKind.GPF))
+
+    def test_location_filter(self):
+        matcher = FailureMatcher(location="B17")
+        assert matcher.matches(Failure(FailureKind.ASSERTION,
+                                       instr_label="B17"))
+        assert not matcher.matches(Failure(FailureKind.ASSERTION,
+                                           instr_label="A3"))
+
+
+class TestReproduction:
+    def test_reproduces_fig2(self):
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        assert result.reproduced
+        assert result.failure_run.failure.instr_label == "B17"
+        # Figure 2's bug needs two preemptions (Table 2's interleaving
+        # count for CVE-2017-15649).
+        assert result.interleaving_count == 2
+        rendered = {str(r) for r in result.races}
+        assert {"A2 => B11", "B2 => A6", "A6 => B12"} <= rendered
+
+    def test_serial_failure_found_at_interleaving_zero(self):
+        b = ProgramBuilder()
+        with b.function("w") as f:
+            f.store(f.g("x"), 1, label="W1")
+        with b.function("r") as f:
+            f.load("v", f.g("x"), label="R1")
+            f.bug_on("v", "saw the write", label="R2")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("W", "w"),
+                                         ThreadSpec("R", "r")])
+
+        lifs = LeastInterleavingFirstSearch(factory, ["W", "R"])
+        result = lifs.search()
+        assert result.reproduced
+        assert result.interleaving_count == 0
+        assert result.stats.schedules_executed == 1  # first serial order
+
+    def test_race_free_model_is_not_reproduced(self):
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L")
+            f.inc(f.g("c"), 1, label="A1")
+            f.unlock("L")
+        with b.function("bb") as f:
+            f.lock("L")
+            f.inc(f.g("c"), 1, label="B1")
+            f.unlock("L")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+
+        lifs = LeastInterleavingFirstSearch(factory, ["A", "B"])
+        result = lifs.search()
+        assert not result.reproduced
+        assert result.failure_run is None
+
+    def test_search_respects_schedule_budget(self):
+        config = LifsConfig(max_schedules=2)
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION), config=config)
+        result = lifs.search()
+        assert not result.reproduced
+        assert result.stats.schedules_executed <= 2
+
+    def test_wrong_symptom_is_not_accepted(self):
+        # Looking for a GPF in a model that only BUG_ONs: never reproduced.
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.GPF),
+            config=LifsConfig(max_interleavings=3))
+        result = lifs.search()
+        assert not result.reproduced
+
+
+class TestSearchStrategy:
+    def test_rounds_ascend_in_interleaving_count(self):
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        rounds = result.stats.per_round_executed
+        assert 0 in rounds and 1 in rounds and 2 in rounds
+        assert rounds[0] == 2  # both serial orders
+
+    def test_pruning_happens(self):
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        # The global_list access (A12) has no conflicting access from B in
+        # early rounds, so at least one candidate must be pruned.
+        assert result.stats.candidates_pruned > 0
+
+    def test_equivalent_runs_detected(self):
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        assert result.stats.equivalent_runs > 0
+
+    def test_sample_runs_respect_cap(self):
+        config = LifsConfig(keep_runs=3)
+        lifs = LeastInterleavingFirstSearch(
+            fig2_factory(), ["A", "B"],
+            FailureMatcher(kind=FailureKind.ASSERTION), config=config)
+        result = lifs.search()
+        assert len(result.sample_runs) <= 3
+
+
+class TestDynamicDiscovery:
+    def test_race_steered_kworker_is_found(self):
+        """Figure 5: the kworker only exists when A1 => B1; LIFS must
+        discover it dynamically and reproduce the K1 => A3 failure."""
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.store(f.g("m1"), 1, label="A1")
+            f.load("x", f.g("m2"), label="A2")
+            f.load("p", f.g("m3"), label="A3a")
+            f.bug_on("p", "K1 won", label="A3")
+        with b.function("bb") as f:
+            f.load("v", f.g("m1"), label="B1")
+            f.store(f.g("m2"), 7, label="B2")
+            f.brz("v", "out", label="B3a")
+            f.queue_work("k", label="B3")
+            f.ret(label="out")
+        with b.function("k") as f:
+            f.store(f.g("m3"), 1, label="K1")
+        image = b.build()
+
+        def factory():
+            return KernelMachine(image, [ThreadSpec("A", "a"),
+                                         ThreadSpec("B", "bb")])
+
+        lifs = LeastInterleavingFirstSearch(
+            factory, ["A", "B"], FailureMatcher(kind=FailureKind.ASSERTION))
+        result = lifs.search()
+        assert result.reproduced
+        threads = {t.thread for t in result.failure_run.trace}
+        assert any(t.startswith("kworker/") for t in threads)
+        rendered = {str(r) for r in result.races}
+        assert "K1 => A3a" in rendered

@@ -1,0 +1,414 @@
+"""Unit tests for the simulated-kernel machine (interpreter semantics)."""
+
+import pytest
+
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.failures import FailureKind
+from repro.kernel.machine import KernelMachine, ThreadSpec
+from repro.kernel.threads import ThreadKind, ThreadState
+
+from helpers import fig2_machine, run_thread, run_until
+
+
+def _machine(build, threads=None, globals_init=None, **kwargs):
+    b = ProgramBuilder()
+    build(b)
+    image = b.build()
+    threads = threads or [ThreadSpec("T", "main")]
+    return KernelMachine(image, threads, globals_init=globals_init, **kwargs)
+
+
+class TestBasicExecution:
+    def test_mov_binop_store(self):
+        def build(b):
+            with b.function("main") as f:
+                f.mov("a", 2)
+                f.binop("b", "add", f.r("a"), 3)
+                f.store(f.g("out"), f.r("b"))
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("out")) == 5
+
+    def test_load_reads_global(self):
+        def build(b):
+            with b.function("main") as f:
+                f.load("a", f.g("x"))
+                f.store(f.g("y"), f.r("a"))
+        m = _machine(build, globals_init={"x": 7})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("y")) == 7
+
+    def test_unset_register_reads_zero(self):
+        def build(b):
+            with b.function("main") as f:
+                f.store(f.g("out"), f.r("never_set"))
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("out")) == 0
+
+    def test_lea_and_deref(self):
+        def build(b):
+            with b.function("main") as f:
+                f.lea("p", "x")
+                f.store(f.at("p"), 11)
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("x")) == 11
+
+    def test_branch_taken_and_not_taken(self):
+        def build(b):
+            with b.function("main") as f:
+                f.load("a", f.g("x"))
+                f.brz("a", "skip")
+                f.store(f.g("taken"), 1)
+                f.ret(label="skip")
+        m = _machine(build, globals_init={"x": 0})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("taken")) == 0
+        m2 = _machine(build, globals_init={"x": 1})
+        run_thread(m2, "T")
+        assert m2.memory.load(m2.memory.global_addr("taken")) == 1
+
+    def test_jmp_loops_with_counter(self):
+        def build(b):
+            with b.function("main") as f:
+                f.load("i", f.g("n"), label="top")
+                f.brz("i", "out")
+                f.binop("i", "sub", f.r("i"), 1)
+                f.store(f.g("n"), f.r("i"))
+                f.inc(f.g("iterations"), 1)
+                f.jmp("top")
+                f.ret(label="out")
+        m = _machine(build, globals_init={"n": 3})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("iterations")) == 3
+
+    def test_call_and_ret(self):
+        def build(b):
+            with b.function("main") as f:
+                f.call("callee")
+                f.store(f.g("after"), 1)
+            with b.function("callee") as f:
+                f.store(f.g("inside"), 1)
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("inside")) == 1
+        assert m.memory.load(m.memory.global_addr("after")) == 1
+
+    def test_thread_done_after_entry_returns(self):
+        def build(b):
+            with b.function("main") as f:
+                f.nop()
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.thread("T").done
+        with pytest.raises(RuntimeError, match="is done"):
+            m.step("T")
+
+
+class TestMemoryInstructions:
+    def test_inc_is_single_rw_access(self):
+        def build(b):
+            with b.function("main") as f:
+                f.inc(f.g("c"), 5)
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("c")) == 5
+        assert len(m.access_log) == 1
+        assert m.access_log[0].is_read and m.access_log[0].is_write
+
+    def test_list_add_del_contains(self):
+        def build(b):
+            with b.function("main") as f:
+                f.list_add(f.g("lst"), 7)
+                f.list_add(f.g("lst"), 8)
+                f.list_contains("found", f.g("lst"), 7)
+                f.store(f.g("r1"), f.r("found"))
+                f.list_del(f.g("lst"), 7)
+                f.list_contains("found", f.g("lst"), 7)
+                f.store(f.g("r2"), f.r("found"))
+        m = _machine(build, globals_init={"lst": ()})
+        run_thread(m, "T")
+        mem = m.memory
+        assert mem.load(mem.global_addr("r1")) == 1
+        assert mem.load(mem.global_addr("r2")) == 0
+        assert mem.load(mem.global_addr("lst")) == (8,)
+
+    def test_list_del_of_absent_element_is_noop(self):
+        def build(b):
+            with b.function("main") as f:
+                f.list_del(f.g("lst"), 99)
+        m = _machine(build, globals_init={"lst": (1,)})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("lst")) == (1,)
+
+    def test_free_records_access_per_object_word(self):
+        def build(b):
+            with b.function("main") as f:
+                f.alloc("p", 24, tag="obj")
+                f.free("p", label="F")
+        m = _machine(build)
+        run_thread(m, "T")
+        free_accesses = [a for a in m.access_log if a.instr_label == "F"]
+        assert len(free_accesses) == 3  # 24 bytes -> 3 words
+        assert all(a.is_write for a in free_accesses)
+
+    def test_alloc_is_not_an_access(self):
+        def build(b):
+            with b.function("main") as f:
+                f.alloc("p", 8, tag="obj")
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.access_log == []
+
+
+class TestFailures:
+    def test_bug_on_fires(self):
+        def build(b):
+            with b.function("main") as f:
+                f.bug_on(1, "boom", label="B")
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.failure is not None
+        assert m.failure.kind is FailureKind.ASSERTION
+        assert m.failure.instr_label == "B"
+        assert m.halted
+
+    def test_bug_on_passes_when_zero(self):
+        def build(b):
+            with b.function("main") as f:
+                f.bug_on(0, "never")
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.failure is None
+
+    def test_null_deref_becomes_gpf_failure(self):
+        def build(b):
+            with b.function("main") as f:
+                f.load("x", f.at("null_reg"), label="D")
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.failure.kind is FailureKind.GPF
+        assert m.failure.instr_label == "D"
+
+    def test_stepping_halted_machine_raises(self):
+        def build(b):
+            with b.function("main") as f:
+                f.bug_on(1, "x")
+                f.nop()
+        m = _machine(build)
+        m.step("T")
+        with pytest.raises(RuntimeError, match="halted"):
+            m.step("T")
+
+    def test_leak_detected_at_finish(self):
+        def build(b):
+            with b.function("main") as f:
+                f.alloc("p", 8, tag="filt", leak_tracked=True, label="A1")
+        m = _machine(build)
+        run_thread(m, "T")
+        failure = m.finish()
+        assert failure.kind is FailureKind.MEMORY_LEAK
+        assert failure.instr_label == "A1"
+
+    def test_no_leak_when_stored(self):
+        def build(b):
+            with b.function("main") as f:
+                f.alloc("p", 8, tag="filt", leak_tracked=True)
+                f.store(f.g("slot"), f.r("p"))
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.finish() is None
+
+    def test_faulting_instruction_is_last_trace_entry_once(self):
+        def build(b):
+            with b.function("main") as f:
+                f.bug_on(1, "x", label="B")
+        m = _machine(build)
+        run_thread(m, "T")
+        labels = [t.instr_label for t in m.trace]
+        assert labels.count("B") == 1
+
+
+class TestLocks:
+    def _locked_machine(self):
+        def build(b):
+            with b.function("a") as f:
+                f.lock("L", label="AL")
+                f.inc(f.g("c"), 1, label="AI")
+                f.unlock("L", label="AU")
+            with b.function("b") as f:
+                f.lock("L", label="BL")
+                f.inc(f.g("c"), 1, label="BI")
+                f.unlock("L", label="BU")
+        return _machine(build, threads=[ThreadSpec("A", "a"),
+                                        ThreadSpec("B", "b")])
+
+    def test_contended_lock_blocks(self):
+        m = self._locked_machine()
+        m.step("A")  # A acquires L
+        out = m.step("B")
+        assert out.blocked and not out.executed
+        assert m.thread("B").state is ThreadState.BLOCKED
+
+    def test_unlock_wakes_waiter(self):
+        m = self._locked_machine()
+        m.step("A")
+        m.step("B")  # blocks
+        m.step("A")  # AI
+        m.step("A")  # AU -> wakes B
+        assert m.thread("B").state is ThreadState.READY
+        out = m.step("B")  # B retries and acquires
+        assert out.executed
+
+    def test_lockset_recorded_on_accesses(self):
+        m = self._locked_machine()
+        run_thread(m, "A")
+        access = next(a for a in m.access_log if a.instr_label == "AI")
+        assert access.lockset == frozenset({"L"})
+
+
+class TestBackgroundThreads:
+    def test_queue_work_spawns_kworker(self):
+        def build(b):
+            with b.function("main") as f:
+                f.queue_work("work", arg=5)
+            with b.function("work") as f:
+                f.store(f.g("out"), f.r("a0"))
+        m = _machine(build)
+        run_thread(m, "T")
+        assert len(m.threads) == 2
+        worker = m.threads[1]
+        assert worker.kind is ThreadKind.KWORKER
+        assert worker.spawned_by == "T"
+        run_thread(m, worker.name)
+        assert m.memory.load(m.memory.global_addr("out")) == 5
+
+    def test_call_rcu_spawns_rcu_context(self):
+        def build(b):
+            with b.function("main") as f:
+                f.call_rcu("cb")
+            with b.function("cb") as f:
+                f.nop()
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.threads[1].kind is ThreadKind.RCU
+        assert m.spawn_events[0].parent == "T"
+
+    def test_spawned_threads_do_not_run_spontaneously(self):
+        def build(b):
+            with b.function("main") as f:
+                f.queue_work("work")
+            with b.function("work") as f:
+                f.store(f.g("ran"), 1)
+        m = _machine(build)
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("ran")) == 0
+
+
+class TestSetupCalls:
+    def test_setup_runs_before_threads_and_is_unrecorded(self):
+        def build(b):
+            with b.function("init") as f:
+                f.store(f.g("state"), 1)
+            with b.function("main") as f:
+                f.load("x", f.g("state"))
+                f.store(f.g("seen"), f.r("x"))
+        m = _machine(build, threads=[ThreadSpec("T", "main")],
+                     setup=[ThreadSpec("setup", "init")])
+        assert m.trace == [] and m.access_log == []
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("seen")) == 1
+
+    def test_crashing_setup_raises(self):
+        def build(b):
+            with b.function("init") as f:
+                f.bug_on(1, "bad setup")
+            with b.function("main") as f:
+                f.nop()
+        with pytest.raises(RuntimeError, match="setup call"):
+            _machine(build, threads=[ThreadSpec("T", "main")],
+                     setup=[ThreadSpec("s", "init")])
+
+
+class TestIntrospection:
+    def test_peek_does_not_advance(self):
+        m = fig2_machine()
+        instr = m.peek("A")
+        assert instr.label == "A2"
+        assert m.peek("A").label == "A2"
+
+    def test_next_occurrence_counts_executions(self):
+        m = fig2_machine()
+        instr = m.peek("A")
+        assert m.next_occurrence("A", instr.addr) == 1
+        m.step("A")
+        assert m.next_occurrence("A", instr.addr) == 2
+
+    def test_resolve_access_addr_for_load(self):
+        m = fig2_machine()
+        instr = m.peek("A")  # A2: load po_running
+        addr = m.resolve_access_addr("A", instr)
+        assert addr == m.memory.global_addr("po_running")
+
+    def test_resolve_access_addr_none_for_non_memory(self):
+        m = fig2_machine()
+        run_until(m, "A", "A2b")
+        instr = m.peek("A")  # branch
+        assert m.resolve_access_addr("A", instr) is None
+
+    def test_duplicate_thread_names_rejected(self):
+        def build(b):
+            with b.function("main") as f:
+                f.nop()
+        with pytest.raises(ValueError, match="duplicate thread name"):
+            _machine(build, threads=[ThreadSpec("T", "main"),
+                                     ThreadSpec("T", "main")])
+
+    def test_unknown_entry_rejected(self):
+        def build(b):
+            with b.function("main") as f:
+                f.nop()
+        with pytest.raises(ValueError, match="not a function"):
+            _machine(build, threads=[ThreadSpec("T", "ghost")])
+
+
+class TestAtomicOps:
+    def test_cmpxchg_success(self):
+        def build(b):
+            with b.function("main") as f:
+                f.cmpxchg("old", f.g("cell"), 0, 7)
+                f.store(f.g("seen_old"), f.r("old"))
+        m = _machine(build, globals_init={"cell": 0})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("cell")) == 7
+        assert m.memory.load(m.memory.global_addr("seen_old")) == 0
+
+    def test_cmpxchg_failure_leaves_cell_untouched(self):
+        def build(b):
+            with b.function("main") as f:
+                f.cmpxchg("old", f.g("cell"), 5, 7)
+                f.store(f.g("seen_old"), f.r("old"))
+        m = _machine(build, globals_init={"cell": 3})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("cell")) == 3
+        assert m.memory.load(m.memory.global_addr("seen_old")) == 3
+
+    def test_cmpxchg_is_one_rw_access(self):
+        def build(b):
+            with b.function("main") as f:
+                f.cmpxchg("old", f.g("cell"), 0, 1)
+        m = _machine(build)
+        run_thread(m, "T")
+        assert len(m.access_log) == 1
+        assert m.access_log[0].is_read and m.access_log[0].is_write
+
+    def test_xchg_swaps(self):
+        def build(b):
+            with b.function("main") as f:
+                f.xchg("old", f.g("cell"), 9)
+                f.store(f.g("seen_old"), f.r("old"))
+        m = _machine(build, globals_init={"cell": 4})
+        run_thread(m, "T")
+        assert m.memory.load(m.memory.global_addr("cell")) == 9
+        assert m.memory.load(m.memory.global_addr("seen_old")) == 4

@@ -1,0 +1,108 @@
+"""Tests for schedule minimization (delta debugging of reproducers)."""
+
+import pytest
+
+from repro.core.lifs import FailureMatcher
+from repro.core.minimize import minimize_schedule
+from repro.core.schedule import Preemption, Schedule
+from repro.corpus.registry import get_bug
+from repro.hypervisor.controller import ScheduleController
+from repro.kernel.failures import FailureKind
+
+from helpers import fig2_image, fig2_machine
+
+
+def _preempt(image, thread, label, switch_to):
+    return Preemption(thread=thread,
+                      instr_addr=image.instruction_labeled(label).addr,
+                      occurrence=1, switch_to=switch_to, instr_label=label)
+
+
+def _bloated_schedule(image):
+    """The failing 2-preemption reproducer plus fuzzer-style junk: a
+    scheduling point on a dead branch (B3, the early-return target never
+    reached in the failing run), one with an occurrence that never comes
+    up, and a trivially satisfied order constraint."""
+    from repro.core.schedule import OrderConstraint
+
+    dead = Preemption(
+        thread="B", instr_addr=image.instruction_labeled("B3").addr,
+        occurrence=1, switch_to="A", instr_label="B3")
+    never = Preemption(
+        thread="A", instr_addr=image.instruction_labeled("A5").addr,
+        occurrence=3, switch_to="B", instr_label="A5")
+    # Constraining B's first instruction agrees with the start order, so
+    # it changes nothing and must be minimized away.
+    trivial = OrderConstraint(
+        thread="B", instr_addr=image.instruction_labeled("B2").addr,
+        occurrence=1, instr_label="B2")
+    return Schedule(
+        start_order=("B", "A"),
+        preemptions=[
+            _preempt(image, "B", "B11", "A"),
+            dead,
+            _preempt(image, "A", "A12", "B"),
+            never,
+        ],
+        constraints=[trivial])
+
+
+class TestMinimization:
+    def test_redundant_elements_are_removed(self):
+        image = fig2_image()
+        bloated = _bloated_schedule(image)
+        baseline = ScheduleController(fig2_machine(), bloated).run()
+        assert baseline.failed
+
+        result = minimize_schedule(fig2_machine, bloated)
+        assert result.was_reduced
+        assert result.removed_preemptions == 2
+        assert result.removed_constraints == 1
+        assert len(result.schedule.preemptions) == 2
+        assert result.schedule.constraints == []
+        assert result.run.failed
+        assert result.run.failure.instr_label == "B17"
+
+    def test_minimal_schedule_is_untouched(self):
+        bug = get_bug("SYZ-04")
+        result = minimize_schedule(bug.machine_factory,
+                                   bug.known_failing_schedule)
+        assert not result.was_reduced
+        assert (result.schedule.preemptions
+                == bug.known_failing_schedule.preemptions)
+
+    def test_corpus_known_schedules_are_minimal(self):
+        """Every corpus reproducer is one-minimal: dropping any preemption
+        must break reproduction."""
+        for bug_id in ("CVE-2017-15649", "SYZ-08", "SYZ-11"):
+            bug = get_bug(bug_id)
+            result = minimize_schedule(bug.machine_factory,
+                                       bug.known_failing_schedule)
+            assert not result.was_reduced, bug_id
+
+    def test_non_failing_schedule_rejected(self):
+        schedule = Schedule(start_order=("A", "B"))
+        with pytest.raises(ValueError, match="does not fail"):
+            minimize_schedule(fig2_machine, schedule)
+
+    def test_explicit_matcher_pins_the_symptom(self):
+        image = fig2_image()
+        bloated = _bloated_schedule(image)
+        matcher = FailureMatcher(kind=FailureKind.ASSERTION,
+                                 location="B17")
+        result = minimize_schedule(fig2_machine, bloated, matcher)
+        assert result.run.failure.instr_label == "B17"
+        assert result.was_reduced
+
+    def test_wrong_matcher_rejected(self):
+        bug = get_bug("SYZ-04")
+        matcher = FailureMatcher(kind=FailureKind.GPF)
+        with pytest.raises(ValueError, match="does not reproduce"):
+            minimize_schedule(bug.machine_factory,
+                              bug.known_failing_schedule, matcher)
+
+    def test_execution_count_reported(self):
+        bug = get_bug("SYZ-04")
+        result = minimize_schedule(bug.machine_factory,
+                                   bug.known_failing_schedule)
+        assert result.schedules_executed >= 2

@@ -1,0 +1,228 @@
+"""Unit tests for smaller pieces: failures, threads, locks, schedules,
+the syzkaller front end, and Kcov-free corners."""
+
+import pytest
+
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.corpus.registry import get_bug
+from repro.kernel.failures import CrashReport, Failure, FailureKind
+from repro.kernel.locks import LockTable
+from repro.kernel.threads import Frame, ThreadContext, ThreadKind
+from repro.trace.syzkaller import run_bug_finder
+
+
+class TestFailureTypes:
+    def test_signature_combines_kind_and_location(self):
+        f = Failure(FailureKind.KASAN_UAF, thread="A", instr_label="A3")
+        assert f.signature == "KASAN_UAF@A3"
+
+    def test_str_is_informative(self):
+        f = Failure(FailureKind.GPF, thread="B", instr_label="B4",
+                    message="NULL pointer dereference")
+        text = str(f)
+        assert "general protection fault" in text
+        assert "B4" in text and "NULL" in text
+
+    def test_crash_report_exposes_symptom_and_location(self):
+        f = Failure(FailureKind.ASSERTION, instr_label="B17")
+        report = CrashReport(failure=f, kernel_log="BUG: ...")
+        assert report.symptom is FailureKind.ASSERTION
+        assert report.location == "B17"
+
+
+class TestThreadContext:
+    def _ctx(self):
+        return ThreadContext(tid=0, name="T", kind=ThreadKind.SYSCALL,
+                             entry="main", frames=[Frame("main", 2)],
+                             regs={"r0": 7}, locks_held=["L"])
+
+    def test_snapshot_restore_roundtrip(self):
+        ctx = self._ctx()
+        snap = ctx.snapshot()
+        ctx.regs["r0"] = 99
+        ctx.frames[0].pc = 5
+        ctx.locks_held.clear()
+        ctx.restore(snap)
+        assert ctx.regs == {"r0": 7}
+        assert ctx.current_frame().pc == 2
+        assert ctx.locks_held == ["L"]
+
+    def test_current_frame_requires_stack(self):
+        ctx = self._ctx()
+        ctx.frames.clear()
+        with pytest.raises(RuntimeError):
+            ctx.current_frame()
+
+
+class TestLockTable:
+    def test_recursive_acquire_rejected(self):
+        table = LockTable()
+        assert table.try_acquire("L", 1)
+        with pytest.raises(RuntimeError, match="recursively"):
+            table.try_acquire("L", 1)
+
+    def test_release_of_unowned_lock_rejected(self):
+        table = LockTable()
+        table.try_acquire("L", 1)
+        with pytest.raises(RuntimeError, match="owned by"):
+            table.release("L", 2)
+
+    def test_waiters_are_woken_once(self):
+        table = LockTable()
+        table.try_acquire("L", 1)
+        assert not table.try_acquire("L", 2)
+        assert not table.try_acquire("L", 2)  # re-waiting is idempotent
+        woken = table.release("L", 1)
+        assert woken == [2]
+        assert table.release("L", 2) == [] if table.try_acquire("L", 2) \
+            else True
+
+    def test_held_by(self):
+        table = LockTable()
+        table.try_acquire("L1", 3)
+        table.try_acquire("L2", 3)
+        assert table.held_by(3) == {"L1", "L2"}
+
+    def test_snapshot_roundtrip(self):
+        table = LockTable()
+        table.try_acquire("L", 1)
+        table.try_acquire("L", 2)
+        snap = table.snapshot()
+        table.release("L", 1)
+        table.restore(snap)
+        assert table.owner("L") == 1
+
+
+class TestScheduleTypes:
+    def test_describe_lists_everything(self):
+        schedule = Schedule(
+            start_order=("A", "B"),
+            preemptions=[Preemption("A", 0x10, 1, "B", instr_label="A6")],
+            constraints=[OrderConstraint("B", 0x20, 1, instr_label="B2")],
+            note="test")
+        text = schedule.describe()
+        assert "start=A>B" in text
+        assert "preempt A@A6#1 -> B" in text
+        assert "B@B2#1" in text
+        assert "(test)" in text
+
+    def test_preemption_count(self):
+        schedule = Schedule(start_order=("A",),
+                            preemptions=[Preemption("A", 0x10, 1, None)])
+        assert schedule.preemption_count == 1
+
+    def test_constraint_key_and_str(self):
+        c = OrderConstraint("B", 0x20, 2, instr_label="B2")
+        assert c.key == ("B", 0x20, 2)
+        assert str(c) == "B@B2#2"
+
+    def test_preemption_str_without_target(self):
+        p = Preemption("A", 0x10, 1, None)
+        assert "->" not in str(p)
+
+
+class TestSyzkallerFrontEnd:
+    def test_probes_counted(self):
+        bug = get_bug("CVE-2017-2671")
+        report = run_bug_finder(bug, benign_probes=2)
+        assert report.fuzzing_runs == 3  # two probes + the crash
+
+    def test_kernel_log_has_call_trace(self):
+        bug = get_bug("CVE-2017-2671")
+        report = run_bug_finder(bug)
+        assert "BUG:" in report.crash.kernel_log
+        assert "Call trace:" in report.crash.kernel_log
+
+    def test_history_is_fresh_per_call(self):
+        bug = get_bug("CVE-2017-2671")
+        h1 = run_bug_finder(bug).history
+        h2 = run_bug_finder(bug).history
+        assert h1 is not h2
+        assert len(h1) == len(h2)
+
+
+class TestDiagnoseRobustness:
+    def test_history_without_concurrency_yields_no_slices(self):
+        """A report whose history has no overlapping events cannot be
+        sliced; the diagnosis reports non-reproduction instead of
+        crashing."""
+        from repro.core.diagnose import Aitia
+        from repro.trace.events import SyscallEvent
+        from repro.trace.history import ExecutionHistory
+        from repro.trace.syzkaller import SyzkallerReport
+        from repro.kernel.failures import CrashReport, Failure, FailureKind
+
+        bug = get_bug("CVE-2017-2671")
+        history = ExecutionHistory(failure_time=10.0)
+        for i, t in enumerate(bug.threads):
+            history.add(SyscallEvent(timestamp=float(3 * i), proc=t.proc,
+                                     name=t.syscall, entry=t.entry,
+                                     duration=1.0))
+        report = SyzkallerReport(
+            bug_id=bug.bug_id, history=history,
+            crash=CrashReport(failure=Failure(FailureKind.GPF,
+                                              instr_label="A4")))
+        diagnosis = Aitia(bug, report=report).diagnose()
+        assert not diagnosis.reproduced
+        assert diagnosis.slices_tried == 0
+
+    def test_machine_step_limit_guards_infinite_loops(self):
+        from repro.kernel.builder import ProgramBuilder
+        from repro.kernel.machine import (
+            MAX_THREAD_STEPS,
+            KernelMachine,
+            ThreadSpec,
+        )
+
+        b = ProgramBuilder()
+        with b.function("spin") as f:
+            f.nop(label="top")
+            f.jmp("top")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("T", "spin")])
+        with pytest.raises(RuntimeError, match="unbounded loop"):
+            for _ in range(MAX_THREAD_STEPS + 2):
+                m.step("T")
+
+    def test_deadlock_report_names_the_waiters(self):
+        from repro.kernel.builder import ProgramBuilder
+        from repro.kernel.machine import KernelMachine, ThreadSpec
+        from repro.kernel.failures import FailureKind
+
+        b = ProgramBuilder()
+        with b.function("a") as f:
+            f.lock("L1")
+            f.lock("L2", label="A2")
+            f.unlock("L2")
+            f.unlock("L1")
+        with b.function("bb") as f:
+            f.lock("L2")
+            f.lock("L1", label="B2")
+            f.unlock("L1")
+            f.unlock("L2")
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("A", "a"),
+                                  ThreadSpec("B", "bb")])
+        m.step("A")  # A takes L1
+        m.step("B")  # B takes L2
+        m.step("A")  # A blocks on L2
+        m.step("B")  # B blocks on L1
+        blocked = [t for t in m.threads]
+        failure = m.report_deadlock(blocked)
+        assert failure.kind is FailureKind.DEADLOCK
+        assert "A->L2" in failure.message
+        assert "B->L1" in failure.message
+
+    def test_list_ops_on_non_tuple_cell_start_fresh(self):
+        from repro.kernel.builder import ProgramBuilder
+        from repro.kernel.machine import KernelMachine, ThreadSpec
+
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.list_add(f.g("cell"), 5)
+        image = b.build()
+        m = KernelMachine(image, [ThreadSpec("T", "main")],
+                          globals_init={"cell": 0})
+        while not m.thread("T").done:
+            m.step("T")
+        assert m.memory.load(m.memory.global_addr("cell")) == (5,)

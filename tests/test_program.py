@@ -1,0 +1,137 @@
+"""Unit tests for program assembly, labels and basic blocks."""
+
+import pytest
+
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.program import CODE_BASE, CODE_STEP, KernelImage
+
+from helpers import fig2_image
+
+
+def _simple_image():
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.load("r", f.g("x"), label="L1")
+        f.brz("r", "OUT", label="L2")
+        f.store(f.g("y"), 1, label="L3")
+        f.ret(label="OUT")
+    return b.build()
+
+
+class TestAssembly:
+    def test_addresses_are_unique_and_sequential(self):
+        image = _simple_image()
+        addrs = [i.addr for i in image.functions["main"].instructions]
+        assert addrs[0] == CODE_BASE
+        assert addrs == sorted(set(addrs))
+        assert addrs[1] - addrs[0] == CODE_STEP
+
+    def test_instruction_metadata_assigned(self):
+        image = _simple_image()
+        instr = image.instruction_labeled("L3")
+        assert instr.func == "main"
+        assert instr.index == 2
+
+    def test_lookup_by_address_and_label_agree(self):
+        image = _simple_image()
+        instr = image.instruction_labeled("L1")
+        assert image.instruction_at(instr.addr) is instr
+        assert image.resolve("L1") is instr
+        assert image.resolve(instr.addr) is instr
+        assert image.resolve(instr) is instr
+
+    def test_unknown_lookups_raise(self):
+        image = _simple_image()
+        with pytest.raises(KeyError):
+            image.instruction_at(0x1)
+        with pytest.raises(KeyError):
+            image.instruction_labeled("NOPE")
+
+    def test_duplicate_function_rejected(self):
+        from repro.kernel.program import Function
+        from repro.kernel.instructions import Instruction, Op
+        f = Function("f", [Instruction(Op.RET)])
+        with pytest.raises(ValueError, match="duplicate function"):
+            KernelImage([f, Function("f", [Instruction(Op.RET)])])
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.nop(label="X")
+            f.nop(label="X")
+        with pytest.raises(ValueError, match="duplicate instruction label"):
+            b.build()
+
+    def test_missing_branch_target_rejected(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.brz(0, "NOWHERE")
+        with pytest.raises(KeyError):
+            b.build()
+
+    def test_call_to_undefined_function_rejected(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.call("ghost")
+        with pytest.raises(ValueError, match="undefined function"):
+            b.build()
+
+    def test_queue_work_of_undefined_function_rejected(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.queue_work("ghost")
+        with pytest.raises(ValueError, match="undefined function"):
+            b.build()
+
+    def test_builder_appends_implicit_ret(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.nop()
+        image = b.build()
+        from repro.kernel.instructions import Op
+        assert image.functions["f"].instructions[-1].op is Op.RET
+
+
+class TestBasicBlocks:
+    def test_branch_starts_new_block(self):
+        image = _simple_image()
+        l1 = image.instruction_labeled("L1")
+        l3 = image.instruction_labeled("L3")
+        out = image.instruction_labeled("OUT")
+        assert image.block_containing(l1.addr).start_addr == l1.addr
+        # L3 follows a terminator -> new block; OUT is a branch target.
+        assert image.block_containing(l3.addr).start_addr == l3.addr
+        assert image.block_containing(out.addr).start_addr == out.addr
+
+    def test_straightline_code_is_one_block(self):
+        b = ProgramBuilder()
+        with b.function("f") as f:
+            f.nop(label="a")
+            f.nop(label="b")
+            f.nop(label="c")
+        image = b.build()
+        a = image.instruction_labeled("a")
+        c = image.instruction_labeled("c")
+        assert image.block_containing(a.addr) == image.block_containing(c.addr)
+
+    def test_memory_instructions_in_block(self):
+        image = _simple_image()
+        l1 = image.instruction_labeled("L1")
+        block = image.block_containing(l1.addr)
+        mem_instrs = image.memory_instructions_in_block(block.start_addr)
+        assert [i.label for i in mem_instrs] == ["L1"]
+
+    def test_memory_instructions_of_image(self):
+        image = fig2_image()
+        labels = {i.label for i in image.memory_instructions()}
+        assert {"A2", "A6", "A12", "B2", "B11", "B12", "B17a"} <= labels
+
+    def test_disassemble_mentions_every_function(self):
+        listing = fig2_image().disassemble()
+        for name in ("fanout_add", "fanout_link", "packet_do_bind",
+                     "unregister_hook", "fanout_unlink"):
+            assert f"{name}:" in listing
+
+    def test_len_counts_instructions(self):
+        image = _simple_image()
+        assert len(image) == 4

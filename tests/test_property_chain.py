@@ -1,0 +1,114 @@
+"""Property-based tests: chain construction invariants."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import build_chain
+from repro.core.races import DataRace
+from repro.kernel.access import AccessKind, MemoryAccess
+from repro.kernel.failures import Failure, FailureKind
+
+FAILURE = Failure(FailureKind.GPF, instr_label="X")
+
+
+@dataclass
+class _Unit:
+    uid: int
+    races: Tuple
+    last_seq: int
+
+
+def _unit(uid):
+    a = MemoryAccess(seq=2 * uid + 1, thread="A", instr_addr=0x100 + uid * 8,
+                     instr_label=f"A{uid}", func="f", data_addr=64,
+                     kind=AccessKind.WRITE, occurrence=1)
+    b = MemoryAccess(seq=2 * uid + 2, thread="B", instr_addr=0x200 + uid * 8,
+                     instr_label=f"B{uid}", func="f", data_addr=64,
+                     kind=AccessKind.READ, occurrence=1)
+    return _Unit(uid=uid, races=(DataRace(first=a, second=b),),
+                 last_seq=2 * uid + 2)
+
+
+@st.composite
+def unit_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    units = [_unit(i) for i in range(n)]
+    edges = {}
+    for i in range(n):
+        targets = draw(st.sets(st.integers(0, n - 1), max_size=n))
+        targets.discard(i)
+        if targets:
+            edges[i] = targets
+    return units, edges
+
+
+@given(unit_graphs())
+@settings(max_examples=100, deadline=None)
+def test_nodes_partition_all_races(graph):
+    units, edges = graph
+    chain = build_chain(units, edges, FAILURE)
+    chain_race_keys = sorted(r.key for r in chain.races)
+    unit_race_keys = sorted(r.key for u in units for r in u.races)
+    assert chain_race_keys == unit_race_keys
+
+
+@given(unit_graphs())
+@settings(max_examples=100, deadline=None)
+def test_edges_form_a_dag(graph):
+    units, edges = graph
+    chain = build_chain(units, edges, FAILURE)
+    # Kahn over the node edges must consume every node (no cycles survive
+    # SCC contraction).
+    n = len(chain.nodes)
+    in_degree = {i: 0 for i in range(n)}
+    for _, j in chain.edges:
+        in_degree[j] += 1
+    ready = [i for i, d in in_degree.items() if d == 0]
+    seen = 0
+    while ready:
+        i = ready.pop()
+        seen += 1
+        for (a, b) in chain.edges:
+            if a == i:
+                in_degree[b] -= 1
+                if in_degree[b] == 0:
+                    ready.append(b)
+    assert seen == n
+
+
+@given(unit_graphs())
+@settings(max_examples=100, deadline=None)
+def test_transitive_reduction_holds(graph):
+    units, edges = graph
+    chain = build_chain(units, edges, FAILURE)
+    edge_set = set(chain.edges)
+
+    def reachable_without(frm, to, skip):
+        work, seen = [frm], {frm}
+        while work:
+            cur = work.pop()
+            for (i, j) in edge_set:
+                if (i, j) == skip or i != cur or j in seen:
+                    continue
+                if j == to:
+                    return True
+                seen.add(j)
+                work.append(j)
+        return False
+
+    for edge in edge_set:
+        assert not reachable_without(edge[0], edge[1], edge)
+
+
+@given(unit_graphs())
+@settings(max_examples=60, deadline=None)
+def test_render_is_total(graph):
+    units, edges = graph
+    chain = build_chain(units, edges, FAILURE)
+    rendered = chain.render()
+    assert rendered.endswith(FAILURE.kind.value)
+    for node in chain.nodes:
+        assert str(node.races[0]) in rendered

@@ -1,0 +1,107 @@
+"""Property-based tests: schedule enforcement invariants on Figure 2."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+
+from helpers import fig2_image, fig2_machine
+
+IMAGE = fig2_image()
+A_LABELS = ["A2", "A5", "A6", "A12"]
+B_LABELS = ["B2", "B11", "B12", "B17a"]
+
+
+def _serial_thread_trace(thread):
+    run = ScheduleController(fig2_machine(),
+                             serial_schedule([thread, "A" if thread == "B"
+                                              else "B"])).run()
+    return [t.instr_addr for t in run.trace if t.thread == thread]
+
+
+preemption_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["A", "B"]),
+        st.sampled_from(A_LABELS + B_LABELS),
+        st.sampled_from(["A", "B", None]),
+    ),
+    min_size=0, max_size=3,
+)
+
+
+def _schedule(preempts, start_first):
+    preemptions = []
+    for thread, label, target in preempts:
+        if label in A_LABELS and thread != "A":
+            thread = "A"
+        if label in B_LABELS and thread != "B":
+            thread = "B"
+        if target == thread:
+            target = None
+        preemptions.append(Preemption(
+            thread=thread, instr_addr=IMAGE.instruction_labeled(label).addr,
+            occurrence=1, switch_to=target, instr_label=label))
+    order = ("A", "B") if start_first else ("B", "A")
+    return Schedule(start_order=order, preemptions=preemptions)
+
+
+@given(preemption_lists, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_any_preemption_schedule_terminates_and_is_deterministic(
+        preempts, start_first):
+    schedule = _schedule(preempts, start_first)
+    run1 = ScheduleController(fig2_machine(), schedule).run()
+    run2 = ScheduleController(fig2_machine(), schedule).run()
+    assert run1.signature() == run2.signature()
+    assert (run1.failure is None) == (run2.failure is None)
+
+
+@given(preemption_lists, st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_per_thread_program_order_is_preserved(preempts, start_first):
+    """Whatever the interleaving, each thread's own instruction stream is
+    consistent with sequential execution of its program (a prefix of some
+    valid path)."""
+    schedule = _schedule(preempts, start_first)
+    run = ScheduleController(fig2_machine(), schedule).run()
+    for thread in ("A", "B"):
+        seqs = [t.seq for t in run.trace if t.thread == thread]
+        assert seqs == sorted(seqs)
+
+
+@given(preemption_lists, st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_interleaving_count_bounded_by_preemptions(preempts, start_first):
+    schedule = _schedule(preempts, start_first)
+    run = ScheduleController(fig2_machine(), schedule).run()
+    assert run.interleavings <= len(schedule.preemptions)
+    assert run.resumed_interleavings <= run.interleavings
+
+
+constraint_perms = st.permutations(["A2", "B2", "B11", "A6"])
+
+
+@given(constraint_perms)
+@settings(max_examples=24, deadline=None)
+def test_executed_constraints_follow_queue_order(labels):
+    constraints = []
+    for label in labels:
+        thread = "A" if label.startswith("A") else "B"
+        constraints.append(OrderConstraint(
+            thread=thread,
+            instr_addr=IMAGE.instruction_labeled(label).addr,
+            occurrence=1, instr_label=label))
+    schedule = Schedule(start_order=("A", "B"), constraints=constraints)
+    run = ScheduleController(fig2_machine(), schedule).run()
+    dropped = {(c.thread, c.instr_addr) for c in run.dropped_constraints}
+    expected = [c for c in constraints
+                if (c.thread, c.instr_addr) not in dropped]
+    positions = []
+    for c in expected:
+        for t in run.trace:
+            if t.thread == c.thread and t.instr_addr == c.instr_addr \
+                    and t.occurrence == c.occurrence:
+                positions.append(t.seq)
+                break
+    assert positions == sorted(positions)

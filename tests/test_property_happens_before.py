@@ -1,0 +1,108 @@
+"""Property-based tests: vector clocks and happens-before invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.happens_before import (
+    VectorClock,
+    compute_happens_before,
+    find_data_races_hb,
+)
+from repro.core.races import find_data_races
+from repro.core.schedule import Preemption, Schedule
+from repro.hypervisor.controller import ScheduleController
+
+from helpers import fig2_image, fig2_machine
+
+_clock_dicts = st.dictionaries(
+    st.sampled_from(["A", "B", "K"]), st.integers(0, 5), max_size=3)
+
+
+class TestVectorClockProperties:
+    @given(_clock_dicts, _clock_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_join_is_commutative(self, d1, d2):
+        a, b = VectorClock.of(d1), VectorClock.of(d2)
+        assert a.join(b) == b.join(a)
+
+    @given(_clock_dicts, _clock_dicts, _clock_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_join_is_associative(self, d1, d2, d3):
+        a, b, c = (VectorClock.of(d) for d in (d1, d2, d3))
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(_clock_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_join_is_idempotent(self, d):
+        a = VectorClock.of(d)
+        assert a.join(a) == a
+
+    @given(_clock_dicts, _clock_dicts)
+    @settings(max_examples=100, deadline=None)
+    def test_both_leq_join(self, d1, d2):
+        a, b = VectorClock.of(d1), VectorClock.of(d2)
+        joined = a.join(b)
+        assert a.leq(joined) and b.leq(joined)
+
+    @given(_clock_dicts, st.sampled_from(["A", "B", "K"]))
+    @settings(max_examples=100, deadline=None)
+    def test_tick_strictly_increases(self, d, thread):
+        a = VectorClock.of(d)
+        ticked = a.tick(thread)
+        assert a.leq(ticked) and not ticked.leq(a)
+
+
+_preempt_labels = st.lists(
+    st.sampled_from(["A2", "A5", "A6", "B2", "B11", "B12"]),
+    min_size=0, max_size=2, unique=True)
+
+IMAGE = fig2_image()
+
+
+def _run_with(labels):
+    preemptions = []
+    for label in labels:
+        thread = "A" if label.startswith("A") else "B"
+        target = "B" if thread == "A" else "A"
+        preemptions.append(Preemption(
+            thread=thread,
+            instr_addr=IMAGE.instruction_labeled(label).addr,
+            occurrence=1, switch_to=target, instr_label=label))
+    schedule = Schedule(start_order=("A", "B"), preemptions=preemptions)
+    return ScheduleController(fig2_machine(), schedule).run()
+
+
+class TestHappensBeforeProperties:
+    @given(_preempt_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_relation_is_a_strict_partial_order(self, labels):
+        run = _run_with(labels)
+        index = compute_happens_before(run.trace, IMAGE, run.spawn_events)
+        seqs = [t.seq for t in run.trace][:12]
+        for s1 in seqs:
+            assert not index.happens_before(s1, s1)
+            for s2 in seqs:
+                if index.happens_before(s1, s2):
+                    assert not index.happens_before(s2, s1)
+                    assert s1 < s2  # consistent with execution order
+
+    @given(_preempt_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_hb_races_always_subset_of_lockset_races(self, labels):
+        run = _run_with(labels)
+        lockset = {r.key for r in find_data_races(run.accesses)}
+        hb = {r.key for r in find_data_races_hb(
+            run.accesses, run.trace, IMAGE, run.spawn_events)}
+        assert hb <= lockset
+
+    @given(_preempt_labels)
+    @settings(max_examples=40, deadline=None)
+    def test_program_order_always_ordered(self, labels):
+        run = _run_with(labels)
+        index = compute_happens_before(run.trace, IMAGE, run.spawn_events)
+        by_thread = {}
+        for t in run.trace:
+            by_thread.setdefault(t.thread, []).append(t.seq)
+        for seqs in by_thread.values():
+            for earlier, later in zip(seqs, seqs[1:]):
+                assert index.happens_before(earlier, later)

@@ -1,0 +1,114 @@
+"""Property-based tests: machine determinism and snapshot fidelity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.builder import ProgramBuilder
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+GLOBALS = ["g0", "g1", "g2"]
+REGS = ["r0", "r1"]
+
+#: One random straight-line statement: (op, operands...) tuples rendered
+#: into the builder.
+_statement = st.one_of(
+    st.tuples(st.just("inc"), st.sampled_from(GLOBALS),
+              st.integers(-3, 3)),
+    st.tuples(st.just("store"), st.sampled_from(GLOBALS),
+              st.integers(0, 100)),
+    st.tuples(st.just("load"), st.sampled_from(REGS),
+              st.sampled_from(GLOBALS)),
+    st.tuples(st.just("mov"), st.sampled_from(REGS),
+              st.integers(0, 100)),
+    st.tuples(st.just("binop"), st.sampled_from(REGS),
+              st.sampled_from(["add", "sub", "xor"]),
+              st.sampled_from(REGS), st.integers(0, 10)),
+    st.tuples(st.just("nop")),
+)
+
+programs = st.lists(_statement, min_size=1, max_size=20)
+
+
+def _build(statements):
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        for i, stmt in enumerate(statements):
+            op = stmt[0]
+            if op == "inc":
+                f.inc(f.g(stmt[1]), stmt[2], label=f"s{i}")
+            elif op == "store":
+                f.store(f.g(stmt[1]), stmt[2], label=f"s{i}")
+            elif op == "load":
+                f.load(stmt[1], f.g(stmt[2]), label=f"s{i}")
+            elif op == "mov":
+                f.mov(stmt[1], stmt[2], label=f"s{i}")
+            elif op == "binop":
+                f.binop(stmt[1], stmt[2], f.r(stmt[3]), stmt[4],
+                        label=f"s{i}")
+            else:
+                f.nop(label=f"s{i}")
+    return b.build()
+
+
+def _run(image):
+    m = KernelMachine(image, [ThreadSpec("T", "main")],
+                      globals_init={g: 0 for g in GLOBALS})
+    while not m.thread("T").done and not m.halted:
+        m.step("T")
+    state = {g: m.memory.load(m.memory.global_addr(g)) for g in GLOBALS}
+    return m, state
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_execution_is_deterministic(statements):
+    image = _build(statements)
+    m1, state1 = _run(image)
+    m2, state2 = _run(image)
+    assert state1 == state2
+    assert [t.instr_addr for t in m1.trace] == \
+           [t.instr_addr for t in m2.trace]
+    assert [(a.data_addr, a.kind) for a in m1.access_log] == \
+           [(a.data_addr, a.kind) for a in m2.access_log]
+
+
+@given(programs)
+@settings(max_examples=60, deadline=None)
+def test_trace_covers_every_instruction_once(statements):
+    image = _build(statements)
+    m, _ = _run(image)
+    # Straight-line code: every instruction executes exactly once, in
+    # program order (including the implicit RET).
+    assert len(m.trace) == len(image)
+    addrs = [t.instr_addr for t in m.trace]
+    assert addrs == sorted(addrs)
+    assert all(t.occurrence == 1 for t in m.trace)
+
+
+@given(programs, st.integers(min_value=0, max_value=19))
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_roundtrip(statements, cut):
+    image = _build(statements)
+    m = KernelMachine(image, [ThreadSpec("T", "main")],
+                      globals_init={g: 0 for g in GLOBALS})
+    steps = min(cut, len(statements))
+    for _ in range(steps):
+        m.step("T")
+    snap = m.memory.snapshot()
+    before = {g: m.memory.load(m.memory.global_addr(g)) for g in GLOBALS}
+    while not m.thread("T").done:
+        m.step("T")
+    m.memory.restore(snap)
+    after = {g: m.memory.load(m.memory.global_addr(g)) for g in GLOBALS}
+    assert before == after
+
+
+@given(programs)
+@settings(max_examples=40, deadline=None)
+def test_access_log_matches_memory_ops(statements):
+    image = _build(statements)
+    m, _ = _run(image)
+    expected = sum(1 for s in statements if s[0] in ("inc", "store", "load"))
+    assert len(m.access_log) == expected
+    seqs = [a.seq for a in m.access_log]
+    assert seqs == sorted(seqs)

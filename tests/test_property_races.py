@@ -1,0 +1,77 @@
+"""Property-based tests: data-race derivation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.races import find_conflicting_instructions, find_data_races
+from repro.kernel.access import AccessKind, MemoryAccess
+
+_threads = st.sampled_from(["A", "B", "K"])
+_addrs = st.integers(min_value=1, max_value=5)
+_kinds = st.sampled_from(list(AccessKind))
+_locks = st.sampled_from([frozenset(), frozenset({"L"}), frozenset({"M"})])
+
+
+@st.composite
+def access_logs(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    accesses = []
+    for seq in range(1, n + 1):
+        thread = draw(_threads)
+        accesses.append(MemoryAccess(
+            seq=seq, thread=thread, instr_addr=0x1000 + seq * 4,
+            instr_label=f"i{seq}", func="f", data_addr=draw(_addrs) * 8,
+            kind=draw(_kinds), occurrence=1, lockset=draw(_locks)))
+    return accesses
+
+
+@given(access_logs())
+@settings(max_examples=100, deadline=None)
+def test_every_derived_race_is_a_real_race(accesses):
+    for race in find_data_races(accesses):
+        assert race.first.conflicts_with(race.second)
+        assert race.first.races_with(race.second)
+        assert race.first.seq < race.second.seq
+        assert race.first.thread != race.second.thread
+        assert race.first.data_addr == race.second.data_addr
+
+
+@given(access_logs())
+@settings(max_examples=100, deadline=None)
+def test_race_count_is_bounded(accesses):
+    races = find_data_races(accesses)
+    # At most one race per (access, other-thread) pair.
+    assert len(races) <= len(accesses) * 2
+
+
+@given(access_logs())
+@settings(max_examples=100, deadline=None)
+def test_lock_ordered_included_is_superset(accesses):
+    strict = {r.key for r in find_data_races(accesses)}
+    loose = {r.key for r in find_data_races(accesses,
+                                            include_lock_ordered=True)}
+    assert strict <= loose
+
+
+@given(access_logs())
+@settings(max_examples=100, deadline=None)
+def test_conflict_map_is_symmetric(accesses):
+    conflicts = find_conflicting_instructions(accesses)
+    # If (A, i) conflicts with thread B, some (B, j) conflicts with A.
+    for (thread, _), others in conflicts.items():
+        for other in others:
+            assert any(t == other and thread in vs
+                       for (t, _), vs in conflicts.items())
+
+
+@given(access_logs())
+@settings(max_examples=60, deadline=None)
+def test_derivation_is_insensitive_to_unrelated_locations(accesses):
+    """Adding accesses to a fresh location never removes existing races."""
+    base = {r.key for r in find_data_races(accesses)}
+    extra = [MemoryAccess(
+        seq=1000 + i, thread="Z", instr_addr=0x9000 + i * 4,
+        instr_label=f"z{i}", func="z", data_addr=99_999,
+        kind=AccessKind.WRITE, occurrence=1) for i in range(3)]
+    extended = {r.key for r in find_data_races(list(accesses) + extra)}
+    assert base <= extended

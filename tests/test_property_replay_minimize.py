@@ -1,0 +1,74 @@
+"""Property-based tests: replay fidelity and minimization invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimize import minimize_schedule
+from repro.core.schedule import Preemption, Schedule
+from repro.hypervisor.controller import ScheduleController
+from repro.hypervisor.replay import record, replay
+
+from helpers import fig2_image, fig2_machine
+
+IMAGE = fig2_image()
+LABELS = ["A2", "A5", "A6", "A12", "B2", "B11", "B12"]
+
+
+def _schedule(labels, start_first):
+    preemptions = []
+    for label in labels:
+        thread = "A" if label.startswith("A") else "B"
+        target = "B" if thread == "A" else "A"
+        preemptions.append(Preemption(
+            thread=thread,
+            instr_addr=IMAGE.instruction_labeled(label).addr,
+            occurrence=1, switch_to=target, instr_label=label))
+    order = ("A", "B") if start_first else ("B", "A")
+    return Schedule(start_order=order, preemptions=preemptions)
+
+
+schedules = st.builds(
+    _schedule,
+    st.lists(st.sampled_from(LABELS), min_size=0, max_size=3, unique=True),
+    st.booleans())
+
+
+@given(schedules)
+@settings(max_examples=60, deadline=None)
+def test_every_run_replays_exactly(schedule):
+    """Record & replay holds for arbitrary schedules, crashing or not."""
+    run = ScheduleController(fig2_machine(), schedule).run()
+    recording = record(run)
+    replayed = replay(fig2_machine, recording)
+    assert replayed.signature() == run.signature()
+    assert (replayed.failure is None) == (run.failure is None)
+
+
+@given(schedules)
+@settings(max_examples=30, deadline=None)
+def test_minimization_invariants(schedule):
+    """Whenever a schedule crashes, its minimization (1) still crashes
+    with the same symptom, (2) is never larger, and (3) is one-minimal:
+    removing any remaining preemption breaks reproduction."""
+    run = ScheduleController(fig2_machine(), schedule).run()
+    if run.failure is None:
+        return  # nothing to minimize
+
+    result = minimize_schedule(fig2_machine, schedule)
+    assert result.run.failed
+    assert result.run.failure.signature == run.failure.signature
+    assert (len(result.schedule.preemptions)
+            <= len(schedule.preemptions))
+
+    # One-minimality.
+    minimal = result.schedule
+    for i in range(len(minimal.preemptions)):
+        candidate = Schedule(
+            start_order=minimal.start_order,
+            preemptions=(minimal.preemptions[:i]
+                         + minimal.preemptions[i + 1:]),
+            constraints=list(minimal.constraints))
+        smaller = ScheduleController(fig2_machine(), candidate).run()
+        ok = (smaller.failure is None
+              or smaller.failure.signature != run.failure.signature)
+        assert ok, "minimization left a removable preemption"

@@ -1,0 +1,137 @@
+"""Property-based tests: slicing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import SyscallEvent
+from repro.trace.history import ExecutionHistory
+from repro.trace.slicer import MAX_THREADS_PER_SLICE, Slicer
+
+
+@st.composite
+def histories(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    history = ExecutionHistory()
+    for i in range(n):
+        history.add(SyscallEvent(
+            timestamp=float(draw(st.integers(0, 30))),
+            proc=f"p{i}", name="call", entry="entry",
+            fd=draw(st.one_of(st.none(), st.integers(3, 5))),
+            duration=float(draw(st.integers(1, 5))),
+            is_setup=draw(st.booleans())))
+    if draw(st.booleans()):
+        history.failure_time = float(draw(st.integers(0, 40)))
+    return history
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_slices_never_exceed_thread_cap(history):
+    for s in Slicer(history).slices():
+        assert 1 < s.thread_count <= MAX_THREADS_PER_SLICE
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_slices_are_rank_ordered_backward_from_failure(history):
+    slices = Slicer(history).slices()
+    assert [s.rank for s in slices] == list(range(len(slices)))
+    ends = [max(e.end for e in s.concurrent) for s in slices]
+    # Within maximal groups ranks go backward in time; sub-slices of the
+    # same group share the group's window, so ends are non-increasing up
+    # to the group granularity.
+    group_ends = []
+    for s, end in zip(slices, ends):
+        if not group_ends or end != group_ends[-1]:
+            group_ends.append(end)
+    assert group_ends == sorted(group_ends, reverse=True)
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_slice_events_started_before_failure(history):
+    for s in Slicer(history).slices():
+        if history.failure_time is None:
+            continue
+        for event in s.concurrent:
+            assert event.start <= history.failure_time
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_concurrent_groups_are_chained_overlaps(history):
+    """Every maximal group's events form one connected overlap interval.
+    (Sub-slices of an oversized group may connect *through* a dropped
+    event, so only the maximal groups carry this invariant.)"""
+    for group in Slicer(history).concurrent_groups():
+        events = sorted(group, key=lambda e: e.start)
+        window_end = events[0].end
+        for event in events[1:]:
+            assert event.start < window_end
+            window_end = max(window_end, event.end)
+
+
+@given(histories())
+@settings(max_examples=100, deadline=None)
+def test_setup_closure_only_pulls_matching_fds(history):
+    for s in Slicer(history).slices():
+        slice_fds = {e.fd for e in s.syscall_events if e.fd is not None}
+        for setup_event in s.setup:
+            assert setup_event.is_setup
+            assert setup_event.fd in slice_fds
+
+
+# ----------------------------------------------------------------------
+# ftrace round-trip over generated histories
+# ----------------------------------------------------------------------
+from repro.kernel.threads import ThreadKind
+from repro.trace.events import KthreadInvocation
+from repro.trace.ftrace import parse_ftrace, render_ftrace
+
+_names = st.text(alphabet="abcdefgh_0123456789", min_size=1, max_size=8)
+
+
+@st.composite
+def rich_histories(draw):
+    history = ExecutionHistory()
+    n = draw(st.integers(0, 8))
+    for i in range(n):
+        if draw(st.booleans()):
+            history.add(SyscallEvent(
+                timestamp=float(draw(st.integers(0, 50))),
+                proc=f"p{i}", name=draw(_names), entry=draw(_names),
+                fd=draw(st.one_of(st.none(), st.integers(0, 9))),
+                duration=float(draw(st.integers(1, 9))),
+                is_setup=draw(st.booleans())))
+        else:
+            history.add(KthreadInvocation(
+                timestamp=float(draw(st.integers(0, 50))),
+                kind=draw(st.sampled_from(list(ThreadKind))),
+                func=draw(_names), source_proc=f"p{i}",
+                source_syscall=draw(st.one_of(st.just(""), _names)),
+                duration=float(draw(st.integers(1, 9)))))
+    if draw(st.booleans()):
+        history.failure_time = float(draw(st.integers(0, 60)))
+    return history
+
+
+@given(rich_histories())
+@settings(max_examples=100, deadline=None)
+def test_ftrace_round_trips_any_history(history):
+    parsed = parse_ftrace(render_ftrace(history))
+    assert len(parsed) == len(history)
+    assert parsed.failure_time == history.failure_time
+    for original, back in zip(history.events, parsed.events):
+        assert type(original) is type(back)
+        assert original.timestamp == back.timestamp
+        assert original.duration == back.duration
+        if isinstance(original, SyscallEvent):
+            assert original.proc == back.proc
+            assert original.name == back.name
+            assert original.entry == back.entry
+            assert original.fd == back.fd
+            assert original.is_setup == back.is_setup
+        else:
+            assert original.kind is back.kind
+            assert original.func == back.func
+            assert original.source_syscall == back.source_syscall

@@ -1,0 +1,168 @@
+"""Unit tests for conflicting accesses and data-race derivation."""
+
+import pytest
+
+from repro.core.races import (
+    DataRace,
+    RaceSet,
+    count_memory_instructions,
+    find_conflicting_instructions,
+    find_data_races,
+)
+from repro.kernel.access import AccessKind, MemoryAccess
+
+from helpers import fig2_machine, run_thread, run_until
+
+
+def _access(seq, thread, addr, kind, instr_addr=None, label=None,
+            occurrence=1, lockset=frozenset()):
+    return MemoryAccess(
+        seq=seq, thread=thread, instr_addr=instr_addr or (0x1000 + seq * 4),
+        instr_label=label or f"i{seq}", func="f", data_addr=addr,
+        kind=kind, occurrence=occurrence, lockset=lockset)
+
+
+class TestAccessPredicates:
+    def test_conflict_requires_write(self):
+        a = _access(1, "A", 100, AccessKind.READ)
+        b = _access(2, "B", 100, AccessKind.READ)
+        assert not a.conflicts_with(b)
+
+    def test_conflict_requires_same_location(self):
+        a = _access(1, "A", 100, AccessKind.WRITE)
+        b = _access(2, "B", 108, AccessKind.WRITE)
+        assert not a.conflicts_with(b)
+
+    def test_conflict_requires_different_threads(self):
+        a = _access(1, "A", 100, AccessKind.WRITE)
+        b = _access(2, "A", 100, AccessKind.WRITE)
+        assert not a.conflicts_with(b)
+
+    def test_common_lock_suppresses_race(self):
+        a = _access(1, "A", 100, AccessKind.WRITE, lockset=frozenset({"L"}))
+        b = _access(2, "B", 100, AccessKind.READ, lockset=frozenset({"L"}))
+        assert a.conflicts_with(b)
+        assert not a.races_with(b)
+
+    def test_disjoint_locksets_race(self):
+        a = _access(1, "A", 100, AccessKind.WRITE, lockset=frozenset({"L1"}))
+        b = _access(2, "B", 100, AccessKind.READ, lockset=frozenset({"L2"}))
+        assert a.races_with(b)
+
+
+class TestDataRace:
+    def test_rejects_non_conflicting_pair(self):
+        a = _access(1, "A", 100, AccessKind.READ)
+        b = _access(2, "B", 200, AccessKind.WRITE)
+        with pytest.raises(ValueError):
+            DataRace(first=a, second=b)
+
+    def test_keys_are_directional(self):
+        a = _access(1, "A", 100, AccessKind.WRITE, label="A1")
+        b = _access(2, "B", 100, AccessKind.READ, label="B1")
+        r1 = DataRace(first=a, second=b)
+        assert r1.key != (r1.second_key, r1.first_key)
+        assert r1.pair_key == frozenset((r1.first_key, r1.second_key))
+
+    def test_str_uses_arrow(self):
+        a = _access(1, "A", 100, AccessKind.WRITE, label="A6")
+        b = _access(2, "B", 100, AccessKind.READ, label="B12")
+        race = DataRace(first=a, second=b)
+        assert str(race) == "A6 => B12"
+        assert race.flipped_str() == "B12 => A6"
+
+
+class TestFindDataRaces:
+    def test_paper_example_sequence(self):
+        # A1(x) B1(y) B2(x) A2(y): test set {A1=>B2, B1=>A2} (section 3.4).
+        accesses = [
+            _access(1, "A", 1, AccessKind.WRITE, label="A1"),
+            _access(2, "B", 2, AccessKind.WRITE, label="B1"),
+            _access(3, "B", 1, AccessKind.READ, label="B2"),
+            _access(4, "A", 2, AccessKind.READ, label="A2"),
+        ]
+        races = find_data_races(accesses)
+        rendered = {str(r) for r in races}
+        assert rendered == {"A1 => B2", "B1 => A2"}
+
+    def test_latest_preceding_access_rule(self):
+        # A1(R) B1(R) B2(W) A3(R): races are A1=>B2 and B2=>A3.
+        accesses = [
+            _access(1, "A", 5, AccessKind.READ, label="A1"),
+            _access(2, "B", 5, AccessKind.READ, label="B1"),
+            _access(3, "B", 5, AccessKind.WRITE, label="B2"),
+            _access(4, "A", 5, AccessKind.READ, label="A3"),
+        ]
+        rendered = {str(r) for r in find_data_races(accesses)}
+        assert rendered == {"A1 => B2", "B2 => A3"}
+
+    def test_read_read_pairs_excluded(self):
+        accesses = [
+            _access(1, "A", 5, AccessKind.READ),
+            _access(2, "B", 5, AccessKind.READ),
+        ]
+        assert len(find_data_races(accesses)) == 0
+
+    def test_lock_ordered_pairs_excluded_by_default(self):
+        accesses = [
+            _access(1, "A", 5, AccessKind.WRITE, lockset=frozenset({"L"})),
+            _access(2, "B", 5, AccessKind.WRITE, lockset=frozenset({"L"})),
+        ]
+        assert len(find_data_races(accesses)) == 0
+        assert len(find_data_races(accesses,
+                                   include_lock_ordered=True)) == 1
+
+    def test_fig2_failure_run_races_match_paper(self):
+        from helpers import fig2_machine, run_until
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        run_until(m, "B", "B12")
+        run_until(m, "A", "A12")
+        run_thread(m, "B")
+        assert m.failure is not None
+        rendered = {str(r) for r in find_data_races(m.access_log)}
+        # The races the paper lists for this manifestation (A12 never ran).
+        assert {"A2 => B11", "B2 => A6", "A6 => B12"} <= rendered
+
+
+class TestRaceSet:
+    def _race(self, seq1, seq2, label1, label2):
+        a = _access(seq1, "A", 9, AccessKind.WRITE, label=label1)
+        b = _access(seq2, "B", 9, AccessKind.READ, label=label2)
+        return DataRace(first=a, second=b)
+
+    def test_deduplicates_by_key(self):
+        r = self._race(1, 2, "A1", "B1")
+        rs = RaceSet([r, r])
+        assert len(rs) == 1
+        assert r in rs
+
+    def test_ordered_by_second_access(self):
+        r1 = self._race(1, 10, "A1", "B9")
+        r2 = self._race(2, 5, "A2", "B5")
+        rs = RaceSet([r1, r2])
+        ordered = rs.ordered_by_second_access()
+        assert [str(r) for r in ordered] == ["A2 => B5", "A1 => B9"]
+
+    def test_get_by_key(self):
+        r = self._race(1, 2, "A1", "B1")
+        rs = RaceSet([r])
+        assert rs.get(r.key) is r
+        assert rs.get(("X", 0, 0)) is None
+
+
+class TestConflictMap:
+    def test_find_conflicting_instructions(self):
+        accesses = [
+            _access(1, "A", 5, AccessKind.WRITE, instr_addr=0x10),
+            _access(2, "B", 5, AccessKind.READ, instr_addr=0x20),
+            _access(3, "C", 6, AccessKind.READ, instr_addr=0x30),
+        ]
+        conflicts = find_conflicting_instructions(accesses)
+        assert conflicts[("A", 0x10)] == frozenset({"B"})
+        assert conflicts[("B", 0x20)] == frozenset({"A"})
+        assert ("C", 0x30) not in conflicts
+
+    def test_count_memory_instructions(self):
+        accesses = [_access(i, "A", i, AccessKind.READ) for i in range(5)]
+        assert count_memory_instructions(accesses) == 5

@@ -1,0 +1,89 @@
+"""Tests for deterministic record & replay."""
+
+import pytest
+
+from repro.corpus.registry import get_bug
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.hypervisor.replay import (
+    Recording,
+    ReplayDivergence,
+    record,
+    replay,
+)
+from repro.kernel.machine import KernelMachine, ThreadSpec
+
+from helpers import fig2_image, fig2_machine
+
+
+def _failing_run(bug_id="CVE-2017-2636"):
+    bug = get_bug(bug_id)
+    run = ScheduleController(bug.machine_factory(),
+                             bug.known_failing_schedule).run()
+    return bug, run
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_the_crash(self):
+        bug, run = _failing_run()
+        recording = record(run)
+        replayed = replay(bug.machine_factory, recording)
+        assert replayed.failed
+        assert replayed.failure.signature == run.failure.signature
+        assert replayed.signature() == run.signature()
+
+    def test_replay_of_clean_run(self):
+        run = ScheduleController(fig2_machine(),
+                                 serial_schedule(["A", "B"])).run()
+        recording = record(run)
+        replayed = replay(fig2_machine, recording)
+        assert not replayed.failed
+
+    def test_divergence_detected_on_different_initial_state(self):
+        bug, run = _failing_run("CVE-2017-15649")
+        recording = record(run)
+
+        def different_machine():
+            # po_running starts 0: thread A bails out immediately, so the
+            # recorded schedule cannot reproduce the crash.
+            return KernelMachine(
+                bug.image,
+                [ThreadSpec("A", "fanout_add"),
+                 ThreadSpec("B", "packet_do_bind")],
+                globals_init={"po_running": 0, "po_fanout": 0,
+                              "global_list": ()})
+
+        with pytest.raises(ReplayDivergence):
+            replay(different_machine, recording)
+
+    def test_non_strict_replay_returns_divergent_run(self):
+        bug, run = _failing_run("CVE-2017-15649")
+        recording = record(run)
+
+        def different_machine():
+            return KernelMachine(
+                bug.image,
+                [ThreadSpec("A", "fanout_add"),
+                 ThreadSpec("B", "packet_do_bind")],
+                globals_init={"po_running": 0})
+
+        divergent = replay(different_machine, recording, strict=False)
+        assert not divergent.failed
+
+
+class TestRecordingSerialization:
+    def test_roundtrip_through_dict(self):
+        bug, run = _failing_run()
+        recording = record(run)
+        data = recording.to_dict()
+        import json
+        json.dumps(data)  # must be JSON-safe
+        restored = Recording.from_dict(data)
+        assert restored.schedule.start_order == recording.schedule.start_order
+        assert restored.schedule.preemptions == recording.schedule.preemptions
+        assert restored.failure_signature == recording.failure_signature
+
+    def test_restored_recording_replays(self):
+        bug, run = _failing_run()
+        restored = Recording.from_dict(record(run).to_dict())
+        replayed = replay(bug.machine_factory, restored)
+        assert replayed.failed

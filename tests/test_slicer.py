@@ -1,0 +1,134 @@
+"""Tests for execution-history modeling and slicing."""
+
+import pytest
+
+from repro.kernel.threads import ThreadKind
+from repro.trace.events import KthreadInvocation, SyscallEvent
+from repro.trace.history import ExecutionHistory
+from repro.trace.slicer import MAX_THREADS_PER_SLICE, Slice, Slicer
+
+
+def _call(ts, proc, name="call", entry="entry", fd=None, duration=1.0,
+          is_setup=False):
+    return SyscallEvent(timestamp=ts, proc=proc, name=name, entry=entry,
+                        fd=fd, duration=duration, is_setup=is_setup)
+
+
+class TestEvents:
+    def test_overlap_detection(self):
+        a = _call(0.0, "A", duration=2.0)
+        b = _call(1.0, "B", duration=2.0)
+        c = _call(5.0, "C")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_kthread_invocation_interval(self):
+        k = KthreadInvocation(timestamp=1.0, kind=ThreadKind.KWORKER,
+                              func="work", source_proc="A", duration=2.0)
+        assert k.start == 1.0 and k.end == 3.0
+
+
+class TestHistory:
+    def test_events_sorted_by_timestamp(self):
+        h = ExecutionHistory()
+        h.add(_call(5.0, "B"))
+        h.add(_call(1.0, "A"))
+        assert [e.proc for e in h.events] == ["A", "B"]
+
+    def test_before_failure_filters(self):
+        h = ExecutionHistory(failure_time=3.0)
+        h.add(_call(1.0, "A"))
+        h.add(_call(4.0, "B"))
+        assert [e.proc for e in h.before_failure()] == ["A"]
+
+    def test_fd_setup_lookup(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", name="open", fd=3, is_setup=True))
+        h.add(_call(1.0, "A", name="write", fd=3))
+        setup = h.setup_for_fd(3)
+        assert len(setup) == 1 and setup[0].name == "open"
+
+    def test_render_mentions_failure(self):
+        h = ExecutionHistory(failure_time=2.0)
+        h.add(_call(1.0, "A"))
+        assert "FAILURE" in h.render()
+
+
+class TestConcurrentGroups:
+    def test_sequential_events_form_no_group(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A"))
+        h.add(_call(2.0, "B"))
+        assert Slicer(h).concurrent_groups() == []
+
+    def test_overlapping_events_group(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", duration=3.0))
+        h.add(_call(1.0, "B", duration=3.0))
+        groups = Slicer(h).concurrent_groups()
+        assert len(groups) == 1
+        assert {e.proc for e in groups[0]} == {"A", "B"}
+
+    def test_chained_overlap_merges(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", duration=2.0))
+        h.add(_call(1.5, "B", duration=2.0))
+        h.add(_call(3.0, "C", duration=2.0))  # overlaps B, not A
+        groups = Slicer(h).concurrent_groups()
+        assert len(groups) == 1
+        assert {e.proc for e in groups[0]} == {"A", "B", "C"}
+
+    def test_setup_events_excluded(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", duration=5.0, is_setup=True))
+        h.add(_call(1.0, "B", duration=5.0))
+        assert Slicer(h).concurrent_groups() == []
+
+
+class TestSlices:
+    def test_backward_from_failure_order(self):
+        h = ExecutionHistory(failure_time=20.0)
+        # Early group and late group; late one must rank first.
+        h.add(_call(0.0, "A", duration=2.0))
+        h.add(_call(1.0, "B", duration=2.0))
+        h.add(_call(10.0, "C", duration=2.0))
+        h.add(_call(11.0, "D", duration=2.0))
+        slices = Slicer(h).slices()
+        assert {e.proc for e in slices[0].concurrent} == {"C", "D"}
+        assert {e.proc for e in slices[1].concurrent} == {"A", "B"}
+        assert slices[0].rank < slices[1].rank
+
+    def test_fd_semantics_closure(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", name="open", fd=7, is_setup=True))
+        h.add(_call(5.0, "A", name="write", fd=7, duration=2.0))
+        h.add(_call(6.0, "B", name="close", fd=7, duration=2.0))
+        slices = Slicer(h).slices()
+        assert len(slices) == 1
+        assert [e.name for e in slices[0].setup] == ["open"]
+
+    def test_oversized_group_is_split(self):
+        h = ExecutionHistory()
+        for i, proc in enumerate("ABCD"):
+            h.add(_call(0.1 * i, proc, duration=5.0))
+        slices = Slicer(h).slices()
+        assert all(s.thread_count <= MAX_THREADS_PER_SLICE for s in slices)
+        # C(4,3) = 4 sub-slices.
+        assert len(slices) == 4
+
+    def test_kthread_events_join_groups(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", duration=3.0))
+        h.add(KthreadInvocation(timestamp=1.0, kind=ThreadKind.KWORKER,
+                                func="work", source_proc="A", duration=2.0))
+        slices = Slicer(h).slices()
+        assert len(slices) == 1
+        assert len(slices[0].kthread_events) == 1
+        assert len(slices[0].syscall_events) == 1
+
+    def test_describe_is_readable(self):
+        h = ExecutionHistory()
+        h.add(_call(0.0, "A", name="bind", duration=3.0))
+        h.add(_call(1.0, "B", name="connect", duration=3.0))
+        s = Slicer(h).slices()[0]
+        assert "A:bind" in s.describe() and "B:connect" in s.describe()

@@ -1,0 +1,101 @@
+"""Tests for whole-machine snapshot / restore."""
+
+import pytest
+
+from repro.hypervisor.snapshot import capture, restore
+
+from helpers import fig2_machine, run_thread, run_until
+
+
+class TestSnapshotRestore:
+    def test_rewind_replays_identically(self):
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        snap = capture(m)
+
+        # First try: finish A, then B — no failure.
+        run_thread(m, "A")
+        run_thread(m, "B")
+        assert m.failure is None
+        first_trace = [t.instr_label for t in m.trace]
+
+        # Rewind and try the same continuation again: identical.
+        restore(m, snap)
+        run_thread(m, "A")
+        run_thread(m, "B")
+        assert [t.instr_label for t in m.trace] == first_trace
+
+    def test_rewind_then_different_interleaving(self):
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        snap = capture(m)
+
+        run_thread(m, "A")
+        run_thread(m, "B")
+        assert m.failure is None
+
+        # Rewind; this time run B up to B12 first — the failing order.
+        restore(m, snap)
+        run_until(m, "B", "B12")
+        m.step("A")  # A6
+        run_thread(m, "B")
+        assert m.failure is not None
+        assert m.failure.instr_label == "B17"
+
+    def test_restore_clears_failure(self):
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        snap = capture(m)
+        run_until(m, "B", "B12")
+        m.step("A")
+        run_thread(m, "B")
+        assert m.halted
+        restore(m, snap)
+        assert not m.halted
+        assert m.failure is None
+
+    def test_restore_discards_spawned_threads(self):
+        from repro.corpus.registry import get_bug
+        bug = get_bug("SYZ-04")
+        m = bug.machine_factory()
+        snap = capture(m)
+        baseline_threads = len(m.threads)
+        run_thread(m, "A")
+        run_thread(m, "B")  # queue_work spawns the kworker
+        assert len(m.threads) > baseline_threads
+        restore(m, snap)
+        assert len(m.threads) == baseline_threads
+        # And the machine can run again from the snapshot.
+        run_thread(m, "A")
+        assert m.thread("A").done
+
+    def test_snapshot_of_halted_machine_rejected(self):
+        m = fig2_machine()
+        run_until(m, "A", "A6")
+        run_until(m, "B", "B12")
+        m.step("A")
+        run_thread(m, "B")
+        assert m.halted
+        with pytest.raises(ValueError, match="halted"):
+            capture(m)
+
+    def test_restore_onto_wrong_machine_rejected(self):
+        from repro.corpus.registry import get_bug
+        bug = get_bug("SYZ-04")
+        m1 = bug.machine_factory()
+        run_thread(m1, "A")
+        run_thread(m1, "B")  # spawns a third thread
+        snap = capture(m1) if not m1.halted else None
+        m2 = fig2_machine()
+        if snap is not None:
+            with pytest.raises(ValueError, match="does not belong"):
+                restore(m2, snap)
+
+    def test_memory_values_rewound(self):
+        m = fig2_machine()
+        snap = capture(m)
+        run_thread(m, "A")
+        fanout_addr = m.memory.global_addr("po_fanout")
+        assert m.memory.load(fanout_addr) != 0
+        restore(m, snap)
+        assert m.memory.load(fanout_addr) == 0
