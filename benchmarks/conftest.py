@@ -33,7 +33,7 @@ def emit(name: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def corpus_diagnoses():
     """bug_id -> (Bug, Diagnosis) for the 22 evaluated bugs."""
-    registry._load_factories()
+    registry.load()
     result = {}
     for bug in registry.all_bugs():
         result[bug.bug_id] = (bug, Aitia(bug).diagnose())

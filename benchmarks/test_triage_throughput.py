@@ -1,0 +1,76 @@
+"""Triage-service throughput: sequential evaluate vs parallel triage.
+
+Not a paper table — it measures what the triage subsystem adds on top
+of the paper's algorithms: wall-clock for the legacy sequential
+``repro evaluate`` loop, the same 22 diagnoses through
+``repro triage --corpus --jobs N`` (real ``multiprocessing`` workers),
+and a second triage run against the warm result store (pure cache
+hits, zero LIFS/CA executions).
+
+Process parallelism only helps with real cores: the recorded speedup
+is honest for the machine the benchmark ran on (core count included in
+the output), and the cached run's speedup holds everywhere.
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.analysis.evaluation import evaluate_corpus
+from repro.analysis.tables import Table
+from repro.corpus import registry
+from repro.service.queue import JobOutcome
+from repro.service.store import ResultStore
+from repro.service.triage import triage_corpus
+
+JOBS = 4
+
+
+def test_triage_throughput(tmp_path):
+    registry.load()
+    bugs = registry.all_bugs()
+    store_path = str(tmp_path / "triage_store.jsonl")
+
+    t0 = time.monotonic()
+    evaluation = evaluate_corpus(bugs)
+    sequential_s = time.monotonic() - t0
+    assert evaluation.reproduced_count == len(bugs)
+
+    t0 = time.monotonic()
+    cold = triage_corpus(bugs, jobs=JOBS, store=ResultStore(store_path))
+    cold_s = time.monotonic() - t0
+    assert cold.count(JobOutcome.SUCCEEDED) == len(bugs)
+
+    t0 = time.monotonic()
+    warm = triage_corpus(bugs, jobs=JOBS, store=ResultStore(store_path))
+    warm_s = time.monotonic() - t0
+    assert warm.count(JobOutcome.CACHE_HIT) == len(bugs)
+    assert warm.count(JobOutcome.SUCCEEDED) == 0
+
+    chains_seq = {r.bug_id: r.chain for r in evaluation.rows}
+    chains_tri = {r.bug_id: r.chain for r in cold.results}
+    assert chains_seq == chains_tri  # identical diagnoses, any core count
+
+    table = Table(
+        f"triage throughput — 22 corpus bugs, "
+        f"{os.cpu_count() or '?'} core(s)",
+        ["run", "wall s", "vs sequential", "diagnoses", "cache hits"])
+    table.add_row("repro evaluate (sequential)", f"{sequential_s:.2f}",
+                  "1.00x", len(bugs), 0)
+    table.add_row(f"repro triage --corpus --jobs {JOBS} (cold store)",
+                  f"{cold_s:.2f}", f"{sequential_s / cold_s:.2f}x",
+                  len(bugs), 0)
+    table.add_row(f"repro triage --corpus --jobs {JOBS} (warm store)",
+                  f"{warm_s:.2f}", f"{sequential_s / warm_s:.2f}x",
+                  0, len(bugs))
+    text = (table.render()
+            + "\n\nnote: cold-run speedup scales with physical cores "
+            "(process-parallel, GIL-free); on a single-core host the "
+            "fork/IPC overhead makes the cold run slightly slower than "
+            "sequential.  The warm run answers every report from the "
+            "content-addressed store without executing LIFS or CA.")
+    emit("triage_throughput", text)
+
+    # The cached path must beat sequential outright, everywhere.
+    assert warm_s < sequential_s

@@ -84,18 +84,10 @@ class CorpusEvaluation:
         return json.dumps(payload, indent=indent)
 
 
-def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
-    """Diagnose one bug and summarize the outcome."""
-    # Imported here: analysis is a leaf package for repro.core, so the
-    # orchestrator import must not run at module-import time.
-    from repro.core.diagnose import Aitia
-
-    report = None
-    if pipeline:
-        from repro.trace.syzkaller import run_bug_finder
-        report = run_bug_finder(bug)
-    diagnosis = Aitia(bug, report=report).diagnose()
-
+def summarize_diagnosis(bug: "Bug", diagnosis) -> BugEvaluation:
+    """Condense a :class:`~repro.core.diagnose.Diagnosis` into the
+    evaluation row — shared by the sequential evaluation and the triage
+    service's workers, so both report identical numbers."""
     row = BugEvaluation(
         bug_id=bug.bug_id, subsystem=bug.subsystem,
         bug_type=bug.bug_type.name, source=bug.source,
@@ -124,11 +116,62 @@ def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
     return row
 
 
+def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
+    """Diagnose one bug and summarize the outcome."""
+    # Imported here: analysis is a leaf package for repro.core, so the
+    # orchestrator import must not run at module-import time.
+    from repro.core.diagnose import Aitia
+
+    report = None
+    if pipeline:
+        from repro.trace.syzkaller import run_bug_finder
+        report = run_bug_finder(bug)
+    diagnosis = Aitia(bug, report=report).diagnose()
+    return summarize_diagnosis(bug, diagnosis)
+
+
+def _evaluate_worker(payload: dict) -> dict:
+    """Worker-process entry for the parallel evaluation: look the bug
+    up by id (bugs themselves hold unpicklable factories) and return
+    the row as a plain dict."""
+    from repro.corpus import registry
+
+    bug = registry.get_bug(payload["bug_id"])
+    return asdict(evaluate_bug(bug, pipeline=payload["pipeline"]))
+
+
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
-                    pipeline: bool = False) -> CorpusEvaluation:
-    """Evaluate a bug set (default: the paper's 22 evaluated bugs)."""
+                    pipeline: bool = False,
+                    jobs: int = 1) -> CorpusEvaluation:
+    """Evaluate a bug set (default: the paper's 22 evaluated bugs).
+
+    With ``jobs > 1`` the rows are computed by the triage service's
+    worker pool — one process per bug, ``jobs`` at a time — and are
+    bit-identical to the sequential rows (the simulator is
+    deterministic).  A bug whose worker fails for any reason falls back
+    to in-process evaluation, so the result is always complete.
+    """
     if bugs is None:
         from repro.corpus.registry import all_bugs
         bugs = all_bugs()
-    return CorpusEvaluation(rows=[evaluate_bug(bug, pipeline=pipeline)
-                                  for bug in bugs])
+    if jobs <= 1:
+        return CorpusEvaluation(rows=[evaluate_bug(bug, pipeline=pipeline)
+                                      for bug in bugs])
+
+    from repro.service.pool import WorkerPool
+    from repro.service.queue import JobOutcome, TriageJob
+
+    triage_jobs = [
+        TriageJob(job_id=bug.bug_id,
+                  payload={"bug_id": bug.bug_id, "pipeline": pipeline},
+                  timeout_s=600.0)
+        for bug in bugs
+    ]
+    WorkerPool(_evaluate_worker, jobs=jobs).run(triage_jobs)
+    rows = []
+    for bug, job in zip(bugs, triage_jobs):
+        if job.outcome is JobOutcome.SUCCEEDED:
+            rows.append(BugEvaluation(**job.result))
+        else:  # pragma: no cover — worker-loss fallback
+            rows.append(evaluate_bug(bug, pipeline=pipeline))
+    return CorpusEvaluation(rows=rows)

@@ -8,6 +8,9 @@
     python -m repro diagnose SYZ-04 --pipeline   # fuzzer-report pipeline
     python -m repro replay CVE-2017-15649    # record + verify replay
     python -m repro evaluate --json out.json # the whole evaluation
+    python -m repro evaluate --jobs 4        # ... across 4 processes
+    python -m repro triage --corpus --jobs 4 # crash-triage service
+    python -m repro triage reports/ --store store.jsonl   # intake dir
     python -m repro minimize SYZ-08          # delta-debug a reproducer
     python -m repro fuzz SYZ-04 --diagnose   # oracle-free end to end
 """
@@ -25,7 +28,7 @@ from repro.corpus import registry
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    registry._load_factories()
+    registry.load()
     table = Table("aitia-repro corpus",
                   ["bug id", "source", "subsystem", "failure",
                    "multi-var", "threads"])
@@ -75,7 +78,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     bugs = None
     if args.bug_ids:
         bugs = [registry.get_bug(b) for b in args.bug_ids]
-    evaluation = evaluate_corpus(bugs, pipeline=args.pipeline)
+    evaluation = evaluate_corpus(bugs, pipeline=args.pipeline,
+                                 jobs=args.jobs)
     table = Table("corpus evaluation",
                   ["bug", "repro", "inter", "LIFS #", "CA #",
                    "races", "chain", "ambiguous"])
@@ -96,6 +100,48 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             fh.write(evaluation.to_json())
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from repro.service.artifacts import emit_artifact
+    from repro.service.store import ResultStore
+    from repro.service.triage import TriageService
+
+    if not args.corpus and args.intake is None:
+        print("error: give an intake directory or --corpus",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store else None
+    service = TriageService(jobs=args.jobs, store=store,
+                            timeout_s=args.timeout)
+    if args.corpus:
+        registry.load()
+        bugs = ([registry.get_bug(b) for b in args.bugs]
+                if args.bugs else registry.all_bugs())
+        for bug in bugs:
+            service.submit_bug(bug, pipeline=args.pipeline)
+            if args.emit:
+                import os
+                os.makedirs(args.emit, exist_ok=True)
+                emit_artifact(bug, args.emit)
+    if args.intake is not None:
+        import os
+        if not os.path.isdir(args.intake):
+            print(f"error: intake directory {args.intake!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        service.intake_directory(args.intake)
+    summary = service.run()
+    print(summary.render())
+    print()
+    print(service.metrics.render())
+    if args.store:
+        print(f"\nstore: {service.store!r}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(summary.to_json())
+        print(f"wrote {args.json}")
+    return 0 if (summary.results and summary.all_ok) else 1
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -196,7 +242,39 @@ def build_parser() -> argparse.ArgumentParser:
                                "bug finder")
     evaluate.add_argument("--json", metavar="PATH",
                           help="also write the structured results as JSON")
+    evaluate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="diagnose N bugs concurrently in worker "
+                               "processes (default 1: in-process)")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    triage = sub.add_parser(
+        "triage", help="run the crash-triage service: intake -> dedup "
+                       "-> parallel diagnosis -> cached results")
+    triage.add_argument("intake", nargs="?", metavar="DIR",
+                        help="intake directory of *.crash artifacts")
+    triage.add_argument("--corpus", action="store_true",
+                        help="triage the corpus bugs instead of (or in "
+                             "addition to) an intake directory")
+    triage.add_argument("--bugs", nargs="+", metavar="BUG_ID",
+                        help="with --corpus: specific bugs "
+                             "(default: all 22)")
+    triage.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1: in-process)")
+    triage.add_argument("--store", metavar="PATH",
+                        help="persistent JSONL result store; repeat "
+                             "signatures answer from it as cache hits")
+    triage.add_argument("--pipeline", action="store_true",
+                        help="with --corpus: diagnose through the "
+                             "synthetic bug finder (history + slicing)")
+    triage.add_argument("--timeout", type=float, default=300.0,
+                        metavar="S", help="per-job timeout in seconds "
+                                          "(default 300)")
+    triage.add_argument("--emit", metavar="DIR",
+                        help="with --corpus: also drop each bug's "
+                             "serialized crash artifact into DIR")
+    triage.add_argument("--json", metavar="PATH",
+                        help="also write the triage summary as JSON")
+    triage.set_defaults(func=_cmd_triage)
 
     minimize = sub.add_parser(
         "minimize", help="delta-debug a bug's known failing schedule")

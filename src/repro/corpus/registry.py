@@ -14,6 +14,16 @@ _factories: Optional[Dict[str, Callable[[], Bug]]] = None
 _cache: Dict[str, Bug] = {}
 
 
+def load() -> Dict[str, Callable[[], Bug]]:
+    """Load (once) and return the bug-id → factory map.
+
+    The public warm-up entry point: callers that want the whole corpus
+    materialized before timing or forking (the CLI, the triage service,
+    benchmark fixtures) call this instead of poking the private cache.
+    """
+    return _load_factories()
+
+
 def _load_factories() -> Dict[str, Callable[[], Bug]]:
     global _factories
     if _factories is not None:

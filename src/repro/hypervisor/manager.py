@@ -16,7 +16,7 @@ from typing import Callable, List, Sequence
 
 from repro.core.schedule import Schedule
 from repro.hypervisor.controller import RunResult
-from repro.hypervisor.vm import VirtualMachine
+from repro.hypervisor.vm import VirtualMachine, VmAccounting
 from repro.kernel.machine import KernelMachine
 
 DEFAULT_VM_COUNT = 32
@@ -32,6 +32,10 @@ class VmPool:
         self.vms = [VirtualMachine(i, machine_factory)
                     for i in range(vm_count)]
         self._next = 0
+        #: Width of the widest batch handed to :meth:`execute_all` since
+        #: the last :meth:`reset_accounting` — the number of VMs that
+        #: could genuinely run concurrently.
+        self.max_batch_width = 0
 
     def execute(self, schedule: Schedule,
                 watch_races: bool = True) -> RunResult:
@@ -42,8 +46,31 @@ class VmPool:
 
     def execute_all(self, schedules: Sequence[Schedule],
                     watch_races: bool = True) -> List[RunResult]:
-        """Run a batch of independent schedules (a diagnosing-stage wave)."""
+        """Run a batch of independent schedules (a diagnosing-stage wave).
+
+        Each batch restarts assignment at VM 0: a wave of *k* schedules
+        occupies exactly ``min(k, vm_count)`` VMs, so consecutive small
+        batches pile onto the same VMs instead of drifting round-robin
+        across the whole pool and inflating :attr:`busy_vms` (and with
+        it :meth:`parallel_speedup`) beyond any width that actually ran
+        concurrently.
+        """
+        self._next = 0
+        self.max_batch_width = max(self.max_batch_width,
+                                   min(len(schedules), len(self.vms)))
         return [self.execute(s, watch_races=watch_races) for s in schedules]
+
+    def reset_accounting(self) -> None:
+        """Zero all per-VM accounting and restart assignment at VM 0 —
+        called between triage batches so each diagnosis reports its own
+        honest pool statistics."""
+        for vm in self.vms:
+            vm.accounting = VmAccounting()
+        self._next = 0
+        self.max_batch_width = 0
+
+    #: Alias — ``pool.reset()`` reads naturally at triage call sites.
+    reset = reset_accounting
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,47 @@
+"""The crash-triage service: AITIA as a syzbot-style pipeline.
+
+The paper's manager parallelizes reproducing/diagnosing across 32 VMs
+(section 4.5); this package is the layer above that turns the diagnosis
+algorithm into a *service*: report intake, signature-based dedup, a job
+queue with retry/timeout policy, a ``multiprocessing``-backed worker
+pool (the simulator is deterministic pure Python, so independent bugs
+genuinely parallelize across processes), and a content-addressed result
+store so a re-submitted crash returns its cached causality chain without
+re-running LIFS or Causality Analysis.
+
+Modules:
+
+* :mod:`repro.service.signature` — crash fingerprinting;
+* :mod:`repro.service.artifacts` — the serialized intake format
+  (crash-report text + ftrace history text in one file);
+* :mod:`repro.service.store` — persistent JSONL result cache;
+* :mod:`repro.service.queue` — job model, priorities, retry policy;
+* :mod:`repro.service.pool` — process pool + in-process fallback;
+* :mod:`repro.service.metrics` — counters and per-stage timings;
+* :mod:`repro.service.triage` — the orchestrator and CLI backend.
+"""
+
+from repro.service.artifacts import ArtifactParseError, CrashArtifact
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import InProcessPool, WorkerPool, make_pool
+from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
+from repro.service.signature import CrashSignature, signature_of
+from repro.service.store import ResultStore
+from repro.service.triage import TriageService, TriageSummary
+
+__all__ = [
+    "ArtifactParseError",
+    "CrashArtifact",
+    "CrashSignature",
+    "InProcessPool",
+    "JobOutcome",
+    "ResultStore",
+    "RetryPolicy",
+    "ServiceMetrics",
+    "TriageJob",
+    "TriageService",
+    "TriageSummary",
+    "WorkerPool",
+    "make_pool",
+    "signature_of",
+]

@@ -1,0 +1,69 @@
+"""Counters and stage timings for the triage service.
+
+A tiny in-process metrics layer (the shape of a Prometheus client,
+minus the wire format): monotonically increasing counters for job flow
+(submitted / deduped / cached / dispatched / succeeded / failed /
+timed out / retried) and accumulated wall-clock timings per pipeline
+stage (intake, dedup, dispatch, persist).  The triage summary embeds a
+snapshot so every run reports what the service actually did.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+
+class ServiceMetrics:
+    """Counter + timing registry; cheap enough to always be on."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self._timings: Dict[str, List[float]] = {}
+
+    # -- counters -------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timings --------------------------------------------------------
+    def observe(self, stage: str, seconds: float) -> None:
+        self._timings.setdefault(stage, []).append(seconds)
+
+    @contextmanager
+    def timer(self, stage: str):
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.observe(stage, time.monotonic() - start)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        timings = {
+            stage: {
+                "count": len(samples),
+                "total_s": sum(samples),
+                "mean_s": sum(samples) / len(samples),
+                "max_s": max(samples),
+            }
+            for stage, samples in self._timings.items() if samples
+        }
+        return {"counters": dict(self.counters), "timings": timings}
+
+    def render(self) -> str:
+        lines = ["service metrics:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<24} {self.counters[name]}")
+        for stage in sorted(self._timings):
+            samples = self._timings[stage]
+            if not samples:
+                continue
+            lines.append(
+                f"  {stage + '_seconds':<24} total={sum(samples):.3f} "
+                f"mean={sum(samples) / len(samples):.3f} "
+                f"max={max(samples):.3f} n={len(samples)}")
+        return "\n".join(lines)

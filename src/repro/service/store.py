@@ -1,0 +1,95 @@
+"""The content-addressed result store.
+
+Completed diagnoses are persisted as JSONL, one record per line, keyed
+by the crash-signature digest.  A re-submitted report whose signature is
+already present returns the cached causality chain without re-running
+LIFS or Causality Analysis — the property that lets the triage service
+absorb repeat traffic.
+
+The file is append-only (crash-safe: a torn final line is skipped on
+load and overwritten by the next append); on re-put of an existing
+digest the *last* record wins, so refreshing a diagnosis is just another
+append.  With ``path=None`` the store is memory-only, for tests and
+one-shot runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+
+class ResultStore:
+    """Persistent digest → diagnosis-record cache."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._records: Dict[str, dict] = {}
+        #: Lines that failed to parse on load (torn writes, corruption).
+        self.skipped_lines = 0
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    digest = entry["digest"]
+                    record = entry["record"]
+                except (ValueError, KeyError, TypeError):
+                    self.skipped_lines += 1
+                    continue
+                self._records[digest] = record
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[dict]:
+        return self._records.get(digest)
+
+    def put(self, digest: str, record: dict) -> None:
+        self._records[digest] = record
+        if self.path is not None:
+            line = json.dumps({"digest": digest, "record": record},
+                              sort_keys=True)
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "ab+") as fh:
+                # A torn final line (crash mid-append) must not bleed
+                # into this record: start a fresh line if the file
+                # doesn't end with one.
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                fh.write(line.encode("utf-8") + b"\n")
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def digests(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def compact(self) -> None:
+        """Rewrite the file with one line per digest (drops superseded
+        records left behind by append-on-update)."""
+        if self.path is None:
+            return
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as fh:
+            for digest, record in self._records.items():
+                fh.write(json.dumps({"digest": digest, "record": record},
+                                    sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:
+        where = self.path or "<memory>"
+        return f"<ResultStore {where}: {len(self)} record(s)>"

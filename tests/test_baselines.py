@@ -21,7 +21,7 @@ from repro.corpus import registry
 
 @pytest.fixture(scope="module")
 def diagnoses():
-    registry._load_factories()
+    registry.load()
     bugs = registry.all_bugs()
     return bugs, [Aitia(b).diagnose() for b in bugs]
 

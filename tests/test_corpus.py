@@ -9,7 +9,7 @@ from repro.hypervisor.controller import ScheduleController, serial_schedule
 
 
 def _all_bugs():
-    registry._load_factories()
+    registry.load()
     return registry.figure_examples() + registry.all_bugs()
 
 

@@ -12,7 +12,7 @@ from repro.corpus import registry
 
 
 def _all_bugs():
-    registry._load_factories()
+    registry.load()
     return registry.figure_examples() + registry.all_bugs()
 
 

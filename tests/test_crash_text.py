@@ -1,6 +1,8 @@
 """Tests for the crash-report text format."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.corpus.registry import get_bug
 from repro.kernel.failures import CrashReport, Failure, FailureKind
@@ -79,3 +81,94 @@ class TestParseErrors:
     def test_empty_text(self):
         with pytest.raises(CrashParseError):
             parse_crash_report("")
+
+    @pytest.mark.parametrize("header", [
+        "BUG:KASAN: use-after-free in A at A3",  # missing space
+        " BUG: KASAN: use-after-free in A at A3",  # leading whitespace
+        "bug: KASAN: use-after-free in A at A3",  # wrong case
+        "OOPS: KASAN: use-after-free in A at A3",  # wrong tag
+    ])
+    def test_malformed_headers(self, header):
+        with pytest.raises(CrashParseError, match="BUG"):
+            parse_crash_report(header)
+
+    def test_empty_header_body(self):
+        with pytest.raises(CrashParseError, match="unknown failure kind"):
+            parse_crash_report("BUG: ")
+
+    def test_header_only_whitespace_after_tag(self):
+        with pytest.raises(CrashParseError):
+            parse_crash_report("BUG:    \nCall trace:\n  A: f+A1")
+
+
+class TestMissingCallTrace:
+    """A report whose log lacks the ``Call trace:`` section still parses;
+    downstream consumers (the triage signature) fall back to
+    kind + location."""
+
+    def test_parses_without_call_trace(self):
+        parsed = parse_crash_report(
+            "BUG: KASAN: use-after-free in A at A3: boom\nsome other log")
+        assert parsed.symptom is FailureKind.KASAN_UAF
+        assert parsed.location == "A3"
+        assert "Call trace:" not in parsed.kernel_log
+
+    def test_signature_survives_missing_call_trace(self):
+        from repro.service.signature import signature_of
+
+        with_trace = parse_crash_report(
+            "BUG: KASAN: use-after-free in A at A3: boom\n"
+            "Call trace:\n  A: f+A3")
+        without = parse_crash_report(
+            "BUG: KASAN: use-after-free in A at A3: boom")
+        assert signature_of(without).kind == signature_of(with_trace).kind
+        assert signature_of(without).location == "A3"
+        # frames differ, so the digests must too — a trace-less report
+        # is not silently merged with a traced one
+        assert signature_of(without).digest != signature_of(with_trace).digest
+
+
+# -- property: render -> parse -> render is a fixed point ---------------
+_NAME = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu"),
+                                       max_codepoint=0x7F),
+                min_size=1, max_size=8)
+_LABEL = _NAME.map(lambda s: s + "1")
+_MESSAGE = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs"),
+                           max_codepoint=0x7F),
+    max_size=40).map(str.strip)
+
+
+@st.composite
+def _failures(draw):
+    kind = draw(st.sampled_from(list(FailureKind)))
+    located = draw(st.booleans())
+    thread = draw(_NAME) if located else ""
+    label = draw(_LABEL) if located else ""
+    return Failure(kind=kind, thread=thread, instr_label=label,
+                   message=draw(_MESSAGE))
+
+
+@st.composite
+def _kernel_logs(draw):
+    frames = draw(st.lists(
+        st.tuples(_NAME, _NAME, _LABEL), max_size=4))
+    if not frames:
+        return ""
+    lines = ["Call trace:"]
+    lines.extend(f"  {proc}: {func}+{label}"
+                 for proc, func, label in frames)
+    return "\n".join(lines)
+
+
+class TestRenderParseProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(failure=_failures(), log=_kernel_logs())
+    def test_render_parse_render_fixed_point(self, failure, log):
+        report = CrashReport(failure=failure, kernel_log=log)
+        text = render_crash_report(report)
+        parsed = parse_crash_report(text)
+        assert render_crash_report(parsed) == text
+        assert parsed.symptom is failure.kind
+        assert parsed.location == failure.instr_label
+        assert parsed.kernel_log == log

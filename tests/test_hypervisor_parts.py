@@ -138,3 +138,44 @@ class TestVmPool:
     def test_rejects_empty_pool(self):
         with pytest.raises(ValueError):
             VmPool(fig2_machine, vm_count=0)
+
+    def test_small_batches_do_not_drift_across_the_pool(self):
+        # Three waves of 2 schedules on a 4-VM pool: pure round-robin
+        # would touch all 4 VMs (and fake a 4x speedup); per-batch
+        # assignment keeps the work on VMs 0-1.
+        pool = VmPool(fig2_machine, vm_count=4)
+        batch = [serial_schedule(["A", "B"]), serial_schedule(["B", "A"])]
+        for _ in range(3):
+            pool.execute_all(batch)
+        assert [vm.accounting.runs for vm in pool.vms] == [3, 3, 0, 0]
+        assert pool.busy_vms == 2
+        assert pool.max_batch_width == 2
+        assert pool.parallel_speedup() == 2.0
+
+    def test_batch_wider_than_pool_wraps(self):
+        pool = VmPool(fig2_machine, vm_count=2)
+        pool.execute_all([serial_schedule(["A", "B"])] * 5)
+        assert pool.total_runs == 5
+        assert pool.busy_vms == 2
+        assert pool.max_batch_width == 2
+
+    def test_reset_accounting(self):
+        pool = VmPool(fig2_machine, vm_count=3)
+        pool.execute_all([serial_schedule(["A", "B"])] * 2)
+        pool.execute(serial_schedule(["B", "A"]))
+        assert pool.total_runs == 3
+        pool.reset_accounting()
+        assert pool.total_runs == 0
+        assert pool.total_reboots == 0
+        assert pool.busy_vms == 0
+        assert pool.max_batch_width == 0
+        assert pool.parallel_speedup() == 1.0
+        # assignment restarts at VM 0 after a reset
+        pool.execute(serial_schedule(["A", "B"]))
+        assert pool.vms[0].accounting.runs == 1
+
+    def test_reset_alias(self):
+        pool = VmPool(fig2_machine, vm_count=2)
+        pool.execute(serial_schedule(["A", "B"]))
+        pool.reset()
+        assert pool.total_runs == 0

@@ -1,0 +1,177 @@
+"""Tests for the job model and the worker pools (fault handling)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service.pool import InProcessPool, WorkerPool, make_pool
+from repro.service.queue import (
+    JobOutcome,
+    JobQueue,
+    RetryPolicy,
+    TriageJob,
+)
+
+
+# ----------------------------------------------------------------------
+# Worker functions: module-level so every start method can pickle them.
+# ----------------------------------------------------------------------
+def _ok_worker(payload):
+    return {"echo": payload["value"]}
+
+
+def _boom_worker(payload):
+    raise RuntimeError("deterministic explosion")
+
+
+def _sleepy_worker(payload):
+    time.sleep(payload.get("sleep_s", 30.0))
+    return {"never": "reached"}
+
+
+def _die_once_worker(payload):
+    """SIGKILL ourselves on the first attempt; succeed on the retry.
+
+    The flag file marks that the first attempt happened — exactly the
+    'worker killed mid-job' scenario the retry policy exists for.
+    """
+    flag = payload["flag_path"]
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write("attempt 1\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"survived": True}
+
+
+def _always_die_worker(payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _job(payload=None, **kwargs):
+    _job.counter = getattr(_job, "counter", 0) + 1
+    return TriageJob(job_id=f"j{_job.counter}", payload=payload or {},
+                     **kwargs)
+
+
+class TestJobQueue:
+    def test_priority_order_stable_fifo(self):
+        q = JobQueue()
+        first = _job(priority=1)
+        urgent = _job(priority=0)
+        second = _job(priority=1)
+        for job in (first, urgent, second):
+            q.push(job)
+        assert q.drain() == [urgent, first, second]
+
+    def test_rejects_duplicate_ids(self):
+        q = JobQueue()
+        job = _job()
+        q.push(job)
+        with pytest.raises(ValueError, match="duplicate job id"):
+            q.push(job)
+
+    def test_get_and_len(self):
+        q = JobQueue()
+        job = _job()
+        q.push(job)
+        assert q.get(job.job_id) is job
+        assert len(q) == 1 and bool(q)
+        with pytest.raises(IndexError):
+            q.pop(), q.pop()
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=0.1,
+                             backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+
+class TestInProcessPool:
+    def test_success(self):
+        job = _job({"value": 42})
+        InProcessPool(_ok_worker).run([job])
+        assert job.outcome is JobOutcome.SUCCEEDED
+        assert job.result == {"echo": 42}
+        assert job.attempts == 1
+
+    def test_exception_reported_as_failed(self):
+        job = _job()
+        InProcessPool(_boom_worker).run([job])
+        assert job.outcome is JobOutcome.FAILED
+        assert "deterministic explosion" in job.error
+
+    def test_skips_already_terminal_jobs(self):
+        job = _job()
+        job.outcome = JobOutcome.CACHE_HIT
+        InProcessPool(_boom_worker).run([job])
+        assert job.outcome is JobOutcome.CACHE_HIT
+
+    def test_make_pool_dispatch(self):
+        assert isinstance(make_pool(_ok_worker, jobs=1), InProcessPool)
+        assert isinstance(make_pool(_ok_worker, jobs=4), WorkerPool)
+
+
+class TestWorkerPool:
+    def test_runs_jobs_across_processes(self):
+        jobs = [_job({"value": i}) for i in range(5)]
+        completed = []
+        WorkerPool(_ok_worker, jobs=2).run(
+            jobs, on_complete=lambda j: completed.append(j.job_id))
+        assert all(j.outcome is JobOutcome.SUCCEEDED for j in jobs)
+        assert [j.result["echo"] for j in jobs] == list(range(5))
+        assert sorted(completed) == sorted(j.job_id for j in jobs)
+
+    def test_exception_fails_without_retry(self):
+        job = _job()
+        WorkerPool(_boom_worker, jobs=2).run([job])
+        assert job.outcome is JobOutcome.FAILED
+        assert job.attempts == 1
+        assert "deterministic explosion" in job.error
+
+    def test_killed_worker_is_retried_and_job_completes(self, tmp_path):
+        job = _job({"flag_path": str(tmp_path / "flag")})
+        other = _job({"value": 1})
+        WorkerPool(_dispatching_worker, jobs=2,
+                   retry=RetryPolicy(max_retries=2, backoff_s=0.01),
+                   ).run([job, other])
+        assert job.outcome is JobOutcome.SUCCEEDED
+        assert job.result == {"survived": True}
+        assert job.attempts == 2
+        assert other.outcome is JobOutcome.SUCCEEDED
+
+    def test_retry_budget_exhausted_reports_failed(self):
+        job = _job()
+        WorkerPool(_always_die_worker, jobs=1,
+                   retry=RetryPolicy(max_retries=1, backoff_s=0.01),
+                   ).run([job])
+        assert job.outcome is JobOutcome.FAILED
+        assert job.attempts == 2  # first attempt + one retry
+        assert "worker died" in job.error
+
+    def test_timeout_reported_without_taking_down_pool(self):
+        slow = _job({"sleep_s": 30.0}, timeout_s=0.3)
+        fast = _job({"value": 7})
+        start = time.monotonic()
+        WorkerPool(_dispatching_worker, jobs=2).run([slow, fast])
+        assert time.monotonic() - start < 10.0  # nowhere near 30s
+        assert slow.outcome is JobOutcome.TIMED_OUT
+        assert "timeout" in slow.error
+        assert fast.outcome is JobOutcome.SUCCEEDED
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            WorkerPool(_ok_worker, jobs=0)
+
+
+def _dispatching_worker(payload):
+    """Route on payload shape so one pool test can mix behaviors."""
+    if "flag_path" in payload:
+        return _die_once_worker(payload)
+    if "sleep_s" in payload:
+        return _sleepy_worker(payload)
+    return _ok_worker(payload)

@@ -1,0 +1,123 @@
+"""Tests for crash signatures and the content-addressed result store."""
+
+import json
+
+from repro.corpus.registry import get_bug
+from repro.kernel.failures import CrashReport, Failure, FailureKind
+from repro.service.signature import (
+    CrashSignature,
+    call_trace_frames,
+    signature_of,
+    signature_of_text,
+)
+from repro.service.store import ResultStore
+from repro.trace.crash import render_crash_report
+from repro.trace.syzkaller import run_bug_finder
+
+
+def _report(kind=FailureKind.KASAN_UAF, label="A3", log=None):
+    failure = Failure(kind=kind, thread="A", instr_label=label,
+                     message="use-after-free write")
+    if log is None:
+        log = "Call trace:\n  A: irqfd_assign+A2\n  B: irqfd_shutdown+B1"
+    return CrashReport(failure=failure, kernel_log=log)
+
+
+class TestCallTraceFrames:
+    def test_frames_drop_process_names(self):
+        frames = call_trace_frames(
+            "Call trace:\n  A: f+A2\n  kworker: g+K1")
+        assert frames == ["f+A2", "g+K1"]
+
+    def test_no_call_trace_section(self):
+        assert call_trace_frames("some other log text") == []
+
+    def test_empty_log(self):
+        assert call_trace_frames("") == []
+
+    def test_trace_block_ends_at_unindented_line(self):
+        log = "Call trace:\n  A: f+A2\nnot a frame\n  B: g+B1"
+        assert call_trace_frames(log) == ["f+A2"]
+
+
+class TestSignature:
+    def test_same_crash_same_digest(self):
+        assert signature_of(_report()).digest == signature_of(_report()).digest
+
+    def test_process_name_does_not_matter(self):
+        a = _report(log="Call trace:\n  A: f+A2")
+        b = _report(log="Call trace:\n  C: f+A2")
+        assert signature_of(a).digest == signature_of(b).digest
+
+    def test_kind_location_and_frames_all_matter(self):
+        base = signature_of(_report())
+        assert signature_of(_report(kind=FailureKind.GPF)).digest != base.digest
+        assert signature_of(_report(label="B9")).digest != base.digest
+        other_trace = _report(log="Call trace:\n  A: other+X1")
+        assert signature_of(other_trace).digest != base.digest
+
+    def test_signature_of_text_matches_structured(self):
+        report = run_bug_finder(get_bug("SYZ-04")).crash
+        from_text = signature_of_text(render_crash_report(report))
+        assert from_text == signature_of(report)
+
+    def test_describe_and_digest_shape(self):
+        sig = signature_of(_report())
+        assert len(sig.digest) == 16
+        assert int(sig.digest, 16) >= 0  # hex
+        assert sig.digest in sig.describe()
+        assert isinstance(sig, CrashSignature)
+
+
+class TestResultStore:
+    def test_memory_only_roundtrip(self):
+        store = ResultStore()
+        assert "d1" not in store
+        store.put("d1", {"chain": "A -> B"})
+        assert store.get("d1") == {"chain": "A -> B"}
+        assert len(store) == 1
+
+    def test_persists_and_reloads(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        ResultStore(path).put("d1", {"chain": "A -> B"})
+        reloaded = ResultStore(path)
+        assert reloaded.get("d1") == {"chain": "A -> B"}
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put("d1", {"v": 1})
+        store.put("d1", {"v": 2})
+        assert ResultStore(path).get("d1") == {"v": 2}
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps({"digest": "d1", "record": {"ok": True}})
+        path.write_text(f"{good}\nnot json at all\n{{\"digest\": \"x\"}}\n")
+        store = ResultStore(str(path))
+        assert store.get("d1") == {"ok": True}
+        assert store.skipped_lines == 2
+
+    def test_torn_final_line_survives_append(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps({"digest": "d1", "record": {}})
+        path.write_text(good + "\n" + '{"digest": "d2", "rec')  # torn write
+        store = ResultStore(str(path))
+        store.put("d3", {})
+        assert set(ResultStore(str(path)).digests()) == {"d1", "d3"}
+
+    def test_compact_rewrites_one_line_per_digest(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for v in range(3):
+            store.put("d1", {"v": v})
+        store.put("d2", {"v": 9})
+        store.compact()
+        lines = [l for l in open(path).read().splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert ResultStore(path).get("d1") == {"v": 2}
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "store.jsonl")
+        ResultStore(path).put("d1", {})
+        assert ResultStore(path).get("d1") == {}
