@@ -4,7 +4,10 @@ Regenerates the search structure of the paper's Figure 5: a race-steered
 kworker invocation, search rounds ordered by interleaving count, and
 partial-order-reduction pruning (the grey branches).  The output lists
 per-round schedule counts, pruned candidates and equivalent runs, and
-the failure-causing instruction sequence LIFS terminates with.
+the failure-causing instruction sequence LIFS terminates with.  The
+numbers come from the :mod:`repro.observe` trace (a :class:`MemorySink`
+attached to the search) rather than the search's internals — the same
+counters ``repro trace-report`` renders.
 """
 
 from conftest import emit
@@ -13,32 +16,42 @@ from repro.analysis.tables import Table
 from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
 from repro.corpus.registry import get_bug
 from repro.kernel.failures import FailureKind
+from repro.observe import MemorySink, Tracer
 
 
 def test_fig5_search_tree(benchmark):
     bug = get_bug("FIG-5")
+    sink = MemorySink()
 
     def search():
+        tracer = Tracer(sink)
         lifs = LeastInterleavingFirstSearch(
             bug.machine_factory, ["A", "B"],
-            FailureMatcher(kind=FailureKind.ASSERTION))
-        return lifs.search()
+            FailureMatcher(kind=FailureKind.ASSERTION), tracer=tracer)
+        result = lifs.search()
+        tracer.close()
+        return result
 
     result = benchmark.pedantic(search, rounds=1, iterations=1)
     assert result.reproduced
 
+    # The trace is the public accounting surface: per-depth profile from
+    # the lifs.depth points, totals from the counters event.
+    depths = {e.attrs["depth"]: e.attrs
+              for e in sink.points(name="lifs.depth")}
+    counters = sink.counter_totals()
+
     table = Table("Figure 5 — LIFS search over the three-thread example",
                   ["interleaving count", "schedules executed"])
-    for round_index in sorted(result.stats.per_round_executed):
-        table.add_row(round_index,
-                      result.stats.per_round_executed[round_index])
+    for depth in sorted(depths):
+        table.add_row(depth, depths[depth]["executed"])
     lines = [
         table.render(),
         "",
         f"candidates pruned (no conflicting access): "
-        f"{result.stats.candidates_pruned}",
+        f"{counters.get('lifs.pruned', 0)}",
         f"equivalent runs detected (same Mazurkiewicz trace): "
-        f"{result.stats.equivalent_runs}",
+        f"{counters.get('lifs.equivalent', 0)}",
         "failure-causing sequence: "
         + " => ".join(f"{t.thread}:{t.instr_label}"
                       for t in result.failure_run.trace),
@@ -49,7 +62,9 @@ def test_fig5_search_tree(benchmark):
 
     # Shape: count-0 runs both serial orders; reproduction at count 1;
     # thread K appears only via the race-steered control flow.
-    assert result.stats.per_round_executed[0] == 2
+    assert depths[0]["executed"] == 2
+    assert counters["lifs.schedules"] == result.stats.schedules_executed
+    assert counters["lifs.pruned"] == result.stats.candidates_pruned
     assert result.failure_run.interleavings == 1
     assert any(t.thread.startswith("kworker/")
                for t in result.failure_run.trace)

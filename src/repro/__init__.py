@@ -1,14 +1,17 @@
 """aitia-repro: a reproduction of "Diagnosing Kernel Concurrency Failures
 with AITIA" (EuroSys 2023).
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the documented entrypoint::
 
-    from repro import Aitia
-    from repro.corpus import get_bug
+    import repro
 
-    bug = get_bug("CVE-2017-15649")
-    diagnosis = Aitia(bug).diagnose()
+    diagnosis = repro.diagnose("CVE-2017-15649")
     print(diagnosis.chain.render())
+
+    # with structured tracing
+    from repro.observe import JsonlSink, Tracer
+    with Tracer(JsonlSink("trace.jsonl")) as tracer:
+        repro.diagnose("CVE-2017-15649", tracer=tracer)
 
 Package map:
 
@@ -25,17 +28,29 @@ Package map:
 * :mod:`repro.baselines`  — Kairux, cooperative bug localization, MUVI and
   record&replay comparators (Table 1 / section 5.3);
 * :mod:`repro.analysis`   — cost model and table renderers for the
-  benchmark harness.
+  benchmark harness;
+* :mod:`repro.observe`    — structured tracing: spans, counters, sinks,
+  and the ``repro trace-report`` renderer;
+* :mod:`repro.api`        — the facade: :func:`repro.api.diagnose`,
+  :func:`repro.api.evaluate`, :func:`repro.api.triage`.
 """
 
+from repro.api import TriageReport, diagnose, evaluate, triage
 from repro.core.causality import CausalityAnalysis
 from repro.core.chain import CausalityChain
 from repro.core.diagnose import Aitia, Diagnosis
 from repro.core.lifs import FailureMatcher, LeastInterleavingFirstSearch
 from repro.core.races import DataRace, find_data_races
 from repro.core.schedule import OrderConstraint, Preemption, Schedule
+from repro.observe import (
+    NULL_TRACER,
+    JsonlSink,
+    LiveProgressSink,
+    MemorySink,
+    Tracer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Aitia",
@@ -44,10 +59,19 @@ __all__ = [
     "DataRace",
     "Diagnosis",
     "FailureMatcher",
+    "JsonlSink",
     "LeastInterleavingFirstSearch",
+    "LiveProgressSink",
+    "MemorySink",
+    "NULL_TRACER",
     "OrderConstraint",
     "Preemption",
     "Schedule",
+    "Tracer",
+    "TriageReport",
+    "diagnose",
+    "evaluate",
     "find_data_races",
+    "triage",
     "__version__",
 ]

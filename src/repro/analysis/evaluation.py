@@ -116,7 +116,8 @@ def summarize_diagnosis(bug: "Bug", diagnosis) -> BugEvaluation:
     return row
 
 
-def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
+def _evaluate_one(bug: "Bug", pipeline: bool = False,
+                  tracer=None) -> BugEvaluation:
     """Diagnose one bug and summarize the outcome."""
     # Imported here: analysis is a leaf package for repro.core, so the
     # orchestrator import must not run at module-import time.
@@ -126,8 +127,25 @@ def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
     if pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
-    diagnosis = Aitia(bug, report=report).diagnose()
+    diagnosis = Aitia(bug, report=report, tracer=tracer).diagnose()
     return summarize_diagnosis(bug, diagnosis)
+
+
+def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
+    """Deprecated spelling of the single-bug evaluation.
+
+    Superseded by the :mod:`repro.api` facade (``repro.api.diagnose``
+    plus :func:`summarize_diagnosis`, or ``repro.api.evaluate`` for a
+    full :class:`CorpusEvaluation`); kept as a working shim for one
+    release.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.analysis.evaluation.evaluate_bug is deprecated; use the "
+        "repro.api facade (repro.api.diagnose / repro.api.evaluate)",
+        DeprecationWarning, stacklevel=2)
+    return _evaluate_one(bug, pipeline=pipeline)
 
 
 def _evaluate_worker(payload: dict) -> dict:
@@ -137,12 +155,14 @@ def _evaluate_worker(payload: dict) -> dict:
     from repro.corpus import registry
 
     bug = registry.get_bug(payload["bug_id"])
-    return asdict(evaluate_bug(bug, pipeline=payload["pipeline"]))
+    return asdict(_evaluate_one(bug, pipeline=payload["pipeline"]))
 
 
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                     pipeline: bool = False,
-                    jobs: int = 1) -> CorpusEvaluation:
+                    jobs: int = 1,
+                    timeout_s: float = 600.0,
+                    tracer=None) -> CorpusEvaluation:
     """Evaluate a bug set (default: the paper's 22 evaluated bugs).
 
     With ``jobs > 1`` the rows are computed by the triage service's
@@ -150,13 +170,23 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     bit-identical to the sequential rows (the simulator is
     deterministic).  A bug whose worker fails for any reason falls back
     to in-process evaluation, so the result is always complete.
+
+    ``tracer`` records per-diagnosis spans in-process; with ``jobs >
+    1`` the diagnoses happen in worker processes, so the trace carries
+    the dispatch span and per-job points instead.
     """
+    from repro.observe.tracer import as_tracer
+
+    tracer = as_tracer(tracer)
     if bugs is None:
         from repro.corpus.registry import all_bugs
         bugs = all_bugs()
     if jobs <= 1:
-        return CorpusEvaluation(rows=[evaluate_bug(bug, pipeline=pipeline)
-                                      for bug in bugs])
+        with tracer.span("evaluate", stage="evaluate",
+                         bugs=len(bugs), jobs=1):
+            return CorpusEvaluation(
+                rows=[_evaluate_one(bug, pipeline=pipeline, tracer=tracer)
+                      for bug in bugs])
 
     from repro.service.pool import WorkerPool
     from repro.service.queue import JobOutcome, TriageJob
@@ -164,14 +194,25 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     triage_jobs = [
         TriageJob(job_id=bug.bug_id,
                   payload={"bug_id": bug.bug_id, "pipeline": pipeline},
-                  timeout_s=600.0)
+                  timeout_s=timeout_s)
         for bug in bugs
     ]
-    WorkerPool(_evaluate_worker, jobs=jobs).run(triage_jobs)
-    rows = []
-    for bug, job in zip(bugs, triage_jobs):
-        if job.outcome is JobOutcome.SUCCEEDED:
-            rows.append(BugEvaluation(**job.result))
-        else:  # pragma: no cover — worker-loss fallback
-            rows.append(evaluate_bug(bug, pipeline=pipeline))
+    with tracer.span("evaluate", stage="evaluate",
+                     bugs=len(bugs), jobs=jobs) as span:
+        WorkerPool(_evaluate_worker, jobs=jobs).run(triage_jobs)
+        rows = []
+        fallbacks = 0
+        for bug, job in zip(bugs, triage_jobs):
+            if tracer.enabled:
+                tracer.point("evaluate.job", stage="evaluate",
+                             bug=bug.bug_id, outcome=job.outcome.value,
+                             seconds=round(job.seconds, 6),
+                             queue_wait_s=round(job.queue_wait_s, 6))
+                tracer.count(f"evaluate.jobs_{job.outcome.value}")
+            if job.outcome is JobOutcome.SUCCEEDED:
+                rows.append(BugEvaluation(**job.result))
+            else:  # pragma: no cover — worker-loss fallback
+                fallbacks += 1
+                rows.append(_evaluate_one(bug, pipeline=pipeline))
+        span.set(fallbacks=fallbacks)
     return CorpusEvaluation(rows=rows)

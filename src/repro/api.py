@@ -1,0 +1,162 @@
+"""repro.api — the single documented entrypoint to the pipeline.
+
+The library grew three inconsistent front doors (``Aitia(bug)
+.diagnose()``, the :mod:`repro.analysis.evaluation` helpers, and
+``repro.service.triage``); this facade unifies them behind three
+functions the CLI also routes through, so library and command line
+share one code path:
+
+* :func:`diagnose` — one bug (by id or object) → :class:`Diagnosis`;
+* :func:`evaluate` — a bug set → :class:`CorpusEvaluation`;
+* :func:`triage`  — intake directories and/or corpus bugs through the
+  crash-triage service → :class:`TriageReport`.
+
+Every function accepts ``tracer=`` (a :class:`repro.observe.Tracer`)
+to record structured spans and counters; ``None`` disables tracing at
+zero cost.
+
+Example::
+
+    from repro import api
+    from repro.observe import MemorySink, Tracer
+
+    tracer = Tracer(MemorySink())
+    diagnosis = api.diagnose("CVE-2017-15649", tracer=tracer)
+    print(diagnosis.chain.render())
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Union
+
+from repro.core.causality import CaConfig
+from repro.core.diagnose import Aitia, Diagnosis
+from repro.core.lifs import LifsConfig
+from repro.hypervisor.manager import DEFAULT_VM_COUNT
+
+#: The triage facade's report type (the service's summary, re-exported
+#: under its documented name).
+from repro.service.triage import TriageSummary as TriageReport
+
+__all__ = ["diagnose", "evaluate", "triage", "TriageReport"]
+
+#: A bug workload object, or its corpus id.
+BugLike = Union[str, object]
+#: What :func:`triage` accepts: the literal ``"corpus"``, one intake
+#: directory path, one bug (or id), or a sequence mixing all of these.
+TriageSource = Union[str, object, Sequence[Union[str, object]]]
+
+
+def _resolve_bug(bug_or_id: BugLike):
+    if isinstance(bug_or_id, str):
+        from repro.corpus import registry
+        return registry.get_bug(bug_or_id)
+    return bug_or_id
+
+
+def diagnose(bug_or_id: BugLike, *,
+             report=None,
+             pipeline: bool = False,
+             lifs: Optional[LifsConfig] = None,
+             ca: Optional[CaConfig] = None,
+             cost_model=None,
+             vm_count: int = DEFAULT_VM_COUNT,
+             tracer=None) -> Diagnosis:
+    """Diagnose one kernel concurrency failure.
+
+    ``bug_or_id`` is a corpus id (``"CVE-2017-15649"``) or any workload
+    object the :class:`~repro.core.diagnose.Aitia` orchestrator accepts.
+    ``pipeline=True`` first runs the synthetic bug finder to obtain a
+    crash report + execution history and diagnoses through modeling and
+    slicing; an explicit ``report`` skips the bug finder.  ``lifs`` /
+    ``ca`` bound the two search stages; ``tracer`` records spans for
+    every pipeline stage (slice, LIFS, CA, chain).
+    """
+    bug = _resolve_bug(bug_or_id)
+    if report is None and pipeline:
+        from repro.trace.syzkaller import run_bug_finder
+        report = run_bug_finder(bug)
+    return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
+                 cost_model=cost_model, vm_count=vm_count,
+                 tracer=tracer).diagnose()
+
+
+def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
+             pipeline: bool = False,
+             jobs: int = 1,
+             timeout_s: float = 600.0,
+             tracer=None):
+    """Run the paper's evaluation over a bug set (default: all 22).
+
+    Returns a :class:`~repro.analysis.evaluation.CorpusEvaluation`.
+    With ``jobs > 1`` the bugs are diagnosed in parallel worker
+    processes; rows are bit-identical to the sequential ones.
+    """
+    from repro.analysis.evaluation import evaluate_corpus
+
+    resolved = None
+    if bugs is not None:
+        resolved = [_resolve_bug(b) for b in bugs]
+    return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
+                           timeout_s=timeout_s, tracer=tracer)
+
+
+def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:
+    if spec is None or (isinstance(spec, str) and spec == "corpus"):
+        from repro.corpus.registry import all_bugs, load
+        load()
+        return list(all_bugs())
+    if isinstance(spec, (str, os.PathLike)) or not hasattr(spec, "__iter__"):
+        spec = [spec]
+    sources: List[Union[str, object]] = []
+    for item in spec:
+        if isinstance(item, str) and item == "corpus":
+            from repro.corpus.registry import all_bugs, load
+            load()
+            sources.extend(all_bugs())
+        else:
+            sources.append(item)
+    return sources
+
+
+def triage(paths_or_corpus: TriageSource = "corpus", *,
+           jobs: int = 1,
+           store=None,
+           pipeline: bool = False,
+           timeout_s: Optional[float] = None,
+           tracer=None,
+           service=None) -> TriageReport:
+    """Run the crash-triage service over intake directories and/or bugs.
+
+    ``paths_or_corpus`` is the literal ``"corpus"`` (all 22 corpus
+    bugs), an intake directory of ``*.crash`` artifacts, a bug id/
+    object, or a sequence mixing those.  ``store`` is a
+    :class:`~repro.service.store.ResultStore` or a JSONL path; repeat
+    signatures answer from it as cache hits.  An explicit ``service``
+    overrides ``jobs``/``store``/``timeout_s``/``tracer`` (useful for
+    injecting metrics or retry policies in tests).
+    """
+    from repro.service.store import ResultStore
+    from repro.service.triage import DEFAULT_JOB_TIMEOUT_S, TriageService
+
+    if service is None:
+        if isinstance(store, (str, os.PathLike)):
+            store = ResultStore(os.fspath(store))
+        service = TriageService(
+            jobs=jobs, store=store,
+            timeout_s=DEFAULT_JOB_TIMEOUT_S if timeout_s is None
+            else timeout_s,
+            tracer=tracer)
+    for source in _triage_sources(paths_or_corpus):
+        if isinstance(source, (str, os.PathLike)):
+            path = os.fspath(source)
+            if not os.path.isdir(path):
+                source = _resolve_bug(path)  # a bug id, not a directory
+            else:
+                service.intake_directory(path)
+                continue
+        else:
+            source = _resolve_bug(source)
+        service.submit_bug(source, pipeline=pipeline)
+    return service.run()

@@ -6,6 +6,8 @@
     python -m repro show CVE-2017-15649      # model + metadata
     python -m repro diagnose CVE-2017-15649  # direct diagnosis + report
     python -m repro diagnose SYZ-04 --pipeline   # fuzzer-report pipeline
+    python -m repro diagnose CVE-2017-15649 --trace t.jsonl  # + tracing
+    python -m repro trace-report t.jsonl     # summarize a trace
     python -m repro replay CVE-2017-15649    # record + verify replay
     python -m repro evaluate --json out.json # the whole evaluation
     python -m repro evaluate --jobs 4        # ... across 4 processes
@@ -13,6 +15,12 @@
     python -m repro triage reports/ --store store.jsonl   # intake dir
     python -m repro minimize SYZ-08          # delta-debug a reproducer
     python -m repro fuzz SYZ-04 --diagnose   # oracle-free end to end
+
+Every pipeline subcommand (diagnose / evaluate / triage) routes through
+the :mod:`repro.api` facade and shares one flag vocabulary via parent
+parsers: ``--trace PATH`` (JSONL span/counter trace), ``--jobs N``,
+``--timeout S`` and (triage) ``--store PATH`` are spelled and defaulted
+identically everywhere they appear.
 """
 
 from __future__ import annotations
@@ -21,10 +29,78 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.analysis.report import render_report
 from repro.analysis.tables import Table
-from repro.core.diagnose import Aitia
 from repro.corpus import registry
+
+#: One shared default for every subcommand that takes ``--timeout``.
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A hidden legacy spelling: works, but prints a deprecation note."""
+
+    def __init__(self, option_strings, dest, replacement="", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        kwargs.setdefault("default", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self.replacement = replacement
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"note: {option_string} is deprecated; use "
+              f"{self.replacement}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _parent_parsers():
+    """The shared flag vocabulary, as argparse parent parsers.
+
+    ``trace``: --trace for every pipeline subcommand; ``pool``: --jobs
+    and --timeout for the multi-bug subcommands; ``store``: --store for
+    the triage service.  Legacy spellings (--workers, --job-timeout,
+    --result-store) stay as hidden aliases for one release.
+    """
+    trace = argparse.ArgumentParser(add_help=False)
+    trace.add_argument("--trace", metavar="PATH",
+                       help="write a JSONL span/counter trace of this "
+                            "run to PATH (see 'repro trace-report')")
+
+    pool = argparse.ArgumentParser(add_help=False)
+    pool.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default 1: in-process)")
+    pool.add_argument("--workers", dest="jobs", type=int, metavar="N",
+                      action=_DeprecatedAlias, replacement="--jobs")
+    pool.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+                      metavar="S",
+                      help="per-job timeout in seconds (default "
+                           f"{DEFAULT_TIMEOUT_S:.0f})")
+    pool.add_argument("--job-timeout", dest="timeout", type=float,
+                      metavar="S", action=_DeprecatedAlias,
+                      replacement="--timeout")
+
+    store = argparse.ArgumentParser(add_help=False)
+    store.add_argument("--store", metavar="PATH",
+                       help="persistent JSONL result store; repeat "
+                            "signatures answer from it as cache hits")
+    store.add_argument("--result-store", dest="store", metavar="PATH",
+                       action=_DeprecatedAlias, replacement="--store")
+    return trace, pool, store
+
+
+def _open_tracer(args: argparse.Namespace):
+    """The run's tracer, from ``--trace`` (None when untraced)."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.observe import JsonlSink, Tracer
+    return Tracer(JsonlSink(path))
+
+
+def _close_tracer(tracer, args: argparse.Namespace) -> None:
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace}")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -67,19 +143,24 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         report = run_bug_finder(bug)
         print(f"[bug finder] {report.crash.failure}")
         print(f"[bug finder] history of {len(report.history)} events")
-    diagnosis = Aitia(bug, report=report, vm_count=args.vms).diagnose()
+    tracer = _open_tracer(args)
+    try:
+        diagnosis = api.diagnose(bug, report=report, vm_count=args.vms,
+                                 tracer=tracer)
+    finally:
+        _close_tracer(tracer, args)
     print(render_report(diagnosis, image=bug.image))
     return 0 if diagnosis.reproduced else 1
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.analysis.evaluation import evaluate_corpus
-
-    bugs = None
-    if args.bug_ids:
-        bugs = [registry.get_bug(b) for b in args.bug_ids]
-    evaluation = evaluate_corpus(bugs, pipeline=args.pipeline,
-                                 jobs=args.jobs)
+    tracer = _open_tracer(args)
+    try:
+        evaluation = api.evaluate(args.bug_ids or None,
+                                  pipeline=args.pipeline, jobs=args.jobs,
+                                  timeout_s=args.timeout, tracer=tracer)
+    finally:
+        _close_tracer(tracer, args)
     table = Table("corpus evaluation",
                   ["bug", "repro", "inter", "LIFS #", "CA #",
                    "races", "chain", "ambiguous"])
@@ -103,7 +184,6 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_triage(args: argparse.Namespace) -> int:
-    from repro.service.artifacts import emit_artifact
     from repro.service.store import ResultStore
     from repro.service.triage import TriageService
 
@@ -111,27 +191,35 @@ def _cmd_triage(args: argparse.Namespace) -> int:
         print("error: give an intake directory or --corpus",
               file=sys.stderr)
         return 2
-    store = ResultStore(args.store) if args.store else None
-    service = TriageService(jobs=args.jobs, store=store,
-                            timeout_s=args.timeout)
-    if args.corpus:
-        registry.load()
-        bugs = ([registry.get_bug(b) for b in args.bugs]
-                if args.bugs else registry.all_bugs())
-        for bug in bugs:
-            service.submit_bug(bug, pipeline=args.pipeline)
-            if args.emit:
-                import os
-                os.makedirs(args.emit, exist_ok=True)
-                emit_artifact(bug, args.emit)
     if args.intake is not None:
         import os
         if not os.path.isdir(args.intake):
             print(f"error: intake directory {args.intake!r} does not exist",
                   file=sys.stderr)
             return 2
-        service.intake_directory(args.intake)
-    summary = service.run()
+    sources: list = []
+    if args.corpus:
+        registry.load()
+        bugs = ([registry.get_bug(b) for b in args.bugs]
+                if args.bugs else registry.all_bugs())
+        sources.extend(bugs)
+        if args.emit:
+            import os
+            from repro.service.artifacts import emit_artifact
+            os.makedirs(args.emit, exist_ok=True)
+            for bug in bugs:
+                emit_artifact(bug, args.emit)
+    if args.intake is not None:
+        sources.append(args.intake)
+    tracer = _open_tracer(args)
+    store = ResultStore(args.store) if args.store else None
+    service = TriageService(jobs=args.jobs, store=store,
+                            timeout_s=args.timeout, tracer=tracer)
+    try:
+        summary = api.triage(sources, pipeline=args.pipeline,
+                             service=service)
+    finally:
+        _close_tracer(tracer, args)
     print(summary.render())
     print()
     print(service.metrics.render())
@@ -179,10 +267,23 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug, fuzz_seed=args.seed,
                                 max_fuzz_runs=args.max_runs)
-        diagnosis = Aitia(bug, report=report).diagnose()
+        diagnosis = api.diagnose(bug, report=report)
         print()
         print(render_report(diagnosis, image=bug.image))
         return 0 if diagnosis.reproduced else 1
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.observe.report import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace_file))
+    except BrokenPipeError:
+        raise  # output piped into head/less — main() handles it
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -208,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="AITIA (EuroSys 2023) reproduction: diagnose kernel "
                     "concurrency failures as causality chains.")
     sub = parser.add_subparsers(dest="command", required=True)
+    trace_parent, pool_parent, store_parent = _parent_parsers()
 
     sub.add_parser("list", help="list the corpus").set_defaults(
         func=_cmd_list)
@@ -216,7 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("bug_id")
     show.set_defaults(func=_cmd_show)
 
-    diagnose = sub.add_parser("diagnose", help="diagnose one bug")
+    diagnose = sub.add_parser("diagnose", help="diagnose one bug",
+                              parents=[trace_parent])
     diagnose.add_argument("bug_id")
     diagnose.add_argument("--pipeline", action="store_true",
                           help="go through the synthetic bug finder "
@@ -234,7 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
     rep.set_defaults(func=_cmd_replay)
 
     evaluate = sub.add_parser(
-        "evaluate", help="run the paper's evaluation over the corpus")
+        "evaluate", help="run the paper's evaluation over the corpus",
+        parents=[trace_parent, pool_parent])
     evaluate.add_argument("bug_ids", nargs="*",
                           help="specific bugs (default: all 22)")
     evaluate.add_argument("--pipeline", action="store_true",
@@ -242,14 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "bug finder")
     evaluate.add_argument("--json", metavar="PATH",
                           help="also write the structured results as JSON")
-    evaluate.add_argument("--jobs", type=int, default=1, metavar="N",
-                          help="diagnose N bugs concurrently in worker "
-                               "processes (default 1: in-process)")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     triage = sub.add_parser(
         "triage", help="run the crash-triage service: intake -> dedup "
-                       "-> parallel diagnosis -> cached results")
+                       "-> parallel diagnosis -> cached results",
+        parents=[trace_parent, pool_parent, store_parent])
     triage.add_argument("intake", nargs="?", metavar="DIR",
                         help="intake directory of *.crash artifacts")
     triage.add_argument("--corpus", action="store_true",
@@ -258,23 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--bugs", nargs="+", metavar="BUG_ID",
                         help="with --corpus: specific bugs "
                              "(default: all 22)")
-    triage.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (default 1: in-process)")
-    triage.add_argument("--store", metavar="PATH",
-                        help="persistent JSONL result store; repeat "
-                             "signatures answer from it as cache hits")
     triage.add_argument("--pipeline", action="store_true",
                         help="with --corpus: diagnose through the "
                              "synthetic bug finder (history + slicing)")
-    triage.add_argument("--timeout", type=float, default=300.0,
-                        metavar="S", help="per-job timeout in seconds "
-                                          "(default 300)")
     triage.add_argument("--emit", metavar="DIR",
                         help="with --corpus: also drop each bug's "
                              "serialized crash artifact into DIR")
     triage.add_argument("--json", metavar="PATH",
                         help="also write the triage summary as JSON")
     triage.set_defaults(func=_cmd_triage)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a --trace JSONL file: per-stage spans and "
+             "seconds, LIFS depth profile, CA flips, counters")
+    trace_report.add_argument("trace_file", metavar="TRACE.jsonl")
+    trace_report.set_defaults(func=_cmd_trace_report)
 
     minimize = sub.add_parser(
         "minimize", help="delta-debug a bug's known failing schedule")

@@ -44,6 +44,7 @@ from repro.core.schedule import OrderConstraint, Schedule
 from repro.hypervisor.controller import RunResult, ScheduleController
 from repro.kernel.instructions import Op
 from repro.kernel.machine import KernelMachine
+from repro.observe.tracer import as_tracer
 
 
 @dataclass(frozen=True)
@@ -155,9 +156,11 @@ class CausalityAnalysis:
         lifs_result: LifsResult,
         target: Optional[FailureMatcher] = None,
         config: Optional[CaConfig] = None,
+        tracer=None,
     ) -> None:
         if not lifs_result.reproduced or lifs_result.failure_run is None:
             raise ValueError("Causality Analysis needs a reproduced failure")
+        self.tracer = as_tracer(tracer)
         self.machine_factory = machine_factory
         self.lifs_result = lifs_result
         self.failure_run = lifs_result.failure_run
@@ -354,12 +357,16 @@ class CausalityAnalysis:
     # Execution
     # ------------------------------------------------------------------
     def _execute_flip(self, constraints: List[OrderConstraint],
-                      note: str) -> RunResult:
+                      note: str, stage: str = "ca") -> RunResult:
         schedule = Schedule(start_order=self._start_order,
                             constraints=constraints, note=note)
-        controller = ScheduleController(self.machine_factory(), schedule,
-                                        watch_races=False)
-        run = controller.run()
+        with self.tracer.span("ca.flip", stage=stage, note=note,
+                              constraints=len(constraints)) as span:
+            controller = ScheduleController(self.machine_factory(), schedule,
+                                            watch_races=False,
+                                            tracer=self.tracer)
+            run = controller.run()
+            span.set(failed=run.failed, steps=run.steps)
         self.stats.schedules_executed += 1
         self.stats.total_steps += run.steps
         if run.failed:
@@ -380,11 +387,32 @@ class CausalityAnalysis:
     # Main analysis
     # ------------------------------------------------------------------
     def analyze(self) -> CausalityResult:
-        started = time.perf_counter()
-        result = self._analyze()
-        self.stats.elapsed_seconds = time.perf_counter() - started
-        result.stats = self.stats
+        with self.tracer.span("ca", stage="ca",
+                              units=len(self.units)) as span:
+            started = time.perf_counter()
+            result = self._analyze()
+            self.stats.elapsed_seconds = time.perf_counter() - started
+            result.stats = self.stats
+            self._trace_outcome(span, result)
         return result
+
+    def _trace_outcome(self, span, result: CausalityResult) -> None:
+        """Publish the analysis accounting as counters + span attrs."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.count("ca.schedules", self.stats.schedules_executed)
+        self.tracer.count("ca.flips", len(result.tests))
+        self.tracer.count("ca.reboots", self.stats.reboots)
+        self.tracer.count("ca.root_cause_units",
+                          len(result.root_cause_units))
+        self.tracer.count("ca.benign_units", len(result.benign_units))
+        self.tracer.count("ca.benign_races", result.benign_race_count)
+        self.tracer.count("ca.ambiguous_units", len(result.ambiguous_uids))
+        span.set(schedules=self.stats.schedules_executed,
+                 flips=len(result.tests),
+                 reboots=self.stats.reboots,
+                 root_cause_units=len(result.root_cause_units),
+                 benign_units=len(result.benign_units))
 
     def _analyze(self) -> CausalityResult:
         root: List[RaceUnit] = []
@@ -466,24 +494,31 @@ class CausalityAnalysis:
         # Chain building: which root-cause units disappear under which
         # root-cause flips.
         edges: Dict[int, Set[int]] = {}
-        for unit in root:
-            if self.config.recheck_edges and unit.uid not in ambiguous:
-                _, flipped = runs[unit.uid]
-                constraints = self._flip_constraints(set(flipped))
-                if constraints is not None:
-                    run = self._execute_flip(constraints,
-                                             note=f"chain {unit}")
-                    runs[unit.uid] = (run, flipped)
-            run, flipped = runs[unit.uid]
-            executed = self._executed_set(run)
-            for other in root:
-                if other.uid == unit.uid or other.uid in flipped:
-                    continue
-                if not self._unit_occurred(other, executed):
-                    edges.setdefault(unit.uid, set()).add(other.uid)
+        with self.tracer.span("chain", stage="chain",
+                              root_cause_units=len(root)) as chain_span:
+            for unit in root:
+                if self.config.recheck_edges and unit.uid not in ambiguous:
+                    _, flipped = runs[unit.uid]
+                    constraints = self._flip_constraints(set(flipped))
+                    if constraints is not None:
+                        run = self._execute_flip(constraints,
+                                                 note=f"chain {unit}",
+                                                 stage="chain")
+                        runs[unit.uid] = (run, flipped)
+                run, flipped = runs[unit.uid]
+                executed = self._executed_set(run)
+                for other in root:
+                    if other.uid == unit.uid or other.uid in flipped:
+                        continue
+                    if not self._unit_occurred(other, executed):
+                        edges.setdefault(unit.uid, set()).add(other.uid)
 
-        chain = build_chain(root, edges, self.failure_run.failure,
-                            ambiguous_unit_ids=ambiguous)
+            chain = build_chain(root, edges, self.failure_run.failure,
+                                ambiguous_unit_ids=ambiguous)
+            chain_span.set(
+                edges=sum(len(dsts) for dsts in edges.values()),
+                races_in_chain=chain.race_count,
+                ambiguous=chain.has_ambiguity)
         return CausalityResult(
             chain=chain, root_cause_units=root, benign_units=benign,
             ambiguous_uids=ambiguous, unflippable_units=unflippable,

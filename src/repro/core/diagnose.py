@@ -38,6 +38,7 @@ from repro.core.lifs import (
 )
 from repro.hypervisor.manager import DEFAULT_VM_COUNT
 from repro.kernel.failures import CrashReport
+from repro.observe.tracer import as_tracer
 
 
 @dataclass
@@ -114,6 +115,7 @@ class Aitia:
         ca_config: Optional[CaConfig] = None,
         cost_model: Optional[CostModel] = None,
         vm_count: int = DEFAULT_VM_COUNT,
+        tracer=None,
     ) -> None:
         self.workload = workload
         self.report = report
@@ -121,13 +123,22 @@ class Aitia:
         self.ca_config = ca_config
         self.cost_model = cost_model or CostModel()
         self.vm_count = vm_count
+        self.tracer = as_tracer(tracer)
 
     # ------------------------------------------------------------------
     def diagnose(self) -> Diagnosis:
         """Run the full pipeline and return the diagnosis."""
-        if self.report is not None:
-            return self._diagnose_from_report()
-        return self._diagnose_direct()
+        with self.tracer.span("diagnose", stage="diagnose",
+                              bug=self.workload.bug_id) as span:
+            if self.report is not None:
+                diagnosis = self._diagnose_from_report()
+            else:
+                diagnosis = self._diagnose_direct()
+            span.set(reproduced=diagnosis.reproduced,
+                     slices_tried=diagnosis.slices_tried,
+                     lifs_schedules=diagnosis.total_lifs_schedules,
+                     ca_schedules=diagnosis.ca_schedules)
+        return diagnosis
 
     # ------------------------------------------------------------------
     def _matcher(self) -> FailureMatcher:
@@ -140,10 +151,13 @@ class Aitia:
         """Diagnose without trace modeling: use the workload's canonical
         concurrent threads (the CVE-style evaluation of section 5.1, where
         the failing syscall pair is known)."""
-        factory = self.workload.machine_factory
-        names = [t.name for t in factory().threads]
+        with self.tracer.span("slice", stage="slice", mode="direct") as span:
+            factory = self.workload.machine_factory
+            names = [t.name for t in factory().threads]
+            span.set(slices=1, threads=len(names))
         lifs = LeastInterleavingFirstSearch(
-            factory, names, target=self._matcher(), config=self.lifs_config)
+            factory, names, target=self._matcher(), config=self.lifs_config,
+            tracer=self.tracer)
         lifs_result = lifs.search()
         if not lifs_result.reproduced:
             return Diagnosis(bug_id=self.workload.bug_id, reproduced=False,
@@ -157,8 +171,10 @@ class Aitia:
         LIFS slice by slice, then diagnose."""
         from repro.trace.slicer import Slicer  # local to avoid a cycle
 
-        slicer = Slicer(self.report.history)
-        slices = slicer.slices()
+        with self.tracer.span("slice", stage="slice", mode="report") as span:
+            slicer = Slicer(self.report.history)
+            slices = slicer.slices()
+            span.set(slices=len(slices), history=len(self.report.history))
         matcher = self._matcher()
         tried = 0
         rejected_schedules = 0
@@ -168,7 +184,8 @@ class Aitia:
             factory = self.workload.factory_for_slice(candidate)
             names = self.workload.slice_thread_names(candidate)
             lifs = LeastInterleavingFirstSearch(
-                factory, names, target=matcher, config=self.lifs_config)
+                factory, names, target=matcher, config=self.lifs_config,
+                tracer=self.tracer)
             lifs_result = lifs.search()
             last_result = lifs_result
             if lifs_result.reproduced:
@@ -187,7 +204,7 @@ class Aitia:
                 slice_used, slices_tried: int) -> Diagnosis:
         ca = CausalityAnalysis(factory, lifs_result, target=self._matcher()
                                if self.report else None,
-                               config=self.ca_config)
+                               config=self.ca_config, tracer=self.tracer)
         ca_result = ca.analyze()
         lifs_cost = self.cost_model.stage_cost(
             schedules=lifs_result.stats.schedules_executed,

@@ -39,6 +39,7 @@ from repro.core.schedule import Preemption, Schedule
 from repro.hypervisor.controller import RunResult, ScheduleController
 from repro.kernel.failures import Failure, FailureKind
 from repro.kernel.machine import KernelMachine
+from repro.observe.tracer import as_tracer
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,8 @@ class SearchStats:
     total_steps: int = 0
     failing_runs: int = 0
     per_round_executed: Dict[int, int] = field(default_factory=dict)
+    per_round_pruned: Dict[int, int] = field(default_factory=dict)
+    per_round_equivalent: Dict[int, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
 
 
@@ -170,11 +173,13 @@ class LeastInterleavingFirstSearch:
         initial_threads: Sequence[str],
         target: Optional[FailureMatcher] = None,
         config: Optional[LifsConfig] = None,
+        tracer=None,
     ) -> None:
         self.machine_factory = machine_factory
         self.initial_threads = tuple(initial_threads)
         self.target = target or FailureMatcher.any_failure()
         self.config = config or LifsConfig()
+        self.tracer = as_tracer(tracer)
         self.stats = SearchStats()
         self._knowledge = _Knowledge()
         self._signatures: Set[Tuple] = set()
@@ -183,10 +188,39 @@ class LeastInterleavingFirstSearch:
 
     # ------------------------------------------------------------------
     def search(self) -> LifsResult:
-        started = time.perf_counter()
-        result = self._search()
-        self.stats.elapsed_seconds = time.perf_counter() - started
+        with self.tracer.span("lifs", stage="lifs",
+                              threads=len(self.initial_threads)) as span:
+            started = time.perf_counter()
+            result = self._search()
+            self.stats.elapsed_seconds = time.perf_counter() - started
+            self._trace_outcome(span, result)
         return result
+
+    def _trace_outcome(self, span, result: LifsResult) -> None:
+        """Publish the search accounting: per-depth points, aggregate
+        counters, and the span's summary attributes."""
+        stats = self.stats
+        if not self.tracer.enabled:
+            return
+        depths = (set(stats.per_round_executed) | set(stats.per_round_pruned)
+                  | set(stats.per_round_equivalent))
+        for depth in sorted(depths):
+            self.tracer.point(
+                "lifs.depth", stage="lifs", depth=depth,
+                executed=stats.per_round_executed.get(depth, 0),
+                pruned=stats.per_round_pruned.get(depth, 0),
+                equivalent=stats.per_round_equivalent.get(depth, 0))
+        self.tracer.count("lifs.schedules", stats.schedules_executed)
+        self.tracer.count("lifs.pruned", stats.candidates_pruned)
+        self.tracer.count("lifs.equivalent", stats.equivalent_runs)
+        self.tracer.count("lifs.failing_runs", stats.failing_runs)
+        self.tracer.count("lifs.searches")
+        span.set(reproduced=result.reproduced,
+                 schedules=stats.schedules_executed,
+                 pruned=stats.candidates_pruned,
+                 equivalent=stats.equivalent_runs,
+                 interleavings=result.interleaving_count,
+                 races=len(result.races))
 
     def _search(self) -> LifsResult:
         frontier: List[RunResult] = []
@@ -231,7 +265,8 @@ class LeastInterleavingFirstSearch:
         ``None`` when the schedule budget is exhausted."""
         if self.stats.schedules_executed >= self.config.max_schedules:
             return None, False
-        controller = ScheduleController(self.machine_factory(), schedule)
+        controller = ScheduleController(self.machine_factory(), schedule,
+                                        tracer=self.tracer)
         run = controller.run()
         self.stats.schedules_executed += 1
         self.stats.total_steps += run.steps
@@ -244,6 +279,8 @@ class LeastInterleavingFirstSearch:
         duplicate = signature in self._signatures
         if duplicate:
             self.stats.equivalent_runs += 1
+            self.stats.per_round_equivalent[round_index] = (
+                self.stats.per_round_equivalent.get(round_index, 0) + 1)
         else:
             self._signatures.add(signature)
         if len(self._sample_runs) < self.config.keep_runs:
@@ -284,6 +321,9 @@ class LeastInterleavingFirstSearch:
                         not self._knowledge.conflicts(
                             access.data_addr, access.is_write, target):
                     self.stats.candidates_pruned += 1
+                    depth = len(base.schedule.preemptions) + 1
+                    self.stats.per_round_pruned[depth] = (
+                        self.stats.per_round_pruned.get(depth, 0) + 1)
                     continue
                 preemption = Preemption(
                     thread=entry.thread, instr_addr=entry.instr_addr,

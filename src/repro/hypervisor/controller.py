@@ -41,6 +41,7 @@ from repro.kernel.access import MemoryAccess
 from repro.kernel.failures import Failure
 from repro.kernel.machine import KernelMachine, SpawnEvent, TraceEntry
 from repro.kernel.threads import ThreadState
+from repro.observe.tracer import as_tracer
 
 #: Upper bound on executed instructions per run; exceeding it indicates a
 #: broken model rather than a kernel failure.
@@ -104,10 +105,11 @@ class ScheduleController:
     """Runs one freshly booted machine under one schedule."""
 
     def __init__(self, machine: KernelMachine, schedule: Schedule,
-                 watch_races: bool = True) -> None:
+                 watch_races: bool = True, tracer=None) -> None:
         self.machine = machine
         self.schedule = schedule
         self.watch_races = watch_races
+        self.tracer = as_tracer(tracer)
         self.trampoline = Trampoline()
         self.breakpoints = BreakpointManager()
         self.watchpoints = WatchpointManager()
@@ -330,6 +332,18 @@ class ScheduleController:
         return count
 
     def _result(self) -> RunResult:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("hv.runs")
+            tracer.count("hv.steps", self._steps)
+            tracer.count("hv.preemptions_fired", len(self._fired))
+            tracer.count("hv.breakpoint_hits",
+                         len(self._fired) + len(self._constraints)
+                         - len(self._dropped))
+            tracer.count("hv.watchpoint_hits", len(self.watchpoints.hits))
+            tracer.count("hv.constraints_dropped", len(self._dropped))
+            if self.machine.failure is not None:
+                tracer.count("hv.crashes")
         return RunResult(
             schedule=self.schedule,
             failure=self.machine.failure,
@@ -351,10 +365,10 @@ class ScheduleController:
 
 
 def run_schedule(machine_factory, schedule: Schedule,
-                 watch_races: bool = True) -> RunResult:
+                 watch_races: bool = True, tracer=None) -> RunResult:
     """Boot a fresh machine from ``machine_factory`` and run ``schedule``."""
     controller = ScheduleController(machine_factory(), schedule,
-                                    watch_races=watch_races)
+                                    watch_races=watch_races, tracer=tracer)
     return controller.run()
 
 

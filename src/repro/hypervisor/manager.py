@@ -26,9 +26,12 @@ class VmPool:
     """A fixed-size pool of reproducer/diagnoser VMs."""
 
     def __init__(self, machine_factory: Callable[[], KernelMachine],
-                 vm_count: int = DEFAULT_VM_COUNT) -> None:
+                 vm_count: int = DEFAULT_VM_COUNT, tracer=None) -> None:
+        from repro.observe.tracer import as_tracer
+
         if vm_count < 1:
             raise ValueError("vm_count must be at least 1")
+        self.tracer = as_tracer(tracer)
         self.vms = [VirtualMachine(i, machine_factory)
                     for i in range(vm_count)]
         self._next = 0
@@ -42,7 +45,9 @@ class VmPool:
         """Run one schedule on the next VM (round-robin assignment)."""
         vm = self.vms[self._next]
         self._next = (self._next + 1) % len(self.vms)
-        return vm.execute(schedule, watch_races=watch_races)
+        self.tracer.count("hv.vm_assignments")
+        return vm.execute(schedule, watch_races=watch_races,
+                          tracer=self.tracer)
 
     def execute_all(self, schedules: Sequence[Schedule],
                     watch_races: bool = True) -> List[RunResult]:
@@ -56,8 +61,11 @@ class VmPool:
         concurrently.
         """
         self._next = 0
-        self.max_batch_width = max(self.max_batch_width,
-                                   min(len(schedules), len(self.vms)))
+        width = min(len(schedules), len(self.vms))
+        self.max_batch_width = max(self.max_batch_width, width)
+        if self.tracer.enabled and schedules:
+            self.tracer.point("hv.vm_batch", stage="hv",
+                              schedules=len(schedules), width=width)
         return [self.execute(s, watch_races=watch_races) for s in schedules]
 
     def reset_accounting(self) -> None:

@@ -35,11 +35,12 @@ class VirtualMachine:
         self.accounting = VmAccounting()
 
     def execute(self, schedule: Schedule,
-                watch_races: bool = True) -> RunResult:
+                watch_races: bool = True, tracer=None) -> RunResult:
         """Boot (or restore) the guest, enforce the schedule, and account
         for the revert/reboot afterwards."""
         controller = ScheduleController(self.machine_factory(), schedule,
-                                        watch_races=watch_races)
+                                        watch_races=watch_races,
+                                        tracer=tracer)
         run = controller.run()
         self.accounting.runs += 1
         self.accounting.steps += run.steps

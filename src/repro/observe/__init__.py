@@ -1,0 +1,51 @@
+"""repro.observe — structured tracing and counters for the pipeline.
+
+The observability layer every stage reports through:
+
+* :class:`~repro.observe.tracer.Tracer` — spans, points and aggregated
+  counters, fanned out to pluggable sinks; carried as an explicit
+  context object (``Aitia(bug, tracer=...)``).
+* :data:`~repro.observe.tracer.NULL_TRACER` — the disabled tracer; all
+  instrumentation is a no-op through it, so untraced runs pay nothing.
+* Sinks (:mod:`repro.observe.sinks`) — :class:`MemorySink` for tests,
+  :class:`JsonlSink` for files, :class:`LiveProgressSink` for humans.
+* :mod:`repro.observe.report` — the ``repro trace-report`` renderer.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and examples.
+"""
+
+from repro.observe.events import (
+    COUNTERS,
+    POINT,
+    SPAN_END,
+    SPAN_START,
+    TraceEvent,
+)
+from repro.observe.report import load_events, render_trace_report, summarize
+from repro.observe.sinks import (
+    JsonlSink,
+    LiveProgressSink,
+    MemorySink,
+    Sink,
+)
+from repro.observe.tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+
+__all__ = [
+    "COUNTERS",
+    "JsonlSink",
+    "LiveProgressSink",
+    "MemorySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "POINT",
+    "SPAN_END",
+    "SPAN_START",
+    "Sink",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "as_tracer",
+    "load_events",
+    "render_trace_report",
+    "summarize",
+]

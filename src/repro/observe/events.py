@@ -1,0 +1,81 @@
+"""The trace event schema.
+
+Every sink receives the same flat, JSON-safe :class:`TraceEvent` record;
+the JSONL file a traced run writes is one ``TraceEvent.to_json()`` dict
+per line.  Four kinds exist:
+
+* ``span_start`` / ``span_end`` — a named region of work.  Spans nest:
+  ``parent_id`` points at the enclosing span (0 = root), and the end
+  event carries the duration plus every attribute set during the span.
+* ``point`` — an instantaneous annotation (e.g. one LIFS depth's
+  schedule accounting).
+* ``counters`` — the tracer's aggregated counter totals, emitted once
+  when the tracer is closed; ``attrs`` is the name → total mapping.
+
+The ``stage`` field groups events by pipeline stage (``slice`` /
+``lifs`` / ``ca`` / ``chain`` / ``triage`` / ...) so reports can
+summarize per stage without knowing individual span names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Schema version stamped into every serialized event.
+SCHEMA_VERSION = 1
+
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+POINT = "point"
+COUNTERS = "counters"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observability record."""
+
+    kind: str
+    name: str
+    #: Seconds since the owning tracer was created (monotonic clock).
+    ts: float
+    span_id: int = 0
+    parent_id: int = 0
+    stage: str = ""
+    #: ``span_end`` only: seconds between start and end.
+    duration_s: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload: dict = {"v": SCHEMA_VERSION, "kind": self.kind,
+                         "name": self.name, "ts": round(self.ts, 6)}
+        if self.span_id:
+            payload["span"] = self.span_id
+        if self.parent_id:
+            payload["parent"] = self.parent_id
+        if self.stage:
+            payload["stage"] = self.stage
+        if self.duration_s is not None:
+            payload["dur_s"] = round(self.duration_s, 6)
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TraceEvent":
+        return cls(kind=payload["kind"], name=payload["name"],
+                   ts=payload.get("ts", 0.0),
+                   span_id=payload.get("span", 0),
+                   parent_id=payload.get("parent", 0),
+                   stage=payload.get("stage", ""),
+                   duration_s=payload.get("dur_s"),
+                   attrs=dict(payload.get("attrs", {})))
+
+    def render_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+
+def parse_line(line: str) -> TraceEvent:
+    """Parse one JSONL trace line back into a :class:`TraceEvent`."""
+    return TraceEvent.from_json(json.loads(line))

@@ -1,0 +1,138 @@
+"""Trace sinks: where the event stream goes.
+
+* :class:`MemorySink` — keeps events in a list, with query helpers;
+  what tests (and the benchmarks) assert against.
+* :class:`JsonlSink` — one JSON object per line to a file; the format
+  ``repro trace-report`` reads back.
+* :class:`LiveProgressSink` — human-readable progress lines on a stream
+  as spans open and close, for watching a long run.
+
+A sink is anything with ``emit(event)`` and ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, TextIO
+
+from repro.observe.events import (
+    COUNTERS,
+    POINT,
+    SPAN_END,
+    SPAN_START,
+    TraceEvent,
+)
+
+
+class Sink:
+    """Interface (and safe default) for trace sinks."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover — interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects every event in memory; the test/benchmark sink."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- queries -------------------------------------------------------
+    def find(self, name: Optional[str] = None, kind: Optional[str] = None,
+             stage: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self.events
+                if (name is None or e.name == name)
+                and (kind is None or e.kind == kind)
+                and (stage is None or e.stage == stage)]
+
+    def spans(self, name: Optional[str] = None,
+              stage: Optional[str] = None) -> List[TraceEvent]:
+        """Completed spans (``span_end`` events)."""
+        return self.find(name=name, kind=SPAN_END, stage=stage)
+
+    def points(self, name: Optional[str] = None) -> List[TraceEvent]:
+        return self.find(name=name, kind=POINT)
+
+    def stage_names(self) -> List[str]:
+        seen: List[str] = []
+        for event in self.events:
+            if event.stage and event.stage not in seen:
+                seen.append(event.stage)
+        return seen
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Totals from ``counters`` events (summed, for merged streams)."""
+        totals: Dict[str, int] = {}
+        for event in self.find(kind=COUNTERS):
+            for name, value in event.attrs.items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+
+class JsonlSink(Sink):
+    """Streams events to a JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[TextIO] = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:  # pragma: no cover — emit after close
+            return
+        self._fh.write(event.render_line() + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class LiveProgressSink(Sink):
+    """Prints a human-readable line as each span opens and closes.
+
+    Nesting depth is rebuilt from ``parent_id`` links; spans deeper than
+    ``max_depth`` (per-flip spans, say) are suppressed so the live view
+    stays one screen.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 max_depth: int = 2) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.max_depth = max_depth
+        self._depth: Dict[int, int] = {}
+
+    def _attrs_text(self, attrs: dict) -> str:
+        if not attrs:
+            return ""
+        body = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return f" [{body}]"
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind == SPAN_START:
+            depth = self._depth.get(event.parent_id, -1) + 1
+            self._depth[event.span_id] = depth
+            if depth <= self.max_depth:
+                indent = "  " * depth
+                stage = f"{event.stage}: " if event.stage else ""
+                print(f"{indent}> {stage}{event.name}"
+                      f"{self._attrs_text(event.attrs)}",
+                      file=self.stream, flush=True)
+        elif event.kind == SPAN_END:
+            depth = self._depth.pop(event.span_id, 0)
+            if depth <= self.max_depth:
+                indent = "  " * depth
+                duration = (f" {event.duration_s:.3f}s"
+                            if event.duration_s is not None else "")
+                print(f"{indent}< {event.name}{duration}"
+                      f"{self._attrs_text(event.attrs)}",
+                      file=self.stream, flush=True)
+        elif event.kind == COUNTERS:
+            print("counters: " + json.dumps(dict(sorted(event.attrs.items()))),
+                  file=self.stream, flush=True)

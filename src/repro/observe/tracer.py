@@ -1,0 +1,203 @@
+"""The tracer: spans, points and counters over pluggable sinks.
+
+A :class:`Tracer` is an explicit context object threaded through the
+pipeline (``Aitia(bug, tracer=...)``, ``TriageService(tracer=...)``,
+...).  It is deliberately not ambient/global: whoever owns the run owns
+the tracer, and worker processes simply get none.
+
+Disabled tracing must cost nothing measurable, so the default is the
+module-level :data:`NULL_TRACER` — a :class:`NullTracer` whose every
+method is a constant no-op and whose spans are a shared inert object.
+Instrumented code normalizes with :func:`as_tracer` once, then calls
+unconditionally.
+
+Counters are aggregated in-process (``tracer.counters``) and emitted as
+a single ``counters`` event when the tracer is closed; spans and points
+stream to the sinks as they happen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Optional
+
+from repro.observe.events import (
+    COUNTERS,
+    POINT,
+    SPAN_END,
+    SPAN_START,
+    TraceEvent,
+)
+
+
+class Span:
+    """One named region of work; a context manager handed out by
+    :meth:`Tracer.span`.  Attributes set during the span (via
+    :meth:`set`) ride on the ``span_end`` event."""
+
+    __slots__ = ("_tracer", "name", "stage", "attrs", "span_id",
+                 "parent_id", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, stage: str,
+                 attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.stage = stage
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self._started = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self._tracer._exit_span(self)
+        return False
+
+
+class _NullSpan:
+    """The span of a disabled tracer: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span/point/counter recorder fanning out to pluggable sinks."""
+
+    enabled = True
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = list(sinks)
+        self.counters: Dict[str, int] = {}
+        self._t0 = time.monotonic()
+        self._ids = itertools.count(1)
+        self._stack: List[int] = []
+        self._closed = False
+
+    # -- time ----------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- spans ---------------------------------------------------------
+    def span(self, name: str, stage: str = "", **attrs: object):
+        """Open a span: ``with tracer.span("lifs", stage="lifs") as sp``."""
+        return Span(self, name, stage, dict(attrs))
+
+    def _enter_span(self, span: Span) -> None:
+        span.span_id = next(self._ids)
+        span.parent_id = self._stack[-1] if self._stack else 0
+        span._started = self._now()
+        self._stack.append(span.span_id)
+        self._emit(TraceEvent(
+            kind=SPAN_START, name=span.name, ts=span._started,
+            span_id=span.span_id, parent_id=span.parent_id,
+            stage=span.stage, attrs=dict(span.attrs)))
+
+    def _exit_span(self, span: Span) -> None:
+        now = self._now()
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:  # pragma: no cover — misnesting
+            self._stack.remove(span.span_id)
+        self._emit(TraceEvent(
+            kind=SPAN_END, name=span.name, ts=now,
+            span_id=span.span_id, parent_id=span.parent_id,
+            stage=span.stage, duration_s=now - span._started,
+            attrs=dict(span.attrs)))
+
+    # -- points and counters -------------------------------------------
+    def point(self, name: str, stage: str = "", **attrs: object) -> None:
+        """Record an instantaneous annotation."""
+        self._emit(TraceEvent(
+            kind=POINT, name=name, ts=self._now(),
+            parent_id=self._stack[-1] if self._stack else 0,
+            stage=stage, attrs=attrs))
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the named aggregate counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- lifecycle -----------------------------------------------------
+    def _emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def flush_counters(self) -> None:
+        """Emit the aggregated counter totals as one ``counters`` event."""
+        if self.counters:
+            self._emit(TraceEvent(kind=COUNTERS, name="counters",
+                                  ts=self._now(),
+                                  attrs=dict(self.counters)))
+
+    def close(self) -> None:
+        """Flush counters and close every sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush_counters()
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: structurally a :class:`Tracer`, behaviourally
+    nothing.  Shared as :data:`NULL_TRACER`; do not mutate."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no sinks, no clock
+        self.sinks = []
+        self.counters = {}
+        self._closed = False
+
+    def span(self, name: str, stage: str = "", **attrs: object):
+        return _NULL_SPAN
+
+    def point(self, name: str, stage: str = "", **attrs: object) -> None:
+        pass
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def flush_counters(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled tracer; ``as_tracer(None)`` returns it.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Normalize an optional tracer argument: ``None`` → :data:`NULL_TRACER`."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -6,6 +6,12 @@ minus the wire format): monotonically increasing counters for job flow
 timed out / retried) and accumulated wall-clock timings per pipeline
 stage (intake, dedup, dispatch, persist).  The triage summary embeds a
 snapshot so every run reports what the service actually did.
+
+When a :mod:`repro.observe` tracer is bound (:meth:`bind_tracer`),
+every counter increment is mirrored into the tracer's aggregate
+counters under a ``triage.`` prefix and every timing sample becomes a
+``triage.<stage>`` point event, so a traced triage run tells one story
+with the rest of the pipeline.
 """
 
 from __future__ import annotations
@@ -14,17 +20,25 @@ import time
 from contextlib import contextmanager
 from typing import Dict, List
 
+from repro.observe.tracer import as_tracer
+
 
 class ServiceMetrics:
     """Counter + timing registry; cheap enough to always be on."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.counters: Dict[str, int] = {}
         self._timings: Dict[str, List[float]] = {}
+        self._tracer = as_tracer(tracer)
+
+    def bind_tracer(self, tracer) -> None:
+        """Mirror subsequent counters/timings into ``tracer`` too."""
+        self._tracer = as_tracer(tracer)
 
     # -- counters -------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+        self._tracer.count(f"triage.{name}", n)
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -32,6 +46,9 @@ class ServiceMetrics:
     # -- timings --------------------------------------------------------
     def observe(self, stage: str, seconds: float) -> None:
         self._timings.setdefault(stage, []).append(seconds)
+        if self._tracer.enabled:
+            self._tracer.point(f"triage.{stage}", stage="triage",
+                               seconds=round(seconds, 6))
 
     @contextmanager
     def timer(self, stage: str):

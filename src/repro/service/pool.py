@@ -116,6 +116,7 @@ class WorkerPool:
             ) -> List[TriageJob]:
         """Execute every job to a terminal outcome; returns the same
         objects, mutated in place (order preserved)."""
+        run_started = time.monotonic()
         pending: List[tuple] = [(0.0, job) for job in jobs
                                 if not job.done]  # (not_before, job)
         active: List[_Attempt] = []
@@ -131,6 +132,8 @@ class WorkerPool:
                     _, job = pending.pop(idx)
                     job.outcome = JobOutcome.RUNNING
                     job.attempts += 1
+                    if job.attempts == 1:
+                        job.queue_wait_s = time.monotonic() - run_started
                     active.append(_Attempt(self._ctx, self.worker, job))
 
                 still_active: List[_Attempt] = []
@@ -200,12 +203,14 @@ class InProcessPool:
     def run(self, jobs: Sequence[TriageJob],
             on_complete: Optional[Callable[[TriageJob], None]] = None,
             ) -> List[TriageJob]:
+        run_started = time.monotonic()
         for job in jobs:
             if job.done:
                 continue
             job.outcome = JobOutcome.RUNNING
             job.attempts += 1
             start = time.monotonic()
+            job.queue_wait_s = start - run_started
             try:
                 job.result = self.worker(job.payload)
                 job.outcome = JobOutcome.SUCCEEDED

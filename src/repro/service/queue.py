@@ -63,6 +63,9 @@ class TriageJob:
     error: str = ""
     #: Wall-clock seconds spent diagnosing (0 for cache hits).
     seconds: float = 0.0
+    #: Seconds the job waited in the pool before its first attempt
+    #: launched (0 for cache hits, which never reach the pool).
+    queue_wait_s: float = 0.0
     #: Ids of duplicate submissions folded into this job by signature
     #: dedup — they all share this job's result.
     duplicates: List[str] = field(default_factory=list)

@@ -126,10 +126,16 @@ class TriageService:
                  metrics: Optional[ServiceMetrics] = None,
                  retry: Optional[RetryPolicy] = None,
                  timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
-                 context: Optional[str] = None) -> None:
+                 context: Optional[str] = None,
+                 tracer=None) -> None:
+        from repro.observe.tracer import as_tracer
+
         self.jobs = jobs
         self.store = store if store is not None else ResultStore()
+        self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if self.tracer.enabled:
+            self.metrics.bind_tracer(self.tracer)
         self.retry = retry or RetryPolicy()
         self.timeout_s = timeout_s
         self._context = context
@@ -205,20 +211,27 @@ class TriageService:
     def run(self) -> TriageSummary:
         """Diagnose every pending unique signature and summarize."""
         pending = self._queue.drain()
-        if pending:
-            pool = make_pool(_diagnose_job, jobs=self.jobs,
-                             retry=self.retry, context=self._context)
-            with self.metrics.timer("dispatch"):
-                pool.run(pending, on_complete=self._on_complete)
-        summary = TriageSummary(metrics=self.metrics.snapshot())
-        for job in self._order:
-            summary.results.append(self._result_of(job))
+        with self.tracer.span("triage.run", stage="triage",
+                              jobs=self.jobs, unique=len(self._order),
+                              dispatched=len(pending)) as span:
+            if pending:
+                pool = make_pool(_diagnose_job, jobs=self.jobs,
+                                 retry=self.retry, context=self._context)
+                with self.metrics.timer("dispatch"):
+                    pool.run(pending, on_complete=self._on_complete)
+            summary = TriageSummary(metrics=self.metrics.snapshot())
+            for job in self._order:
+                summary.results.append(self._result_of(job))
+            span.set(cache_hits=self.metrics.count("cache_hits"),
+                     succeeded=self.metrics.count("jobs_succeeded"),
+                     failed=self.metrics.count("jobs_failed"))
         return summary
 
     def _on_complete(self, job: TriageJob) -> None:
         self.metrics.incr(f"jobs_{job.outcome.value}")
         if job.attempts > 1:
             self.metrics.incr("jobs_retried", job.attempts - 1)
+        self.metrics.observe("queue_wait", job.queue_wait_s)
         if job.outcome is JobOutcome.SUCCEEDED:
             with self.metrics.timer("persist"):
                 self.store.put(job.payload["digest"], job.result)
@@ -242,11 +255,17 @@ def triage_corpus(bugs: Optional[Sequence] = None, jobs: int = 1,
                   store: Optional[ResultStore] = None,
                   pipeline: bool = False,
                   service: Optional[TriageService] = None) -> TriageSummary:
-    """One-call batch triage of corpus bugs (default: all 22)."""
-    if bugs is None:
-        from repro.corpus.registry import all_bugs
-        bugs = all_bugs()
-    service = service or TriageService(jobs=jobs, store=store)
-    for bug in bugs:
-        service.submit_bug(bug, pipeline=pipeline)
-    return service.run()
+    """Deprecated spelling of batch corpus triage.
+
+    Superseded by :func:`repro.api.triage`; kept as a working shim for
+    one release.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.service.triage.triage_corpus is deprecated; use "
+        "repro.api.triage", DeprecationWarning, stacklevel=2)
+    from repro.api import triage
+
+    return triage(bugs if bugs is not None else "corpus", jobs=jobs,
+                  store=store, pipeline=pipeline, service=service)

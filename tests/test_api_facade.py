@@ -1,0 +1,169 @@
+"""The repro.api facade: parity with the legacy entrypoints, the
+deprecation shims, and the unified CLI flag vocabulary."""
+
+import pytest
+
+import repro
+from repro import api
+from repro.cli import build_parser, main
+from repro.core.diagnose import Aitia
+from repro.corpus import registry
+
+
+class TestVersion:
+    def test_version_bumped(self):
+        assert repro.__version__ == "1.1.0"
+
+    def test_facade_reexported_at_top_level(self):
+        assert repro.diagnose is api.diagnose
+        assert repro.evaluate is api.evaluate
+        assert repro.triage is api.triage
+        assert repro.TriageReport is api.TriageReport
+
+
+class TestDiagnoseParity:
+    """api.diagnose must be a pure facade: same chain, same accounting
+    as driving the Aitia orchestrator directly."""
+
+    @pytest.mark.parametrize("bug_id", ["CVE-2017-15649", "SYZ-05"])
+    def test_direct_diagnosis_identical(self, bug_id):
+        bug = registry.get_bug(bug_id)
+        legacy = Aitia(bug).diagnose()
+        facade = api.diagnose(bug_id)  # resolves the id itself
+        assert facade.reproduced == legacy.reproduced
+        assert facade.chain.render() == legacy.chain.render()
+        assert facade.total_lifs_schedules == legacy.total_lifs_schedules
+        assert facade.ca_schedules == legacy.ca_schedules
+        assert (facade.lifs_result.interleaving_count
+                == legacy.lifs_result.interleaving_count)
+
+    def test_accepts_bug_object(self):
+        bug = registry.get_bug("SYZ-05")
+        assert api.diagnose(bug).reproduced
+
+    def test_explicit_report_skips_bug_finder(self):
+        from repro.trace.syzkaller import run_bug_finder
+        bug = registry.get_bug("SYZ-04")
+        report = run_bug_finder(bug)
+        facade = api.diagnose(bug, report=report)
+        legacy = Aitia(bug, report=report).diagnose()
+        assert facade.chain.render() == legacy.chain.render()
+
+
+class TestEvaluateFacade:
+    def test_evaluate_resolves_ids(self):
+        evaluation = api.evaluate(["SYZ-05"])
+        assert [r.bug_id for r in evaluation.rows] == ["SYZ-05"]
+        assert evaluation.rows[0].reproduced
+
+
+class TestTriageFacade:
+    def test_corpus_subset_by_id(self, tmp_path):
+        registry.load()
+        report = api.triage(["SYZ-05", "SYZ-05"],
+                            store=str(tmp_path / "store.jsonl"))
+        # same bug twice → one unique signature, duplicates folded
+        assert len(report.results) == 1
+        assert report.results[0].duplicates == 1
+        assert report.all_ok
+
+    def test_store_path_becomes_cache(self, tmp_path):
+        registry.load()
+        store = str(tmp_path / "store.jsonl")
+        first = api.triage(["SYZ-05"], store=store)
+        assert first.results[0].outcome == "succeeded"
+        second = api.triage(["SYZ-05"], store=store)
+        assert second.results[0].outcome == "cache_hit"
+
+    def test_intake_directory_source(self, tmp_path):
+        from repro.service.artifacts import emit_artifact
+        registry.load()
+        intake = tmp_path / "intake"
+        intake.mkdir()
+        emit_artifact(registry.get_bug("SYZ-05"), str(intake))
+        report = api.triage(str(intake))
+        assert len(report.results) == 1
+        assert report.all_ok
+
+
+class TestDeprecationShims:
+    def test_triage_corpus_warns_and_works(self, tmp_path):
+        from repro.service.triage import triage_corpus
+        registry.load()
+        with pytest.warns(DeprecationWarning, match="repro.api.triage"):
+            summary = triage_corpus([registry.get_bug("SYZ-05")])
+        assert summary.all_ok
+
+    def test_evaluate_bug_warns_and_works(self):
+        from repro.analysis.evaluation import evaluate_bug
+        bug = registry.get_bug("SYZ-05")
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            row = evaluate_bug(bug)
+        assert row.bug_id == "SYZ-05" and row.reproduced
+
+
+class TestUnifiedCliFlags:
+    def test_canonical_flags_parse_everywhere(self):
+        parser = build_parser()
+        ev = parser.parse_args(["evaluate", "--jobs", "3", "--timeout",
+                                "42", "--trace", "t.jsonl"])
+        assert (ev.jobs, ev.timeout, ev.trace) == (3, 42.0, "t.jsonl")
+        tr = parser.parse_args(["triage", "--corpus", "--jobs", "3",
+                                "--timeout", "42", "--store", "s.jsonl",
+                                "--trace", "t.jsonl"])
+        assert (tr.jobs, tr.timeout, tr.store, tr.trace) == (
+            3, 42.0, "s.jsonl", "t.jsonl")
+        dg = parser.parse_args(["diagnose", "SYZ-05", "--trace",
+                                "t.jsonl"])
+        assert dg.trace == "t.jsonl"
+
+    def test_defaults_are_identical(self):
+        parser = build_parser()
+        ev = parser.parse_args(["evaluate"])
+        tr = parser.parse_args(["triage", "--corpus"])
+        assert ev.jobs == tr.jobs == 1
+        assert ev.timeout == tr.timeout == 300.0
+        assert ev.trace is None and tr.trace is None
+
+    def test_deprecated_aliases_still_work(self, capsys):
+        parser = build_parser()
+        ev = parser.parse_args(["evaluate", "--workers", "4"])
+        assert ev.jobs == 4
+        tr = parser.parse_args(["triage", "--corpus", "--result-store",
+                                "s.jsonl", "--job-timeout", "9"])
+        assert tr.store == "s.jsonl" and tr.timeout == 9.0
+        notes = capsys.readouterr().err
+        assert "--workers is deprecated" in notes
+        assert "--result-store is deprecated" in notes
+        assert "--job-timeout is deprecated" in notes
+
+    def test_aliases_hidden_from_help(self):
+        import io
+        from contextlib import redirect_stdout
+
+        parser = build_parser()
+        helps = []
+        for argv in (["evaluate", "--help"], ["triage", "--help"]):
+            buf = io.StringIO()
+            with redirect_stdout(buf), pytest.raises(SystemExit):
+                parser.parse_args(argv)
+            helps.append(buf.getvalue())
+        for text in helps:
+            assert "--jobs" in text and "--timeout" in text
+            assert "--workers" not in text
+            assert "--job-timeout" not in text
+            assert "--result-store" not in text
+
+    def test_cli_trace_flag_end_to_end(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["diagnose", "SYZ-05", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert main(["trace-report", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "per-stage summary" in report
+        assert "lifs.schedules" in report
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/t.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
