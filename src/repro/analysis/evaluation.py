@@ -117,17 +117,23 @@ def summarize_diagnosis(bug: "Bug", diagnosis) -> BugEvaluation:
 
 
 def _evaluate_one(bug: "Bug", pipeline: bool = False,
+                  snapshots: bool = True,
                   tracer=None) -> BugEvaluation:
     """Diagnose one bug and summarize the outcome."""
     # Imported here: analysis is a leaf package for repro.core, so the
     # orchestrator import must not run at module-import time.
+    from repro.core.causality import CaConfig
     from repro.core.diagnose import Aitia
+    from repro.core.lifs import LifsConfig
 
     report = None
     if pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
-    diagnosis = Aitia(bug, report=report, tracer=tracer).diagnose()
+    diagnosis = Aitia(bug, report=report,
+                      lifs_config=LifsConfig(use_snapshots=snapshots),
+                      ca_config=CaConfig(use_snapshots=snapshots),
+                      tracer=tracer).diagnose()
     return summarize_diagnosis(bug, diagnosis)
 
 
@@ -155,13 +161,15 @@ def _evaluate_worker(payload: dict) -> dict:
     from repro.corpus import registry
 
     bug = registry.get_bug(payload["bug_id"])
-    return asdict(_evaluate_one(bug, pipeline=payload["pipeline"]))
+    return asdict(_evaluate_one(bug, pipeline=payload["pipeline"],
+                                snapshots=payload.get("snapshots", True)))
 
 
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                     pipeline: bool = False,
                     jobs: int = 1,
                     timeout_s: float = 600.0,
+                    snapshots: bool = True,
                     tracer=None) -> CorpusEvaluation:
     """Evaluate a bug set (default: the paper's 22 evaluated bugs).
 
@@ -174,6 +182,9 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     ``tracer`` records per-diagnosis spans in-process; with ``jobs >
     1`` the diagnoses happen in worker processes, so the trace carries
     the dispatch span and per-job points instead.
+
+    ``snapshots=False`` disables the prefix-checkpoint engine (the
+    ``--no-snapshot`` ablation); rows are bit-identical either way.
     """
     from repro.observe.tracer import as_tracer
 
@@ -185,7 +196,8 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
         with tracer.span("evaluate", stage="evaluate",
                          bugs=len(bugs), jobs=1):
             return CorpusEvaluation(
-                rows=[_evaluate_one(bug, pipeline=pipeline, tracer=tracer)
+                rows=[_evaluate_one(bug, pipeline=pipeline,
+                                    snapshots=snapshots, tracer=tracer)
                       for bug in bugs])
 
     from repro.service.pool import WorkerPool
@@ -193,7 +205,8 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
 
     triage_jobs = [
         TriageJob(job_id=bug.bug_id,
-                  payload={"bug_id": bug.bug_id, "pipeline": pipeline},
+                  payload={"bug_id": bug.bug_id, "pipeline": pipeline,
+                           "snapshots": snapshots},
                   timeout_s=timeout_s)
         for bug in bugs
     ]
@@ -213,6 +226,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                 rows.append(BugEvaluation(**job.result))
             else:  # pragma: no cover — worker-loss fallback
                 fallbacks += 1
-                rows.append(_evaluate_one(bug, pipeline=pipeline))
+                rows.append(_evaluate_one(bug, pipeline=pipeline,
+                                          snapshots=snapshots))
         span.set(fallbacks=fallbacks)
     return CorpusEvaluation(rows=rows)

@@ -62,6 +62,7 @@ def diagnose(bug_or_id: BugLike, *,
              ca: Optional[CaConfig] = None,
              cost_model=None,
              vm_count: int = DEFAULT_VM_COUNT,
+             snapshots: bool = True,
              tracer=None) -> Diagnosis:
     """Diagnose one kernel concurrency failure.
 
@@ -72,11 +73,21 @@ def diagnose(bug_or_id: BugLike, *,
     slicing; an explicit ``report`` skips the bug finder.  ``lifs`` /
     ``ca`` bound the two search stages; ``tracer`` records spans for
     every pipeline stage (slice, LIFS, CA, chain).
+
+    ``snapshots=False`` is the ``--no-snapshot`` ablation: disable the
+    prefix-checkpoint engine (see docs/PERFORMANCE.md) in both stages.
+    Results are bit-identical either way; only the ``snapshot.*`` /
+    ``ca.snapshot_*`` accounting differs.  Ignored when an explicit
+    ``lifs`` / ``ca`` config carries its own ``use_snapshots``.
     """
     bug = _resolve_bug(bug_or_id)
     if report is None and pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
+    if lifs is None:
+        lifs = LifsConfig(use_snapshots=snapshots)
+    if ca is None:
+        ca = CaConfig(use_snapshots=snapshots)
     return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
                  cost_model=cost_model, vm_count=vm_count,
                  tracer=tracer).diagnose()
@@ -86,12 +97,15 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
              pipeline: bool = False,
              jobs: int = 1,
              timeout_s: float = 600.0,
+             snapshots: bool = True,
              tracer=None):
     """Run the paper's evaluation over a bug set (default: all 22).
 
     Returns a :class:`~repro.analysis.evaluation.CorpusEvaluation`.
     With ``jobs > 1`` the bugs are diagnosed in parallel worker
     processes; rows are bit-identical to the sequential ones.
+    ``snapshots=False`` disables the prefix-checkpoint engine (the
+    ``--no-snapshot`` ablation); rows are bit-identical either way.
     """
     from repro.analysis.evaluation import evaluate_corpus
 
@@ -99,7 +113,8 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
     if bugs is not None:
         resolved = [_resolve_bug(b) for b in bugs]
     return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
-                           timeout_s=timeout_s, tracer=tracer)
+                           timeout_s=timeout_s, snapshots=snapshots,
+                           tracer=tracer)
 
 
 def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:

@@ -146,6 +146,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     tracer = _open_tracer(args)
     try:
         diagnosis = api.diagnose(bug, report=report, vm_count=args.vms,
+                                 snapshots=not args.no_snapshot,
                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -158,7 +159,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     try:
         evaluation = api.evaluate(args.bug_ids or None,
                                   pipeline=args.pipeline, jobs=args.jobs,
-                                  timeout_s=args.timeout, tracer=tracer)
+                                  timeout_s=args.timeout,
+                                  snapshots=not args.no_snapshot,
+                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
     table = Table("corpus evaluation",
@@ -325,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="go through the synthetic bug finder "
                                "(history + slicing) instead of the "
                                "canonical threads")
+    diagnose.add_argument("--no-snapshot", action="store_true",
+                          help="ablation: disable the prefix-checkpoint "
+                               "engine (snapshot/resume + suffix splicing); "
+                               "results are bit-identical, only snapshot.* "
+                               "accounting differs")
     diagnose.add_argument("--vms", type=int, default=32,
                           help="VM pool size for the parallel-time "
                                "estimate (default 32)")
@@ -344,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--pipeline", action="store_true",
                           help="drive every bug through the synthetic "
                                "bug finder")
+    evaluate.add_argument("--no-snapshot", action="store_true",
+                          help="ablation: disable the prefix-checkpoint "
+                               "engine in both search stages")
     evaluate.add_argument("--json", metavar="PATH",
                           help="also write the structured results as JSON")
     evaluate.set_defaults(func=_cmd_evaluate)

@@ -41,7 +41,9 @@ from repro.core.chain import CausalityChain, build_chain
 from repro.core.lifs import FailureMatcher, LifsResult
 from repro.core.races import DataRace, EndpointKey
 from repro.core.schedule import OrderConstraint, Schedule
-from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.hypervisor.controller import (ContinuationCache, RunResult,
+                                         ScheduleController)
+from repro.hypervisor.snapshot import boot_checkpoint
 from repro.kernel.instructions import Op
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
@@ -103,6 +105,20 @@ class CaStats:
     reboots: int = 0
     total_steps: int = 0
     elapsed_seconds: float = 0.0
+    #: Flip runs resumed from the boot checkpoint / booted fresh; their
+    #: sum always equals ``schedules_executed``.
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+    #: Boot-setup and spliced-suffix steps resumed flips did *not*
+    #: re-interpret.
+    saved_steps: int = 0
+    #: Steps the interpreter really executed (runs, plus setup on fresh
+    #: boots); ``total_steps`` keeps whole-run semantics either way.
+    interpreted_steps: int = 0
+    #: Flips whose suffix was grafted from an earlier flip after state
+    #: convergence, and the steps those grafts covered.
+    snapshot_splices: int = 0
+    snapshot_spliced_steps: int = 0
 
 
 @dataclass
@@ -145,6 +161,16 @@ class CaConfig:
     #: before testing: pairs ordered transitively (lock hand-offs, spawn
     #: edges) are provably unflippable, so testing them is wasted work.
     use_happens_before: bool = False
+    #: Prefix-checkpoint engine: run every flip on one vehicle machine
+    #: restored from a boot checkpoint instead of rebooting per flip, and
+    #: splice memoized suffixes once a flip's reordered window resolves
+    #: and its state converges back onto an earlier flip's trajectory.
+    #: Results are bit-identical with the engine on or off (the
+    #: ``--no-snapshot`` ablation); only ``ca.snapshot_*`` accounting
+    #: differs.
+    use_snapshots: bool = True
+    #: Cap on memoized flip continuations (suffix splicing).
+    max_continuations: int = 65536
 
 
 class CausalityAnalysis:
@@ -168,7 +194,21 @@ class CausalityAnalysis:
         self.target = target or FailureMatcher(
             kind=failure.kind, location=failure.instr_label)
         self.config = config or CaConfig()
-        self.image = machine_factory().image
+        # The boot machine doubles as the snapshot engine's vehicle: every
+        # flip restores the boot checkpoint in place instead of booting a
+        # fresh machine (kcov-instrumented machines opt out — resuming
+        # would skip the setup's coverage callbacks).
+        machine = machine_factory()
+        self.image = machine.image
+        self._machine: Optional[KernelMachine] = None
+        self._boot_checkpoint = None
+        self._continuations: Optional[ContinuationCache] = None
+        if self.config.use_snapshots and machine.coverage_cb is None \
+                and not machine.halted:
+            self._machine = machine
+            self._boot_checkpoint = boot_checkpoint(machine)
+            self._continuations = ContinuationCache(
+                self.config.max_continuations)
         self.stats = CaStats()
         self._start_order = self.failure_run.schedule.start_order
 
@@ -362,13 +402,36 @@ class CausalityAnalysis:
                             constraints=constraints, note=note)
         with self.tracer.span("ca.flip", stage=stage, note=note,
                               constraints=len(constraints)) as span:
-            controller = ScheduleController(self.machine_factory(), schedule,
-                                            watch_races=False,
-                                            tracer=self.tracer)
+            if self._boot_checkpoint is not None:
+                machine = self._machine
+                session = self._continuations.session()
+                controller = ScheduleController(
+                    machine, schedule, watch_races=False,
+                    tracer=self.tracer, resume_from=self._boot_checkpoint,
+                    splice_probe=session.probe)
+            else:
+                machine = self.machine_factory()
+                session = None
+                controller = ScheduleController(machine, schedule,
+                                                watch_races=False,
+                                                tracer=self.tracer)
             run = controller.run()
+            if session is not None:
+                session.donate(run)
             span.set(failed=run.failed, steps=run.steps)
         self.stats.schedules_executed += 1
         self.stats.total_steps += run.steps
+        spliced = controller.spliced_steps
+        if self._boot_checkpoint is not None:
+            self.stats.snapshot_hits += 1
+            self.stats.saved_steps += machine.setup_steps + spliced
+            self.stats.interpreted_steps += run.steps - spliced
+        else:
+            self.stats.snapshot_misses += 1
+            self.stats.interpreted_steps += run.steps + machine.setup_steps
+        if spliced:
+            self.stats.snapshot_splices += 1
+            self.stats.snapshot_spliced_steps += spliced
         if run.failed:
             # A failing diagnosis run requires a VM reboot (the dominant
             # cost of the diagnosing stage per section 5.1).
@@ -408,6 +471,14 @@ class CausalityAnalysis:
         self.tracer.count("ca.benign_units", len(result.benign_units))
         self.tracer.count("ca.benign_races", result.benign_race_count)
         self.tracer.count("ca.ambiguous_units", len(result.ambiguous_uids))
+        self.tracer.count("ca.interpreted_steps",
+                          self.stats.interpreted_steps)
+        self.tracer.count("ca.snapshot_hits", self.stats.snapshot_hits)
+        self.tracer.count("ca.snapshot_misses", self.stats.snapshot_misses)
+        self.tracer.count("ca.snapshot_saved_steps", self.stats.saved_steps)
+        self.tracer.count("ca.snapshot_splices", self.stats.snapshot_splices)
+        self.tracer.count("ca.snapshot_spliced_steps",
+                          self.stats.snapshot_spliced_steps)
         span.set(schedules=self.stats.schedules_executed,
                  flips=len(result.tests),
                  reboots=self.stats.reboots,

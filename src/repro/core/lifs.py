@@ -29,6 +29,7 @@ sequence together with every data race observed in it.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -36,7 +37,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.races import RaceSet, find_data_races
 from repro.core.schedule import Preemption, Schedule
-from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.hypervisor.controller import (ContinuationCache, RunResult,
+                                         ScheduleController, SpliceSession)
+from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
 from repro.kernel.failures import Failure, FailureKind
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
@@ -83,6 +86,27 @@ class LifsConfig:
     #: Ablation switch: extend equivalent (same-signature) runs instead of
     #: skipping their subtrees.
     equivalence_dedup: bool = True
+    #: Prefix-checkpoint engine (docs/PERFORMANCE.md): run every schedule on
+    #: one vehicle machine, resumed from the latest checkpoint before the
+    #: point where the schedule diverges from its base run, instead of
+    #: rebooting and re-interpreting the shared prefix.  Results are
+    #: bit-identical with the engine on or off (the ``--no-snapshot``
+    #: ablation); only ``snapshot.*`` accounting differs.
+    use_snapshots: bool = True
+    #: Capture a checkpoint every N executed instructions (besides the boot
+    #: checkpoint and one at every preemption fire).
+    snapshot_interval: int = 8
+    #: Per-run cap on captured checkpoints.
+    max_checkpoints_per_run: int = 64
+    #: Cap on memoized run continuations (suffix splicing); each entry
+    #: pins its donor run for the duration of the search.
+    max_continuations: int = 65536
+    #: Debugging aid: dedup on the full nested Mazurkiewicz signature
+    #: tuples instead of the stable 64-bit digest.
+    full_signatures: bool = False
+    #: Retain full ``RunResult``s for ``sample_runs`` instead of the
+    #: lightweight summaries that are replayed on demand.
+    keep_full_runs: bool = False
 
 
 @dataclass
@@ -96,6 +120,44 @@ class SearchStats:
     per_round_pruned: Dict[int, int] = field(default_factory=dict)
     per_round_equivalent: Dict[int, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Schedules resumed from a checkpoint / booted fresh; their sum always
+    #: equals ``schedules_executed``.
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+    #: Checkpoints captured across all runs.
+    snapshot_checkpoints: int = 0
+    #: Suffix steps actually interpreted by resumed runs.
+    resumed_steps: int = 0
+    #: Prefix + boot-setup steps resumed runs did *not* interpret.
+    saved_steps: int = 0
+    #: Steps the interpreter really executed (suffixes plus setup on fresh
+    #: boots).  With snapshots off this equals total_steps + setup per run;
+    #: ``total_steps`` itself keeps whole-run semantics either way.
+    interpreted_steps: int = 0
+    #: Runs whose suffix was grafted from a memoized continuation after
+    #: state convergence (see
+    #: :class:`repro.hypervisor.controller.ContinuationCache`), and the
+    #: steps those grafts covered without interpretation.
+    snapshot_splices: int = 0
+    snapshot_spliced_steps: int = 0
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Lightweight record of one executed schedule: what retention keeps
+    instead of a full ``RunResult`` (whose trace and access log pin the
+    whole run in memory).  The schedule plus the deterministic controller
+    are enough to rematerialize the full run on demand."""
+
+    schedule: Schedule
+    failure: Optional[Failure]
+    steps: int
+    interleavings: int
+    signature_hash: int
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
 
 @dataclass
@@ -109,7 +171,28 @@ class LifsResult:
     #: Paper-style interleaving count of the reproducing run (preempted and
     #: later resumed pairs).
     interleaving_count: int = 0
-    sample_runs: List[RunResult] = field(default_factory=list)
+    #: Summaries of the first ``LifsConfig.keep_runs`` executed schedules.
+    run_summaries: List[RunSummary] = field(default_factory=list)
+    _replayer: Optional[Callable[[Schedule], RunResult]] = field(
+        default=None, repr=False, compare=False)
+    _materialized: Optional[List[RunResult]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def sample_runs(self) -> List[RunResult]:
+        """Full ``RunResult``s for the retained schedules.
+
+        Replayed on demand (execution is deterministic, so the replay is
+        exact) and cached; with ``LifsConfig.keep_full_runs`` the search
+        hands over the original runs instead.
+        """
+        if self._materialized is None:
+            if self._replayer is None:
+                self._materialized = []
+            else:
+                self._materialized = [self._replayer(s.schedule)
+                                      for s in self.run_summaries]
+        return self._materialized
 
     @property
     def failure_sequence(self):
@@ -182,9 +265,18 @@ class LeastInterleavingFirstSearch:
         self.tracer = as_tracer(tracer)
         self.stats = SearchStats()
         self._knowledge = _Knowledge()
-        self._signatures: Set[Tuple] = set()
+        self._signatures: Set = set()
         self._tried_schedules: Set[Tuple] = set()
-        self._sample_runs: List[RunResult] = []
+        self._run_summaries: List[RunSummary] = []
+        self._kept_runs: List[RunResult] = []
+        # Prefix-checkpoint engine state: one vehicle machine restored in
+        # place for every resumed run, and the boot checkpoint that replaces
+        # per-schedule reboots.
+        self._snapshots_on = bool(self.config.use_snapshots)
+        self._machine: Optional[KernelMachine] = None
+        self._boot_checkpoint: Optional[RunCheckpoint] = None
+        self._continuations = ContinuationCache(
+            self.config.max_continuations)
 
     # ------------------------------------------------------------------
     def search(self) -> LifsResult:
@@ -214,7 +306,16 @@ class LeastInterleavingFirstSearch:
         self.tracer.count("lifs.pruned", stats.candidates_pruned)
         self.tracer.count("lifs.equivalent", stats.equivalent_runs)
         self.tracer.count("lifs.failing_runs", stats.failing_runs)
+        self.tracer.count("lifs.interpreted_steps", stats.interpreted_steps)
         self.tracer.count("lifs.searches")
+        self.tracer.count("snapshot.hits", stats.snapshot_hits)
+        self.tracer.count("snapshot.misses", stats.snapshot_misses)
+        self.tracer.count("snapshot.captured", stats.snapshot_checkpoints)
+        self.tracer.count("snapshot.resumed_steps", stats.resumed_steps)
+        self.tracer.count("snapshot.saved_steps", stats.saved_steps)
+        self.tracer.count("snapshot.splices", stats.snapshot_splices)
+        self.tracer.count("snapshot.spliced_steps",
+                          stats.snapshot_spliced_steps)
         span.set(reproduced=result.reproduced,
                  schedules=stats.schedules_executed,
                  pruned=stats.candidates_pruned,
@@ -223,73 +324,216 @@ class LeastInterleavingFirstSearch:
                  races=len(result.races))
 
     def _search(self) -> LifsResult:
-        frontier: List[RunResult] = []
+        # Frontier entries carry the checkpoints valid for extending the
+        # run: the base's shared-prefix checkpoints plus the run's own.
+        frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
 
         # Interleaving count 0: serial executions in every thread order.
         for order in itertools.permutations(self.initial_threads):
             schedule = Schedule(start_order=order,
                                 note=f"lifs serial {'>'.join(order)}")
-            run, duplicate = self._execute(schedule, round_index=0)
+            run, duplicate, checkpoints = self._execute(schedule,
+                                                        round_index=0)
             if run is None:
                 return self._give_up()
             if self.target.matches(run.failure):
                 return self._success(run)
             if not run.failed and not duplicate:
-                frontier.append(run)
+                frontier.append((run, checkpoints))
 
         for round_index in range(1, self.config.max_interleavings + 1):
-            next_frontier: List[RunResult] = []
-            for base in frontier:
-                for schedule in self._extensions(base):
-                    run, duplicate = self._execute(schedule, round_index)
+            next_frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
+            for base, base_ckpts in frontier:
+                base_ckpts = list(base_ckpts)
+                horizons = [c.horizon_seq for c in base_ckpts]
+                for schedule, div_seq in self._extensions(base):
+                    # Latest checkpoint strictly before the divergence
+                    # point: base and extension behave identically up to
+                    # there, and the preempted occurrence must not have
+                    # executed yet or the preemption would never fire.
+                    i = bisect.bisect_left(horizons, div_seq)
+                    resume = base_ckpts[i - 1] if i else None
+                    run, duplicate, checkpoints = self._execute(
+                        schedule, round_index, resume_from=resume)
                     if run is None:
                         return self._give_up()
                     if self.target.matches(run.failure):
                         return self._success(run)
+                    self._harvest(schedule, checkpoints, base_ckpts,
+                                  horizons)
                     # Equivalent runs are recorded but not extended — the
                     # DPOR-style subtree skip of Figure 5.
                     keep = not duplicate or not self.config.equivalence_dedup
                     if not run.failed and keep:
-                        next_frontier.append(run)
+                        next_frontier.append((run, self._child_checkpoints(
+                            schedule, run, base_ckpts, checkpoints)))
             if not next_frontier:
                 break
             frontier = next_frontier
 
         return self._give_up()
 
+    def _harvest(self, schedule: Schedule,
+                 checkpoints: Sequence[RunCheckpoint],
+                 base_ckpts: List[RunCheckpoint],
+                 horizons: List[int]) -> None:
+        """Fold an extension run's pre-divergence checkpoints back into the
+        base's pool.  Until its new preemption fires, the extension *is* the
+        base run, so those captures densify the shared prefix — siblings
+        (generated in ascending divergence order) then resume from just
+        before their own divergence point instead of an early, coarse
+        checkpoint."""
+        if not self._snapshots_on or not schedule.preemptions:
+            return
+        new_preemption = schedule.preemptions[-1]
+        for ckpt in checkpoints:
+            # fired grows monotonically along the checkpoint list; the
+            # first capture past the divergence ends the shared prefix.
+            if any(p == new_preemption for p, _ in ckpt.fired):
+                break
+            i = bisect.bisect_left(horizons, ckpt.horizon_seq)
+            if i < len(horizons) and horizons[i] == ckpt.horizon_seq:
+                continue
+            horizons.insert(i, ckpt.horizon_seq)
+            base_ckpts.insert(i, ckpt)
+
+    def _child_checkpoints(
+        self, schedule: Schedule, run: RunResult,
+        base_ckpts: List[RunCheckpoint],
+        own: List[RunCheckpoint],
+    ) -> List[RunCheckpoint]:
+        """Checkpoints valid for extensions of ``run``: the base's prefix
+        checkpoints up to the point where ``run`` diverged (its new
+        preemption's fire seq) plus the checkpoints ``run`` captured
+        itself, deduplicated by horizon."""
+        if not self._snapshots_on:
+            return []
+        new_preemption = schedule.preemptions[-1]
+        fire_seq = None
+        for p, seq in zip(run.fired_preemptions, run.fired_seqs):
+            if p == new_preemption:
+                fire_seq = seq
+                break
+        if fire_seq is None:
+            # The new preemption never fired: the run never diverged from
+            # its base, so every base checkpoint stays valid.
+            inherited = base_ckpts
+        else:
+            inherited = [c for c in base_ckpts if c.horizon_seq <= fire_seq]
+        merged: Dict[int, RunCheckpoint] = {}
+        for ckpt in itertools.chain(inherited, own):
+            merged.setdefault(ckpt.horizon_seq, ckpt)
+        return [merged[h] for h in sorted(merged)]
+
     # ------------------------------------------------------------------
     def _execute(
         self, schedule: Schedule, round_index: int,
-    ) -> Tuple[Optional[RunResult], bool]:
-        """Run one schedule.  Returns ``(run, is_equivalent)``; ``run`` is
+        resume_from: Optional[RunCheckpoint] = None,
+    ) -> Tuple[Optional[RunResult], bool, List[RunCheckpoint]]:
+        """Run one schedule, resuming from a checkpoint when the engine is
+        on.  Returns ``(run, is_equivalent, checkpoints)``; ``run`` is
         ``None`` when the schedule budget is exhausted."""
         if self.stats.schedules_executed >= self.config.max_schedules:
-            return None, False
-        controller = ScheduleController(self.machine_factory(), schedule,
-                                        tracer=self.tracer)
+            return None, False, []
+        resume = resume_from if self._snapshots_on else None
+        if resume is None and self._snapshots_on:
+            # No prefix checkpoint applies (serial orders, or a first-round
+            # extension whose divergence precedes every capture): resume
+            # from boot instead of rebooting.
+            resume = self._boot_checkpoint
+        session: Optional[SpliceSession] = None
+        if resume is not None:
+            machine = self._machine
+            session = self._continuations.session()
+            controller = ScheduleController(
+                machine, schedule, tracer=self.tracer,
+                resume_from=resume, checkpoint_policy=self._policy(),
+                splice_probe=session.probe)
+        else:
+            machine = self.machine_factory()
+            if machine.coverage_cb is not None:
+                # kcov-instrumented machines must interpret every
+                # instruction: resuming would skip the prefix's coverage
+                # callbacks.  Run the whole search snapshot-free.
+                self._snapshots_on = False
+            if self._snapshots_on:
+                session = self._continuations.session()
+            controller = ScheduleController(
+                machine, schedule, tracer=self.tracer,
+                checkpoint_policy=self._policy(),
+                splice_probe=session.probe if session else None)
+            if self._snapshots_on:
+                self._machine = machine
         run = controller.run()
+        if session is not None:
+            session.donate(run)
         self.stats.schedules_executed += 1
         self.stats.total_steps += run.steps
+        prefix_steps = resume.steps if resume is not None else 0
+        spliced_steps = controller.spliced_steps
+        suffix_steps = run.steps - prefix_steps - spliced_steps
+        if resume is not None:
+            self.stats.snapshot_hits += 1
+            self.stats.resumed_steps += suffix_steps
+            self.stats.saved_steps += (prefix_steps + machine.setup_steps
+                                       + spliced_steps)
+            self.stats.interpreted_steps += suffix_steps
+        else:
+            self.stats.snapshot_misses += 1
+            self.stats.interpreted_steps += run.steps + machine.setup_steps
+        if spliced_steps:
+            self.stats.snapshot_splices += 1
+            self.stats.snapshot_spliced_steps += spliced_steps
+        self.stats.snapshot_checkpoints += len(controller.checkpoints)
+        if self._snapshots_on and self._boot_checkpoint is None:
+            for ckpt in controller.checkpoints:
+                if ckpt.steps == 0 and not ckpt.fired:
+                    self._boot_checkpoint = ckpt
+                    break
         if run.failed:
             self.stats.failing_runs += 1
         self.stats.per_round_executed[round_index] = (
             self.stats.per_round_executed.get(round_index, 0) + 1)
         self._knowledge.absorb(run)
-        signature = run.signature()
-        duplicate = signature in self._signatures
+        digest = run.signature_hash()
+        key = run.signature() if self.config.full_signatures else digest
+        duplicate = key in self._signatures
         if duplicate:
             self.stats.equivalent_runs += 1
             self.stats.per_round_equivalent[round_index] = (
                 self.stats.per_round_equivalent.get(round_index, 0) + 1)
         else:
-            self._signatures.add(signature)
-        if len(self._sample_runs) < self.config.keep_runs:
-            self._sample_runs.append(run)
-        return run, duplicate
+            self._signatures.add(key)
+        if len(self._run_summaries) < self.config.keep_runs:
+            self._run_summaries.append(RunSummary(
+                schedule=schedule, failure=run.failure, steps=run.steps,
+                interleavings=run.interleavings, signature_hash=digest))
+            if self.config.keep_full_runs:
+                self._kept_runs.append(run)
+        return run, duplicate, controller.checkpoints
+
+    def _policy(self) -> Optional[CheckpointPolicy]:
+        if not self._snapshots_on:
+            return None
+        return CheckpointPolicy(
+            interval=self.config.snapshot_interval,
+            max_checkpoints=self.config.max_checkpoints_per_run)
+
+    def _replay(self, schedule: Schedule) -> RunResult:
+        """Deterministically rematerialize a retained run (fresh boot, no
+        tracer — accounting already happened during the search)."""
+        return ScheduleController(self.machine_factory(), schedule).run()
 
     def _extensions(self, base: RunResult):
-        """Candidate schedules extending ``base`` with one more preemption,
-        front-to-back after the base's last fired preemption."""
+        """Candidate ``(schedule, divergence_seq)`` pairs extending ``base``
+        with one more preemption, front-to-back after the base's last fired
+        preemption.
+
+        ``divergence_seq`` is the new preemption's trace-entry seq: base and
+        extension behave identically up to (but excluding) that entry, so
+        the caller may resume the extension from any checkpoint whose
+        horizon is strictly before it.
+        """
         # Front-to-back: new preemptions only after the point where the
         # base run's last preemption *fired* (parked its thread).
         last_seq = max(base.fired_seqs) if base.fired_seqs else 0
@@ -337,7 +581,7 @@ class LeastInterleavingFirstSearch:
                 if key in self._tried_schedules:
                     continue
                 self._tried_schedules.add(key)
-                yield schedule
+                yield schedule, entry.seq
 
     @staticmethod
     def _schedule_key(schedule: Schedule) -> Tuple:
@@ -353,9 +597,16 @@ class LeastInterleavingFirstSearch:
         return LifsResult(
             reproduced=True, failure_run=run, races=races, stats=self.stats,
             interleaving_count=run.interleavings,
-            sample_runs=list(self._sample_runs))
+            run_summaries=list(self._run_summaries),
+            _replayer=self._replay,
+            _materialized=(list(self._kept_runs)
+                           if self.config.keep_full_runs else None))
 
     def _give_up(self) -> LifsResult:
         return LifsResult(
             reproduced=False, failure_run=None, races=RaceSet(),
-            stats=self.stats, sample_runs=list(self._sample_runs))
+            stats=self.stats,
+            run_summaries=list(self._run_summaries),
+            _replayer=self._replay,
+            _materialized=(list(self._kept_runs)
+                           if self.config.keep_full_runs else None))

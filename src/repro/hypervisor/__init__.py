@@ -20,13 +20,23 @@ from repro.hypervisor.breakpoints import BreakpointManager, WatchpointManager
 from repro.hypervisor.controller import RunResult, ScheduleController
 from repro.hypervisor.manager import VmPool
 from repro.hypervisor.replay import Recording, record, replay
-from repro.hypervisor.snapshot import MachineSnapshot, capture, restore
+from repro.hypervisor.snapshot import (
+    CheckpointPolicy,
+    MachineSnapshot,
+    RunCheckpoint,
+    boot_checkpoint,
+    capture,
+    restore,
+)
 from repro.hypervisor.trampoline import Trampoline
 from repro.hypervisor.vm import VirtualMachine
 
 __all__ = [
     "BreakpointManager",
+    "CheckpointPolicy",
     "MachineSnapshot",
+    "RunCheckpoint",
+    "boot_checkpoint",
     "ObservedRace",
     "Recording",
     "RunResult",

@@ -108,6 +108,20 @@ class WatchpointManager:
     def clear(self) -> None:
         self._by_addr.clear()
 
+    def snapshot(self) -> dict:
+        """Plain-data capture for run checkpoints; watchpoints and hits are
+        frozen, so the lists share them structurally."""
+        return {
+            "by_addr": {addr: list(wps)
+                        for addr, wps in self._by_addr.items() if wps},
+            "hits": list(self.hits),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._by_addr = {addr: list(wps)
+                         for addr, wps in snap["by_addr"].items()}
+        self.hits = list(snap["hits"])
+
     def observe(self, access: MemoryAccess) -> List[WatchpointHit]:
         """Check one executed access against installed watchpoints; a hit is
         recorded when another context touches the watched address and the

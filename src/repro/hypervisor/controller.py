@@ -25,6 +25,8 @@ are trapped and reported, which is how LIFS identifies data races.
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,10 +38,17 @@ from repro.hypervisor.breakpoints import (
     WatchpointHit,
     WatchpointManager,
 )
+from repro.hypervisor.snapshot import (
+    CheckpointPolicy,
+    RunCheckpoint,
+    restore_machine,
+    snapshot_machine,
+)
 from repro.hypervisor.trampoline import ParkReason, Trampoline
 from repro.kernel.access import MemoryAccess
 from repro.kernel.failures import Failure
 from repro.kernel.machine import KernelMachine, SpawnEvent, TraceEntry
+from repro.kernel.snapshot import machine_state_key
 from repro.kernel.threads import ThreadState
 from repro.observe.tracer import as_tracer
 
@@ -100,12 +109,142 @@ class RunResult:
                          for loc, seq in per_location.items())),
         )
 
+    def signature_hash(self) -> int:
+        """Stable 64-bit digest of :meth:`signature`.  Unlike ``hash()``
+        (salted per process for strings) the digest is identical across
+        processes and sessions, so it can be persisted and compared;
+        LIFS dedups on it instead of pinning the full nested tuples."""
+        digest = hashlib.blake2b(repr(self.signature()).encode("utf-8"),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class SpliceTail:
+    """An earlier run's already-computed suffix, ready to be grafted onto a
+    run whose controller state has *converged* onto the donor's (see
+    ``splice_probe`` on :class:`ScheduleController`).  All records are the
+    machine's frozen types, so the splice shares them structurally."""
+
+    trace: Tuple[TraceEntry, ...]
+    accesses: Tuple[MemoryAccess, ...]
+    spawn_events: Tuple[SpawnEvent, ...]
+    failure: Optional[Failure]
+    #: Controller steps the donor spent past the splice point.
+    steps: int
+    #: The donor machine's final global seq.
+    final_seq: int
+    thread_names: Tuple[str, ...]
+    thread_kinds: Dict[str, str]
+
+
+class ContinuationCache:
+    """Memo of run continuations shared across a family of runs: suffix
+    splicing, the complement of prefix-checkpoint resume.
+
+    Runs exploring interleavings of the same workload are *reorderings* of
+    each other and funnel through shared machine states once their
+    enforced reorderings resolve.  In LIFS, a preempted thread resumes at
+    the lowest scheduling priority, so every extension of a base ends by
+    draining the preempted thread's remainder while all other threads are
+    done; sibling extensions differ only in how far that thread had
+    progressed when preempted.  In Causality Analysis, a flip that leaves
+    the failure intact or benign converges back onto the unconstrained
+    trajectory after its reordered window.  The first run to interpret
+    such a suffix donates it here; every later run that reaches an
+    *identical* controller state grafts the memoized suffix
+    (:class:`SpliceTail`) instead of re-interpreting it.
+
+    The key is exact — global seq, active thread and the canonical
+    :func:`~repro.kernel.snapshot.machine_state_key` — and splicing is
+    only probed when enforcement is quiescent (no pending preemption,
+    all constraints resolved, nothing parked), where the continuation is
+    a pure function of that key.  Runs that genuinely differ (e.g.
+    reordered allocations shift heap base addresses) never match and
+    simply run on, which is what keeps spliced results bit-identical to
+    fresh interpretation.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        #: key -> (donor run, horizon seq, donor controller steps there)
+        self.entries: Dict[Tuple, Tuple[RunResult, int, int]] = {}
+        self.max_entries = max_entries
+
+    def session(self) -> "SpliceSession":
+        return SpliceSession(self)
+
+
+class SpliceSession:
+    """One run's view of a :class:`ContinuationCache`.
+
+    ``probe`` is handed to the :class:`ScheduleController`: at each
+    quiescent step it computes the state key once, using it both to look
+    up a memoized suffix *and* to remember this run's own quiescent
+    points.  After the run completes, :meth:`donate` publishes those
+    points so later runs can splice from them."""
+
+    def __init__(self, cache: ContinuationCache) -> None:
+        self._cache = cache
+        #: (key, controller steps) at each quiescent point of this run.
+        self._seen: List[Tuple[Tuple, int]] = []
+
+    def probe(self, machine: KernelMachine,
+              controller: "ScheduleController") -> Optional[SpliceTail]:
+        key = (machine._seq, controller._active, machine_state_key(machine))
+        hit = self._cache.entries.get(key)
+        if hit is not None:
+            donor, horizon, donor_steps = hit
+            i = bisect.bisect_right([e.seq for e in donor.trace], horizon)
+            return SpliceTail(
+                trace=tuple(donor.trace[i:]),
+                accesses=tuple(a for a in donor.accesses if a.seq > horizon),
+                spawn_events=tuple(e for e in donor.spawn_events
+                                   if e.seq > horizon),
+                failure=donor.failure,
+                steps=donor.steps - donor_steps,
+                final_seq=donor.trace[-1].seq,
+                thread_names=tuple(donor.thread_names),
+                thread_kinds=dict(donor.thread_kinds),
+            )
+        self._seen.append((key, controller._steps))
+        return None
+
+    def donate(self, run: RunResult) -> None:
+        entries = self._cache.entries
+        limit = self._cache.max_entries
+        for key, steps in self._seen:
+            if len(entries) >= limit:
+                break
+            if run.steps <= steps:
+                continue  # quiescent point was the final state: no suffix
+            entries.setdefault(key, (run, key[0], steps))
+
 
 class ScheduleController:
-    """Runs one freshly booted machine under one schedule."""
+    """Runs one machine under one schedule.
+
+    Normally the machine is freshly booted; with ``resume_from`` the
+    controller instead restores machine *and* enforcement state from a
+    :class:`RunCheckpoint` and interprets only the run's suffix.  The
+    suffix unfolds exactly as a fresh run would past the checkpoint — the
+    loop is deterministic in (machine state, pending preemptions,
+    constraints, trampoline, active thread) — so the resulting
+    :class:`RunResult` is bit-identical, including ``steps``, which keeps
+    whole-run semantics (prefix + suffix); callers account saved work via
+    :attr:`resumed_from_steps`.
+
+    With ``checkpoint_policy`` set, the run captures prefix checkpoints
+    (at entry, at each preemption fire, and periodically) into
+    :attr:`checkpoints` for later runs to resume from.  Constraint
+    schedules are never checkpointed: the constraint-queue cursor is not
+    part of a checkpoint.
+    """
 
     def __init__(self, machine: KernelMachine, schedule: Schedule,
-                 watch_races: bool = True, tracer=None) -> None:
+                 watch_races: bool = True, tracer=None,
+                 resume_from: Optional[RunCheckpoint] = None,
+                 checkpoint_policy: Optional[CheckpointPolicy] = None,
+                 splice_probe=None) -> None:
         self.machine = machine
         self.schedule = schedule
         self.watch_races = watch_races
@@ -121,12 +260,73 @@ class ScheduleController:
         self._infeasible: List[OrderConstraint] = []
         self._active: Optional[str] = None
         self._steps = 0
+        self._policy = checkpoint_policy if not schedule.constraints else None
+        self._steps_since_capture = 0
+        self.checkpoints: List[RunCheckpoint] = []
+        self._resumed_from = resume_from
+        #: callable(machine, controller) -> Optional[SpliceTail]; consulted
+        #: once enforcement is quiescent (no pending preemption, nothing
+        #: parked).  A returned tail ends the run with a donor run's suffix
+        #: grafted on instead of re-interpreting it.
+        self._splice_probe = splice_probe
+        #: Steps covered by a splice instead of interpretation.
+        self.spliced_steps = 0
+        self._splice_names: Optional[Tuple[Tuple[str, ...], Dict[str, str]]] \
+            = None
+        if resume_from is not None:
+            self._apply_checkpoint(resume_from)
         for p in self._pending_preemptions:
             self.breakpoints.install(Breakpoint(p.instr_addr, p.thread,
                                                 p.occurrence))
         for c in self._constraints:
             self.breakpoints.install(Breakpoint(c.instr_addr, c.thread,
                                                 c.occurrence))
+
+    @property
+    def resumed_from_steps(self) -> int:
+        """Controller steps inherited from the checkpoint (skipped work)."""
+        return self._resumed_from.steps if self._resumed_from else 0
+
+    def _apply_checkpoint(self, ckpt: RunCheckpoint) -> None:
+        # A checkpoint past the boot point encodes scheduling decisions,
+        # which are only valid under the same start order; a boot
+        # checkpoint (steps == 0, nothing fired) resumes under any.
+        if ckpt.steps and tuple(ckpt.start_order) != \
+                tuple(self.schedule.start_order):
+            raise ValueError("checkpoint start order does not match schedule")
+        restore_machine(self.machine, ckpt.machine)
+        if ckpt.trampoline is not None:
+            self.trampoline.restore(ckpt.trampoline)
+        if ckpt.watchpoints is not None:
+            self.watchpoints.restore(ckpt.watchpoints)
+        self._fired = list(ckpt.fired)
+        for p, _ in self._fired:
+            try:
+                self._pending_preemptions.remove(p)
+            except ValueError:
+                raise ValueError(
+                    "checkpoint fired a preemption the schedule does not "
+                    "contain — it is not a prefix of this run") from None
+        self._active = ckpt.active
+        self._steps = ckpt.steps
+
+    def _maybe_capture(self) -> None:
+        policy = self._policy
+        if policy is None or len(self.checkpoints) >= policy.max_checkpoints:
+            return
+        if self.machine.halted or self.machine.all_done():
+            return
+        self._steps_since_capture = 0
+        self.checkpoints.append(RunCheckpoint(
+            machine=snapshot_machine(self.machine),
+            horizon_seq=self.machine._seq,
+            steps=self._steps,
+            fired=tuple(self._fired),
+            trampoline=self.trampoline.snapshot(),
+            watchpoints=self.watchpoints.snapshot(),
+            active=self._active,
+            start_order=tuple(self.schedule.start_order),
+        ))
 
     # ------------------------------------------------------------------
     # Thread choice
@@ -232,6 +432,10 @@ class ScheduleController:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         machine = self.machine
+        if self._policy is not None and self._resumed_from is None:
+            # Entry checkpoint: for the very first run this is the boot
+            # state, reusable under any schedule.
+            self._maybe_capture()
         while not machine.halted and not machine.all_done():
             name = self._choose()
             if name is None:
@@ -275,6 +479,18 @@ class ScheduleController:
                 self._active = None
             if outcome.thread_done and self._active == name:
                 self._active = None
+            self._steps_since_capture += 1
+            if self._policy is not None and \
+                    self._steps_since_capture >= self._policy.interval:
+                self._maybe_capture()
+            if self._splice_probe is not None and not machine.halted \
+                    and not self._pending_preemptions \
+                    and self._head >= len(self._constraints) \
+                    and self.trampoline.parked_count == 0:
+                tail = self._splice_probe(machine, self)
+                if tail is not None:
+                    self._apply_splice(tail)
+                    break
 
         # Constraints whose instructions never executed (their thread
         # finished early or the run crashed) disappeared.
@@ -283,6 +499,30 @@ class ScheduleController:
 
         machine.finish()
         return self._result()
+
+    def _apply_splice(self, tail: SpliceTail) -> None:
+        """Graft a converged base run's suffix onto this run.
+
+        The machine's logs, seq counter and failure flag take the base's
+        final values; the tail's accesses are replayed through this run's
+        *own* watchpoints (the armed set differs from the base's, and hits
+        are observation-only, so replaying the access stream records
+        exactly the hits interpretation would have).  The machine's live
+        thread/memory state is left at the splice point — the caller
+        restores a checkpoint before the next run anyway."""
+        machine = self.machine
+        machine.trace.extend(tail.trace)
+        machine.access_log.extend(tail.accesses)
+        machine.spawn_events.extend(tail.spawn_events)
+        machine._seq = tail.final_seq
+        machine.failure = tail.failure
+        for access in tail.accesses:
+            self.watchpoints.observe(access)
+        self._steps += tail.steps
+        self.spliced_steps = tail.steps
+        self._splice_names = (tail.thread_names, tail.thread_kinds)
+        if self.tracer.enabled:
+            self.tracer.count("hv.splices")
 
     def _match_preemption(self, thread: str, instr_addr: int,
                           occurrence: int) -> Optional[Preemption]:
@@ -300,6 +540,11 @@ class ScheduleController:
 
     def _fire_preemption(self, preemption: Preemption, thread: str,
                          instr) -> None:
+        # Pre-fire capture: this state has NOT diverged yet (the preemption
+        # is still pending), so a search can reuse it as a checkpoint of
+        # the base schedule at exactly the divergence point — siblings that
+        # diverge later resume from here instead of an earlier capture.
+        self._maybe_capture()
         self._pending_preemptions.remove(preemption)
         self._fired.append((preemption, self.machine.trace[-1].seq
                             if self.machine.trace else 0))
@@ -318,6 +563,9 @@ class ScheduleController:
             self._active = target if self._runnable(target) else None
         else:
             self._active = None
+        # A fire point is the horizon past which extensions of this run
+        # diverge — always worth a checkpoint.
+        self._maybe_capture()
 
     # ------------------------------------------------------------------
     def _measured_interleavings(self) -> int:
@@ -358,9 +606,13 @@ class ScheduleController:
             steps=self._steps,
             interleavings=len(self._fired),
             resumed_interleavings=self._measured_interleavings(),
-            thread_names=[t.name for t in self.machine.threads],
-            thread_kinds={t.name: t.kind.value
-                          for t in self.machine.threads},
+            # A spliced run's machine never materializes threads spawned in
+            # the grafted tail; the base's final roster is authoritative.
+            thread_names=(list(self._splice_names[0]) if self._splice_names
+                          else [t.name for t in self.machine.threads]),
+            thread_kinds=(dict(self._splice_names[1]) if self._splice_names
+                          else {t.name: t.kind.value
+                                for t in self.machine.threads}),
         )
 
 

@@ -80,7 +80,7 @@ def record(run: RunResult) -> Recording:
         failed=run.failed,
         failure_signature=run.failure.signature if run.failure else None,
         trace_length=len(run.trace),
-        signature_digest=hash(run.signature()),
+        signature_digest=run.signature_hash(),
     )
 
 
@@ -109,7 +109,7 @@ def replay(machine_factory: Callable[[], KernelMachine],
             problems.append(
                 f"trace length differs: {recording.trace_length} vs "
                 f"{len(run.trace)}")
-        if hash(run.signature()) != recording.signature_digest:
+        if run.signature_hash() != recording.signature_digest:
             problems.append("Mazurkiewicz signature differs")
         if problems:
             raise ReplayDivergence("; ".join(problems))

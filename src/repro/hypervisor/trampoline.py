@@ -89,6 +89,32 @@ class Trampoline:
     def parked_threads(self) -> List[str]:
         return list(self._parked)
 
+    @property
+    def parked_count(self) -> int:
+        return len(self._parked)
+
     def clear(self) -> None:
         self._stack.clear()
         self._parked.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-data capture for run checkpoints.  ``parked`` preserves
+        insertion order (``release_constraint_parked`` iterates it) and
+        ``stack`` records the LIFO resume order by thread name."""
+        return {
+            "parked": [
+                (e.thread, e.reason, e.constraint_index, e.instr_addr)
+                for e in self._parked.values()
+            ],
+            "stack": [e.thread for e in self._stack],
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._parked = {}
+        for thread, reason, constraint_index, instr_addr in snap["parked"]:
+            self._parked[thread] = ParkedThread(
+                thread, reason, constraint_index=constraint_index,
+                instr_addr=instr_addr)
+        # Stack entries must alias the parked entries: ``release`` removes
+        # by identity membership.
+        self._stack = [self._parked[name] for name in snap["stack"]]

@@ -62,9 +62,13 @@ class LockTable:
         return {name for name, info in self._locks.items() if info.owner == tid}
 
     def snapshot(self) -> dict:
+        # Idle locks (no owner, no waiters) are indistinguishable from
+        # never-touched ones — ``_info`` recreates them lazily — so
+        # checkpoints skip them.
         return {
             name: (info.owner, list(info.waiters))
             for name, info in self._locks.items()
+            if info.owner is not None or info.waiters
         }
 
     def restore(self, snap: dict) -> None:

@@ -129,6 +129,10 @@ class KernelMachine:
                         f"setup call {spec.name} crashed the kernel: "
                         f"{self.failure}")
                 self.step(ctx.tid)
+        #: Instructions interpreted to boot this machine (the serial setup
+        #: prefix); a run resumed from a checkpoint skips exactly this work
+        #: plus the checkpointed prefix.
+        self.setup_steps = sum(t.steps for t in self.threads)
         self.access_log.clear()
         self.trace.clear()
         self.spawn_events.clear()
@@ -167,6 +171,21 @@ class KernelMachine:
         self.threads.append(ctx)
         self._by_name[name] = ctx
         return ctx
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture the machine's full mutable state (see
+        :mod:`repro.kernel.snapshot`)."""
+        from repro.kernel.snapshot import snapshot_machine
+        return snapshot_machine(self)
+
+    def restore(self, snapshot) -> None:
+        """Put the machine into a previously captured state, rebuilding the
+        thread list as needed."""
+        from repro.kernel.snapshot import restore_machine
+        restore_machine(self, snapshot)
 
     # ------------------------------------------------------------------
     # Introspection

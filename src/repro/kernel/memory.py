@@ -201,16 +201,25 @@ class Memory:
     # ------------------------------------------------------------------
     # Snapshot / restore (used by the hypervisor between runs)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_object(o: HeapObject) -> HeapObject:
+        # A FREED object can never change again (the allocator never reuses
+        # addresses and a second free raises), so snapshot and restore share
+        # the instance instead of copying it; with a KASAN-style quarantine
+        # most of a long run's objects are freed, which makes the per-
+        # checkpoint capture cost proportional to the *live* heap.
+        if o.state is ObjectState.FREED:
+            return o
+        return HeapObject(base=o.base, size=o.size, tag=o.tag,
+                          state=o.state, leak_tracked=o.leak_tracked,
+                          alloc_site=o.alloc_site, free_site=o.free_site)
+
     def snapshot(self) -> dict:
         return {
             "cells": dict(self._cells),
             "globals": dict(self._globals),
-            "objects": {
-                base: HeapObject(base=o.base, size=o.size, tag=o.tag,
-                                 state=o.state, leak_tracked=o.leak_tracked,
-                                 alloc_site=o.alloc_site, free_site=o.free_site)
-                for base, o in self._objects.items()
-            },
+            "objects": {base: self._copy_object(o)
+                        for base, o in self._objects.items()},
             "next_global": self._next_global,
             "next_heap": self._next_heap,
         }
@@ -218,11 +227,7 @@ class Memory:
     def restore(self, snap: dict) -> None:
         self._cells = dict(snap["cells"])
         self._globals = dict(snap["globals"])
-        self._objects = {
-            base: HeapObject(base=o.base, size=o.size, tag=o.tag,
-                             state=o.state, leak_tracked=o.leak_tracked,
-                             alloc_site=o.alloc_site, free_site=o.free_site)
-            for base, o in snap["objects"].items()
-        }
+        self._objects = {base: self._copy_object(o)
+                         for base, o in snap["objects"].items()}
         self._next_global = snap["next_global"]
         self._next_heap = snap["next_heap"]

@@ -1,0 +1,139 @@
+"""Full-fidelity machine snapshots: the kernel half of the checkpoint engine.
+
+A :class:`MachineSnapshot` is a pure-data capture of everything a
+:class:`~repro.kernel.machine.KernelMachine` mutates while running: memory,
+the lock table, every thread (identity *and* state, so threads that do not
+exist on the target machine are recreated), the global sequence counter and
+the three run logs.  Restoring one rewinds a machine in place — forward or
+backward — which is what lets the hypervisor resume a run mid-flight
+instead of rebooting and re-interpreting the shared prefix (the QEMU
+snapshot trick of paper section 4.3).
+
+Log prefixes are stored as tuples of the machine's frozen record types
+(``TraceEntry`` / ``MemoryAccess`` / ``SpawnEvent``), so snapshots share
+them structurally with the live machine; capture cost is dict copies, not
+deep copies of the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.kernel.threads import ThreadContext, ThreadImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.machine import KernelMachine
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Captured state of one machine."""
+
+    memory: dict
+    locks: dict
+    threads: Tuple[ThreadImage, ...]
+    seq: int
+    trace: Tuple
+    access_log: Tuple
+    spawn_events: Tuple
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.threads)
+
+
+def snapshot_machine(machine: "KernelMachine") -> MachineSnapshot:
+    """Capture a machine (typically mid-run, before trying something)."""
+    if machine.halted:
+        raise ValueError("cannot snapshot a halted machine")
+    return MachineSnapshot(
+        memory=machine.memory.snapshot(),
+        locks=machine.locks.snapshot(),
+        threads=tuple(t.capture() for t in machine.threads),
+        seq=machine._seq,
+        trace=tuple(machine.trace),
+        access_log=tuple(machine.access_log),
+        spawn_events=tuple(machine.spawn_events),
+    )
+
+
+def _thread_state_key(image: ThreadImage) -> Tuple:
+    state = image.state
+    return (
+        image.tid, image.name, image.kind.value, image.entry,
+        state["state"].value,
+        tuple(sorted(state["regs"].items())),
+        tuple((fr.func, fr.pc) for fr in state["frames"]),
+        tuple(state["locks_held"]),
+        state["blocked_on"],
+        tuple(sorted(state["exec_counts"].items())),
+        # ``steps`` is deliberately excluded: it counts blocked re-attempts,
+        # which two semantically identical prefixes may differ in, and it
+        # feeds nothing but the runaway-thread limit.
+    )
+
+
+def _state_key(memory: dict, locks: dict,
+               threads: Tuple[ThreadImage, ...]) -> Tuple:
+    return (
+        tuple(sorted(memory["cells"].items())),
+        tuple(sorted(memory["globals"].items())),
+        tuple((base, o.size, o.tag, o.state.value, o.leak_tracked,
+               o.alloc_site, o.free_site)
+              for base, o in sorted(memory["objects"].items())),
+        memory["next_global"],
+        memory["next_heap"],
+        tuple((name, owner, tuple(waiters))
+              for name, (owner, waiters) in sorted(locks.items())),
+        tuple(_thread_state_key(t) for t in sorted(threads,
+                                                   key=lambda t: t.tid)),
+    )
+
+
+def machine_state_key(machine: "KernelMachine") -> Tuple:
+    """Canonical, hashable capture of a machine's *semantic* state.
+
+    Two machines in the same lineage with equal keys behave identically
+    from here on: memory contents, heap object metadata, lock ownership
+    and wait queues, and every thread's control state are all included.
+    The hypervisor uses key equality to detect that a reordered run has
+    *converged* back onto its base run's state, at which point the base's
+    already-computed suffix can be spliced instead of re-interpreted."""
+    return _state_key(
+        machine.memory.snapshot(), machine.locks.snapshot(),
+        tuple(t.capture() for t in machine.threads))
+
+
+def snapshot_state_key(snapshot: MachineSnapshot) -> Tuple:
+    """:func:`machine_state_key` computed from a captured snapshot; a live
+    machine and a snapshot of an equal state produce equal keys."""
+    return _state_key(snapshot.memory, snapshot.locks, snapshot.threads)
+
+
+def restore_machine(machine: "KernelMachine",
+                    snapshot: MachineSnapshot) -> None:
+    """Put a machine into exactly the captured state.
+
+    The thread list is rebuilt from the snapshot's thread images: threads
+    spawned after the capture point are discarded, threads missing from the
+    target (captured after a spawn, restored onto a pre-spawn state) are
+    recreated.  Logs are reset to the captured prefixes and the failure
+    flag is cleared — a crash that happened after the capture never
+    happened.
+    """
+    for image in snapshot.threads:
+        if image.entry not in machine.image.functions:
+            raise ValueError(
+                f"snapshot does not belong to this machine: thread "
+                f"{image.name!r} enters unknown function {image.entry!r}")
+    machine.memory.restore(snapshot.memory)
+    machine.locks.restore(snapshot.locks)
+    threads = [ThreadContext.from_image(image) for image in snapshot.threads]
+    machine.threads = threads
+    machine._by_name = {ctx.name: ctx for ctx in threads}
+    machine._seq = snapshot.seq
+    machine.trace = list(snapshot.trace)
+    machine.access_log = list(snapshot.access_log)
+    machine.spawn_events = list(snapshot.spawn_events)
+    machine.failure = None

@@ -95,3 +95,36 @@ class ThreadContext:
         self.blocked_on = snap["blocked_on"]
         self.exec_counts = dict(snap["exec_counts"])
         self.steps = snap["steps"]
+
+    def capture(self) -> "ThreadImage":
+        """Identity plus mutable state: enough to *recreate* the thread on a
+        machine where it does not exist (unlike :meth:`snapshot`, which only
+        rewinds an existing context)."""
+        return ThreadImage(
+            tid=self.tid, name=self.name, kind=self.kind, entry=self.entry,
+            spawned_by=self.spawned_by, spawn_instr=self.spawn_instr,
+            state=self.snapshot())
+
+    @classmethod
+    def from_image(cls, image: "ThreadImage") -> "ThreadContext":
+        ctx = cls(tid=image.tid, name=image.name, kind=image.kind,
+                  entry=image.entry, spawned_by=image.spawned_by,
+                  spawn_instr=image.spawn_instr)
+        ctx.restore(image.state)
+        return ctx
+
+
+@dataclass(frozen=True)
+class ThreadImage:
+    """Full capture of one thread, including the identity fields a plain
+    state snapshot omits; machine-level checkpoints carry these so a restore
+    can rebuild the thread list from scratch (threads spawned after the
+    capture point, or discarded by an earlier rewind, come back)."""
+
+    tid: int
+    name: str
+    kind: ThreadKind
+    entry: str
+    spawned_by: Optional[str]
+    spawn_instr: Optional[str]
+    state: dict

@@ -111,11 +111,37 @@ def render_trace_report(
                           bucket["equivalent"])
         lines += ["", table.render()]
 
+    counters = summary["counters"]
+    if counters.get("snapshot.hits") or counters.get("snapshot.misses"):
+        hits = counters.get("snapshot.hits", 0)
+        misses = counters.get("snapshot.misses", 0)
+        lines += ["", "LIFS snapshot engine: "
+                      f"{hits} resumed / {misses} fresh boots, "
+                      f"{counters.get('snapshot.captured', 0)} checkpoints "
+                      f"captured",
+                  f"  steps: {counters.get('lifs.interpreted_steps', 0)} "
+                  f"interpreted, {counters.get('snapshot.saved_steps', 0)} "
+                  f"saved ({counters.get('snapshot.resumed_steps', 0)} "
+                  f"resumed suffix)",
+                  f"  splices: {counters.get('snapshot.splices', 0)} runs "
+                  f"grafted a memoized suffix "
+                  f"({counters.get('snapshot.spliced_steps', 0)} steps)"]
+
     if summary["flips"]:
         averted = summary["flips"] - summary["flips_failed"]
         lines += ["", f"CA flips: {summary['flips']} executed, "
                       f"{averted} averted the failure, "
                       f"{summary['flips_failed']} still failed"]
+        if counters.get("ca.snapshot_hits") or \
+                counters.get("ca.snapshot_misses"):
+            lines += [f"CA snapshot engine: "
+                      f"{counters.get('ca.snapshot_hits', 0)} resumed / "
+                      f"{counters.get('ca.snapshot_misses', 0)} fresh boots; "
+                      f"{counters.get('ca.interpreted_steps', 0)} steps "
+                      f"interpreted, "
+                      f"{counters.get('ca.snapshot_saved_steps', 0)} saved, "
+                      f"{counters.get('ca.snapshot_spliced_steps', 0)} "
+                      f"spliced"]
 
     if summary["counters"]:
         width = max(len(name) for name in summary["counters"])

@@ -87,6 +87,64 @@ class TestCli:
             build_parser().parse_args([])
 
 
+class TestTraceReport:
+    def test_report_renders_snapshot_counters(self):
+        from repro.observe.events import COUNTERS, SPAN_END, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        events = [
+            TraceEvent(kind=SPAN_END, name="ca.flip", ts=0.1, span_id=1,
+                       stage="ca", duration_s=0.01, attrs={"failed": True}),
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.2, attrs={
+                "lifs.schedules": 6, "lifs.interpreted_steps": 150,
+                "snapshot.hits": 5, "snapshot.misses": 1,
+                "snapshot.captured": 12, "snapshot.saved_steps": 400,
+                "snapshot.resumed_steps": 90, "snapshot.splices": 3,
+                "snapshot.spliced_steps": 120,
+                "ca.snapshot_hits": 4, "ca.snapshot_misses": 0,
+                "ca.interpreted_steps": 80, "ca.snapshot_saved_steps": 300,
+                "ca.snapshot_spliced_steps": 20}),
+        ]
+        out = render_trace_report(events)
+        assert ("LIFS snapshot engine: 5 resumed / 1 fresh boots, "
+                "12 checkpoints captured") in out
+        assert "steps: 150 interpreted, 400 saved (90 resumed suffix)" in out
+        assert ("splices: 3 runs grafted a memoized suffix "
+                "(120 steps)") in out
+        assert ("CA snapshot engine: 4 resumed / 0 fresh boots; "
+                "80 steps interpreted, 300 saved, 20 spliced") in out
+
+    def test_report_without_snapshot_counters_omits_engine(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1,
+                       attrs={"lifs.schedules": 2})])
+        assert "snapshot engine" not in out
+
+    def test_trace_report_cli_end_to_end(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "SYZ-05", "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "LIFS snapshot engine" in out
+        assert "CA snapshot engine" in out
+
+    def test_no_snapshot_flag_disables_engine_counters(
+            self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "SYZ-05", "--no-snapshot",
+                     "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "K1" in out and "chain" in out
+        assert main(["trace-report", trace]) == 0
+        report = capsys.readouterr().out
+        # Every run boots fresh: misses only, no saved steps.
+        assert "0 resumed" in report
+
+
 class TestCliFuzz:
     def test_fuzz_command(self, capsys):
         assert main(["fuzz", "CVE-2017-2671", "--seed", "3"]) == 0
