@@ -22,7 +22,7 @@ from repro.analysis.tables import Table
 from repro.corpus import registry
 from repro.service.queue import JobOutcome
 from repro.service.store import ResultStore
-from repro.service.triage import triage_corpus
+from repro import api
 
 JOBS = 4
 
@@ -38,12 +38,12 @@ def test_triage_throughput(tmp_path):
     assert evaluation.reproduced_count == len(bugs)
 
     t0 = time.monotonic()
-    cold = triage_corpus(bugs, jobs=JOBS, store=ResultStore(store_path))
+    cold = api.triage(bugs, jobs=JOBS, store=ResultStore(store_path))
     cold_s = time.monotonic() - t0
     assert cold.count(JobOutcome.SUCCEEDED) == len(bugs)
 
     t0 = time.monotonic()
-    warm = triage_corpus(bugs, jobs=JOBS, store=ResultStore(store_path))
+    warm = api.triage(bugs, jobs=JOBS, store=ResultStore(store_path))
     warm_s = time.monotonic() - t0
     assert warm.count(JobOutcome.CACHE_HIT) == len(bugs)
     assert warm.count(JobOutcome.SUCCEEDED) == 0

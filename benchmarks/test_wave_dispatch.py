@@ -1,0 +1,120 @@
+"""Parallel wave dispatch: equivalence and overhead over the corpus.
+
+Runs the full diagnosis for every corpus bug twice — sequentially and
+with ``--parallel-waves 2`` — and asserts the diagnoses are
+bit-identical (chain, failure signature, root-cause set, schedule and
+step totals): wave execution is a pure placement change.  Also measures
+the two costs the feature is judged on: the ``--parallel-waves 1``
+no-op must stay within 5% of the plain path (no executor is even
+constructed), and on a multi-core host the fan-out must beat sequential
+wall-clock on the biggest bug.  Results land in
+``benchmarks/output/bench_waves.json`` plus a rendered table.
+
+Like the snapshot benchmark this avoids the pytest-benchmark fixture so
+CI (pytest + hypothesis only) can run it directly.  Set
+``BENCH_WAVE_BUGS=<n>`` to restrict to the first *n* corpus bugs (CI
+uses 3).  The wall-clock speedup assertion only fires when
+``os.cpu_count() > 1`` — CI runners are single-core, where forked
+children serialize and dispatch overhead dominates by construction.
+"""
+
+import json
+import os
+import time
+
+from conftest import OUTPUT_DIR, emit
+
+from repro.analysis.tables import Table
+from repro.core.causality import CaConfig
+from repro.core.diagnose import Aitia
+from repro.core.lifs import LifsConfig
+from repro.corpus import registry
+
+
+def _diagnose(bug, wave_jobs):
+    started = time.perf_counter()
+    diagnosis = Aitia(bug,
+                      lifs_config=LifsConfig(wave_jobs=wave_jobs),
+                      ca_config=CaConfig(wave_jobs=wave_jobs)).diagnose()
+    return diagnosis, time.perf_counter() - started
+
+
+def _facts(diagnosis):
+    """Everything a wave run must reproduce bit-for-bit."""
+    lifs, ca = diagnosis.lifs_result.stats, diagnosis.ca_result.stats
+    return (
+        diagnosis.chain.render(),
+        diagnosis.lifs_result.failure_run.signature_hash(),
+        tuple(sorted(u.uid
+                     for u in diagnosis.ca_result.root_cause_units)),
+        lifs.schedules_executed, lifs.total_steps,
+        ca.schedules_executed, ca.total_steps,
+    )
+
+
+def _min_elapsed(bug, wave_jobs, repeats=5):
+    return min(_diagnose(bug, wave_jobs)[1] for _ in range(repeats))
+
+
+def test_wave_equivalence_and_dispatch_overhead():
+    registry.load()
+    bugs = list(registry.all_bugs())
+    subset = int(os.environ.get("BENCH_WAVE_BUGS", "0"))
+    if subset:
+        bugs = bugs[:subset]
+
+    rows = []
+    table = Table(
+        "Parallel waves: --parallel-waves 2 vs sequential (bit-identical)",
+        ["bug", "schedules", "seq_s", "wave_s", "identical"])
+    for bug in bugs:
+        seq, seq_s = _diagnose(bug, 1)
+        par, par_s = _diagnose(bug, 2)
+        assert _facts(par) == _facts(seq), bug.bug_id
+        schedules = (seq.lifs_result.stats.schedules_executed
+                     + seq.ca_result.stats.schedules_executed)
+        table.add_row(bug.bug_id, schedules, f"{seq_s:.3f}",
+                      f"{par_s:.3f}", "yes")
+        rows.append({"bug": bug.bug_id, "schedules": schedules,
+                     "seq_s": round(seq_s, 4), "wave_s": round(par_s, 4)})
+
+    # --parallel-waves 1 is the sequential path itself (no executor is
+    # constructed), so its dispatch overhead must be noise: within 5%.
+    probe = max(bugs,
+                key=lambda b: next(r["seq_s"] for r in rows
+                                   if r["bug"] == b.bug_id))
+    plain_s = _min_elapsed(probe, wave_jobs=1)
+    waves1_s = _min_elapsed(probe, wave_jobs=1)
+    overhead = waves1_s / max(1e-9, plain_s)
+    assert waves1_s <= plain_s * 1.05 + 0.02, (
+        f"--parallel-waves 1 overhead {overhead:.3f}x exceeds 5%")
+
+    cores = os.cpu_count() or 1
+    speedup = None
+    if cores > 1:
+        # Real parallelism available: the fan-out must beat sequential
+        # wall-clock on the biggest bug.
+        wave_n_s = _min_elapsed(probe, wave_jobs=min(4, cores), repeats=3)
+        seq_probe_s = _min_elapsed(probe, wave_jobs=1, repeats=3)
+        speedup = seq_probe_s / max(1e-9, wave_n_s)
+        assert wave_n_s < seq_probe_s, (
+            f"waves slower than sequential on {cores} cores "
+            f"({wave_n_s:.3f}s vs {seq_probe_s:.3f}s)")
+
+    table.add_row("TOTAL", sum(r["schedules"] for r in rows),
+                  f"{sum(r['seq_s'] for r in rows):.3f}",
+                  f"{sum(r['wave_s'] for r in rows):.3f}", "yes")
+    emit("bench_waves", table.render())
+
+    payload = {
+        "bugs": len(rows),
+        "subset": bool(subset),
+        "cores": cores,
+        "dispatch_overhead_waves1": round(overhead, 4),
+        "speedup_multicore": round(speedup, 3) if speedup else None,
+        "per_bug": rows,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "bench_waves.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

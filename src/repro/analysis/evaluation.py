@@ -118,6 +118,7 @@ def summarize_diagnosis(bug: "Bug", diagnosis) -> BugEvaluation:
 
 def _evaluate_one(bug: "Bug", pipeline: bool = False,
                   snapshots: bool = True,
+                  wave_jobs: int = 1,
                   tracer=None) -> BugEvaluation:
     """Diagnose one bug and summarize the outcome."""
     # Imported here: analysis is a leaf package for repro.core, so the
@@ -131,8 +132,10 @@ def _evaluate_one(bug: "Bug", pipeline: bool = False,
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
     diagnosis = Aitia(bug, report=report,
-                      lifs_config=LifsConfig(use_snapshots=snapshots),
-                      ca_config=CaConfig(use_snapshots=snapshots),
+                      lifs_config=LifsConfig(use_snapshots=snapshots,
+                                             wave_jobs=wave_jobs),
+                      ca_config=CaConfig(use_snapshots=snapshots,
+                                         wave_jobs=wave_jobs),
                       tracer=tracer).diagnose()
     return summarize_diagnosis(bug, diagnosis)
 
@@ -162,7 +165,8 @@ def _evaluate_worker(payload: dict) -> dict:
 
     bug = registry.get_bug(payload["bug_id"])
     return asdict(_evaluate_one(bug, pipeline=payload["pipeline"],
-                                snapshots=payload.get("snapshots", True)))
+                                snapshots=payload.get("snapshots", True),
+                                wave_jobs=payload.get("wave_jobs", 1)))
 
 
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
@@ -170,6 +174,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                     jobs: int = 1,
                     timeout_s: float = 600.0,
                     snapshots: bool = True,
+                    wave_jobs: int = 1,
                     tracer=None) -> CorpusEvaluation:
     """Evaluate a bug set (default: the paper's 22 evaluated bugs).
 
@@ -184,7 +189,10 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     the dispatch span and per-job points instead.
 
     ``snapshots=False`` disables the prefix-checkpoint engine (the
-    ``--no-snapshot`` ablation); rows are bit-identical either way.
+    ``--no-snapshot`` ablation); ``wave_jobs > 1`` fans each diagnosis's
+    schedule waves out to child processes (``--parallel-waves``, inert
+    inside ``jobs > 1`` workers, which are daemonic and cannot fork).
+    Rows are bit-identical whatever the settings.
     """
     from repro.observe.tracer import as_tracer
 
@@ -197,7 +205,8 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                          bugs=len(bugs), jobs=1):
             return CorpusEvaluation(
                 rows=[_evaluate_one(bug, pipeline=pipeline,
-                                    snapshots=snapshots, tracer=tracer)
+                                    snapshots=snapshots,
+                                    wave_jobs=wave_jobs, tracer=tracer)
                       for bug in bugs])
 
     from repro.service.pool import WorkerPool
@@ -206,7 +215,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     triage_jobs = [
         TriageJob(job_id=bug.bug_id,
                   payload={"bug_id": bug.bug_id, "pipeline": pipeline,
-                           "snapshots": snapshots},
+                           "snapshots": snapshots, "wave_jobs": wave_jobs},
                   timeout_s=timeout_s)
         for bug in bugs
     ]
@@ -227,6 +236,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
             else:  # pragma: no cover — worker-loss fallback
                 fallbacks += 1
                 rows.append(_evaluate_one(bug, pipeline=pipeline,
-                                          snapshots=snapshots))
+                                          snapshots=snapshots,
+                                          wave_jobs=wave_jobs))
         span.set(fallbacks=fallbacks)
     return CorpusEvaluation(rows=rows)

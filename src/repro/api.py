@@ -63,6 +63,7 @@ def diagnose(bug_or_id: BugLike, *,
              cost_model=None,
              vm_count: int = DEFAULT_VM_COUNT,
              snapshots: bool = True,
+             wave_jobs: int = 1,
              tracer=None) -> Diagnosis:
     """Diagnose one kernel concurrency failure.
 
@@ -76,18 +77,22 @@ def diagnose(bug_or_id: BugLike, *,
 
     ``snapshots=False`` is the ``--no-snapshot`` ablation: disable the
     prefix-checkpoint engine (see docs/PERFORMANCE.md) in both stages.
-    Results are bit-identical either way; only the ``snapshot.*`` /
-    ``ca.snapshot_*`` accounting differs.  Ignored when an explicit
-    ``lifs`` / ``ca`` config carries its own ``use_snapshots``.
+    ``wave_jobs`` is the ``--parallel-waves`` width: with N > 1, LIFS
+    frontier rounds and CA flip batches fan out to N child processes
+    (the parallel wave engine of docs/PERFORMANCE.md).  Results are
+    bit-identical whatever the settings; only the ``snapshot.*`` /
+    ``ca.snapshot_*`` / ``hv.wave.*`` accounting differs.  Both are
+    ignored when an explicit ``lifs`` / ``ca`` config carries its own
+    ``use_snapshots`` / ``wave_jobs``.
     """
     bug = _resolve_bug(bug_or_id)
     if report is None and pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
     if lifs is None:
-        lifs = LifsConfig(use_snapshots=snapshots)
+        lifs = LifsConfig(use_snapshots=snapshots, wave_jobs=wave_jobs)
     if ca is None:
-        ca = CaConfig(use_snapshots=snapshots)
+        ca = CaConfig(use_snapshots=snapshots, wave_jobs=wave_jobs)
     return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
                  cost_model=cost_model, vm_count=vm_count,
                  tracer=tracer).diagnose()
@@ -98,6 +103,7 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
              jobs: int = 1,
              timeout_s: float = 600.0,
              snapshots: bool = True,
+             wave_jobs: int = 1,
              tracer=None):
     """Run the paper's evaluation over a bug set (default: all 22).
 
@@ -105,7 +111,9 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
     With ``jobs > 1`` the bugs are diagnosed in parallel worker
     processes; rows are bit-identical to the sequential ones.
     ``snapshots=False`` disables the prefix-checkpoint engine (the
-    ``--no-snapshot`` ablation); rows are bit-identical either way.
+    ``--no-snapshot`` ablation); ``wave_jobs > 1`` fans each diagnosis's
+    schedule waves out to child processes (``--parallel-waves``).  Rows
+    are bit-identical whatever the settings.
     """
     from repro.analysis.evaluation import evaluate_corpus
 
@@ -114,7 +122,7 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
         resolved = [_resolve_bug(b) for b in bugs]
     return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
                            timeout_s=timeout_s, snapshots=snapshots,
-                           tracer=tracer)
+                           wave_jobs=wave_jobs, tracer=tracer)
 
 
 def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:
@@ -140,6 +148,7 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
            store=None,
            pipeline: bool = False,
            timeout_s: Optional[float] = None,
+           wave_jobs: int = 1,
            tracer=None,
            service=None) -> TriageReport:
     """Run the crash-triage service over intake directories and/or bugs.
@@ -148,9 +157,13 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
     bugs), an intake directory of ``*.crash`` artifacts, a bug id/
     object, or a sequence mixing those.  ``store`` is a
     :class:`~repro.service.store.ResultStore` or a JSONL path; repeat
-    signatures answer from it as cache hits.  An explicit ``service``
-    overrides ``jobs``/``store``/``timeout_s``/``tracer`` (useful for
-    injecting metrics or retry policies in tests).
+    signatures answer from it as cache hits.  ``wave_jobs > 1`` fans
+    each diagnosis's schedule waves out to child processes
+    (``--parallel-waves``) — note waves degrade to inline execution
+    inside ``jobs > 1`` triage workers, which are daemonic and may not
+    fork children of their own.  An explicit ``service`` overrides
+    ``jobs``/``store``/``timeout_s``/``wave_jobs``/``tracer`` (useful
+    for injecting metrics or retry policies in tests).
     """
     from repro.service.store import ResultStore
     from repro.service.triage import DEFAULT_JOB_TIMEOUT_S, TriageService
@@ -162,6 +175,7 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
             jobs=jobs, store=store,
             timeout_s=DEFAULT_JOB_TIMEOUT_S if timeout_s is None
             else timeout_s,
+            wave_jobs=wave_jobs,
             tracer=tracer)
     for source in _triage_sources(paths_or_corpus):
         if isinstance(source, (str, os.PathLike)):

@@ -56,7 +56,8 @@ class _DeprecatedAlias(argparse.Action):
 def _parent_parsers():
     """The shared flag vocabulary, as argparse parent parsers.
 
-    ``trace``: --trace for every pipeline subcommand; ``pool``: --jobs
+    ``trace``: --trace for every pipeline subcommand; ``waves``:
+    --parallel-waves for everything that diagnoses; ``pool``: --jobs
     and --timeout for the multi-bug subcommands; ``store``: --store for
     the triage service.  Legacy spellings (--workers, --job-timeout,
     --result-store) stay as hidden aliases for one release.
@@ -65,6 +66,16 @@ def _parent_parsers():
     trace.add_argument("--trace", metavar="PATH",
                        help="write a JSONL span/counter trace of this "
                             "run to PATH (see 'repro trace-report')")
+
+    waves = argparse.ArgumentParser(add_help=False)
+    waves.add_argument("--parallel-waves", dest="parallel_waves", type=int,
+                       default=1, metavar="N",
+                       help="execute each diagnosis's independent "
+                            "schedule batches (LIFS frontier rounds, CA "
+                            "flip tests) across N child processes "
+                            "(default 1: sequential); results are "
+                            "bit-identical, only hv.wave.* accounting "
+                            "differs")
 
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -85,7 +96,7 @@ def _parent_parsers():
                             "signatures answer from it as cache hits")
     store.add_argument("--result-store", dest="store", metavar="PATH",
                        action=_DeprecatedAlias, replacement="--store")
-    return trace, pool, store
+    return trace, waves, pool, store
 
 
 def _open_tracer(args: argparse.Namespace):
@@ -147,6 +158,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     try:
         diagnosis = api.diagnose(bug, report=report, vm_count=args.vms,
                                  snapshots=not args.no_snapshot,
+                                 wave_jobs=args.parallel_waves,
                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -161,6 +173,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                                   pipeline=args.pipeline, jobs=args.jobs,
                                   timeout_s=args.timeout,
                                   snapshots=not args.no_snapshot,
+                                  wave_jobs=args.parallel_waves,
                                   tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -217,7 +230,8 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     tracer = _open_tracer(args)
     store = ResultStore(args.store) if args.store else None
     service = TriageService(jobs=args.jobs, store=store,
-                            timeout_s=args.timeout, tracer=tracer)
+                            timeout_s=args.timeout,
+                            wave_jobs=args.parallel_waves, tracer=tracer)
     try:
         summary = api.triage(sources, pipeline=args.pipeline,
                              service=service)
@@ -312,7 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="AITIA (EuroSys 2023) reproduction: diagnose kernel "
                     "concurrency failures as causality chains.")
     sub = parser.add_subparsers(dest="command", required=True)
-    trace_parent, pool_parent, store_parent = _parent_parsers()
+    trace_parent, waves_parent, pool_parent, store_parent = \
+        _parent_parsers()
 
     sub.add_parser("list", help="list the corpus").set_defaults(
         func=_cmd_list)
@@ -322,7 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     show.set_defaults(func=_cmd_show)
 
     diagnose = sub.add_parser("diagnose", help="diagnose one bug",
-                              parents=[trace_parent])
+                              parents=[trace_parent, waves_parent])
     diagnose.add_argument("bug_id")
     diagnose.add_argument("--pipeline", action="store_true",
                           help="go through the synthetic bug finder "
@@ -346,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser(
         "evaluate", help="run the paper's evaluation over the corpus",
-        parents=[trace_parent, pool_parent])
+        parents=[trace_parent, waves_parent, pool_parent])
     evaluate.add_argument("bug_ids", nargs="*",
                           help="specific bugs (default: all 22)")
     evaluate.add_argument("--pipeline", action="store_true",
@@ -362,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     triage = sub.add_parser(
         "triage", help="run the crash-triage service: intake -> dedup "
                        "-> parallel diagnosis -> cached results",
-        parents=[trace_parent, pool_parent, store_parent])
+        parents=[trace_parent, waves_parent, pool_parent, store_parent])
     triage.add_argument("intake", nargs="?", metavar="DIR",
                         help="intake directory of *.crash artifacts")
     triage.add_argument("--corpus", action="store_true",

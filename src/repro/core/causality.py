@@ -44,6 +44,7 @@ from repro.core.schedule import OrderConstraint, Schedule
 from repro.hypervisor.controller import (ContinuationCache, RunResult,
                                          ScheduleController)
 from repro.hypervisor.snapshot import boot_checkpoint
+from repro.hypervisor.waves import WaveExecutor, WaveJob, emit_run_counters
 from repro.kernel.instructions import Op
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
@@ -171,6 +172,13 @@ class CaConfig:
     use_snapshots: bool = True
     #: Cap on memoized flip continuations (suffix splicing).
     max_continuations: int = 65536
+    #: Parallel wave width (``--parallel-waves``): with N > 1 each phase's
+    #: independent flip tests are batched and executed across N child
+    #: processes.  Flip constraints depend only on the failure run's
+    #: static structure — never on other flips' results — so each phase
+    #: can be planned upfront and its results processed in submission
+    #: order, keeping the diagnosis bit-identical to ``wave_jobs=1``.
+    wave_jobs: int = 1
 
 
 class CausalityAnalysis:
@@ -209,6 +217,13 @@ class CausalityAnalysis:
             self._boot_checkpoint = boot_checkpoint(machine)
             self._continuations = ContinuationCache(
                 self.config.max_continuations)
+        # Parallel flip waves: coverage callbacks must fire in this
+        # process, so an instrumented machine pins execution inline.
+        self._waves: Optional[WaveExecutor] = None
+        if self.config.wave_jobs > 1 and machine.coverage_cb is None:
+            self._waves = WaveExecutor(
+                jobs=self.config.wave_jobs,
+                machine_factory=machine_factory, tracer=self.tracer)
         self.stats = CaStats()
         self._start_order = self.failure_run.schedule.start_order
 
@@ -438,6 +453,54 @@ class CausalityAnalysis:
             self.stats.reboots += 1
         return run
 
+    def _execute_flips(
+        self, requests: List[Tuple[List[OrderConstraint], str, str]],
+    ) -> List[RunResult]:
+        """Execute a batch of independent flip tests; results come back in
+        submission order.
+
+        ``requests`` is ``[(constraints, note, stage), ...]``.  Without a
+        parallel executor this is exactly the sequential loop over
+        :meth:`_execute_flip`.  With one, the batch fans out to child
+        processes (every job resuming from the boot checkpoint, or booting
+        fresh when the engine is off) and the parent replays each
+        outcome's tracing and accounting at merge time — the same
+        ``ca.flip`` spans, ``hv.*`` counters and stats a sequential pass
+        would have produced, minus suffix splicing (children execute
+        independently, so ``ca.snapshot_splices`` stays 0 under waves).
+        """
+        if (self._waves is None or len(requests) < 2
+                or not self._waves.parallel):
+            return [self._execute_flip(c, note=n, stage=s)
+                    for c, n, s in requests]
+        wave = [WaveJob(schedule=Schedule(start_order=self._start_order,
+                                          constraints=c, note=n),
+                        resume_from=self._boot_checkpoint,
+                        watch_races=False)
+                for c, n, _ in requests]
+        outcomes = self._waves.run_wave(wave, machine=self._machine)
+        runs: List[RunResult] = []
+        for (constraints, note, stage), outcome in zip(requests, outcomes):
+            run = outcome.run
+            with self.tracer.span("ca.flip", stage=stage, note=note,
+                                  constraints=len(constraints)) as span:
+                span.set(failed=run.failed, steps=run.steps)
+            emit_run_counters(self.tracer, run)
+            self.stats.schedules_executed += 1
+            self.stats.total_steps += run.steps
+            if outcome.resumed:
+                self.stats.snapshot_hits += 1
+                self.stats.saved_steps += outcome.setup_steps
+                self.stats.interpreted_steps += run.steps
+            else:
+                self.stats.snapshot_misses += 1
+                self.stats.interpreted_steps += (run.steps
+                                                 + outcome.setup_steps)
+            if run.failed:
+                self.stats.reboots += 1
+            runs.append(run)
+        return runs
+
     @staticmethod
     def _executed_set(run: RunResult) -> Set[EndpointKey]:
         return {(e.thread, e.instr_addr, e.occurrence) for e in run.trace}
@@ -495,10 +558,18 @@ class CausalityAnalysis:
         deferred: List[RaceUnit] = []
         root_uids: Set[int] = set()
 
+        # Flip constraints derive from the failure run's static structure,
+        # never from other flips' results, so each phase is *planned* in
+        # full (fixing step numbers, deferrals and flip sets exactly as the
+        # flip-at-a-time loop would), *executed* as one batch of
+        # independent tests — a wave, when a parallel executor is
+        # configured — and *processed* in submission order.
+
         # Identification, backward from the failure.
         pending = deque(sorted(self.units, key=lambda u: u.last_seq,
                                reverse=True))
         step = 0
+        plan: List[Tuple[int, RaceUnit, List[OrderConstraint]]] = []
         while pending and step < self.config.max_tests:
             unit = pending.popleft()
             constraints = self._flip_constraints({unit.uid})
@@ -506,14 +577,17 @@ class CausalityAnalysis:
                 deferred.append(unit)
                 continue
             step += 1
-            run = self._execute_flip(constraints, note=f"flip {unit}")
+            plan.append((step, unit, constraints))
+        flip_runs = self._execute_flips(
+            [(c, f"flip {u}", "ca") for _, u, c in plan])
+        for (test_step, unit, constraints), run in zip(plan, flip_runs):
             runs[unit.uid] = (run, frozenset({unit.uid}))
             failed = self.target.matches(run.failure)
             executed = self._executed_set(run)
             disappeared = frozenset(
                 v.uid for v in self.units
                 if v.uid != unit.uid and not self._unit_occurred(v, executed))
-            tests.append(UnitTest(step=step, unit=unit,
+            tests.append(UnitTest(step=test_step, unit=unit,
                                   flipped_uids=frozenset({unit.uid}),
                                   constraints=len(constraints), failed=failed,
                                   disappeared_uids=disappeared))
@@ -524,7 +598,10 @@ class CausalityAnalysis:
                 root_uids.add(unit.uid)
 
         # Surrounded races: flip nested units first, then the surrounding
-        # one together with them.
+        # one together with them.  (``_pick_nested`` is static, so the
+        # flip sets are plannable too.)
+        nested_plan: List[Tuple[int, RaceUnit, FrozenSet[int],
+                                List[OrderConstraint]]] = []
         for unit in deferred:
             flipped = {unit.uid}
             constraints = self._flip_constraints(flipped)
@@ -538,17 +615,21 @@ class CausalityAnalysis:
                 unflippable.append(unit)
                 continue
             step += 1
-            run = self._execute_flip(constraints,
-                                     note=f"flip {unit} (+nested)")
-            runs[unit.uid] = (run, frozenset(flipped))
+            nested_plan.append((step, unit, frozenset(flipped), constraints))
+        nested_runs = self._execute_flips(
+            [(c, f"flip {u} (+nested)", "ca")
+             for _, u, _, c in nested_plan])
+        for (test_step, unit, flipped, constraints), run in zip(nested_plan,
+                                                                nested_runs):
+            runs[unit.uid] = (run, flipped)
             failed = self.target.matches(run.failure)
             executed = self._executed_set(run)
             disappeared = frozenset(
                 v.uid for v in self.units
                 if v.uid not in flipped
                 and not self._unit_occurred(v, executed))
-            tests.append(UnitTest(step=step, unit=unit,
-                                  flipped_uids=frozenset(flipped),
+            tests.append(UnitTest(step=test_step, unit=unit,
+                                  flipped_uids=flipped,
                                   constraints=len(constraints), failed=failed,
                                   disappeared_uids=disappeared,
                                   note="nested-first"))
@@ -567,15 +648,21 @@ class CausalityAnalysis:
         edges: Dict[int, Set[int]] = {}
         with self.tracer.span("chain", stage="chain",
                               root_cause_units=len(root)) as chain_span:
-            for unit in root:
-                if self.config.recheck_edges and unit.uid not in ambiguous:
+            recheck_plan: List[Tuple[RaceUnit, FrozenSet[int],
+                                     List[OrderConstraint]]] = []
+            if self.config.recheck_edges:
+                for unit in root:
+                    if unit.uid in ambiguous:
+                        continue
                     _, flipped = runs[unit.uid]
                     constraints = self._flip_constraints(set(flipped))
                     if constraints is not None:
-                        run = self._execute_flip(constraints,
-                                                 note=f"chain {unit}",
-                                                 stage="chain")
-                        runs[unit.uid] = (run, flipped)
+                        recheck_plan.append((unit, flipped, constraints))
+            recheck_runs = self._execute_flips(
+                [(c, f"chain {u}", "chain") for u, _, c in recheck_plan])
+            for (unit, flipped, _), run in zip(recheck_plan, recheck_runs):
+                runs[unit.uid] = (run, flipped)
+            for unit in root:
                 run, flipped = runs[unit.uid]
                 executed = self._executed_set(run)
                 for other in root:

@@ -40,6 +40,8 @@ from repro.core.schedule import Preemption, Schedule
 from repro.hypervisor.controller import (ContinuationCache, RunResult,
                                          ScheduleController, SpliceSession)
 from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
+from repro.hypervisor.waves import (WaveExecutor, WaveJob, WaveOutcome,
+                                    emit_run_counters)
 from repro.kernel.failures import Failure, FailureKind
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
@@ -107,6 +109,14 @@ class LifsConfig:
     #: Retain full ``RunResult``s for ``sample_runs`` instead of the
     #: lightweight summaries that are replayed on demand.
     keep_full_runs: bool = False
+    #: Parallel wave width (``--parallel-waves``): with N > 1 each depth
+    #: round's frontier extensions are speculatively executed as one wave
+    #: across N child processes, and the sequential pass consumes the
+    #: precomputed results instead of re-running them.  Results are
+    #: bit-identical to ``wave_jobs=1`` (the speculative candidate set is
+    #: always a subset of the authoritative one — see
+    #: docs/PERFORMANCE.md); only wave/snapshot accounting differs.
+    wave_jobs: int = 1
 
 
 @dataclass
@@ -277,6 +287,18 @@ class LeastInterleavingFirstSearch:
         self._boot_checkpoint: Optional[RunCheckpoint] = None
         self._continuations = ContinuationCache(
             self.config.max_continuations)
+        # Parallel wave state: the executor (None at wave_jobs=1, keeping
+        # the sequential code path literally unchanged), whether a
+        # coverage-instrumented machine pins execution to the parent, and
+        # the current round's speculatively computed outcomes keyed by
+        # schedule key.
+        self._waves: Optional[WaveExecutor] = None
+        if self.config.wave_jobs > 1:
+            self._waves = WaveExecutor(
+                jobs=self.config.wave_jobs,
+                machine_factory=machine_factory, tracer=self.tracer)
+        self._coverage_seen = False
+        self._round_wave: Dict[Tuple, WaveOutcome] = {}
 
     # ------------------------------------------------------------------
     def search(self) -> LifsResult:
@@ -284,6 +306,12 @@ class LeastInterleavingFirstSearch:
                               threads=len(self.initial_threads)) as span:
             started = time.perf_counter()
             result = self._search()
+            if self._round_wave:
+                # Early exit (reproduction, budget) left speculative wave
+                # results unconsumed; they are discarded, never merged, so
+                # the diagnosis stays identical to a sequential search.
+                self.tracer.count("hv.wave.discarded", len(self._round_wave))
+                self._round_wave = {}
             self.stats.elapsed_seconds = time.perf_counter() - started
             self._trace_outcome(span, result)
         return result
@@ -342,6 +370,7 @@ class LeastInterleavingFirstSearch:
                 frontier.append((run, checkpoints))
 
         for round_index in range(1, self.config.max_interleavings + 1):
+            self._speculate_round(frontier)
             next_frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
             for base, base_ckpts in frontier:
                 base_ckpts = list(base_ckpts)
@@ -426,6 +455,53 @@ class LeastInterleavingFirstSearch:
         return [merged[h] for h in sorted(merged)]
 
     # ------------------------------------------------------------------
+    def _speculate_round(self, frontier) -> None:
+        """Speculatively execute this round's frontier extensions as one
+        parallel wave.
+
+        Candidates are generated with the knowledge available at *round
+        start* — staler than what the authoritative sequential pass will
+        hold when it reaches later bases, and conflict knowledge only
+        grows, so staler knowledge prunes **more**: the speculative set is
+        always a subset of the authoritative one.  The sequential pass
+        stays the single source of truth — it consumes matching wave
+        outcomes by schedule key (:meth:`_execute`) and runs anything the
+        speculation missed inline, so results are bit-identical to a
+        sequential search.  Candidate generation here works on *copies*
+        of the dedup set and skips stats, leaving the authoritative pass
+        to account for every candidate exactly as ``wave_jobs=1`` would.
+        """
+        self._round_wave = {}
+        if (self._waves is None or not self._waves.parallel
+                or self._coverage_seen):
+            return
+        budget = self.config.max_schedules - self.stats.schedules_executed
+        if budget <= 0:
+            return
+        tried = set(self._tried_schedules)
+        jobs: List[WaveJob] = []
+        keys: List[Tuple] = []
+        for base, base_ckpts in frontier:
+            horizons = [c.horizon_seq for c in base_ckpts]
+            for schedule, div_seq in self._extensions(
+                    base, tried=tried, count_stats=False):
+                if len(jobs) >= budget:
+                    break
+                resume = None
+                if self._snapshots_on:
+                    i = bisect.bisect_left(horizons, div_seq)
+                    resume = (base_ckpts[i - 1] if i
+                              else self._boot_checkpoint)
+                jobs.append(WaveJob(schedule=schedule, resume_from=resume,
+                                    checkpoint_policy=self._policy()))
+                keys.append(self._schedule_key(schedule))
+            if len(jobs) >= budget:
+                break
+        if len(jobs) < 2:
+            return
+        outcomes = self._waves.run_wave(jobs, machine=self._machine)
+        self._round_wave = dict(zip(keys, outcomes))
+
     def _execute(
         self, schedule: Schedule, round_index: int,
         resume_from: Optional[RunCheckpoint] = None,
@@ -435,6 +511,12 @@ class LeastInterleavingFirstSearch:
         ``None`` when the schedule budget is exhausted."""
         if self.stats.schedules_executed >= self.config.max_schedules:
             return None, False, []
+        if self._round_wave:
+            outcome = self._round_wave.pop(self._schedule_key(schedule),
+                                           None)
+            if outcome is not None:
+                return self._consume_wave_outcome(schedule, round_index,
+                                                  outcome)
         resume = resume_from if self._snapshots_on else None
         if resume is None and self._snapshots_on:
             # No prefix checkpoint applies (serial orders, or a first-round
@@ -454,8 +536,11 @@ class LeastInterleavingFirstSearch:
             if machine.coverage_cb is not None:
                 # kcov-instrumented machines must interpret every
                 # instruction: resuming would skip the prefix's coverage
-                # callbacks.  Run the whole search snapshot-free.
+                # callbacks, and a wave child's callbacks would fire in
+                # the wrong process.  Run the whole search snapshot-free
+                # and wave-free.
                 self._snapshots_on = False
+                self._coverage_seen = True
             if self._snapshots_on:
                 session = self._continuations.session()
             controller = ScheduleController(
@@ -490,6 +575,38 @@ class LeastInterleavingFirstSearch:
                 if ckpt.steps == 0 and not ckpt.fired:
                     self._boot_checkpoint = ckpt
                     break
+        duplicate = self._account_run(schedule, run, round_index)
+        return run, duplicate, controller.checkpoints
+
+    def _consume_wave_outcome(
+        self, schedule: Schedule, round_index: int, outcome: WaveOutcome,
+    ) -> Tuple[Optional[RunResult], bool, List[RunCheckpoint]]:
+        """Merge a speculatively executed wave outcome as if the schedule
+        had just run here: identical stats, knowledge, dedup and summary
+        bookkeeping, plus the per-run ``hv.*`` counters the untraced child
+        could not emit."""
+        run = outcome.run
+        self.stats.schedules_executed += 1
+        self.stats.total_steps += run.steps
+        if outcome.resumed:
+            suffix_steps = run.steps - outcome.prefix_steps
+            self.stats.snapshot_hits += 1
+            self.stats.resumed_steps += suffix_steps
+            self.stats.saved_steps += (outcome.prefix_steps
+                                       + outcome.setup_steps)
+            self.stats.interpreted_steps += suffix_steps
+        else:
+            self.stats.snapshot_misses += 1
+            self.stats.interpreted_steps += run.steps + outcome.setup_steps
+        self.stats.snapshot_checkpoints += len(outcome.checkpoints)
+        emit_run_counters(self.tracer, run)
+        duplicate = self._account_run(schedule, run, round_index)
+        return run, duplicate, list(outcome.checkpoints)
+
+    def _account_run(self, schedule: Schedule, run: RunResult,
+                     round_index: int) -> bool:
+        """Search-level bookkeeping shared by inline and wave-merged runs;
+        returns whether the run's signature repeats an earlier one."""
         if run.failed:
             self.stats.failing_runs += 1
         self.stats.per_round_executed[round_index] = (
@@ -510,7 +627,7 @@ class LeastInterleavingFirstSearch:
                 interleavings=run.interleavings, signature_hash=digest))
             if self.config.keep_full_runs:
                 self._kept_runs.append(run)
-        return run, duplicate, controller.checkpoints
+        return duplicate
 
     def _policy(self) -> Optional[CheckpointPolicy]:
         if not self._snapshots_on:
@@ -524,7 +641,9 @@ class LeastInterleavingFirstSearch:
         tracer — accounting already happened during the search)."""
         return ScheduleController(self.machine_factory(), schedule).run()
 
-    def _extensions(self, base: RunResult):
+    def _extensions(self, base: RunResult,
+                    tried: Optional[Set[Tuple]] = None,
+                    count_stats: bool = True):
         """Candidate ``(schedule, divergence_seq)`` pairs extending ``base``
         with one more preemption, front-to-back after the base's last fired
         preemption.
@@ -533,7 +652,14 @@ class LeastInterleavingFirstSearch:
         extension behave identically up to (but excluding) that entry, so
         the caller may resume the extension from any checkpoint whose
         horizon is strictly before it.
+
+        The speculative wave pass (:meth:`_speculate_round`) previews the
+        same generator with ``tried`` set to a *copy* of the dedup set and
+        ``count_stats=False``, so the authoritative sequential pass later
+        observes untouched dedup state and accounts for every candidate
+        itself.
         """
+        seen = self._tried_schedules if tried is None else tried
         # Front-to-back: new preemptions only after the point where the
         # base run's last preemption *fired* (parked its thread).
         last_seq = max(base.fired_seqs) if base.fired_seqs else 0
@@ -564,10 +690,11 @@ class LeastInterleavingFirstSearch:
                 if self.config.conflict_pruning and \
                         not self._knowledge.conflicts(
                             access.data_addr, access.is_write, target):
-                    self.stats.candidates_pruned += 1
-                    depth = len(base.schedule.preemptions) + 1
-                    self.stats.per_round_pruned[depth] = (
-                        self.stats.per_round_pruned.get(depth, 0) + 1)
+                    if count_stats:
+                        self.stats.candidates_pruned += 1
+                        depth = len(base.schedule.preemptions) + 1
+                        self.stats.per_round_pruned[depth] = (
+                            self.stats.per_round_pruned.get(depth, 0) + 1)
                     continue
                 preemption = Preemption(
                     thread=entry.thread, instr_addr=entry.instr_addr,
@@ -578,9 +705,9 @@ class LeastInterleavingFirstSearch:
                     preemptions=list(base.schedule.preemptions) + [preemption],
                     note=f"lifs depth {len(base.schedule.preemptions) + 1}")
                 key = self._schedule_key(schedule)
-                if key in self._tried_schedules:
+                if key in seen:
                     continue
-                self._tried_schedules.add(key)
+                seen.add(key)
                 yield schedule, entry.seq
 
     @staticmethod

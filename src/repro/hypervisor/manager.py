@@ -4,19 +4,24 @@ AITIA's manager (2,889 LoC of GO in the paper) launches multiple guest
 VMs — 32 in the evaluation — and parallelizes the reproducing stage across
 slices and the diagnosing stage across flip tests (sections 4.1, 4.5).
 
-Execution here is sequential (a deterministic simulator gains nothing from
-real parallelism), but work is *assigned* to VMs round-robin exactly as the
-manager would, so per-VM accounting and the idealized parallel wall-clock
-estimate (total cost divided across busy VMs) are meaningful.
+By default execution is sequential and work is only *assigned* to VMs
+round-robin, exactly as the manager would, so per-VM accounting and the
+idealized parallel wall-clock estimate are meaningful.  With
+``wave_jobs > 1`` a batch handed to :meth:`execute_all` additionally
+*runs* in parallel: the pool fans the batch out to child processes
+through :class:`~repro.hypervisor.waves.WaveExecutor` and merges the
+results in submission order, so the caller observes the same result
+sequence either way.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.schedule import Schedule
 from repro.hypervisor.controller import RunResult
 from repro.hypervisor.vm import VirtualMachine, VmAccounting
+from repro.hypervisor.waves import WaveExecutor, WaveJob, emit_run_counters
 from repro.kernel.machine import KernelMachine
 
 DEFAULT_VM_COUNT = 32
@@ -26,18 +31,27 @@ class VmPool:
     """A fixed-size pool of reproducer/diagnoser VMs."""
 
     def __init__(self, machine_factory: Callable[[], KernelMachine],
-                 vm_count: int = DEFAULT_VM_COUNT, tracer=None) -> None:
+                 vm_count: int = DEFAULT_VM_COUNT, tracer=None,
+                 wave_jobs: int = 1) -> None:
         from repro.observe.tracer import as_tracer
 
         if vm_count < 1:
             raise ValueError("vm_count must be at least 1")
         self.tracer = as_tracer(tracer)
+        self.machine_factory = machine_factory
         self.vms = [VirtualMachine(i, machine_factory)
                     for i in range(vm_count)]
         self._next = 0
-        #: Width of the widest batch handed to :meth:`execute_all` since
-        #: the last :meth:`reset_accounting` — the number of VMs that
-        #: could genuinely run concurrently.
+        self._waves: Optional[WaveExecutor] = None
+        if wave_jobs > 1:
+            self._waves = WaveExecutor(jobs=wave_jobs,
+                                       machine_factory=machine_factory,
+                                       tracer=self.tracer)
+        #: Lazily probed: machines with a coverage callback must run in
+        #: the parent (the callback's effects would be lost in a child).
+        self._wave_safe: Optional[bool] = None
+        #: Width of the widest batch that genuinely ran (or, sequentially,
+        #: could have run) concurrently since :meth:`reset_accounting`.
         self.max_batch_width = 0
 
     def execute(self, schedule: Schedule,
@@ -46,6 +60,8 @@ class VmPool:
         vm = self.vms[self._next]
         self._next = (self._next + 1) % len(self.vms)
         self.tracer.count("hv.vm_assignments")
+        # A lone schedule is a batch of width 1, never more.
+        self.max_batch_width = max(self.max_batch_width, 1)
         return vm.execute(schedule, watch_races=watch_races,
                           tracer=self.tracer)
 
@@ -56,17 +72,47 @@ class VmPool:
         Each batch restarts assignment at VM 0: a wave of *k* schedules
         occupies exactly ``min(k, vm_count)`` VMs, so consecutive small
         batches pile onto the same VMs instead of drifting round-robin
-        across the whole pool and inflating :attr:`busy_vms` (and with
-        it :meth:`parallel_speedup`) beyond any width that actually ran
-        concurrently.
+        across the whole pool and inflating accounting beyond any width
+        that actually ran concurrently.
+
+        With a parallel :class:`WaveExecutor` the batch is dispatched to
+        child processes; results come back in submission order and each
+        is recorded on its round-robin VM, so accounting matches the
+        sequential path exactly.
         """
         self._next = 0
         width = min(len(schedules), len(self.vms))
+        if self._use_waves(len(schedules)):
+            width = min(width, self._waves.jobs)
         self.max_batch_width = max(self.max_batch_width, width)
         if self.tracer.enabled and schedules:
             self.tracer.point("hv.vm_batch", stage="hv",
                               schedules=len(schedules), width=width)
-        return [self.execute(s, watch_races=watch_races) for s in schedules]
+        if not self._use_waves(len(schedules)):
+            return [self.execute(s, watch_races=watch_races)
+                    for s in schedules]
+
+        wave = [WaveJob(schedule=s, watch_races=watch_races)
+                for s in schedules]
+        outcomes = self._waves.run_wave(wave)
+        runs: List[RunResult] = []
+        for outcome in outcomes:
+            vm = self.vms[self._next]
+            self._next = (self._next + 1) % len(self.vms)
+            self.tracer.count("hv.vm_assignments")
+            vm.record(outcome.run)
+            emit_run_counters(self.tracer, outcome.run)
+            runs.append(outcome.run)
+        return runs
+
+    def _use_waves(self, batch_size: int) -> bool:
+        if self._waves is None or batch_size < 2 or not self._waves.parallel:
+            return False
+        if self._wave_safe is None:
+            # One probe boot: coverage callbacks live in the parent, so a
+            # coverage-instrumented machine pins the pool to inline runs.
+            self._wave_safe = self.machine_factory().coverage_cb is None
+        return self._wave_safe
 
     def reset_accounting(self) -> None:
         """Zero all per-VM accounting and restart assignment at VM 0 —
@@ -94,5 +140,12 @@ class VmPool:
         return sum(1 for vm in self.vms if vm.accounting.runs)
 
     def parallel_speedup(self) -> float:
-        """Idealized speedup: runs divided over the VMs that did work."""
-        return float(self.busy_vms or 1)
+        """Idealized speedup: the widest batch that ran concurrently.
+
+        Based on :attr:`max_batch_width`, not :attr:`busy_vms` — round
+        robin assignment spreads consecutive single runs across many VMs,
+        but a VM that only ever ran while the others were idle
+        contributes no speedup.  A pool that executed every schedule one
+        at a time reports 1.0 no matter how many VMs took an assignment.
+        """
+        return float(self.max_batch_width or 1)

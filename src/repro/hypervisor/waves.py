@@ -1,0 +1,259 @@
+"""Parallel wave execution: real concurrency for independent schedules.
+
+AITIA's manager drives 32 guest VMs and parallelizes the reproducing
+stage across slices and the diagnosing stage across flip tests (paper
+sections 4.1 and 4.5).  The search stages produce exactly that shape of
+work — a *wave* of schedules with no data dependencies between them
+(every extension of a LIFS frontier, every flip test of a Causality
+Analysis phase) — and the simulator is deterministic pure Python, so
+fanning a wave out to child *processes* buys genuine wall-clock speedup
+where threads would serialize on the GIL.
+
+:class:`WaveExecutor` is that fan-out.  It deliberately reuses the
+fault-tolerant :class:`~repro.service.pool.WorkerPool` machinery
+(per-attempt child processes, timeout kill, worker-death retry with
+backoff) instead of growing a second pool implementation, and it keeps
+the determinism contract the rest of the pipeline is built on:
+
+* results merge back in **submission order** — the caller sees the same
+  sequence of :class:`RunResult`s it would have produced sequentially;
+* a chunk that times out or loses its worker is transparently
+  **re-executed inline** in the parent (counted as ``hv.wave.fallbacks``),
+  so a wave never loses or reorders a result;
+* each run is bit-identical wherever it executes: the controller is
+  deterministic in (machine state, schedule), and resuming from a
+  checkpoint never changes a run's bits (the PR-3 resume property).
+
+Wave inputs cross the process boundary through the explicit
+serialization path of :mod:`repro.kernel.snapshot` (``dumps_state`` /
+``loads_state``): schedules and boot/prefix checkpoints are pickled
+into a versioned blob at submission time, so the child works on a
+stable copy even under the ``fork`` start method, where the rest of the
+payload (the unpicklable machine factory, the shared vehicle machine)
+is inherited by address.
+
+Accounting flows through ``hv.wave.*`` counters on the caller's tracer
+(children run untraced; the parent re-emits the per-run ``hv.*``
+counters at merge time so sequential totals and identities still hold)
+and is rendered by ``repro trace-report``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import Schedule
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
+from repro.kernel.machine import KernelMachine
+from repro.kernel.snapshot import dumps_state, loads_state
+from repro.observe.tracer import as_tracer
+from repro.service.pool import WorkerPool
+from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
+
+#: Per-chunk deadline: a chunk is tens-to-hundreds of schedules, each far
+#: below :data:`~repro.hypervisor.controller.MAX_RUN_STEPS`, so a chunk
+#: this late is a wedged worker, not a slow one.
+DEFAULT_WAVE_TIMEOUT_S = 600.0
+
+
+@dataclass(frozen=True)
+class WaveJob:
+    """One independent schedule submitted to a wave."""
+
+    schedule: Schedule
+    #: Resume point (a boot or prefix checkpoint); ``None`` boots a fresh
+    #: machine from the executor's factory, exactly like a sequential
+    #: snapshot miss.
+    resume_from: Optional[RunCheckpoint] = None
+    watch_races: bool = True
+    checkpoint_policy: Optional[CheckpointPolicy] = None
+
+
+@dataclass(frozen=True)
+class WaveOutcome:
+    """One job's result, in submission order."""
+
+    run: RunResult
+    #: Checkpoints the run captured (for LIFS harvest/extension resume).
+    checkpoints: Tuple[RunCheckpoint, ...]
+    #: Boot-setup steps of the machine the job ran on — the callers'
+    #: snapshot accounting needs it whether the run resumed or booted.
+    setup_steps: int
+    #: Whether the job resumed from a checkpoint (snapshot hit) and the
+    #: prefix steps that resume skipped.
+    resumed: bool
+    prefix_steps: int
+
+
+def execute_wave_job(job: WaveJob,
+                     machine_factory: Callable[[], KernelMachine],
+                     machine: Optional[KernelMachine] = None) -> WaveOutcome:
+    """Run one wave job to completion — in a child or inline.
+
+    A resuming job reuses ``machine`` as its vehicle (the checkpoint
+    restore rewrites the whole machine state, so any machine booted from
+    the same factory is a valid vehicle); a fresh-boot job always boots
+    its own machine, mirroring the sequential snapshot-miss path.
+    """
+    if job.resume_from is not None and machine is not None:
+        vehicle = machine
+    else:
+        vehicle = machine_factory()
+    controller = ScheduleController(
+        vehicle, job.schedule, watch_races=job.watch_races,
+        resume_from=job.resume_from,
+        checkpoint_policy=job.checkpoint_policy)
+    run = controller.run()
+    return WaveOutcome(
+        run=run, checkpoints=tuple(controller.checkpoints),
+        setup_steps=vehicle.setup_steps,
+        resumed=job.resume_from is not None,
+        prefix_steps=job.resume_from.steps if job.resume_from else 0)
+
+
+def _wave_chunk_main(payload: dict) -> dict:
+    """Worker entry: execute one chunk of wave jobs, in order.
+
+    Must stay a module-level function (the pool may pickle it under the
+    ``spawn`` start method).  Jobs arrive as a ``dumps_state`` blob —
+    the serialization path for schedules and checkpoints — while the
+    machine factory and the optional shared vehicle are fork-inherited.
+    """
+    jobs: Tuple[WaveJob, ...] = loads_state(payload["jobs_blob"])
+    machine_factory = payload["machine_factory"]
+    machine = payload.get("machine")
+    outcomes = tuple(execute_wave_job(job, machine_factory, machine)
+                     for job in jobs)
+    return {"outcomes_blob": dumps_state(outcomes)}
+
+
+def emit_run_counters(tracer, run: RunResult) -> None:
+    """Re-emit the ``hv.*`` counters a traced controller would have
+    emitted for ``run``.
+
+    Wave children run untraced (their sink is the result pipe, not the
+    parent's tracer), so the parent emits the equivalent counters when
+    it merges an outcome — keeping totals identical to a sequential run
+    and preserving identities like ``hv.runs == lifs.schedules +
+    ca.schedules``.
+    """
+    tracer = as_tracer(tracer)
+    if not tracer.enabled:
+        return
+    tracer.count("hv.runs")
+    tracer.count("hv.steps", run.steps)
+    tracer.count("hv.preemptions_fired", len(run.fired_preemptions))
+    tracer.count("hv.breakpoint_hits",
+                 len(run.fired_preemptions) + run.executed_constraints())
+    tracer.count("hv.watchpoint_hits", len(run.watch_hits))
+    tracer.count("hv.constraints_dropped", len(run.dropped_constraints))
+    if run.failed:
+        tracer.count("hv.crashes")
+
+
+class WaveExecutor:
+    """Fan independent schedule batches out to child processes.
+
+    ``jobs`` is the concurrency cap.  A wave is striped into at most
+    ``jobs`` contiguous-by-stride chunks (chunk *i* takes submissions
+    ``i, i+jobs, i+2*jobs, ...``), one child process per chunk, which
+    amortizes the fork + pipe cost across many sub-millisecond schedule
+    runs.  Results are reassembled by submission index, so the merge
+    order never depends on which child finished first.
+    """
+
+    def __init__(self, jobs: int,
+                 machine_factory: Callable[[], KernelMachine],
+                 tracer=None,
+                 timeout_s: float = DEFAULT_WAVE_TIMEOUT_S,
+                 retry: Optional[RetryPolicy] = None,
+                 context: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.machine_factory = machine_factory
+        self.tracer = as_tracer(tracer)
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self._context = context or "fork"
+
+    @property
+    def parallel(self) -> bool:
+        """Whether waves genuinely fan out to child processes.
+
+        Requires ``jobs > 1``, the ``fork`` start method (machine
+        factories are closures and must be inherited, not pickled) and a
+        non-daemonic parent — the service pools run their workers as
+        daemons, and daemonic processes may not have children, so a wave
+        inside a ``--jobs N`` triage/evaluate worker degrades to inline
+        execution instead of crashing.
+        """
+        return (self.jobs > 1
+                and self._context in
+                multiprocessing.get_all_start_methods()
+                and not multiprocessing.current_process().daemon)
+
+    # ------------------------------------------------------------------
+    def run_wave(self, wave: Sequence[WaveJob],
+                 machine: Optional[KernelMachine] = None,
+                 ) -> List[WaveOutcome]:
+        """Execute every job; outcomes are returned in submission order.
+
+        ``machine`` is the caller's vehicle machine: resuming jobs
+        restore their checkpoints onto (the child's forked copy of) it
+        instead of booting fresh.
+        """
+        if not wave:
+            return []
+        if not self.parallel or len(wave) < 2:
+            self.tracer.count("hv.wave.inline", len(wave))
+            return [execute_wave_job(job, self.machine_factory, machine)
+                    for job in wave]
+
+        width = min(self.jobs, len(wave))
+        stripes = [list(range(i, len(wave), width)) for i in range(width)]
+        chunk_jobs = [
+            TriageJob(
+                job_id=f"wave-{i}",
+                payload={
+                    "jobs_blob": dumps_state(
+                        tuple(wave[j] for j in stripe)),
+                    "machine_factory": self.machine_factory,
+                    "machine": machine,
+                },
+                timeout_s=self.timeout_s)
+            for i, stripe in enumerate(stripes)
+        ]
+        pool = WorkerPool(_wave_chunk_main, jobs=width, retry=self.retry,
+                          context=self._context, poll_interval_s=0.002)
+        pool.run(chunk_jobs)
+
+        outcomes: List[Optional[WaveOutcome]] = [None] * len(wave)
+        dispatched = fallbacks = 0
+        for stripe, chunk in zip(stripes, chunk_jobs):
+            if chunk.outcome is JobOutcome.SUCCEEDED:
+                chunk_outcomes = loads_state(chunk.result["outcomes_blob"])
+                for j, outcome in zip(stripe, chunk_outcomes):
+                    outcomes[j] = outcome
+                dispatched += len(stripe)
+            else:
+                # Timeout or worker death past the retry budget: the wave
+                # must still complete deterministically, so the chunk is
+                # re-executed inline on the parent.
+                fallbacks += len(stripe)
+                for j in stripe:
+                    outcomes[j] = execute_wave_job(
+                        wave[j], self.machine_factory, machine)
+        if self.tracer.enabled:
+            self.tracer.count("hv.wave.batches")
+            self.tracer.count("hv.wave.jobs", len(wave))
+            self.tracer.count("hv.wave.dispatched", dispatched)
+            if fallbacks:
+                self.tracer.count("hv.wave.fallbacks", fallbacks)
+            self.tracer.point("hv.wave.batch", stage="hv",
+                              jobs=len(wave), width=width,
+                              fallbacks=fallbacks)
+        return outcomes  # type: ignore[return-value]

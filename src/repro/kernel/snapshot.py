@@ -17,6 +17,7 @@ deep copies of the history.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Tuple
 
@@ -24,6 +25,9 @@ from repro.kernel.threads import ThreadContext, ThreadImage
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.machine import KernelMachine
+
+#: Wire-format version for :func:`dumps_state` / :func:`loads_state`.
+WIRE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,36 @@ def snapshot_state_key(snapshot: MachineSnapshot) -> Tuple:
     """:func:`machine_state_key` computed from a captured snapshot; a live
     machine and a snapshot of an equal state produce equal keys."""
     return _state_key(snapshot.memory, snapshot.locks, snapshot.threads)
+
+
+def dumps_state(obj) -> bytes:
+    """Serialize schedules, machine snapshots and run checkpoints for a
+    process boundary (the parallel wave dispatch of
+    :mod:`repro.hypervisor.waves`).
+
+    Everything the hypervisor ships across a wave — :class:`Schedule`,
+    :class:`MachineSnapshot`,
+    :class:`~repro.hypervisor.snapshot.RunCheckpoint`, :class:`RunResult`
+    — is built from module-level frozen dataclasses and enums, so the
+    round trip is exact: a deserialized checkpoint restores to the same
+    :func:`snapshot_state_key` as the original.  The payload is wrapped
+    in a version envelope so a reader can reject a foreign format
+    instead of mis-restoring it.
+    """
+    return pickle.dumps((WIRE_VERSION, obj),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_state(data: bytes):
+    """Inverse of :func:`dumps_state`; rejects unknown wire versions."""
+    envelope = pickle.loads(data)
+    if not isinstance(envelope, tuple) or len(envelope) != 2:
+        raise ValueError("not a dumps_state payload")
+    version, obj = envelope
+    if version != WIRE_VERSION:
+        raise ValueError(f"unsupported snapshot wire version {version!r} "
+                         f"(expected {WIRE_VERSION})")
+    return obj
 
 
 def restore_machine(machine: "KernelMachine",

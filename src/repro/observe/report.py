@@ -127,6 +127,18 @@ def render_trace_report(
                   f"grafted a memoized suffix "
                   f"({counters.get('snapshot.spliced_steps', 0)} steps)"]
 
+    if counters.get("hv.wave.batches") or counters.get("hv.wave.inline"):
+        dispatched = counters.get("hv.wave.dispatched", 0)
+        lines += ["", "parallel waves: "
+                      f"{counters.get('hv.wave.batches', 0)} batches, "
+                      f"{counters.get('hv.wave.jobs', 0)} jobs "
+                      f"({dispatched} dispatched to children, "
+                      f"{counters.get('hv.wave.inline', 0)} inline, "
+                      f"{counters.get('hv.wave.fallbacks', 0)} fallbacks)"]
+        if counters.get("hv.wave.discarded"):
+            lines += [f"  {counters['hv.wave.discarded']} speculative "
+                      f"result(s) discarded on early exit"]
+
     if summary["flips"]:
         averted = summary["flips"] - summary["flips_failed"]
         lines += ["", f"CA flips: {summary['flips']} executed, "

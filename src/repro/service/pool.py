@@ -158,6 +158,12 @@ class WorkerPool:
         ``"requeued"`` (attempt done, job pending a retry)."""
         job = attempt.job
         if attempt.timed_out:
+            # A result posted between the caller's poll and the deadline
+            # check would be discarded by the kill below and the job
+            # misreported as timed out — drain the pipe once more before
+            # declaring the timeout (timed_out re-checks the message).
+            attempt.poll_message()
+        if attempt.timed_out:
             attempt.kill()
             job.outcome = JobOutcome.TIMED_OUT
             job.error = f"exceeded {job.timeout_s:.1f}s timeout"
@@ -193,12 +199,17 @@ class WorkerPool:
 
 
 class InProcessPool:
-    """Serial fallback (``--jobs 1``): same interface, no processes."""
+    """Serial fallback (``--jobs 1``): same interface, no processes.
 
-    def __init__(self, worker: Worker,
-                 retry: Optional[RetryPolicy] = None) -> None:
+    Takes no :class:`RetryPolicy`: the policy only governs worker-death
+    retries, and an in-process worker cannot die without taking the
+    whole pool with it — passing one here would silently promise retry
+    behaviour that can never trigger, so the parameter is rejected
+    loudly (``TypeError``) instead of accepted and ignored.
+    """
+
+    def __init__(self, worker: Worker) -> None:
         self.worker = worker
-        self.retry = retry or RetryPolicy()
 
     def run(self, jobs: Sequence[TriageJob],
             on_complete: Optional[Callable[[TriageJob], None]] = None,
@@ -214,7 +225,11 @@ class InProcessPool:
             try:
                 job.result = self.worker(job.payload)
                 job.outcome = JobOutcome.SUCCEEDED
-            except Exception as exc:  # noqa: BLE001 — mirror the pool
+            except KeyboardInterrupt:
+                raise  # the user's ^C, not the job's failure
+            except BaseException as exc:  # noqa: BLE001 — same contract as
+                # _attempt_main: SystemExit and friends are reported as a
+                # failed job, exactly like a child process would report.
                 job.outcome = JobOutcome.FAILED
                 job.error = f"{type(exc).__name__}: {exc}"
             job.seconds += time.monotonic() - start
@@ -227,7 +242,9 @@ def make_pool(worker: Worker, jobs: int = 1,
               retry: Optional[RetryPolicy] = None,
               context: Optional[str] = None):
     """The right pool for a parallelism level: processes when ``jobs >
-    1``, in-process execution otherwise."""
+    1``, in-process execution otherwise.  ``retry`` only applies to the
+    process pool — worker death is the one condition it governs, and it
+    cannot occur in-process."""
     if jobs <= 1:
-        return InProcessPool(worker, retry=retry)
+        return InProcessPool(worker)
     return WorkerPool(worker, jobs=jobs, retry=retry, context=context)

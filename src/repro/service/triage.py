@@ -40,7 +40,9 @@ def _diagnose_job(payload: dict) -> dict:
     also exactly what the result store persists.
     """
     from repro.analysis.evaluation import summarize_diagnosis
+    from repro.core.causality import CaConfig
     from repro.core.diagnose import Aitia
+    from repro.core.lifs import LifsConfig
     from repro.corpus import registry
 
     bug = registry.get_bug(payload["bug_id"])
@@ -54,7 +56,10 @@ def _diagnose_job(payload: dict) -> dict:
         report = None
     else:
         raise ValueError(f"unknown triage mode {mode!r}")
-    diagnosis = Aitia(bug, report=report).diagnose()
+    wave_jobs = payload.get("wave_jobs", 1)
+    diagnosis = Aitia(bug, report=report,
+                      lifs_config=LifsConfig(wave_jobs=wave_jobs),
+                      ca_config=CaConfig(wave_jobs=wave_jobs)).diagnose()
     row = summarize_diagnosis(bug, diagnosis)
     return {"bug_id": bug.bug_id, "mode": mode, "row": asdict(row)}
 
@@ -127,10 +132,15 @@ class TriageService:
                  retry: Optional[RetryPolicy] = None,
                  timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
                  context: Optional[str] = None,
+                 wave_jobs: int = 1,
                  tracer=None) -> None:
         from repro.observe.tracer import as_tracer
 
         self.jobs = jobs
+        #: Per-diagnosis parallel wave width, forwarded to every worker's
+        #: LIFS/CA configs.  Waves degrade to inline execution inside
+        #: ``jobs > 1`` workers (daemonic processes may not fork).
+        self.wave_jobs = wave_jobs
         self.store = store if store is not None else ResultStore()
         self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -153,7 +163,8 @@ class TriageService:
             existing.duplicates.append(source)
             self.metrics.incr("reports_deduped")
             return existing
-        payload = dict(payload, bug_id=bug_id, digest=digest)
+        payload = dict(payload, bug_id=bug_id, digest=digest,
+                       wave_jobs=self.wave_jobs)
         job = TriageJob(job_id=f"{bug_id}:{digest}", payload=payload,
                         priority=priority, timeout_s=self.timeout_s)
         self._by_digest[digest] = job

@@ -114,6 +114,39 @@ class TestTraceReport:
         assert ("CA snapshot engine: 4 resumed / 0 fresh boots; "
                 "80 steps interpreted, 300 saved, 20 spliced") in out
 
+    def test_report_renders_wave_counters(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1, attrs={
+                "hv.wave.batches": 3, "hv.wave.jobs": 40,
+                "hv.wave.dispatched": 38, "hv.wave.inline": 2,
+                "hv.wave.fallbacks": 1, "hv.wave.discarded": 4})])
+        assert ("parallel waves: 3 batches, 40 jobs "
+                "(38 dispatched to children, 2 inline, 1 fallbacks)") in out
+        assert "4 speculative result(s) discarded on early exit" in out
+
+    def test_report_without_wave_counters_omits_waves(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1,
+                       attrs={"lifs.schedules": 2})])
+        assert "parallel waves" not in out
+
+    def test_wave_cli_end_to_end(self, tmp_path, capsys):
+        # SYZ-05 is too small to ever form a 2-wide wave; CVE-2017-15649
+        # has hundreds of schedules per stage, so waves genuinely fire.
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "CVE-2017-15649", "--parallel-waves", "2",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "parallel waves:" in out
+
     def test_report_without_snapshot_counters_omits_engine(self):
         from repro.observe.events import COUNTERS, TraceEvent
         from repro.observe.report import render_trace_report

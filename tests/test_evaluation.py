@@ -4,11 +4,12 @@ import json
 
 import pytest
 
+from repro import api
 from repro.analysis.evaluation import (
     BugEvaluation,
     CorpusEvaluation,
-    evaluate_bug,
     evaluate_corpus,
+    summarize_diagnosis,
 )
 from repro.cli import main
 from repro.corpus.registry import get_bug
@@ -16,7 +17,8 @@ from repro.corpus.registry import get_bug
 
 class TestEvaluateBug:
     def test_row_fields(self):
-        row = evaluate_bug(get_bug("CVE-2017-2671"))
+        bug = get_bug("CVE-2017-2671")
+        row = summarize_diagnosis(bug, api.diagnose(bug))
         assert row.reproduced
         assert row.bug_id == "CVE-2017-2671"
         assert row.interleavings == 1
@@ -27,7 +29,8 @@ class TestEvaluateBug:
         assert "->" in row.chain
 
     def test_pipeline_mode_counts_slices(self):
-        row = evaluate_bug(get_bug("SYZ-04"), pipeline=True)
+        bug = get_bug("SYZ-04")
+        row = summarize_diagnosis(bug, api.diagnose(bug, pipeline=True))
         assert row.reproduced
         assert row.slices_tried >= 1
 

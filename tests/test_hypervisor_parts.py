@@ -127,6 +127,20 @@ class TestVmPool:
         assert [vm.accounting.runs for vm in pool.vms] == [2, 2, 2]
         assert pool.total_runs == 6
         assert pool.busy_vms == 3
+        # Round-robin drift touched all 3 VMs, but nothing ever ran
+        # concurrently: single execute() calls are width-1 batches.
+        assert pool.max_batch_width == 1
+        assert pool.parallel_speedup() == 1.0
+
+    def test_single_executes_never_inflate_speedup(self):
+        # Regression: parallel_speedup() used to return busy_vms, so a
+        # purely sequential workload spread across the pool by
+        # round-robin assignment claimed a VM-count speedup.
+        pool = VmPool(fig2_machine, vm_count=4)
+        for _ in range(8):
+            pool.execute(serial_schedule(["A", "B"]))
+        assert pool.busy_vms == 4  # drift did spread the work...
+        assert pool.parallel_speedup() == 1.0  # ...but nothing was parallel
 
     def test_execute_all(self):
         pool = VmPool(fig2_machine, vm_count=2)
@@ -173,6 +187,31 @@ class TestVmPool:
         # assignment restarts at VM 0 after a reset
         pool.execute(serial_schedule(["A", "B"]))
         assert pool.vms[0].accounting.runs == 1
+
+    def test_wave_execution_matches_sequential(self):
+        # wave_jobs=2 runs the batch in child processes; results and
+        # per-VM accounting must match the sequential pool exactly.
+        def facts(run):
+            return (
+                [(t.thread, t.instr_addr, t.seq) for t in run.trace],
+                [(a.thread, a.data_addr, a.seq) for a in run.accesses],
+                run.failure, run.steps, run.interleavings,
+            )
+
+        batch = [serial_schedule(["A", "B"]), serial_schedule(["B", "A"]),
+                 serial_schedule(["A", "B", "A"])]
+        seq = VmPool(fig2_machine, vm_count=2)
+        par = VmPool(fig2_machine, vm_count=2, wave_jobs=2)
+        seq_runs = seq.execute_all(batch)
+        par_runs = par.execute_all(batch)
+        assert [facts(r) for r in par_runs] == [facts(r) for r in seq_runs]
+        assert par.total_runs == seq.total_runs == 3
+        assert par.max_batch_width == seq.max_batch_width == 2
+        assert par.parallel_speedup() == seq.parallel_speedup() == 2.0
+        assert ([vm.accounting.runs for vm in par.vms]
+                == [vm.accounting.runs for vm in seq.vms])
+        assert ([vm.accounting.steps for vm in par.vms]
+                == [vm.accounting.steps for vm in seq.vms])
 
     def test_reset_alias(self):
         pool = VmPool(fig2_machine, vm_count=2)

@@ -6,7 +6,12 @@ import time
 
 import pytest
 
-from repro.service.pool import InProcessPool, WorkerPool, make_pool
+from repro.service.pool import (
+    InProcessPool,
+    WorkerPool,
+    _Attempt,
+    make_pool,
+)
 from repro.service.queue import (
     JobOutcome,
     JobQueue,
@@ -47,6 +52,16 @@ def _die_once_worker(payload):
 
 def _always_die_worker(payload):
     os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sys_exit_worker(payload):
+    raise SystemExit("worker bailed")
+
+
+def _late_sender_worker(payload):
+    """Post the result only after the job's deadline has passed."""
+    time.sleep(payload["sleep_s"])
+    return {"late": True}
 
 
 def _job(payload=None, **kwargs):
@@ -115,6 +130,24 @@ class TestInProcessPool:
         assert isinstance(make_pool(_ok_worker, jobs=1), InProcessPool)
         assert isinstance(make_pool(_ok_worker, jobs=4), WorkerPool)
 
+    def test_systemexit_reported_as_failed(self):
+        # Same contract as a child process: SystemExit is a failed job,
+        # not a silent interpreter exit mid-corpus.
+        job = _job()
+        InProcessPool(_sys_exit_worker).run([job])
+        assert job.outcome is JobOutcome.FAILED
+        assert "SystemExit: worker bailed" in job.error
+
+    def test_rejects_retry_policy_loudly(self):
+        # Regression: the serial pool used to accept (and ignore) a
+        # RetryPolicy, silently promising retries it could never run.
+        with pytest.raises(TypeError):
+            InProcessPool(_ok_worker, retry=RetryPolicy())
+
+    def test_make_pool_serial_drops_retry(self):
+        pool = make_pool(_ok_worker, jobs=1, retry=RetryPolicy())
+        assert isinstance(pool, InProcessPool)
+
 
 class TestWorkerPool:
     def test_runs_jobs_across_processes(self):
@@ -166,6 +199,30 @@ class TestWorkerPool:
     def test_rejects_zero_jobs(self):
         with pytest.raises(ValueError):
             WorkerPool(_ok_worker, jobs=0)
+
+    def test_systemexit_reported_as_failed(self):
+        job = _job()
+        WorkerPool(_sys_exit_worker, jobs=1).run([job])
+        assert job.outcome is JobOutcome.FAILED
+        assert "SystemExit: worker bailed" in job.error
+
+    def test_result_posted_at_deadline_not_reported_as_timeout(self):
+        # Regression: _reap used to kill the child the instant the
+        # deadline passed, discarding a result already sitting in the
+        # pipe.  Reproduce the race deterministically: the child posts
+        # its result *after* the deadline and exits before the parent
+        # drains the pipe, then we reap without an intervening poll.
+        pool = WorkerPool(_late_sender_worker, jobs=1)
+        job = _job({"sleep_s": 0.3}, timeout_s=0.05)
+        attempt = _Attempt(pool._ctx, _late_sender_worker, job)
+        give_up = time.monotonic() + 10.0
+        while not attempt.exited and time.monotonic() < give_up:
+            time.sleep(0.01)
+        assert attempt.exited  # result is in the pipe, undelivered
+        assert attempt.timed_out  # deadline long past, pipe not drained
+        assert pool._reap(attempt, []) == "terminal"
+        assert job.outcome is JobOutcome.SUCCEEDED
+        assert job.result == {"late": True}
 
 
 def _dispatching_worker(payload):

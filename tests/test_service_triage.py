@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.analysis.evaluation import evaluate_bug, evaluate_corpus
+from repro import api
+from repro.analysis.evaluation import evaluate_corpus
 from repro.cli import main
 from repro.corpus.registry import get_bug
 from repro.service.artifacts import (
@@ -16,7 +17,7 @@ from repro.service.artifacts import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import JobOutcome
 from repro.service.store import ResultStore
-from repro.service.triage import TriageService, triage_corpus
+from repro.service.triage import TriageService
 from repro.trace.syzkaller import run_bug_finder
 
 
@@ -76,14 +77,14 @@ class TestTriageService:
         service = TriageService(jobs=1)
         service.submit_artifact(artifact)
         summary = service.run()
-        assert summary.results[0].chain == evaluate_bug(bug).chain
+        assert summary.results[0].chain == api.diagnose(bug).chain.render()
 
     def test_cache_hit_across_service_instances(self, tmp_path):
         store_path = str(tmp_path / "store.jsonl")
         bug = get_bug("SYZ-04")
-        s1 = triage_corpus([bug], store=ResultStore(store_path))
+        s1 = api.triage([bug], store=ResultStore(store_path))
         assert s1.results[0].outcome == "succeeded"
-        s2 = triage_corpus([bug], store=ResultStore(store_path))
+        s2 = api.triage([bug], store=ResultStore(store_path))
         assert s2.results[0].outcome == "cache_hit"
         assert s2.results[0].chain == s1.results[0].chain
         assert s2.results[0].seconds == 0.0
@@ -92,7 +93,7 @@ class TestTriageService:
     def test_corpus_triage_matches_sequential_evaluation(self):
         bugs = [get_bug("SYZ-04"), get_bug("CVE-2017-2671"),
                 get_bug("CVE-2016-10200")]
-        summary = triage_corpus(bugs, jobs=2)
+        summary = api.triage(bugs, jobs=2)
         assert summary.all_ok
         by_id = {r.bug_id: r for r in summary.results}
         for row in evaluate_corpus(bugs).rows:
@@ -109,7 +110,7 @@ class TestTriageService:
         assert service.metrics.count("intake_errors") == 1
 
     def test_summary_json_and_render(self):
-        summary = triage_corpus([get_bug("SYZ-04")])
+        summary = api.triage([get_bug("SYZ-04")])
         payload = json.loads(summary.to_json())
         assert payload["results"][0]["bug_id"] == "SYZ-04"
         assert "counters" in payload["metrics"]

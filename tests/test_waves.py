@@ -1,0 +1,223 @@
+"""Tests for parallel wave execution (repro.hypervisor.waves).
+
+Covers the serialization path (versioned ``dumps_state``/``loads_state``
+round trips for schedules and checkpoints), the :class:`WaveExecutor`
+contract (submission-order merge, inline degradation, fallback
+re-execution, ``hv.wave.*`` accounting), and the headline property: a
+diagnosis computed with ``wave_jobs > 1`` is bit-identical to the
+sequential one.
+"""
+
+import pickle
+
+import pytest
+
+from repro import api
+from repro.core.causality import CaConfig
+from repro.core.diagnose import Aitia
+from repro.core.lifs import LifsConfig
+from repro.core.schedule import Schedule
+from repro.corpus.registry import get_bug
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.hypervisor.snapshot import CheckpointPolicy, boot_checkpoint
+from repro.hypervisor.waves import (
+    WaveExecutor,
+    WaveJob,
+    execute_wave_job,
+)
+from repro.kernel.snapshot import (
+    WIRE_VERSION,
+    dumps_state,
+    loads_state,
+    snapshot_state_key,
+)
+from repro.observe import MemorySink, Tracer
+from repro.service.queue import JobOutcome
+
+from helpers import fig2_machine
+
+SCHEDULES = [serial_schedule(["A", "B"]),
+             serial_schedule(["B", "A"]),
+             serial_schedule(["A", "B", "A"]),
+             serial_schedule(["B", "A", "B"])]
+
+
+def _run_facts(run):
+    return (
+        [(t.thread, t.instr_addr, t.seq, t.occurrence) for t in run.trace],
+        [(a.thread, a.instr_addr, a.data_addr, a.seq) for a in run.accesses],
+        run.failure,
+        run.steps,
+        run.interleavings,
+    )
+
+
+class TestSerialization:
+    def test_schedule_round_trip(self):
+        for schedule in SCHEDULES:
+            assert loads_state(dumps_state(schedule)) == schedule
+
+    def test_checkpoint_round_trip_preserves_state_key(self):
+        controller = ScheduleController(
+            fig2_machine(), serial_schedule(["A", "B"]),
+            checkpoint_policy=CheckpointPolicy())
+        controller.run()
+        assert controller.checkpoints
+        for ckpt in controller.checkpoints:
+            clone = loads_state(dumps_state(ckpt))
+            assert snapshot_state_key(clone.machine) \
+                == snapshot_state_key(ckpt.machine)
+            assert clone.horizon_seq == ckpt.horizon_seq
+            assert clone.steps == ckpt.steps
+            assert clone.fired == ckpt.fired
+
+    def test_resume_from_deserialized_checkpoint_is_bit_identical(self):
+        schedule = serial_schedule(["A", "B", "A"])
+        fresh = ScheduleController(fig2_machine(), schedule,
+                                   checkpoint_policy=CheckpointPolicy())
+        run1 = fresh.run()
+        ckpt = loads_state(dumps_state(
+            fresh.checkpoints[len(fresh.checkpoints) // 2]))
+        run2 = ScheduleController(fig2_machine(), schedule,
+                                  resume_from=ckpt).run()
+        assert _run_facts(run2) == _run_facts(run1)
+
+    def test_rejects_unknown_wire_version(self):
+        blob = pickle.dumps((WIRE_VERSION + 1, serial_schedule(["A"])))
+        with pytest.raises(ValueError, match="wire version"):
+            loads_state(blob)
+
+    def test_rejects_non_envelope_payload(self):
+        with pytest.raises(ValueError, match="dumps_state"):
+            loads_state(pickle.dumps({"not": "an envelope"}))
+
+
+class TestWaveExecutor:
+    def _wave(self):
+        return [WaveJob(schedule=s) for s in SCHEDULES]
+
+    def test_parallel_merge_preserves_submission_order(self):
+        expected = [execute_wave_job(job, fig2_machine)
+                    for job in self._wave()]
+        executor = WaveExecutor(jobs=2, machine_factory=fig2_machine)
+        got = executor.run_wave(self._wave())
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(o.run) for o in expected]
+
+    def test_single_job_executor_runs_inline(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = WaveExecutor(jobs=1, machine_factory=fig2_machine,
+                                tracer=tracer)
+        assert not executor.parallel
+        outcomes = executor.run_wave(self._wave())
+        tracer.close()
+        assert len(outcomes) == len(SCHEDULES)
+        counters = sink.counter_totals()
+        assert counters["hv.wave.inline"] == len(SCHEDULES)
+        assert "hv.wave.batches" not in counters
+
+    def test_single_item_wave_stays_inline(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = WaveExecutor(jobs=4, machine_factory=fig2_machine,
+                                tracer=tracer)
+        executor.run_wave([WaveJob(schedule=SCHEDULES[0])])
+        tracer.close()
+        assert sink.counter_totals()["hv.wave.inline"] == 1
+
+    def test_dispatch_accounting(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = WaveExecutor(jobs=2, machine_factory=fig2_machine,
+                                tracer=tracer)
+        executor.run_wave(self._wave())
+        tracer.close()
+        counters = sink.counter_totals()
+        assert counters["hv.wave.batches"] == 1
+        assert counters["hv.wave.jobs"] == len(SCHEDULES)
+        assert counters["hv.wave.dispatched"] == len(SCHEDULES)
+        assert "hv.wave.fallbacks" not in counters
+
+    def test_failed_chunks_fall_back_inline(self, monkeypatch):
+        # Simulate every chunk losing its worker past the retry budget:
+        # the wave must still complete, in order, on the parent.
+        class _DeadPool:
+            def __init__(self, worker, **kwargs):
+                pass
+
+            def run(self, jobs, on_complete=None):
+                for job in jobs:
+                    job.outcome = JobOutcome.FAILED
+                    job.error = "worker died (stub)"
+                return list(jobs)
+
+        monkeypatch.setattr("repro.hypervisor.waves.WorkerPool", _DeadPool)
+        expected = [execute_wave_job(job, fig2_machine)
+                    for job in self._wave()]
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = WaveExecutor(jobs=2, machine_factory=fig2_machine,
+                                tracer=tracer)
+        got = executor.run_wave(self._wave())
+        tracer.close()
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(o.run) for o in expected]
+        counters = sink.counter_totals()
+        assert counters["hv.wave.fallbacks"] == len(SCHEDULES)
+        assert counters["hv.wave.dispatched"] == 0
+
+    def test_resuming_jobs_match_fresh_boots(self):
+        machine = fig2_machine()
+        ckpt = boot_checkpoint(machine)
+        wave = [WaveJob(schedule=s, resume_from=ckpt) for s in SCHEDULES]
+        expected = [execute_wave_job(WaveJob(schedule=s), fig2_machine)
+                    for s in SCHEDULES]
+        executor = WaveExecutor(jobs=2, machine_factory=fig2_machine)
+        got = executor.run_wave(wave, machine=machine)
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(o.run) for o in expected]
+        assert all(o.resumed for o in got)
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            WaveExecutor(jobs=0, machine_factory=fig2_machine)
+
+
+class TestWaveDiagnosisBitIdentity:
+    """``wave_jobs=2`` (the ``--parallel-waves`` flag) must be a pure
+    execution-placement change: the diagnosis, schedule counts and step
+    totals are bit-identical to the sequential run.  (Snapshot splice
+    accounting may legitimately differ — children never splice — so the
+    comparison sticks to resume-invariant facts, like the PR-3 ablation.)
+    """
+
+    def _diagnose(self, bug_id, wave_jobs):
+        bug = get_bug(bug_id)
+        return Aitia(bug,
+                     lifs_config=LifsConfig(wave_jobs=wave_jobs),
+                     ca_config=CaConfig(wave_jobs=wave_jobs)).diagnose()
+
+    @pytest.mark.parametrize("bug_id", ["CVE-2017-15649", "SYZ-01"])
+    def test_diagnosis_is_bit_identical(self, bug_id):
+        seq = self._diagnose(bug_id, 1)
+        par = self._diagnose(bug_id, 2)
+        assert par.chain.render() == seq.chain.render()
+        assert par.lifs_result.failure_run.signature_hash() \
+            == seq.lifs_result.failure_run.signature_hash()
+        assert sorted(u.uid for u in par.ca_result.root_cause_units) \
+            == sorted(u.uid for u in seq.ca_result.root_cause_units)
+        assert par.lifs_result.stats.schedules_executed \
+            == seq.lifs_result.stats.schedules_executed
+        assert par.lifs_result.stats.total_steps \
+            == seq.lifs_result.stats.total_steps
+        assert par.ca_result.stats.schedules_executed \
+            == seq.ca_result.stats.schedules_executed
+        assert par.ca_result.stats.total_steps \
+            == seq.ca_result.stats.total_steps
+
+    def test_api_diagnose_accepts_wave_jobs(self):
+        bug = get_bug("SYZ-04")
+        seq = api.diagnose(bug)
+        par = api.diagnose(bug, wave_jobs=2)
+        assert par.chain.render() == seq.chain.render()
