@@ -17,7 +17,6 @@ from pathlib import Path
 
 from repro import Aitia
 from repro.corpus import get_bug
-from repro.hypervisor.controller import ScheduleController
 from repro.hypervisor.replay import Recording, record, replay
 from repro.trace.crash import parse_crash_report, render_crash_report
 from repro.trace.ftrace import parse_ftrace, render_ftrace

@@ -50,7 +50,7 @@ from repro.observe import (
     Tracer,
 )
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Aitia",

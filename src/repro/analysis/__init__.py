@@ -4,7 +4,6 @@ whole-corpus evaluation and developer reports."""
 from repro.analysis.evaluation import (
     BugEvaluation,
     CorpusEvaluation,
-    evaluate_bug,
     evaluate_corpus,
 )
 from repro.analysis.metrics import CostModel, StageCost
@@ -20,7 +19,6 @@ __all__ = [
     "StageCost",
     "Table",
     "Verdict",
-    "evaluate_bug",
     "evaluate_corpus",
     "render_report",
     "render_table",

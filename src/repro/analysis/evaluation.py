@@ -140,23 +140,6 @@ def _evaluate_one(bug: "Bug", pipeline: bool = False,
     return summarize_diagnosis(bug, diagnosis)
 
 
-def evaluate_bug(bug: "Bug", pipeline: bool = False) -> BugEvaluation:
-    """Deprecated spelling of the single-bug evaluation.
-
-    Superseded by the :mod:`repro.api` facade (``repro.api.diagnose``
-    plus :func:`summarize_diagnosis`, or ``repro.api.evaluate`` for a
-    full :class:`CorpusEvaluation`); kept as a working shim for one
-    release.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.analysis.evaluation.evaluate_bug is deprecated; use the "
-        "repro.api facade (repro.api.diagnose / repro.api.evaluate)",
-        DeprecationWarning, stacklevel=2)
-    return _evaluate_one(bug, pipeline=pipeline)
-
-
 def _evaluate_worker(payload: dict) -> dict:
     """Worker-process entry for the parallel evaluation: look the bug
     up by id (bugs themselves hold unpicklable factories) and return

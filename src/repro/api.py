@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Union
 from repro.core.causality import CaConfig
 from repro.core.diagnose import Aitia, Diagnosis
 from repro.core.lifs import LifsConfig
+from repro.engine import EnginePolicy
 from repro.hypervisor.manager import DEFAULT_VM_COUNT
 
 #: The triage facade's report type (the service's summary, re-exported
@@ -62,8 +63,8 @@ def diagnose(bug_or_id: BugLike, *,
              ca: Optional[CaConfig] = None,
              cost_model=None,
              vm_count: int = DEFAULT_VM_COUNT,
-             snapshots: bool = True,
-             wave_jobs: int = 1,
+             snapshots: Optional[bool] = None,
+             wave_jobs: Optional[int] = None,
              tracer=None) -> Diagnosis:
     """Diagnose one kernel concurrency failure.
 
@@ -89,10 +90,13 @@ def diagnose(bug_or_id: BugLike, *,
     if report is None and pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
+    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs)
     if lifs is None:
-        lifs = LifsConfig(use_snapshots=snapshots, wave_jobs=wave_jobs)
+        lifs = LifsConfig(use_snapshots=policy.use_snapshots,
+                          wave_jobs=policy.wave_jobs)
     if ca is None:
-        ca = CaConfig(use_snapshots=snapshots, wave_jobs=wave_jobs)
+        ca = CaConfig(use_snapshots=policy.use_snapshots,
+                      wave_jobs=policy.wave_jobs)
     return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
                  cost_model=cost_model, vm_count=vm_count,
                  tracer=tracer).diagnose()
@@ -102,8 +106,8 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
              pipeline: bool = False,
              jobs: int = 1,
              timeout_s: float = 600.0,
-             snapshots: bool = True,
-             wave_jobs: int = 1,
+             snapshots: Optional[bool] = None,
+             wave_jobs: Optional[int] = None,
              tracer=None):
     """Run the paper's evaluation over a bug set (default: all 22).
 
@@ -117,12 +121,14 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
     """
     from repro.analysis.evaluation import evaluate_corpus
 
+    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs)
     resolved = None
     if bugs is not None:
         resolved = [_resolve_bug(b) for b in bugs]
     return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
-                           timeout_s=timeout_s, snapshots=snapshots,
-                           wave_jobs=wave_jobs, tracer=tracer)
+                           timeout_s=timeout_s,
+                           snapshots=policy.use_snapshots,
+                           wave_jobs=policy.wave_jobs, tracer=tracer)
 
 
 def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:
@@ -148,7 +154,7 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
            store=None,
            pipeline: bool = False,
            timeout_s: Optional[float] = None,
-           wave_jobs: int = 1,
+           wave_jobs: Optional[int] = None,
            tracer=None,
            service=None) -> TriageReport:
     """Run the crash-triage service over intake directories and/or bugs.
@@ -171,11 +177,12 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
     if service is None:
         if isinstance(store, (str, os.PathLike)):
             store = ResultStore(os.fspath(store))
+        policy = EnginePolicy.resolve(wave_jobs=wave_jobs)
         service = TriageService(
             jobs=jobs, store=store,
             timeout_s=DEFAULT_JOB_TIMEOUT_S if timeout_s is None
             else timeout_s,
-            wave_jobs=wave_jobs,
+            wave_jobs=policy.wave_jobs,
             tracer=tracer)
     for source in _triage_sources(paths_or_corpus):
         if isinstance(source, (str, os.PathLike)):

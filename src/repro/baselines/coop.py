@@ -120,7 +120,6 @@ class CooperativeLocalization(Baseline):
         else:
             labels = set(best.pattern[2]) | {best.pattern[3]}
         reported: Set[FrozenSet[str]] = set()
-        benign_hit = False
         for race in diagnosis.lifs_result.races:
             pair = frozenset((race.first.instr_label,
                               race.second.instr_label))

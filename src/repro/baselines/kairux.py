@@ -82,7 +82,6 @@ class Kairux(Baseline):
         # failing run's global order.
         first_seq = None
         inflection = None
-        position = {}
         counters: Dict[str, int] = {}
         for entry in failing.trace:
             idx = counters.get(entry.thread, 0)

@@ -33,24 +33,10 @@ from repro import api
 from repro.analysis.report import render_report
 from repro.analysis.tables import Table
 from repro.corpus import registry
+from repro.engine import EnginePolicy
 
 #: One shared default for every subcommand that takes ``--timeout``.
 DEFAULT_TIMEOUT_S = 300.0
-
-
-class _DeprecatedAlias(argparse.Action):
-    """A hidden legacy spelling: works, but prints a deprecation note."""
-
-    def __init__(self, option_strings, dest, replacement="", **kwargs):
-        kwargs.setdefault("help", argparse.SUPPRESS)
-        kwargs.setdefault("default", argparse.SUPPRESS)
-        super().__init__(option_strings, dest, **kwargs)
-        self.replacement = replacement
-
-    def __call__(self, parser, namespace, values, option_string=None):
-        print(f"note: {option_string} is deprecated; use "
-              f"{self.replacement}", file=sys.stderr)
-        setattr(namespace, self.dest, values)
 
 
 def _parent_parsers():
@@ -59,8 +45,8 @@ def _parent_parsers():
     ``trace``: --trace for every pipeline subcommand; ``waves``:
     --parallel-waves for everything that diagnoses; ``pool``: --jobs
     and --timeout for the multi-bug subcommands; ``store``: --store for
-    the triage service.  Legacy spellings (--workers, --job-timeout,
-    --result-store) stay as hidden aliases for one release.
+    the triage service.  (The 1.x hidden aliases --workers,
+    --job-timeout and --result-store were removed in 2.0.)
     """
     trace = argparse.ArgumentParser(add_help=False)
     trace.add_argument("--trace", metavar="PATH",
@@ -80,23 +66,29 @@ def _parent_parsers():
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes (default 1: in-process)")
-    pool.add_argument("--workers", dest="jobs", type=int, metavar="N",
-                      action=_DeprecatedAlias, replacement="--jobs")
     pool.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
                       metavar="S",
                       help="per-job timeout in seconds (default "
                            f"{DEFAULT_TIMEOUT_S:.0f})")
-    pool.add_argument("--job-timeout", dest="timeout", type=float,
-                      metavar="S", action=_DeprecatedAlias,
-                      replacement="--timeout")
 
     store = argparse.ArgumentParser(add_help=False)
     store.add_argument("--store", metavar="PATH",
                        help="persistent JSONL result store; repeat "
                             "signatures answer from it as cache hits")
-    store.add_argument("--result-store", dest="store", metavar="PATH",
-                       action=_DeprecatedAlias, replacement="--store")
     return trace, waves, pool, store
+
+
+def _engine_policy(args: argparse.Namespace) -> EnginePolicy:
+    """Resolve the run's engine policy from the CLI flags.
+
+    CLI flags sit at the lowest precedence tier: an explicit algorithm
+    config or api keyword (neither expressible from the command line)
+    would win over them, per :meth:`EnginePolicy.resolve`.
+    """
+    no_snapshot = getattr(args, "no_snapshot", False)
+    return EnginePolicy.resolve(
+        cli_snapshots=False if no_snapshot else None,
+        cli_wave_jobs=getattr(args, "parallel_waves", None))
 
 
 def _open_tracer(args: argparse.Namespace):
@@ -155,10 +147,11 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         print(f"[bug finder] {report.crash.failure}")
         print(f"[bug finder] history of {len(report.history)} events")
     tracer = _open_tracer(args)
+    policy = _engine_policy(args)
     try:
         diagnosis = api.diagnose(bug, report=report, vm_count=args.vms,
-                                 snapshots=not args.no_snapshot,
-                                 wave_jobs=args.parallel_waves,
+                                 snapshots=policy.use_snapshots,
+                                 wave_jobs=policy.wave_jobs,
                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -168,12 +161,13 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     tracer = _open_tracer(args)
+    policy = _engine_policy(args)
     try:
         evaluation = api.evaluate(args.bug_ids or None,
                                   pipeline=args.pipeline, jobs=args.jobs,
                                   timeout_s=args.timeout,
-                                  snapshots=not args.no_snapshot,
-                                  wave_jobs=args.parallel_waves,
+                                  snapshots=policy.use_snapshots,
+                                  wave_jobs=policy.wave_jobs,
                                   tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -231,7 +225,8 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     store = ResultStore(args.store) if args.store else None
     service = TriageService(jobs=args.jobs, store=store,
                             timeout_s=args.timeout,
-                            wave_jobs=args.parallel_waves, tracer=tracer)
+                            wave_jobs=_engine_policy(args).wave_jobs,
+                            tracer=tracer)
     try:
         summary = api.triage(sources, pipeline=args.pipeline,
                              service=service)

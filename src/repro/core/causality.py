@@ -41,13 +41,13 @@ from repro.core.chain import CausalityChain, build_chain
 from repro.core.lifs import FailureMatcher, LifsResult
 from repro.core.races import DataRace, EndpointKey
 from repro.core.schedule import OrderConstraint, Schedule
-from repro.hypervisor.controller import (ContinuationCache, RunResult,
-                                         ScheduleController)
-from repro.hypervisor.snapshot import boot_checkpoint
-from repro.hypervisor.waves import WaveExecutor, WaveJob, emit_run_counters
+from repro.hypervisor.controller import RunResult
 from repro.kernel.instructions import Op
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
+
+from repro.engine import (CA_COUNTER_NAMES, EnginePolicy, RunPlan,
+                          RunRequest, ScheduleExecutionEngine)
 
 
 @dataclass(frozen=True)
@@ -202,28 +202,16 @@ class CausalityAnalysis:
         self.target = target or FailureMatcher(
             kind=failure.kind, location=failure.instr_label)
         self.config = config or CaConfig()
-        # The boot machine doubles as the snapshot engine's vehicle: every
-        # flip restores the boot checkpoint in place instead of booting a
-        # fresh machine (kcov-instrumented machines opt out — resuming
-        # would skip the setup's coverage callbacks).
-        machine = machine_factory()
-        self.image = machine.image
-        self._machine: Optional[KernelMachine] = None
-        self._boot_checkpoint = None
-        self._continuations: Optional[ContinuationCache] = None
-        if self.config.use_snapshots and machine.coverage_cb is None \
-                and not machine.halted:
-            self._machine = machine
-            self._boot_checkpoint = boot_checkpoint(machine)
-            self._continuations = ContinuationCache(
-                self.config.max_continuations)
-        # Parallel flip waves: coverage callbacks must fire in this
-        # process, so an instrumented machine pins execution inline.
-        self._waves: Optional[WaveExecutor] = None
-        if self.config.wave_jobs > 1 and machine.coverage_cb is None:
-            self._waves = WaveExecutor(
-                jobs=self.config.wave_jobs,
-                machine_factory=machine_factory, tracer=self.tracer)
+        # All execution placement (snapshot resume/splice, parallel waves,
+        # coverage pinning) lives in the engine.  CA needs a booted image
+        # up front anyway, so the engine primes eagerly: the boot machine
+        # doubles as the snapshot vehicle, and a kcov-instrumented boot
+        # pins every flip inline (resuming would skip the setup's coverage
+        # callbacks; a child's callbacks would fire in the wrong process).
+        self.engine = ScheduleExecutionEngine(
+            machine_factory, EnginePolicy.for_ca(self.config),
+            tracer=self.tracer)
+        self.image = self.engine.prime().image
         self.stats = CaStats()
         self._start_order = self.failure_run.schedule.start_order
 
@@ -411,92 +399,43 @@ class CausalityAnalysis:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _execute_flip(self, constraints: List[OrderConstraint],
-                      note: str, stage: str = "ca") -> RunResult:
-        schedule = Schedule(start_order=self._start_order,
-                            constraints=constraints, note=note)
-        with self.tracer.span("ca.flip", stage=stage, note=note,
-                              constraints=len(constraints)) as span:
-            if self._boot_checkpoint is not None:
-                machine = self._machine
-                session = self._continuations.session()
-                controller = ScheduleController(
-                    machine, schedule, watch_races=False,
-                    tracer=self.tracer, resume_from=self._boot_checkpoint,
-                    splice_probe=session.probe)
-            else:
-                machine = self.machine_factory()
-                session = None
-                controller = ScheduleController(machine, schedule,
-                                                watch_races=False,
-                                                tracer=self.tracer)
-            run = controller.run()
-            if session is not None:
-                session.donate(run)
-            span.set(failed=run.failed, steps=run.steps)
-        self.stats.schedules_executed += 1
-        self.stats.total_steps += run.steps
-        spliced = controller.spliced_steps
-        if self._boot_checkpoint is not None:
-            self.stats.snapshot_hits += 1
-            self.stats.saved_steps += machine.setup_steps + spliced
-            self.stats.interpreted_steps += run.steps - spliced
-        else:
-            self.stats.snapshot_misses += 1
-            self.stats.interpreted_steps += run.steps + machine.setup_steps
-        if spliced:
-            self.stats.snapshot_splices += 1
-            self.stats.snapshot_spliced_steps += spliced
-        if run.failed:
-            # A failing diagnosis run requires a VM reboot (the dominant
-            # cost of the diagnosing stage per section 5.1).
-            self.stats.reboots += 1
-        return run
-
     def _execute_flips(
         self, requests: List[Tuple[List[OrderConstraint], str, str]],
+        phase: str = "ca.flips",
     ) -> List[RunResult]:
-        """Execute a batch of independent flip tests; results come back in
-        submission order.
+        """Execute a batch of independent flip tests through the engine;
+        results come back in submission order.
 
-        ``requests`` is ``[(constraints, note, stage), ...]``.  Without a
-        parallel executor this is exactly the sequential loop over
-        :meth:`_execute_flip`.  With one, the batch fans out to child
-        processes (every job resuming from the boot checkpoint, or booting
-        fresh when the engine is off) and the parent replays each
-        outcome's tracing and accounting at merge time — the same
-        ``ca.flip`` spans, ``hv.*`` counters and stats a sequential pass
-        would have produced, minus suffix splicing (children execute
-        independently, so ``ca.snapshot_splices`` stays 0 under waves).
+        ``requests`` is ``[(constraints, note, stage), ...]``.  The whole
+        batch is one :class:`RunPlan`: the engine runs it sequentially
+        (snapshot-resumed on its vehicle, or fresh boots when the policy
+        says so) or fans it out as one parallel wave — flip constraints
+        depend only on the failure run's static structure, never on other
+        flips' results, so either placement yields the same runs.  CA
+        replays each outcome's ``ca.flip`` span and its own stats at
+        merge time; suffix splicing happens only in sequential placement
+        (wave children execute independently), which changes accounting,
+        never bits.
         """
-        if (self._waves is None or len(requests) < 2
-                or not self._waves.parallel):
-            return [self._execute_flip(c, note=n, stage=s)
-                    for c, n, s in requests]
-        wave = [WaveJob(schedule=Schedule(start_order=self._start_order,
-                                          constraints=c, note=n),
-                        resume_from=self._boot_checkpoint,
+        plan = RunPlan(
+            [RunRequest(schedule=Schedule(start_order=self._start_order,
+                                          constraints=constraints,
+                                          note=note),
                         watch_races=False)
-                for c, n, _ in requests]
-        outcomes = self._waves.run_wave(wave, machine=self._machine)
+             for constraints, note, _ in requests],
+            phase=phase)
         runs: List[RunResult] = []
-        for (constraints, note, stage), outcome in zip(requests, outcomes):
+        for (constraints, note, stage), outcome in zip(
+                requests, self.engine.run_plan(plan)):
             run = outcome.run
             with self.tracer.span("ca.flip", stage=stage, note=note,
                                   constraints=len(constraints)) as span:
                 span.set(failed=run.failed, steps=run.steps)
-            emit_run_counters(self.tracer, run)
             self.stats.schedules_executed += 1
             self.stats.total_steps += run.steps
-            if outcome.resumed:
-                self.stats.snapshot_hits += 1
-                self.stats.saved_steps += outcome.setup_steps
-                self.stats.interpreted_steps += run.steps
-            else:
-                self.stats.snapshot_misses += 1
-                self.stats.interpreted_steps += (run.steps
-                                                 + outcome.setup_steps)
             if run.failed:
+                # A failing diagnosis run requires a VM reboot (the
+                # dominant cost of the diagnosing stage per section 5.1).
                 self.stats.reboots += 1
             runs.append(run)
         return runs
@@ -517,10 +456,22 @@ class CausalityAnalysis:
                               units=len(self.units)) as span:
             started = time.perf_counter()
             result = self._analyze()
+            self._absorb_engine_stats()
             self.stats.elapsed_seconds = time.perf_counter() - started
             result.stats = self.stats
             self._trace_outcome(span, result)
         return result
+
+    def _absorb_engine_stats(self) -> None:
+        """Copy the engine's placement accounting into :class:`CaStats`
+        so results keep their historical shape."""
+        engine_stats = self.engine.stats
+        self.stats.snapshot_hits = engine_stats.snapshot_hits
+        self.stats.snapshot_misses = engine_stats.snapshot_misses
+        self.stats.saved_steps = engine_stats.saved_steps
+        self.stats.interpreted_steps = engine_stats.interpreted_steps
+        self.stats.snapshot_splices = engine_stats.splices
+        self.stats.snapshot_spliced_steps = engine_stats.spliced_steps
 
     def _trace_outcome(self, span, result: CausalityResult) -> None:
         """Publish the analysis accounting as counters + span attrs."""
@@ -534,14 +485,7 @@ class CausalityAnalysis:
         self.tracer.count("ca.benign_units", len(result.benign_units))
         self.tracer.count("ca.benign_races", result.benign_race_count)
         self.tracer.count("ca.ambiguous_units", len(result.ambiguous_uids))
-        self.tracer.count("ca.interpreted_steps",
-                          self.stats.interpreted_steps)
-        self.tracer.count("ca.snapshot_hits", self.stats.snapshot_hits)
-        self.tracer.count("ca.snapshot_misses", self.stats.snapshot_misses)
-        self.tracer.count("ca.snapshot_saved_steps", self.stats.saved_steps)
-        self.tracer.count("ca.snapshot_splices", self.stats.snapshot_splices)
-        self.tracer.count("ca.snapshot_spliced_steps",
-                          self.stats.snapshot_spliced_steps)
+        self.engine.emit_counters(CA_COUNTER_NAMES)
         span.set(schedules=self.stats.schedules_executed,
                  flips=len(result.tests),
                  reboots=self.stats.reboots,
@@ -579,7 +523,8 @@ class CausalityAnalysis:
             step += 1
             plan.append((step, unit, constraints))
         flip_runs = self._execute_flips(
-            [(c, f"flip {u}", "ca") for _, u, c in plan])
+            [(c, f"flip {u}", "ca") for _, u, c in plan],
+            phase="ca.identify")
         for (test_step, unit, constraints), run in zip(plan, flip_runs):
             runs[unit.uid] = (run, frozenset({unit.uid}))
             failed = self.target.matches(run.failure)
@@ -618,7 +563,8 @@ class CausalityAnalysis:
             nested_plan.append((step, unit, frozenset(flipped), constraints))
         nested_runs = self._execute_flips(
             [(c, f"flip {u} (+nested)", "ca")
-             for _, u, _, c in nested_plan])
+             for _, u, _, c in nested_plan],
+            phase="ca.nested")
         for (test_step, unit, flipped, constraints), run in zip(nested_plan,
                                                                 nested_runs):
             runs[unit.uid] = (run, flipped)
@@ -659,7 +605,8 @@ class CausalityAnalysis:
                     if constraints is not None:
                         recheck_plan.append((unit, flipped, constraints))
             recheck_runs = self._execute_flips(
-                [(c, f"chain {u}", "chain") for u, _, c in recheck_plan])
+                [(c, f"chain {u}", "chain") for u, _, c in recheck_plan],
+                phase="ca.recheck")
             for (unit, flipped, _), run in zip(recheck_plan, recheck_runs):
                 runs[unit.uid] = (run, flipped)
             for unit in root:

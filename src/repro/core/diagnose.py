@@ -37,7 +37,6 @@ from repro.core.lifs import (
     LifsResult,
 )
 from repro.hypervisor.manager import DEFAULT_VM_COUNT
-from repro.kernel.failures import CrashReport
 from repro.observe.tracer import as_tracer
 
 

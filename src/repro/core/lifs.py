@@ -37,14 +37,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.races import RaceSet, find_data_races
 from repro.core.schedule import Preemption, Schedule
-from repro.hypervisor.controller import (ContinuationCache, RunResult,
-                                         ScheduleController, SpliceSession)
-from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
-from repro.hypervisor.waves import (WaveExecutor, WaveJob, WaveOutcome,
-                                    emit_run_counters)
+from repro.hypervisor.controller import RunResult, ScheduleController
+from repro.hypervisor.snapshot import RunCheckpoint
 from repro.kernel.failures import Failure, FailureKind
 from repro.kernel.machine import KernelMachine
 from repro.observe.tracer import as_tracer
+
+from repro.engine import (LIFS_COUNTER_NAMES, EnginePolicy, RunPlan,
+                          RunRequest, ScheduleExecutionEngine)
 
 
 @dataclass(frozen=True)
@@ -145,9 +145,9 @@ class SearchStats:
     #: ``total_steps`` itself keeps whole-run semantics either way.
     interpreted_steps: int = 0
     #: Runs whose suffix was grafted from a memoized continuation after
-    #: state convergence (see
-    #: :class:`repro.hypervisor.controller.ContinuationCache`), and the
-    #: steps those grafts covered without interpretation.
+    #: state convergence (the engine's continuation cache; see
+    #: docs/PERFORMANCE.md), and the steps those grafts covered without
+    #: interpretation.
     snapshot_splices: int = 0
     snapshot_spliced_steps: int = 0
 
@@ -279,26 +279,12 @@ class LeastInterleavingFirstSearch:
         self._tried_schedules: Set[Tuple] = set()
         self._run_summaries: List[RunSummary] = []
         self._kept_runs: List[RunResult] = []
-        # Prefix-checkpoint engine state: one vehicle machine restored in
-        # place for every resumed run, and the boot checkpoint that replaces
-        # per-schedule reboots.
-        self._snapshots_on = bool(self.config.use_snapshots)
-        self._machine: Optional[KernelMachine] = None
-        self._boot_checkpoint: Optional[RunCheckpoint] = None
-        self._continuations = ContinuationCache(
-            self.config.max_continuations)
-        # Parallel wave state: the executor (None at wave_jobs=1, keeping
-        # the sequential code path literally unchanged), whether a
-        # coverage-instrumented machine pins execution to the parent, and
-        # the current round's speculatively computed outcomes keyed by
-        # schedule key.
-        self._waves: Optional[WaveExecutor] = None
-        if self.config.wave_jobs > 1:
-            self._waves = WaveExecutor(
-                jobs=self.config.wave_jobs,
-                machine_factory=machine_factory, tracer=self.tracer)
-        self._coverage_seen = False
-        self._round_wave: Dict[Tuple, WaveOutcome] = {}
+        # All execution placement (snapshot resume/splice, parallel waves,
+        # coverage pinning, speculation dedup) lives in the engine; the
+        # search only decides *which* schedules to run and in what order.
+        self.engine = ScheduleExecutionEngine(
+            machine_factory, EnginePolicy.for_lifs(self.config),
+            tracer=self.tracer)
 
     # ------------------------------------------------------------------
     def search(self) -> LifsResult:
@@ -306,15 +292,27 @@ class LeastInterleavingFirstSearch:
                               threads=len(self.initial_threads)) as span:
             started = time.perf_counter()
             result = self._search()
-            if self._round_wave:
-                # Early exit (reproduction, budget) left speculative wave
-                # results unconsumed; they are discarded, never merged, so
-                # the diagnosis stays identical to a sequential search.
-                self.tracer.count("hv.wave.discarded", len(self._round_wave))
-                self._round_wave = {}
+            # Early exit (reproduction, budget) may leave speculative wave
+            # results unconsumed; they are discarded, never merged, so the
+            # diagnosis stays identical to a sequential search.
+            self.engine.discard_speculation()
+            self._absorb_engine_stats()
             self.stats.elapsed_seconds = time.perf_counter() - started
             self._trace_outcome(span, result)
         return result
+
+    def _absorb_engine_stats(self) -> None:
+        """Copy the engine's execution accounting into the search stats
+        (the engine serves exactly this search, so the copy is total)."""
+        engine_stats = self.engine.stats
+        self.stats.snapshot_hits = engine_stats.snapshot_hits
+        self.stats.snapshot_misses = engine_stats.snapshot_misses
+        self.stats.snapshot_checkpoints = engine_stats.checkpoints_captured
+        self.stats.resumed_steps = engine_stats.resumed_steps
+        self.stats.saved_steps = engine_stats.saved_steps
+        self.stats.interpreted_steps = engine_stats.interpreted_steps
+        self.stats.snapshot_splices = engine_stats.splices
+        self.stats.snapshot_spliced_steps = engine_stats.spliced_steps
 
     def _trace_outcome(self, span, result: LifsResult) -> None:
         """Publish the search accounting: per-depth points, aggregate
@@ -334,16 +332,8 @@ class LeastInterleavingFirstSearch:
         self.tracer.count("lifs.pruned", stats.candidates_pruned)
         self.tracer.count("lifs.equivalent", stats.equivalent_runs)
         self.tracer.count("lifs.failing_runs", stats.failing_runs)
-        self.tracer.count("lifs.interpreted_steps", stats.interpreted_steps)
         self.tracer.count("lifs.searches")
-        self.tracer.count("snapshot.hits", stats.snapshot_hits)
-        self.tracer.count("snapshot.misses", stats.snapshot_misses)
-        self.tracer.count("snapshot.captured", stats.snapshot_checkpoints)
-        self.tracer.count("snapshot.resumed_steps", stats.resumed_steps)
-        self.tracer.count("snapshot.saved_steps", stats.saved_steps)
-        self.tracer.count("snapshot.splices", stats.snapshot_splices)
-        self.tracer.count("snapshot.spliced_steps",
-                          stats.snapshot_spliced_steps)
+        self.engine.emit_counters(LIFS_COUNTER_NAMES)
         span.set(reproduced=result.reproduced,
                  schedules=stats.schedules_executed,
                  pruned=stats.candidates_pruned,
@@ -412,7 +402,7 @@ class LeastInterleavingFirstSearch:
         (generated in ascending divergence order) then resume from just
         before their own divergence point instead of an early, coarse
         checkpoint."""
-        if not self._snapshots_on or not schedule.preemptions:
+        if not self.engine.snapshots_active or not schedule.preemptions:
             return
         new_preemption = schedule.preemptions[-1]
         for ckpt in checkpoints:
@@ -435,7 +425,7 @@ class LeastInterleavingFirstSearch:
         checkpoints up to the point where ``run`` diverged (its new
         preemption's fire seq) plus the checkpoints ``run`` captured
         itself, deduplicated by horizon."""
-        if not self._snapshots_on:
+        if not self.engine.snapshots_active:
             return []
         new_preemption = schedule.preemptions[-1]
         fire_seq = None
@@ -457,149 +447,58 @@ class LeastInterleavingFirstSearch:
     # ------------------------------------------------------------------
     def _speculate_round(self, frontier) -> None:
         """Speculatively execute this round's frontier extensions as one
-        parallel wave.
+        parallel wave through the engine.
 
         Candidates are generated with the knowledge available at *round
         start* — staler than what the authoritative sequential pass will
         hold when it reaches later bases, and conflict knowledge only
         grows, so staler knowledge prunes **more**: the speculative set is
         always a subset of the authoritative one.  The sequential pass
-        stays the single source of truth — it consumes matching wave
-        outcomes by schedule key (:meth:`_execute`) and runs anything the
-        speculation missed inline, so results are bit-identical to a
-        sequential search.  Candidate generation here works on *copies*
-        of the dedup set and skips stats, leaving the authoritative pass
-        to account for every candidate exactly as ``wave_jobs=1`` would.
+        stays the single source of truth — the engine answers matching
+        requests from its speculation memo by schedule key and runs
+        anything the speculation missed inline, so results are
+        bit-identical to a sequential search.  Candidate generation here
+        works on *copies* of the dedup set and skips stats, leaving the
+        authoritative pass to account for every candidate exactly as
+        ``wave_jobs=1`` would.
         """
-        self._round_wave = {}
-        if (self._waves is None or not self._waves.parallel
-                or self._coverage_seen):
+        if not self.engine.wave_ready():
             return
         budget = self.config.max_schedules - self.stats.schedules_executed
         if budget <= 0:
             return
         tried = set(self._tried_schedules)
-        jobs: List[WaveJob] = []
-        keys: List[Tuple] = []
+        requests: List[RunRequest] = []
         for base, base_ckpts in frontier:
             horizons = [c.horizon_seq for c in base_ckpts]
             for schedule, div_seq in self._extensions(
                     base, tried=tried, count_stats=False):
-                if len(jobs) >= budget:
+                if len(requests) >= budget:
                     break
-                resume = None
-                if self._snapshots_on:
-                    i = bisect.bisect_left(horizons, div_seq)
-                    resume = (base_ckpts[i - 1] if i
-                              else self._boot_checkpoint)
-                jobs.append(WaveJob(schedule=schedule, resume_from=resume,
-                                    checkpoint_policy=self._policy()))
-                keys.append(self._schedule_key(schedule))
-            if len(jobs) >= budget:
+                i = bisect.bisect_left(horizons, div_seq)
+                requests.append(RunRequest(
+                    schedule=schedule,
+                    resume_from=base_ckpts[i - 1] if i else None,
+                    capture_checkpoints=True))
+            if len(requests) >= budget:
                 break
-        if len(jobs) < 2:
-            return
-        outcomes = self._waves.run_wave(jobs, machine=self._machine)
-        self._round_wave = dict(zip(keys, outcomes))
+        self.engine.speculate(RunPlan(requests, phase="lifs.speculate"))
 
     def _execute(
         self, schedule: Schedule, round_index: int,
         resume_from: Optional[RunCheckpoint] = None,
     ) -> Tuple[Optional[RunResult], bool, List[RunCheckpoint]]:
-        """Run one schedule, resuming from a checkpoint when the engine is
-        on.  Returns ``(run, is_equivalent, checkpoints)``; ``run`` is
-        ``None`` when the schedule budget is exhausted."""
+        """Run one schedule through the engine.  Returns
+        ``(run, is_equivalent, checkpoints)``; ``run`` is ``None`` when
+        the schedule budget is exhausted."""
         if self.stats.schedules_executed >= self.config.max_schedules:
             return None, False, []
-        if self._round_wave:
-            outcome = self._round_wave.pop(self._schedule_key(schedule),
-                                           None)
-            if outcome is not None:
-                return self._consume_wave_outcome(schedule, round_index,
-                                                  outcome)
-        resume = resume_from if self._snapshots_on else None
-        if resume is None and self._snapshots_on:
-            # No prefix checkpoint applies (serial orders, or a first-round
-            # extension whose divergence precedes every capture): resume
-            # from boot instead of rebooting.
-            resume = self._boot_checkpoint
-        session: Optional[SpliceSession] = None
-        if resume is not None:
-            machine = self._machine
-            session = self._continuations.session()
-            controller = ScheduleController(
-                machine, schedule, tracer=self.tracer,
-                resume_from=resume, checkpoint_policy=self._policy(),
-                splice_probe=session.probe)
-        else:
-            machine = self.machine_factory()
-            if machine.coverage_cb is not None:
-                # kcov-instrumented machines must interpret every
-                # instruction: resuming would skip the prefix's coverage
-                # callbacks, and a wave child's callbacks would fire in
-                # the wrong process.  Run the whole search snapshot-free
-                # and wave-free.
-                self._snapshots_on = False
-                self._coverage_seen = True
-            if self._snapshots_on:
-                session = self._continuations.session()
-            controller = ScheduleController(
-                machine, schedule, tracer=self.tracer,
-                checkpoint_policy=self._policy(),
-                splice_probe=session.probe if session else None)
-            if self._snapshots_on:
-                self._machine = machine
-        run = controller.run()
-        if session is not None:
-            session.donate(run)
-        self.stats.schedules_executed += 1
-        self.stats.total_steps += run.steps
-        prefix_steps = resume.steps if resume is not None else 0
-        spliced_steps = controller.spliced_steps
-        suffix_steps = run.steps - prefix_steps - spliced_steps
-        if resume is not None:
-            self.stats.snapshot_hits += 1
-            self.stats.resumed_steps += suffix_steps
-            self.stats.saved_steps += (prefix_steps + machine.setup_steps
-                                       + spliced_steps)
-            self.stats.interpreted_steps += suffix_steps
-        else:
-            self.stats.snapshot_misses += 1
-            self.stats.interpreted_steps += run.steps + machine.setup_steps
-        if spliced_steps:
-            self.stats.snapshot_splices += 1
-            self.stats.snapshot_spliced_steps += spliced_steps
-        self.stats.snapshot_checkpoints += len(controller.checkpoints)
-        if self._snapshots_on and self._boot_checkpoint is None:
-            for ckpt in controller.checkpoints:
-                if ckpt.steps == 0 and not ckpt.fired:
-                    self._boot_checkpoint = ckpt
-                    break
-        duplicate = self._account_run(schedule, run, round_index)
-        return run, duplicate, controller.checkpoints
-
-    def _consume_wave_outcome(
-        self, schedule: Schedule, round_index: int, outcome: WaveOutcome,
-    ) -> Tuple[Optional[RunResult], bool, List[RunCheckpoint]]:
-        """Merge a speculatively executed wave outcome as if the schedule
-        had just run here: identical stats, knowledge, dedup and summary
-        bookkeeping, plus the per-run ``hv.*`` counters the untraced child
-        could not emit."""
+        outcome = self.engine.run(RunRequest(
+            schedule=schedule, resume_from=resume_from,
+            capture_checkpoints=True))
         run = outcome.run
         self.stats.schedules_executed += 1
         self.stats.total_steps += run.steps
-        if outcome.resumed:
-            suffix_steps = run.steps - outcome.prefix_steps
-            self.stats.snapshot_hits += 1
-            self.stats.resumed_steps += suffix_steps
-            self.stats.saved_steps += (outcome.prefix_steps
-                                       + outcome.setup_steps)
-            self.stats.interpreted_steps += suffix_steps
-        else:
-            self.stats.snapshot_misses += 1
-            self.stats.interpreted_steps += run.steps + outcome.setup_steps
-        self.stats.snapshot_checkpoints += len(outcome.checkpoints)
-        emit_run_counters(self.tracer, run)
         duplicate = self._account_run(schedule, run, round_index)
         return run, duplicate, list(outcome.checkpoints)
 
@@ -628,13 +527,6 @@ class LeastInterleavingFirstSearch:
             if self.config.keep_full_runs:
                 self._kept_runs.append(run)
         return duplicate
-
-    def _policy(self) -> Optional[CheckpointPolicy]:
-        if not self._snapshots_on:
-            return None
-        return CheckpointPolicy(
-            interval=self.config.snapshot_interval,
-            max_checkpoints=self.config.max_checkpoints_per_run)
 
     def _replay(self, schedule: Schedule) -> RunResult:
         """Deterministically rematerialize a retained run (fresh boot, no
@@ -704,19 +596,11 @@ class LeastInterleavingFirstSearch:
                     start_order=base.schedule.start_order,
                     preemptions=list(base.schedule.preemptions) + [preemption],
                     note=f"lifs depth {len(base.schedule.preemptions) + 1}")
-                key = self._schedule_key(schedule)
+                key = schedule.key()
                 if key in seen:
                     continue
                 seen.add(key)
                 yield schedule, entry.seq
-
-    @staticmethod
-    def _schedule_key(schedule: Schedule) -> Tuple:
-        return (
-            schedule.start_order,
-            tuple((p.thread, p.instr_addr, p.occurrence, p.switch_to)
-                  for p in schedule.preemptions),
-        )
 
     # ------------------------------------------------------------------
     def _success(self, run: RunResult) -> LifsResult:

@@ -84,6 +84,20 @@ class Schedule:
     #: Free-form origin note ("lifs round 2", "flip A6=>B12"), for reports.
     note: str = ""
 
+    def key(self) -> Tuple:
+        """Canonical identity of this schedule: start order, preemption
+        points and constraint order — everything that affects execution,
+        nothing that doesn't (notes and display labels are excluded).
+        Two schedules with equal keys enforce the same interleaving, so
+        this is what dedup maps (the LIFS tried-set, the engine's
+        speculation memo) key on."""
+        return (
+            tuple(self.start_order),
+            tuple((p.thread, p.instr_addr, p.occurrence, p.switch_to)
+                  for p in self.preemptions),
+            tuple(c.key for c in self.constraints),
+        )
+
     def describe(self) -> str:
         parts = [f"start={'>'.join(self.start_order)}"]
         parts.extend(str(p) for p in self.preemptions)

@@ -1,0 +1,44 @@
+"""repro.engine — the unified schedule-execution engine.
+
+One run service between "algorithm wants runs" and "hypervisor
+interprets instructions".  LIFS and Causality Analysis emit
+:class:`RunRequest`/:class:`RunPlan` values and consume
+:class:`RunOutcome`\\ s; the :class:`ScheduleExecutionEngine` decides
+*where* and *how* each schedule executes — inline fresh boots, snapshot
+resume/splice on a vehicle machine, or parallel waves across child
+processes — under one :class:`EnginePolicy` resolved from algorithm
+configs, api keywords and CLI flags.  See docs/ARCHITECTURE.md.
+
+* :mod:`repro.engine.protocol` — the request/plan/outcome vocabulary,
+  :class:`EnginePolicy` resolution and :class:`EngineStats`;
+* :mod:`repro.engine.backends` — the composable backends
+  (:class:`InlineBackend`, :class:`SnapshotBackend`,
+  :class:`WaveBackend`);
+* :mod:`repro.engine.engine` — the engine itself.
+"""
+
+from repro.engine.backends import InlineBackend, SnapshotBackend, WaveBackend
+from repro.engine.engine import ScheduleExecutionEngine
+from repro.engine.protocol import (
+    CA_COUNTER_NAMES,
+    LIFS_COUNTER_NAMES,
+    EnginePolicy,
+    EngineStats,
+    RunOutcome,
+    RunPlan,
+    RunRequest,
+)
+
+__all__ = [
+    "CA_COUNTER_NAMES",
+    "LIFS_COUNTER_NAMES",
+    "EnginePolicy",
+    "EngineStats",
+    "InlineBackend",
+    "RunOutcome",
+    "RunPlan",
+    "RunRequest",
+    "ScheduleExecutionEngine",
+    "SnapshotBackend",
+    "WaveBackend",
+]

@@ -1,0 +1,243 @@
+"""The schedule-execution engine: one run service for every algorithm.
+
+:class:`ScheduleExecutionEngine` owns everything between "algorithm
+wants runs" and "hypervisor interprets instructions": backend selection
+(inline / snapshot / wave) under one :class:`EnginePolicy`, coverage
+pinning, speculative-wave dedup keyed by :meth:`Schedule.key`, the
+unified snapshot accounting, and the single place that publishes the
+``snapshot.*`` / ``ca.snapshot_*`` / ``engine.*`` counters.
+
+Algorithms (LIFS, Causality Analysis, the VM pool) stay pure: they emit
+:class:`RunRequest`/:class:`RunPlan` values and consume
+:class:`RunOutcome`\\ s — no algorithm touches ``WaveExecutor``,
+``ContinuationCache`` or ``CheckpointPolicy`` directly.
+
+Invariants the engine maintains (and the equivalence tests assert):
+
+* **Bit identity** — for any request, every backend produces the same
+  ``RunResult`` bits; policies change placement and accounting only.
+* **Coverage pinning** — the first boot of a machine with a kcov
+  callback permanently demotes snapshots *and* waves: coverage
+  callbacks must fire in this process, over every instruction.
+* **Opt-in dedup** — the dedup map only ever holds outcomes from an
+  explicit :meth:`speculate` call and is cleared on the next one;
+  a plain :meth:`run`/:meth:`run_plan` never silently reuses an earlier
+  result (Causality Analysis deliberately re-executes identical
+  schedules when rechecking chain edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.hypervisor.waves import emit_run_counters
+from repro.observe.tracer import as_tracer
+
+from repro.engine.backends import InlineBackend, SnapshotBackend, WaveBackend
+from repro.engine.protocol import (EnginePolicy, EngineStats, RunOutcome,
+                                   RunPlan, RunRequest)
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from typing import Callable
+
+    from repro.kernel.machine import KernelMachine
+
+
+class ScheduleExecutionEngine:
+    """Execute schedules on behalf of one algorithm instance.
+
+    An engine is built per algorithm instance (one for a LIFS search,
+    one for a Causality Analysis) so its stats and continuation memo
+    describe exactly that consumer's work.
+    """
+
+    def __init__(self, machine_factory: "Callable[[], KernelMachine]",
+                 policy: Optional[EnginePolicy] = None,
+                 tracer=None) -> None:
+        self.machine_factory = machine_factory
+        self.policy = policy or EnginePolicy()
+        self.tracer = as_tracer(tracer)
+        self.stats = EngineStats()
+        self.inline_backend = InlineBackend(self)
+        self.snapshot_backend = SnapshotBackend(self)
+        self.wave_backend: Optional[WaveBackend] = None
+        if self.policy.wave_jobs > 1:
+            self.wave_backend = WaveBackend(self)
+        #: ``None`` until the first boot reveals whether the factory's
+        #: machines carry a coverage callback.
+        self._coverage: Optional[bool] = None
+        #: Speculation dedup map: ``Schedule.key() -> RunOutcome``.
+        self._memo: Dict[Tuple, RunOutcome] = {}
+
+    # -- machine knowledge ---------------------------------------------
+    @property
+    def snapshots_active(self) -> bool:
+        """Whether runs currently resume from checkpoints (policy said
+        so and no coverage machine has demoted the backend)."""
+        return self.snapshot_backend.active
+
+    def note_coverage(self, machine: "KernelMachine") -> None:
+        """Record what a boot revealed about the machine factory.
+
+        A coverage callback means every instruction must be interpreted
+        in this process: snapshots (prefix skipping) and waves (child
+        processes) are both permanently pinned off.
+        """
+        if self._coverage is None:
+            self._coverage = machine.coverage_cb is not None
+        if machine.coverage_cb is not None:
+            self.snapshot_backend.active = False
+
+    def prime(self) -> "KernelMachine":
+        """Eagerly boot one machine and, when the policy allows, adopt
+        it as the snapshot vehicle (the Causality Analysis pattern —
+        CA needs a booted image up front anyway).  Returns the machine;
+        a halted or coverage-instrumented boot demotes snapshots."""
+        machine = self.machine_factory()
+        self.note_coverage(machine)
+        snapshot = self.snapshot_backend
+        if snapshot.active and not machine.halted:
+            snapshot.adopt(machine)
+        else:
+            snapshot.active = False
+        return machine
+
+    def wave_ready(self, probe: bool = False) -> bool:
+        """Whether a plan would genuinely fan out to child processes.
+
+        With ``probe=True`` an unknown coverage status is resolved by
+        booting one machine; without it, unknown is treated as safe —
+        the first sequential run always boots (and checks) before any
+        wave is launched.
+        """
+        if self.wave_backend is None or not self.wave_backend.parallel:
+            return False
+        if self._coverage is None and probe:
+            self.note_coverage(self.machine_factory())
+        return not self._coverage
+
+    # -- execution ------------------------------------------------------
+    def run(self, request: RunRequest) -> RunOutcome:
+        """Execute one request (or answer it from the speculation memo)."""
+        if self._memo:
+            outcome = self._memo.pop(request.schedule.key(), None)
+            if outcome is not None:
+                outcome = replace(outcome, dedup_hit=True)
+                self.stats.dedup_hits += 1
+                # The child ran untraced; re-emit its per-run counters.
+                emit_run_counters(self.tracer, outcome.run)
+                self._account(outcome)
+                return outcome
+        if self.snapshot_backend.active:
+            outcome = self.snapshot_backend.run(request)
+        else:
+            outcome = self.inline_backend.run(request)
+        self._account(outcome)
+        return outcome
+
+    def run_plan(self, plan: RunPlan) -> List[RunOutcome]:
+        """Execute a batch; outcomes come back in submission order.
+
+        The batch fans out as one wave when a parallel wave backend is
+        available and the plan is wide enough; otherwise it is exactly
+        the sequential :meth:`run` loop.
+        """
+        self.stats.plans += 1
+        use_wave = len(plan.requests) >= 2 and self.wave_ready()
+        backend = (self.wave_backend.name if use_wave
+                   else (self.snapshot_backend.name
+                         if self.snapshot_backend.active
+                         else self.inline_backend.name))
+        self._trace_plan(plan, backend)
+        if not use_wave:
+            return [self.run(request) for request in plan.requests]
+        outcomes = self.wave_backend.run_plan(plan.requests)
+        for outcome in outcomes:
+            # Children run untraced; the parent re-emits each run's
+            # ``hv.*`` counters at merge time so sequential identities
+            # (``hv.runs == lifs.schedules + ca.schedules``) still hold.
+            emit_run_counters(self.tracer, outcome.run)
+            self._account(outcome)
+        return outcomes
+
+    def speculate(self, plan: RunPlan) -> None:
+        """Precompute a plan as one wave and stash the outcomes in the
+        dedup map for later :meth:`run` calls to consume by schedule key.
+
+        Any previous speculation is dropped first (uncounted — the
+        caller decides what "discarded" means via
+        :meth:`discard_speculation`).  Nothing is accounted here:
+        speculative work only enters the stats when it is consumed, so
+        an over-eager speculation can never perturb the diagnosis.
+        """
+        self._memo = {}
+        if len(plan.requests) < 2 or not self.wave_ready():
+            return
+        self.stats.plans += 1
+        self._trace_plan(plan, self.wave_backend.name)
+        outcomes = self.wave_backend.run_plan(plan.requests)
+        self._memo = {request.schedule.key(): outcome
+                      for request, outcome in zip(plan.requests, outcomes)}
+
+    def discard_speculation(self) -> int:
+        """Drop unconsumed speculative outcomes (early exit), counting
+        them as ``hv.wave.discarded``; returns how many were dropped."""
+        dropped = len(self._memo)
+        if dropped:
+            self.tracer.count("hv.wave.discarded", dropped)
+            self._memo = {}
+        return dropped
+
+    # -- accounting -----------------------------------------------------
+    def _account(self, outcome: RunOutcome) -> None:
+        """Fold one outcome into the engine stats.
+
+        One formula covers every backend: ``suffix = steps - prefix -
+        spliced`` is what the interpreter actually executed for a
+        resumed run; a fresh boot additionally interprets its setup.
+        """
+        stats = self.stats
+        stats.requests += 1
+        stats.backend_requests[outcome.backend] = (
+            stats.backend_requests.get(outcome.backend, 0) + 1)
+        suffix = (outcome.run.steps - outcome.prefix_steps
+                  - outcome.spliced_steps)
+        if outcome.resumed:
+            stats.snapshot_hits += 1
+            stats.resumed_steps += suffix
+            stats.saved_steps += (outcome.prefix_steps + outcome.setup_steps
+                                  + outcome.spliced_steps)
+            stats.interpreted_steps += suffix
+        else:
+            stats.snapshot_misses += 1
+            stats.interpreted_steps += (outcome.run.steps
+                                        + outcome.setup_steps)
+        if outcome.spliced_steps:
+            stats.splices += 1
+            stats.spliced_steps += outcome.spliced_steps
+        stats.checkpoints_captured += len(outcome.checkpoints)
+
+    def _trace_plan(self, plan: RunPlan, backend: str) -> None:
+        if self.tracer.enabled and plan.requests:
+            self.tracer.point("engine.plan", stage="engine",
+                              phase=plan.phase, backend=backend,
+                              requests=len(plan.requests))
+
+    def emit_counters(self, names: Mapping[str, str]) -> None:
+        """Publish the engine accounting as trace counters.
+
+        ``names`` maps :class:`EngineStats` field names to the counter
+        names the consumer's report section expects
+        (:data:`LIFS_COUNTER_NAMES` / :data:`CA_COUNTER_NAMES`); the
+        engine's own ``engine.*`` counters are always emitted alongside.
+        """
+        if not self.tracer.enabled:
+            return
+        for field_name, counter in names.items():
+            self.tracer.count(counter, getattr(self.stats, field_name))
+        self.tracer.count("engine.requests", self.stats.requests)
+        self.tracer.count("engine.plans", self.stats.plans)
+        self.tracer.count("engine.dedup_hits", self.stats.dedup_hits)
+        for backend, count in sorted(self.stats.backend_requests.items()):
+            self.tracer.count(f"engine.backend.{backend}", count)

@@ -8,20 +8,19 @@ By default execution is sequential and work is only *assigned* to VMs
 round-robin, exactly as the manager would, so per-VM accounting and the
 idealized parallel wall-clock estimate are meaningful.  With
 ``wave_jobs > 1`` a batch handed to :meth:`execute_all` additionally
-*runs* in parallel: the pool fans the batch out to child processes
-through :class:`~repro.hypervisor.waves.WaveExecutor` and merges the
-results in submission order, so the caller observes the same result
-sequence either way.
+*runs* in parallel: the pool hands the batch to a snapshot-free
+:class:`~repro.engine.ScheduleExecutionEngine` that fans it out to
+child processes and merges the results in submission order, so the
+caller observes the same result sequence either way.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.core.schedule import Schedule
 from repro.hypervisor.controller import RunResult
 from repro.hypervisor.vm import VirtualMachine, VmAccounting
-from repro.hypervisor.waves import WaveExecutor, WaveJob, emit_run_counters
 from repro.kernel.machine import KernelMachine
 
 DEFAULT_VM_COUNT = 32
@@ -42,14 +41,15 @@ class VmPool:
         self.vms = [VirtualMachine(i, machine_factory)
                     for i in range(vm_count)]
         self._next = 0
-        self._waves: Optional[WaveExecutor] = None
+        self._engine = None
         if wave_jobs > 1:
-            self._waves = WaveExecutor(jobs=wave_jobs,
-                                       machine_factory=machine_factory,
-                                       tracer=self.tracer)
-        #: Lazily probed: machines with a coverage callback must run in
-        #: the parent (the callback's effects would be lost in a child).
-        self._wave_safe: Optional[bool] = None
+            # Imported here: repro.hypervisor.__init__ loads this module
+            # before repro.hypervisor.waves, which the engine builds on.
+            from repro.engine import EnginePolicy, ScheduleExecutionEngine
+            self._engine = ScheduleExecutionEngine(
+                machine_factory,
+                EnginePolicy(use_snapshots=False, wave_jobs=wave_jobs),
+                tracer=self.tracer)
         #: Width of the widest batch that genuinely ran (or, sequentially,
         #: could have run) concurrently since :meth:`reset_accounting`.
         self.max_batch_width = 0
@@ -75,15 +75,15 @@ class VmPool:
         across the whole pool and inflating accounting beyond any width
         that actually ran concurrently.
 
-        With a parallel :class:`WaveExecutor` the batch is dispatched to
-        child processes; results come back in submission order and each
-        is recorded on its round-robin VM, so accounting matches the
+        With a parallel engine the batch is dispatched to child
+        processes; results come back in submission order and each is
+        recorded on its round-robin VM, so accounting matches the
         sequential path exactly.
         """
         self._next = 0
         width = min(len(schedules), len(self.vms))
         if self._use_waves(len(schedules)):
-            width = min(width, self._waves.jobs)
+            width = min(width, self._engine.policy.wave_jobs)
         self.max_batch_width = max(self.max_batch_width, width)
         if self.tracer.enabled and schedules:
             self.tracer.point("hv.vm_batch", stage="hv",
@@ -92,27 +92,24 @@ class VmPool:
             return [self.execute(s, watch_races=watch_races)
                     for s in schedules]
 
-        wave = [WaveJob(schedule=s, watch_races=watch_races)
-                for s in schedules]
-        outcomes = self._waves.run_wave(wave)
+        from repro.engine import RunPlan, RunRequest
+        plan = RunPlan([RunRequest(schedule=s, watch_races=watch_races)
+                        for s in schedules], phase="vm.batch")
         runs: List[RunResult] = []
-        for outcome in outcomes:
+        for outcome in self._engine.run_plan(plan):
             vm = self.vms[self._next]
             self._next = (self._next + 1) % len(self.vms)
             self.tracer.count("hv.vm_assignments")
             vm.record(outcome.run)
-            emit_run_counters(self.tracer, outcome.run)
             runs.append(outcome.run)
         return runs
 
     def _use_waves(self, batch_size: int) -> bool:
-        if self._waves is None or batch_size < 2 or not self._waves.parallel:
-            return False
-        if self._wave_safe is None:
-            # One probe boot: coverage callbacks live in the parent, so a
-            # coverage-instrumented machine pins the pool to inline runs.
-            self._wave_safe = self.machine_factory().coverage_cb is None
-        return self._wave_safe
+        # wave_ready(probe=True) boots one machine the first time to check
+        # for a coverage callback: coverage callbacks live in the parent,
+        # so a coverage-instrumented machine pins the pool to inline runs.
+        return (self._engine is not None and batch_size >= 2
+                and self._engine.wave_ready(probe=True))
 
     def reset_accounting(self) -> None:
         """Zero all per-VM accounting and restart assignment at VM 0 —

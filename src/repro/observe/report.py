@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.observe.events import (
     COUNTERS,
+    POINT,
     SPAN_END,
     TraceEvent,
     parse_line,
@@ -58,6 +59,21 @@ def summarize(events: Sequence[TraceEvent]) -> dict:
              if e.kind == SPAN_END and e.name == "ca.flip"]
     flips_failed = sum(1 for e in flips if e.attrs.get("failed"))
 
+    plans: Dict[str, dict] = {}
+    plan_order: List[str] = []
+    for event in events:
+        if event.kind != POINT or event.name != "engine.plan":
+            continue
+        phase = str(event.attrs.get("phase", "")) or "?"
+        if phase not in plans:
+            plans[phase] = {"plans": 0, "requests": 0, "backends": {}}
+            plan_order.append(phase)
+        bucket = plans[phase]
+        bucket["plans"] += 1
+        bucket["requests"] += int(event.attrs.get("requests", 0))
+        backend = str(event.attrs.get("backend", "?"))
+        bucket["backends"][backend] = bucket["backends"].get(backend, 0) + 1
+
     counters: Dict[str, int] = {}
     for event in events:
         if event.kind == COUNTERS:
@@ -73,6 +89,8 @@ def summarize(events: Sequence[TraceEvent]) -> dict:
         "lifs_depths": depths,
         "flips": len(flips),
         "flips_failed": flips_failed,
+        "engine_plans": plans,
+        "engine_plan_order": plan_order,
         "counters": counters,
     }
 
@@ -112,6 +130,24 @@ def render_trace_report(
         lines += ["", table.render()]
 
     counters = summary["counters"]
+    if counters.get("engine.requests"):
+        lines += ["", "execution engine: "
+                      f"{counters.get('engine.requests', 0)} requests over "
+                      f"{counters.get('engine.plans', 0)} plans, "
+                      f"{counters.get('engine.dedup_hits', 0)} dedup hits"]
+        backends = ", ".join(
+            f"{name.split('.', 2)[2]}={count}"
+            for name, count in sorted(counters.items())
+            if name.startswith("engine.backend."))
+        if backends:
+            lines += [f"  backends: {backends}"]
+        for phase in summary["engine_plan_order"]:
+            bucket = summary["engine_plans"][phase]
+            served = ", ".join(f"{backend} x{count}" for backend, count
+                               in sorted(bucket["backends"].items()))
+            lines += [f"  {phase}: {bucket['requests']} requests in "
+                      f"{bucket['plans']} plan(s) via {served}"]
+
     if counters.get("snapshot.hits") or counters.get("snapshot.misses"):
         hits = counters.get("snapshot.hits", 0)
         misses = counters.get("snapshot.misses", 0)

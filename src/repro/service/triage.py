@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.service.artifacts import (
     ArtifactParseError,
@@ -56,10 +56,13 @@ def _diagnose_job(payload: dict) -> dict:
         report = None
     else:
         raise ValueError(f"unknown triage mode {mode!r}")
-    wave_jobs = payload.get("wave_jobs", 1)
-    diagnosis = Aitia(bug, report=report,
-                      lifs_config=LifsConfig(wave_jobs=wave_jobs),
-                      ca_config=CaConfig(wave_jobs=wave_jobs)).diagnose()
+    from repro.engine import EnginePolicy
+
+    policy = EnginePolicy.resolve(wave_jobs=payload.get("wave_jobs"))
+    diagnosis = Aitia(
+        bug, report=report,
+        lifs_config=LifsConfig(wave_jobs=policy.wave_jobs),
+        ca_config=CaConfig(wave_jobs=policy.wave_jobs)).diagnose()
     row = summarize_diagnosis(bug, diagnosis)
     return {"bug_id": bug.bug_id, "mode": mode, "row": asdict(row)}
 
@@ -260,23 +263,3 @@ class TriageService:
             result.lifs_schedules = row.get("lifs_schedules", 0)
             result.ca_schedules = row.get("ca_schedules", 0)
         return result
-
-
-def triage_corpus(bugs: Optional[Sequence] = None, jobs: int = 1,
-                  store: Optional[ResultStore] = None,
-                  pipeline: bool = False,
-                  service: Optional[TriageService] = None) -> TriageSummary:
-    """Deprecated spelling of batch corpus triage.
-
-    Superseded by :func:`repro.api.triage`; kept as a working shim for
-    one release.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.service.triage.triage_corpus is deprecated; use "
-        "repro.api.triage", DeprecationWarning, stacklevel=2)
-    from repro.api import triage
-
-    return triage(bugs if bugs is not None else "corpus", jobs=jobs,
-                  store=store, pipeline=pipeline, service=service)

@@ -2,8 +2,6 @@
 claim to, and the diagnosis result must survive (or degrade exactly as
 documented)."""
 
-import pytest
-
 from repro.core.causality import CaConfig, CausalityAnalysis
 from repro.core.lifs import (
     FailureMatcher,

@@ -12,7 +12,7 @@ from repro.corpus import registry
 
 class TestVersion:
     def test_version_bumped(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_facade_reexported_at_top_level(self):
         assert repro.diagnose is api.diagnose
@@ -86,20 +86,19 @@ class TestTriageFacade:
         assert report.all_ok
 
 
-class TestDeprecationShims:
-    def test_triage_corpus_warns_and_works(self, tmp_path):
-        from repro.service.triage import triage_corpus
-        registry.load()
-        with pytest.warns(DeprecationWarning, match="repro.api.triage"):
-            summary = triage_corpus([registry.get_bug("SYZ-05")])
-        assert summary.all_ok
+class TestDeprecationShimsRemoved:
+    """The 1.x shims were dropped in 2.0: importing them must fail."""
 
-    def test_evaluate_bug_warns_and_works(self):
-        from repro.analysis.evaluation import evaluate_bug
-        bug = registry.get_bug("SYZ-05")
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            row = evaluate_bug(bug)
-        assert row.bug_id == "SYZ-05" and row.reproduced
+    def test_triage_corpus_gone(self):
+        with pytest.raises(ImportError):
+            from repro.service.triage import triage_corpus  # noqa: F401
+
+    def test_evaluate_bug_gone(self):
+        with pytest.raises(ImportError):
+            from repro.analysis.evaluation import evaluate_bug  # noqa: F401
+        import repro.analysis
+        assert "evaluate_bug" not in repro.analysis.__all__
+        assert not hasattr(repro.analysis, "evaluate_bug")
 
 
 class TestUnifiedCliFlags:
@@ -125,17 +124,14 @@ class TestUnifiedCliFlags:
         assert ev.timeout == tr.timeout == 300.0
         assert ev.trace is None and tr.trace is None
 
-    def test_deprecated_aliases_still_work(self, capsys):
+    def test_legacy_aliases_removed(self, capsys):
         parser = build_parser()
-        ev = parser.parse_args(["evaluate", "--workers", "4"])
-        assert ev.jobs == 4
-        tr = parser.parse_args(["triage", "--corpus", "--result-store",
-                                "s.jsonl", "--job-timeout", "9"])
-        assert tr.store == "s.jsonl" and tr.timeout == 9.0
-        notes = capsys.readouterr().err
-        assert "--workers is deprecated" in notes
-        assert "--result-store is deprecated" in notes
-        assert "--job-timeout is deprecated" in notes
+        for argv in (["evaluate", "--workers", "4"],
+                     ["triage", "--corpus", "--result-store", "s.jsonl"],
+                     ["triage", "--corpus", "--job-timeout", "9"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(argv)
+            assert "unrecognized arguments" in capsys.readouterr().err
 
     def test_aliases_hidden_from_help(self):
         import io

@@ -3,11 +3,8 @@
 from dataclasses import dataclass
 from typing import Tuple
 
-import pytest
-
 from repro.core.chain import (
     CausalityChain,
-    ChainNode,
     build_chain,
     _strongly_connected_components,
 )

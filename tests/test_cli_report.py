@@ -156,6 +156,49 @@ class TestTraceReport:
                        attrs={"lifs.schedules": 2})])
         assert "snapshot engine" not in out
 
+    def test_report_renders_engine_section(self):
+        from repro.observe.events import COUNTERS, POINT, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        events = [
+            TraceEvent(kind=POINT, name="engine.plan", ts=0.1,
+                       stage="engine", attrs={"phase": "ca.identify",
+                                              "backend": "snapshot",
+                                              "requests": 7}),
+            TraceEvent(kind=POINT, name="engine.plan", ts=0.2,
+                       stage="engine", attrs={"phase": "ca.recheck",
+                                              "backend": "wave",
+                                              "requests": 3}),
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.3, attrs={
+                "engine.requests": 10, "engine.plans": 2,
+                "engine.dedup_hits": 4, "engine.backend.snapshot": 7,
+                "engine.backend.wave": 3}),
+        ]
+        out = render_trace_report(events)
+        assert ("execution engine: 10 requests over 2 plans, "
+                "4 dedup hits") in out
+        assert "backends: snapshot=7, wave=3" in out
+        assert "ca.identify: 7 requests in 1 plan(s) via snapshot x1" in out
+        assert "ca.recheck: 3 requests in 1 plan(s) via wave x1" in out
+
+    def test_report_without_engine_counters_omits_section(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1,
+                       attrs={"lifs.schedules": 2})])
+        assert "execution engine" not in out
+
+    def test_engine_section_cli_end_to_end(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "SYZ-05", "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "execution engine:" in out
+        assert "backends:" in out
+
     def test_trace_report_cli_end_to_end(self, tmp_path, capsys):
         trace = str(tmp_path / "trace.jsonl")
         assert main(["diagnose", "SYZ-05", "--trace", trace]) == 0

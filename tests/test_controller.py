@@ -1,7 +1,5 @@
 """Unit tests for schedule enforcement (the hypervisor controller)."""
 
-import pytest
-
 from repro.core.schedule import OrderConstraint, Preemption, Schedule
 from repro.hypervisor.controller import (
     ScheduleController,

@@ -1,7 +1,5 @@
 """Unit tests for the corpus Bug infrastructure (spec.py)."""
 
-import pytest
-
 from repro.corpus.registry import get_bug
 from repro.corpus.spec import emit_stat_updates, salt_counters
 from repro.kernel.builder import FunctionBuilder

@@ -6,7 +6,6 @@ import pytest
 
 from repro import api
 from repro.analysis.evaluation import (
-    BugEvaluation,
     CorpusEvaluation,
     evaluate_corpus,
     summarize_diagnosis,

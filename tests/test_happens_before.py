@@ -9,11 +9,11 @@ from repro.core.happens_before import (
 )
 from repro.core.races import find_data_races
 from repro.hypervisor.controller import ScheduleController, serial_schedule
-from repro.core.schedule import Preemption, Schedule
+from repro.core.schedule import Schedule
 from repro.kernel.builder import ProgramBuilder
 from repro.kernel.machine import KernelMachine, ThreadSpec
 
-from helpers import fig2_image, fig2_machine
+from helpers import fig2_machine
 
 
 class TestVectorClock:

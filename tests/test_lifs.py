@@ -1,7 +1,5 @@
 """Tests for Least Interleaving First Search."""
 
-import pytest
-
 from repro.core.lifs import (
     FailureMatcher,
     LeastInterleavingFirstSearch,
@@ -11,7 +9,7 @@ from repro.kernel.builder import ProgramBuilder
 from repro.kernel.failures import Failure, FailureKind
 from repro.kernel.machine import KernelMachine, ThreadSpec
 
-from helpers import fig2_factory, fig2_machine
+from helpers import fig2_factory
 
 
 class TestFailureMatcher:

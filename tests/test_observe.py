@@ -19,7 +19,6 @@ from repro.observe.events import (
     POINT,
     SPAN_END,
     SPAN_START,
-    TraceEvent,
     parse_line,
 )
 from repro.observe.report import load_events, render_trace_report, summarize

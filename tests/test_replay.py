@@ -12,7 +12,7 @@ from repro.hypervisor.replay import (
 )
 from repro.kernel.machine import KernelMachine, ThreadSpec
 
-from helpers import fig2_image, fig2_machine
+from helpers import fig2_machine
 
 
 def _failing_run(bug_id="CVE-2017-2636"):

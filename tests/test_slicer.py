@@ -1,7 +1,5 @@
 """Tests for execution-history modeling and slicing."""
 
-import pytest
-
 from repro.kernel.threads import ThreadKind
 from repro.trace.events import KthreadInvocation, SyscallEvent
 from repro.trace.history import ExecutionHistory
