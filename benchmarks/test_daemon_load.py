@@ -1,0 +1,230 @@
+"""Intake-daemon load benchmark: warm-path latency and shed safety.
+
+Not a paper table — it measures what the ``repro serve`` subsystem
+promises: the *steady state of a triage daemon is duplicate traffic*,
+and duplicates must be answered from the hot tier without touching the
+pipeline.  Two phases against an in-process daemon (stub diagnoser, so
+nothing here pays for a real diagnosis):
+
+1. **warm path** — thousands of duplicate-heavy submissions from
+   concurrent keep-alive asyncio clients; asserts the server-side
+   cache-hit handling latency is sub-millisecond at the median.
+2. **backpressure** — floods a deliberately tiny bounded queue with
+   distinct signatures; sheds are explicit 429s and *every accepted
+   job completes exactly once* (shed requests never lose accepted
+   work), then the shed signatures resubmit cleanly once the queue
+   drains.
+
+Results land in ``benchmarks/output/bench_daemon.json`` plus a
+rendered table.
+"""
+
+import asyncio
+import functools
+import json
+import os
+import time
+
+from conftest import OUTPUT_DIR, emit
+
+from repro.analysis.tables import Table
+from repro.corpus.registry import all_bugs, get_bug, load
+from repro.daemon import (
+    DaemonClient,
+    DaemonConfig,
+    start_daemon,
+    stub_diagnose_job,
+)
+from repro.observe.export import parse_exposition
+from repro.service.artifacts import CrashArtifact
+from repro.trace.syzkaller import run_bug_finder
+
+CLIENTS = 8            #: concurrent keep-alive connections
+ROUNDS = 250           #: submissions per client (CLIENTS * ROUNDS total)
+UNIQUE = 4             #: distinct signatures the duplicates cycle over
+SHED_MAX_DEPTH = 6     #: bounded queue depth for the backpressure phase
+SHED_SUBMITS = 18      #: distinct signatures thrown at the tiny queue
+
+WARM_P50_BUDGET_S = 0.001  #: the acceptance bound: sub-ms warm median
+
+
+@functools.lru_cache(maxsize=None)
+def artifact_text(bug_id: str) -> str:
+    return CrashArtifact.from_report(run_bug_finder(get_bug(bug_id))).render()
+
+
+def quantile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def assert_reconciled(metrics):
+    """accepted == completed + shed + in-flight, at the two levels the
+    daemon promises (see docs/SERVICE.md)."""
+    shed = sum(v for k, v in metrics.items()
+               if k.startswith("aitia_daemon_shed_") and k.endswith("_total"))
+    assert metrics.get("aitia_daemon_submissions_total", 0) == (
+        metrics.get("aitia_daemon_accepted_total", 0)
+        - metrics.get("aitia_daemon_recovered_total", 0)
+        + metrics.get("aitia_daemon_deduped_total", 0)
+        + metrics.get("aitia_daemon_cache_hits_total", 0)
+        + metrics.get("aitia_daemon_rejected_total", 0)
+        + shed)
+    assert metrics.get("aitia_daemon_accepted_total", 0) == (
+        metrics.get("aitia_daemon_completed_total", 0)
+        + metrics.get("aitia_daemon_failed_total", 0)
+        + metrics.get("aitia_daemon_timed_out_total", 0)
+        + metrics.get("aitia_daemon_in_flight", 0))
+
+
+async def _warm_phase(tmp_path):
+    config = DaemonConfig(port=0, data_dir=str(tmp_path / "warm"),
+                          diagnoser=stub_diagnose_job,
+                          poll_interval_s=0.002)
+    daemon = await start_daemon(config)
+    texts = [artifact_text(f"SYZ-{n + 1:02d}") for n in range(UNIQUE)]
+    try:
+        # Seed: diagnose each unique signature once.
+        seed = DaemonClient("127.0.0.1", daemon.port)
+        for text in texts:
+            response = await seed.submit(text)
+            assert response.status == 202
+        deadline = time.monotonic() + 30
+        while daemon.metrics.count("completed") < UNIQUE:
+            assert time.monotonic() < deadline
+            await asyncio.sleep(0.01)
+        await seed.close()
+
+        async def flood(worker_id):
+            client = DaemonClient("127.0.0.1", daemon.port)
+            latencies = []
+            for i in range(ROUNDS):
+                text = texts[(worker_id + i) % UNIQUE]
+                started = time.perf_counter()
+                response = await client.submit(text)
+                latencies.append(time.perf_counter() - started)
+                assert response.status == 200
+                assert response.json()["status"] == "cache_hit"
+            await client.close()
+            return latencies
+
+        started = time.monotonic()
+        per_client = await asyncio.gather(
+            *(flood(i) for i in range(CLIENTS)))
+        wall_s = time.monotonic() - started
+
+        client_lat = [s for lats in per_client for s in lats]
+        warm_hist = daemon.metrics.histograms["warm_handle_seconds"]
+        scrape = DaemonClient("127.0.0.1", daemon.port)
+        metrics = parse_exposition(
+            (await scrape.request("GET", "/metrics")).text)
+        await scrape.close()
+        assert_reconciled(metrics)
+        assert metrics["aitia_daemon_cache_hits_total"] == CLIENTS * ROUNDS
+        assert metrics["aitia_daemon_cache_hits_hot_total"] >= (
+            CLIENTS * ROUNDS - UNIQUE)
+        return {
+            "submissions": CLIENTS * ROUNDS + UNIQUE,
+            "cache_hits": int(metrics["aitia_daemon_cache_hits_total"]),
+            "clients": CLIENTS,
+            "wall_s": round(wall_s, 3),
+            "throughput_rps": round(CLIENTS * ROUNDS / wall_s, 1),
+            "server_warm_p50_ms": round(warm_hist.quantile(0.50) * 1e3, 4),
+            "server_warm_p99_ms": round(warm_hist.quantile(0.99) * 1e3, 4),
+            "client_p50_ms": round(quantile(client_lat, 0.50) * 1e3, 4),
+            "client_p99_ms": round(quantile(client_lat, 0.99) * 1e3, 4),
+        }, warm_hist.quantile(0.50)
+    finally:
+        await daemon.stop()
+
+
+async def _shed_phase(tmp_path):
+    load()
+    config = DaemonConfig(port=0, data_dir=str(tmp_path / "shed"),
+                          diagnoser=stub_diagnose_job,
+                          poll_interval_s=0.002,
+                          max_depth=SHED_MAX_DEPTH, paused=True)
+    daemon = await start_daemon(config)
+    bug_ids = [b.bug_id for b in all_bugs()][:SHED_SUBMITS]
+    try:
+        client = DaemonClient("127.0.0.1", daemon.port)
+        accepted, shed = [], []
+        for bug_id in bug_ids:
+            response = await client.submit(artifact_text(bug_id))
+            if response.status == 202:
+                accepted.append((bug_id, response.json()["job_id"]))
+            else:
+                assert response.status == 429
+                assert response.json()["error"] == "queue_full"
+                shed.append(bug_id)
+        assert len(accepted) == SHED_MAX_DEPTH  # bound enforced exactly
+        assert len(shed) == SHED_SUBMITS - SHED_MAX_DEPTH
+
+        # Drain: every accepted job completes; nothing accepted is lost.
+        daemon.paused = False
+        for _, job_id in accepted:
+            job = await client.wait_for_job(job_id)
+            assert job["status"] == "succeeded"
+        assert len(daemon.store) == len(accepted)
+
+        # The shed signatures were refused loudly, not dropped silently:
+        # resubmitting them after the drain succeeds.
+        for bug_id in shed:
+            response = await client.submit(artifact_text(bug_id))
+            assert response.status == 202
+            job = await client.wait_for_job(response.json()["job_id"])
+            assert job["status"] == "succeeded"
+
+        metrics = parse_exposition(
+            (await client.request("GET", "/metrics")).text)
+        await client.close()
+        assert_reconciled(metrics)
+        assert metrics["aitia_daemon_accepted_total"] == SHED_SUBMITS
+        assert metrics["aitia_daemon_completed_total"] == SHED_SUBMITS
+        assert metrics["aitia_daemon_in_flight"] == 0
+        return {
+            "distinct_submissions": SHED_SUBMITS,
+            "max_depth": SHED_MAX_DEPTH,
+            "accepted_first_wave": len(accepted),
+            "shed_first_wave": len(shed),
+            "shed_responses_429": int(
+                metrics["aitia_daemon_shed_queue_full_total"]),
+            "completed_total": int(
+                metrics["aitia_daemon_completed_total"]),
+            "accepted_jobs_lost": 0,
+        }
+    finally:
+        await daemon.stop()
+
+
+def test_daemon_load(tmp_path):
+    warm, warm_p50_s = asyncio.run(_warm_phase(tmp_path))
+    shed = asyncio.run(_shed_phase(tmp_path))
+
+    # The acceptance bound: the warm path never touches the pipeline or
+    # the disk, so the server-side median must be sub-millisecond.
+    assert warm_p50_s < WARM_P50_BUDGET_S, (
+        f"warm-path p50 {warm_p50_s * 1e3:.3f}ms over the "
+        f"{WARM_P50_BUDGET_S * 1e3:.1f}ms budget")
+
+    table = Table(
+        f"repro serve under load — {CLIENTS} keep-alive clients, "
+        f"{CLIENTS * ROUNDS} duplicate submissions",
+        ["measure", "value"])
+    table.add_row("cache hits served", warm["cache_hits"])
+    table.add_row("throughput (req/s)", warm["throughput_rps"])
+    table.add_row("server warm p50 (ms)", f"{warm['server_warm_p50_ms']:.4f}")
+    table.add_row("server warm p99 (ms)", f"{warm['server_warm_p99_ms']:.4f}")
+    table.add_row("client rtt p50 (ms)", f"{warm['client_p50_ms']:.4f}")
+    table.add_row("client rtt p99 (ms)", f"{warm['client_p99_ms']:.4f}")
+    table.add_row("shed: accepted/shed of "
+                  f"{SHED_SUBMITS} (depth {SHED_MAX_DEPTH})",
+                  f"{shed['accepted_first_wave']}/"
+                  f"{shed['shed_first_wave']}")
+    table.add_row("shed: accepted jobs lost", shed["accepted_jobs_lost"])
+    emit("bench_daemon", table.render())
+
+    payload = {"warm_path": warm, "backpressure": shed,
+               "warm_p50_budget_ms": WARM_P50_BUDGET_S * 1e3}
+    with open(os.path.join(OUTPUT_DIR, "bench_daemon.json"), "w") as fh:
+        json.dump(payload, fh, indent=2)

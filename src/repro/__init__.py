@@ -31,11 +31,14 @@ Package map:
   benchmark harness;
 * :mod:`repro.observe`    — structured tracing: spans, counters, sinks,
   and the ``repro trace-report`` renderer;
+* :mod:`repro.daemon`     — the long-running triage intake daemon
+  behind ``repro serve`` (see ``docs/SERVICE.md``);
 * :mod:`repro.api`        — the facade: :func:`repro.api.diagnose`,
-  :func:`repro.api.evaluate`, :func:`repro.api.triage`.
+  :func:`repro.api.evaluate`, :func:`repro.api.triage`,
+  :func:`repro.api.serve`.
 """
 
-from repro.api import TriageReport, diagnose, evaluate, triage
+from repro.api import TriageReport, diagnose, evaluate, serve, triage
 from repro.core.causality import CausalityAnalysis
 from repro.core.chain import CausalityChain
 from repro.core.diagnose import Aitia, Diagnosis
@@ -72,6 +75,7 @@ __all__ = [
     "diagnose",
     "evaluate",
     "find_data_races",
+    "serve",
     "triage",
     "__version__",
 ]

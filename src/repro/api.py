@@ -40,7 +40,7 @@ from repro.hypervisor.manager import DEFAULT_VM_COUNT
 #: under its documented name).
 from repro.service.triage import TriageSummary as TriageReport
 
-__all__ = ["diagnose", "evaluate", "triage", "TriageReport"]
+__all__ = ["diagnose", "evaluate", "triage", "serve", "TriageReport"]
 
 #: A bug workload object, or its corpus id.
 BugLike = Union[str, object]
@@ -196,3 +196,29 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
             source = _resolve_bug(source)
         service.submit_bug(source, pipeline=pipeline)
     return service.run()
+
+
+def serve(*, config=None, **overrides) -> int:
+    """Run the long-running triage intake daemon (``repro serve``).
+
+    Blocks until the daemon is shut down (SIGTERM/SIGINT) and returns
+    the exit code.  ``config`` is a
+    :class:`~repro.daemon.lifecycle.DaemonConfig`; keyword overrides
+    are applied on top (or to a default config when none is given)::
+
+        from repro import api
+        api.serve(port=8080, data_dir="/var/lib/aitia", jobs=4)
+
+    For an in-process daemon you drive yourself (tests, benchmarks),
+    use :func:`repro.daemon.start_daemon` inside a running event loop
+    instead.  See ``docs/SERVICE.md`` for the HTTP protocol.
+    """
+    from dataclasses import replace
+
+    from repro.daemon.lifecycle import DaemonConfig, run_daemon
+
+    if config is None:
+        config = DaemonConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    return run_daemon(config)

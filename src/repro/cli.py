@@ -13,6 +13,7 @@
     python -m repro evaluate --jobs 4        # ... across 4 processes
     python -m repro triage --corpus --jobs 4 # crash-triage service
     python -m repro triage reports/ --store store.jsonl   # intake dir
+    python -m repro serve --port 8080 --data-dir daemon-data  # daemon
     python -m repro minimize SYZ-08          # delta-debug a reproducer
     python -m repro fuzz SYZ-04 --diagnose   # oracle-free end to end
 
@@ -232,6 +233,16 @@ def _cmd_triage(args: argparse.Namespace) -> int:
                              service=service)
     finally:
         _close_tracer(tracer, args)
+    if summary.empty:
+        # Zero reports (an empty intake directory, say) is "nothing to
+        # do", not a failure — the daemon treats an idle queue the same
+        # way (repro.daemon shares this message).
+        from repro.service.triage import EMPTY_INTAKE_MESSAGE
+        print(EMPTY_INTAKE_MESSAGE)
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(summary.to_json())
+        return 0
     print(summary.render())
     print()
     print(service.metrics.render())
@@ -241,7 +252,32 @@ def _cmd_triage(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             fh.write(summary.to_json())
         print(f"wrote {args.json}")
-    return 0 if (summary.results and summary.all_ok) else 1
+    return 0 if summary.all_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.daemon.lifecycle import DaemonConfig, run_daemon
+    from repro.daemon.tenants import TenantPolicy
+
+    config = DaemonConfig(
+        host=args.host, port=args.port, data_dir=args.data_dir,
+        jobs=args.jobs, timeout_s=args.timeout,
+        wave_jobs=_engine_policy(args).wave_jobs,
+        hot_capacity=args.hot_capacity, max_depth=args.max_depth,
+        store_shards=args.store_shards, queue_shards=args.queue_shards,
+        batch_size=args.batch_size,
+        tenant_policy=TenantPolicy(rate=args.rate, burst=args.burst,
+                                   max_queued=args.tenant_max_queued),
+        paused=args.paused, diagnoser=args.diagnoser,
+        port_file=args.port_file)
+    if args.trace:
+        from repro.observe import JsonlSink, Tracer
+        config.tracer = Tracer(JsonlSink(args.trace))
+    try:
+        return run_daemon(config)
+    finally:
+        if config.tracer is not None:
+            config.tracer.close()
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -390,6 +426,52 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--json", metavar="PATH",
                         help="also write the triage summary as JSON")
     triage.set_defaults(func=_cmd_triage)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-running triage intake daemon: "
+                      "HTTP .crash submission, dedup, journaled queue, "
+                      "two-tier result cache, /metrics",
+        parents=[trace_parent, waves_parent, pool_parent])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0: ephemeral; see --port-file)")
+    serve.add_argument("--data-dir", default="daemon-data", metavar="DIR",
+                       help="queue journal + cold store shards live here "
+                            "(default ./daemon-data)")
+    serve.add_argument("--hot-capacity", type=int, default=1024,
+                       metavar="N",
+                       help="hot-tier LRU capacity in records "
+                            "(default 1024)")
+    serve.add_argument("--store-shards", type=int, default=8, metavar="N",
+                       help="cold-tier JSONL shard count (default 8)")
+    serve.add_argument("--queue-shards", type=int, default=4, metavar="N",
+                       help="queue journal shard count (default 4)")
+    serve.add_argument("--max-depth", type=int, default=256, metavar="N",
+                       help="bounded queue depth; submissions past it "
+                            "are shed with HTTP 429 (default 256)")
+    serve.add_argument("--batch-size", type=int, default=4, metavar="N",
+                       help="jobs per drain batch (default 4)")
+    serve.add_argument("--rate", type=float, default=0.0, metavar="R",
+                       help="per-tenant sustained submissions/second "
+                            "(default 0: unlimited)")
+    serve.add_argument("--burst", type=float, default=100.0, metavar="B",
+                       help="per-tenant burst capacity (default 100)")
+    serve.add_argument("--tenant-max-queued", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant bound on queued+running jobs "
+                            "(default: unbounded)")
+    serve.add_argument("--paused", action="store_true",
+                       help="accept and journal submissions but do not "
+                            "drain the queue (recovery testing)")
+    serve.add_argument("--port-file", metavar="PATH",
+                       help="write the bound host:port here once "
+                            "listening (for --port 0)")
+    serve.add_argument("--diagnoser", metavar="MODULE:FUNC",
+                       help="worker entry override (default: the real "
+                            "pipeline; tests use "
+                            "repro.daemon.worker:stub_diagnose_job)")
+    serve.set_defaults(func=_cmd_serve)
 
     trace_report = sub.add_parser(
         "trace-report",

@@ -23,7 +23,6 @@ report-driven path, ``factory_for_slice(slice)`` plus
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 

@@ -1,0 +1,169 @@
+"""Minimal HTTP/1.1 over asyncio streams — the daemon's wire layer.
+
+The intake daemon speaks plain HTTP/1.1 (keep-alive, Content-Length
+bodies) directly over :func:`asyncio.start_server` streams; there is no
+third-party web framework in the image and none is needed for four
+routes.  This module owns the parsing and rendering so the server
+module (:mod:`repro.daemon.server`) is pure routing and policy.
+
+Deliberately small surface:
+
+* request heads are bounded (:data:`MAX_HEADER_BYTES`) and bodies are
+  bounded (:data:`MAX_BODY_BYTES`) — an internet-facing intake must
+  not buffer an unbounded upload;
+* only ``Content-Length`` bodies are accepted (``Transfer-Encoding``
+  is answered with 501 — crash artifacts are small files, nobody
+  needs chunking);
+* malformed input raises :class:`ProtocolError` carrying the right
+  status code; the connection handler turns it into a response and
+  closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Bound on the request line + headers, and the ``start_server`` limit.
+MAX_HEADER_BYTES = 32768
+#: Bound on a request body (crash artifacts are a few KB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed or over-limit request; carries the response status."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str = ""
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, str, str, Dict[str, str]]:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover — latin-1 total
+        raise ProtocolError(400, "undecodable request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(400, f"unsupported version {version!r}")
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, query, version, headers
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = MAX_BODY_BYTES,
+                       ) -> Optional[Request]:
+    """Read one request off the stream.
+
+    Returns ``None`` on a clean EOF before any byte (client closed the
+    keep-alive connection between requests); raises
+    :class:`ProtocolError` on anything malformed or over-limit.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, "request head exceeds "
+                                 f"{MAX_HEADER_BYTES} bytes") from None
+    method, path, query, version, headers = _parse_head(head[:-4])
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "Transfer-Encoding is not supported; "
+                                 "send a Content-Length body")
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise ProtocolError(400,
+                                f"bad Content-Length {raw_length!r}") from None
+        if length > max_body:
+            raise ProtocolError(413, f"body of {length} bytes exceeds "
+                                     f"the {max_body} byte limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "truncated request body") from None
+    return Request(method=method, path=path, query=query, version=version,
+                   headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes = b"",
+                    content_type: str = "application/json",
+                    keep_alive: bool = True,
+                    extra_headers: Optional[Dict[str, str]] = None,
+                    ) -> bytes:
+    """Serialize one response, Content-Length framed."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: dict,
+                  keep_alive: bool = True) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(status, body, keep_alive=keep_alive)
+
+
+def text_response(status: int, text: str, keep_alive: bool = True) -> bytes:
+    return render_response(status, text.encode("utf-8"),
+                           content_type="text/plain; version=0.0.4",
+                           keep_alive=keep_alive)

@@ -1,0 +1,138 @@
+"""Per-tenant rate limits and quotas for the intake daemon.
+
+Submissions carry an ``X-Tenant`` header (absent → the ``"anon"``
+tenant).  Each tenant gets a token bucket (sustained rate + burst) and
+two quotas: a bound on how many of its jobs may sit in the queue at
+once, and an optional lifetime acceptance quota.  A submission that
+fails any check is *shed* with a 429 before it costs anything — no
+parse beyond the headers, no journal write, no queue slot.
+
+The table is intentionally admission-control only: it never blocks,
+it just answers "may this tenant submit right now?" and keeps the
+per-tenant accounting the ``/metrics`` endpoint reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: The tenant submissions without an ``X-Tenant`` header belong to.
+DEFAULT_TENANT = "anon"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables rate limiting (the bucket always grants).
+    ``now`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = max(burst, 1.0)
+        self.tokens = self.burst
+        self._updated: Optional[float] = None
+
+    def take(self, n: float = 1.0, now: Optional[float] = None) -> bool:
+        if self.rate <= 0:
+            return True
+        if now is None:
+            now = time.monotonic()
+        if self._updated is not None:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """The admission policy every tenant starts from."""
+
+    rate: float = 0.0          #: tokens/second (<= 0: unlimited)
+    burst: float = 100.0       #: bucket capacity
+    max_queued: Optional[int] = None    #: concurrent queued+running jobs
+    max_accepted: Optional[int] = None  #: lifetime acceptance quota
+
+
+@dataclass
+class TenantState:
+    """One tenant's bucket and accounting."""
+
+    name: str
+    bucket: TokenBucket
+    accepted: int = 0
+    shed: int = 0
+    queued: int = 0  #: currently queued or running jobs
+    completed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class TenantTable:
+    """get-or-create tenant states plus the admission decision."""
+
+    def __init__(self, policy: Optional[TenantPolicy] = None) -> None:
+        self.policy = policy or TenantPolicy()
+        self._tenants: Dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    def state(self, name: str) -> TenantState:
+        name = name or DEFAULT_TENANT
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                state = TenantState(
+                    name=name,
+                    bucket=TokenBucket(self.policy.rate, self.policy.burst))
+                self._tenants[name] = state
+            return state
+
+    # -- admission ------------------------------------------------------
+    def admit(self, name: str,
+              now: Optional[float] = None) -> Tuple[bool, str]:
+        """May this tenant submit right now?  ``(ok, shed_reason)``.
+
+        The caller still owns queue-full shedding; this only enforces
+        the per-tenant dimensions (rate, queued bound, lifetime quota).
+        A denial is counted against the tenant's ``shed`` here.
+        """
+        state = self.state(name)
+        policy = self.policy
+        if (policy.max_accepted is not None
+                and state.accepted >= policy.max_accepted):
+            state.shed += 1
+            return False, "quota_exceeded"
+        if (policy.max_queued is not None
+                and state.queued >= policy.max_queued):
+            state.shed += 1
+            return False, "tenant_queue_full"
+        if not state.bucket.take(now=now):
+            state.shed += 1
+            return False, "rate_limited"
+        return True, ""
+
+    # -- accounting ----------------------------------------------------
+    def note_accepted(self, name: str) -> None:
+        state = self.state(name)
+        state.accepted += 1
+        state.queued += 1
+
+    def note_shed(self, name: str) -> None:
+        self.state(name).shed += 1
+
+    def note_done(self, name: str) -> None:
+        state = self.state(name)
+        state.completed += 1
+        state.queued = max(0, state.queued - 1)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {name: {"accepted": s.accepted, "shed": s.shed,
+                           "queued": s.queued, "completed": s.completed}
+                    for name, s in sorted(self._tenants.items())}

@@ -1,0 +1,196 @@
+"""The two-tier result store: hot in-memory LRU over cold sharded JSONL.
+
+The daemon's steady state is repeat traffic — the same crash signature
+submitted thousands of times.  PR 1's :class:`ResultStore` already
+answers repeats without re-diagnosis; this module splits that cache
+into two tiers so the *hot path never touches disk*:
+
+* **hot** — :class:`HotTier`, a bounded in-memory LRU of digest →
+  record.  A hit is a dict lookup; thousands of duplicate submissions
+  are answered in microseconds.
+* **cold** — :class:`ShardedColdStore`, N append-only JSONL shards
+  (:class:`~repro.service.store.ResultStore` files, offset-indexed)
+  selected by signature prefix (:func:`~repro.service.signature
+  .shard_index`).  A cold hit costs one seek + one line parse and
+  promotes the record into the hot tier.
+
+:class:`TieredStore` composes the two behind the same ``get``/``put``
+surface the triage service uses, so it drops into any code that takes
+a result store.  Writes go through to the cold tier first (durability
+before visibility), then populate the hot tier.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.service.signature import shard_index
+from repro.service.store import ResultStore
+
+#: Default hot-tier capacity (records, not bytes — diagnosis records
+#: are small dicts).
+DEFAULT_HOT_CAPACITY = 1024
+#: Default cold-tier shard count.
+DEFAULT_STORE_SHARDS = 8
+
+
+class HotTier:
+    """Bounded LRU of digest → record; thread-safe, purely in memory."""
+
+    def __init__(self, capacity: int = DEFAULT_HOT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("hot-tier capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> Optional[dict]:
+        with self._lock:
+            record = self._entries.get(digest)
+            if record is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return record
+
+    def put(self, digest: str, record: dict) -> None:
+        with self._lock:
+            self._entries[digest] = record
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries  # no LRU touch, no counter
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ShardedColdStore:
+    """N offset-indexed JSONL result stores, sharded by digest prefix.
+
+    Sharding keeps each append-only file (and its one-scan open) small
+    as the store grows, and gives the journal/story a stable on-disk
+    layout: digest X always lives in ``shard-of(X)``, across restarts.
+    """
+
+    def __init__(self, directory: str,
+                 shards: int = DEFAULT_STORE_SHARDS) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.stores: List[ResultStore] = [
+            ResultStore(os.path.join(directory, f"shard-{i:02d}.jsonl"))
+            for i in range(shards)]
+
+    def _store_for(self, digest: str) -> ResultStore:
+        return self.stores[shard_index(digest, len(self.stores))]
+
+    def get(self, digest: str) -> Optional[dict]:
+        return self._store_for(digest).get(digest)
+
+    def put(self, digest: str, record: dict) -> None:
+        self._store_for(digest).put(digest, record)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._store_for(digest)
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self.stores)
+
+    def digests(self) -> Iterator[str]:
+        for store in self.stores:
+            yield from store.digests()
+
+    def compact(self) -> None:
+        for store in self.stores:
+            store.compact()
+
+    def close(self) -> None:
+        for store in self.stores:
+            store.close()
+
+    def __repr__(self) -> str:
+        return (f"<ShardedColdStore {self.directory}: "
+                f"{len(self.stores)} shard(s), {len(self)} record(s)>")
+
+
+class TieredStore:
+    """Hot LRU in front of the sharded cold tier, one store surface.
+
+    ``lookup`` reports *which* tier answered so the daemon can count
+    hot vs cold hits; ``get``/``put`` keep the plain
+    :class:`ResultStore` contract for code that doesn't care.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 hot_capacity: int = DEFAULT_HOT_CAPACITY,
+                 shards: int = DEFAULT_STORE_SHARDS,
+                 cold=None) -> None:
+        self.hot = HotTier(hot_capacity)
+        if cold is not None:
+            self.cold = cold
+        elif directory is not None:
+            self.cold = ShardedColdStore(directory, shards)
+        else:
+            self.cold = ResultStore()
+        self.cold_hits = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, digest: str) -> Tuple[Optional[dict], str]:
+        """The record and the tier that served it (``"hot"``,
+        ``"cold"``, or ``""`` for a miss)."""
+        record = self.hot.get(digest)
+        if record is not None:
+            return record, "hot"
+        record = self.cold.get(digest)
+        if record is not None:
+            self.cold_hits += 1
+            self.hot.put(digest, record)  # promote
+            return record, "cold"
+        return None, ""
+
+    def get(self, digest: str) -> Optional[dict]:
+        record, _ = self.lookup(digest)
+        return record
+
+    def put(self, digest: str, record: dict) -> None:
+        self.cold.put(digest, record)  # durability before visibility
+        self.hot.put(digest, record)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.hot or digest in self.cold
+
+    def __len__(self) -> int:
+        return len(self.cold)
+
+    def stats(self) -> Dict[str, int]:
+        lookups = self.hot.hits + self.hot.misses
+        return {
+            "hot_hits": self.hot.hits,
+            "hot_misses": self.hot.misses,
+            "hot_evictions": self.hot.evictions,
+            "hot_size": len(self.hot),
+            "cold_hits": self.cold_hits,
+            "cold_size": len(self.cold),
+            "lookups": lookups,
+        }
+
+    def close(self) -> None:
+        close = getattr(self.cold, "close", None)
+        if close is not None:
+            close()
+
+    def __repr__(self) -> str:
+        return (f"<TieredStore hot {len(self.hot)}/{self.hot.capacity} "
+                f"cold {len(self.cold)}>")

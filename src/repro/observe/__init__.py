@@ -21,6 +21,11 @@ from repro.observe.events import (
     SPAN_START,
     TraceEvent,
 )
+from repro.observe.export import (
+    metric_name,
+    parse_exposition,
+    render_exposition,
+)
 from repro.observe.report import load_events, render_trace_report, summarize
 from repro.observe.sinks import (
     JsonlSink,
@@ -46,6 +51,9 @@ __all__ = [
     "Tracer",
     "as_tracer",
     "load_events",
+    "metric_name",
+    "parse_exposition",
+    "render_exposition",
     "render_trace_report",
     "summarize",
 ]

@@ -1,0 +1,92 @@
+"""Prometheus-style text exposition of observe counters.
+
+The daemon's ``GET /metrics`` endpoint (:mod:`repro.daemon.server`)
+is fed by the same :class:`~repro.observe.tracer.Tracer` aggregate
+counters every other layer reports through — this module is the thin
+renderer that turns those counters (plus gauges and histograms) into
+the ``text/plain; version=0.0.4`` exposition format a scraper expects::
+
+    # TYPE aitia_daemon_submissions_total counter
+    aitia_daemon_submissions_total 123
+    # TYPE aitia_daemon_handle_seconds histogram
+    aitia_daemon_handle_seconds_bucket{le="0.001"} 120
+    ...
+
+Metric names are sanitized (``daemon.cache_hits`` →
+``aitia_daemon_cache_hits``); counters get a ``_total`` suffix per the
+convention.  No third-party client library is involved — the format is
+plain text and the counters already exist.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, namespace: str = "aitia") -> str:
+    """A valid exposition metric name for a dotted counter name."""
+    flat = _SANITIZE.sub("_", name.strip("._"))
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_exposition(counters: Mapping[str, int],
+                      gauges: Optional[Mapping[str, float]] = None,
+                      histograms: Optional[Mapping[str, object]] = None,
+                      namespace: str = "aitia") -> str:
+    """Render counters/gauges/histograms as exposition text.
+
+    ``histograms`` maps names to
+    :class:`repro.service.metrics.Histogram` instances (anything with
+    ``buckets``, ``bucket_counts``, ``sum`` and ``count`` works).
+    Counter names get ``_total`` appended; everything is emitted in
+    sorted order so the output is stable for tests and diffs.
+    """
+    lines = []
+    for name in sorted(counters):
+        flat = metric_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(counters[name])}")
+    for name in sorted(gauges or {}):
+        flat = metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(gauges[name])}")
+    for name in sorted(histograms or {}):
+        hist = histograms[name]
+        flat = metric_name(name, namespace)
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.bucket_counts):
+            cumulative += count
+            lines.append(f'{flat}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{flat}_sum {_format_value(hist.sum)}")
+        lines.append(f"{flat}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse exposition text back into a flat name → value mapping
+    (labels kept verbatim in the key) — the test-side inverse of
+    :func:`render_exposition`."""
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values

@@ -22,19 +22,32 @@ Modules:
 """
 
 from repro.service.artifacts import ArtifactParseError, CrashArtifact
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import Histogram, ServiceMetrics
 from repro.service.pool import InProcessPool, WorkerPool, make_pool
-from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
-from repro.service.signature import CrashSignature, signature_of
+from repro.service.queue import (
+    JobOutcome,
+    QueueFull,
+    RetryPolicy,
+    TriageJob,
+)
+from repro.service.signature import CrashSignature, shard_index, signature_of
 from repro.service.store import ResultStore
-from repro.service.triage import TriageService, TriageSummary
+from repro.service.triage import (
+    EMPTY_INTAKE_MESSAGE,
+    TriageService,
+    TriageSummary,
+    diagnose_job,
+)
 
 __all__ = [
     "ArtifactParseError",
     "CrashArtifact",
     "CrashSignature",
+    "EMPTY_INTAKE_MESSAGE",
+    "Histogram",
     "InProcessPool",
     "JobOutcome",
+    "QueueFull",
     "ResultStore",
     "RetryPolicy",
     "ServiceMetrics",
@@ -42,6 +55,8 @@ __all__ = [
     "TriageService",
     "TriageSummary",
     "WorkerPool",
+    "diagnose_job",
     "make_pool",
+    "shard_index",
     "signature_of",
 ]

@@ -23,13 +23,70 @@ from typing import Dict, List
 from repro.observe.tracer import as_tracer
 
 
-class ServiceMetrics:
-    """Counter + timing registry; cheap enough to always be on."""
+class Histogram:
+    """Fixed-bucket latency histogram (seconds), Prometheus-shaped.
 
-    def __init__(self, tracer=None) -> None:
+    Cumulative bucket counts plus sum/count for the exposition format,
+    and the raw samples for exact quantiles (the daemon's load
+    benchmark asserts on them; sample retention is bounded by
+    ``max_samples`` so a long-running daemon cannot grow without
+    bound — quantiles then describe the most recent window).
+    """
+
+    #: Sub-millisecond resolution at the fast end (cache hits are
+    #: measured in microseconds), seconds at the slow end (diagnoses).
+    DEFAULT_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                       0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                       5.0, 10.0)
+
+    def __init__(self, buckets=None, max_samples: int = 100_000) -> None:
+        self.buckets = tuple(buckets or self.DEFAULT_BUCKETS)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.sum += seconds
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if len(self._samples) >= self.max_samples:
+            del self._samples[:self.max_samples // 2]
+        self._samples.append(seconds)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile over the retained samples (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def snapshot(self) -> dict:
+        return {"count": self.count, "sum_s": self.sum,
+                "p50_s": self.quantile(0.50),
+                "p99_s": self.quantile(0.99)}
+
+
+class ServiceMetrics:
+    """Counter + timing registry; cheap enough to always be on.
+
+    ``prefix`` is the namespace counters/timings are mirrored into the
+    bound tracer under (``triage.`` for the batch service, ``daemon.``
+    for the intake daemon).
+    """
+
+    def __init__(self, tracer=None, prefix: str = "triage") -> None:
         self.counters: Dict[str, int] = {}
         self._timings: Dict[str, List[float]] = {}
         self._tracer = as_tracer(tracer)
+        self.prefix = prefix
 
     def bind_tracer(self, tracer) -> None:
         """Mirror subsequent counters/timings into ``tracer`` too."""
@@ -38,7 +95,7 @@ class ServiceMetrics:
     # -- counters -------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
-        self._tracer.count(f"triage.{name}", n)
+        self._tracer.count(f"{self.prefix}.{name}", n)
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -47,7 +104,7 @@ class ServiceMetrics:
     def observe(self, stage: str, seconds: float) -> None:
         self._timings.setdefault(stage, []).append(seconds)
         if self._tracer.enabled:
-            self._tracer.point(f"triage.{stage}", stage="triage",
+            self._tracer.point(f"{self.prefix}.{stage}", stage=self.prefix,
                                seconds=round(seconds, 6))
 
     @contextmanager

@@ -75,17 +75,40 @@ class TriageJob:
         return self.outcome.is_terminal
 
 
-class JobQueue:
-    """Priority queue of pending jobs (stable within a priority)."""
+class QueueFull(Exception):
+    """Push rejected: the queue is at its bounded depth.
 
-    def __init__(self) -> None:
+    The backpressure signal of the triage daemon — callers shed the
+    submission (HTTP 429) instead of letting the queue grow without
+    bound.  Nothing is journaled or enqueued for a rejected push.
+    """
+
+
+class JobQueue:
+    """Priority queue of pending jobs (stable within a priority).
+
+    ``max_depth`` bounds the number of *pending* jobs; a push past the
+    bound raises :class:`QueueFull` (``None`` means unbounded, the
+    batch verb's behaviour).
+    """
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
         self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._by_id: Dict[str, TriageJob] = {}
+        self.max_depth = max_depth
+
+    @property
+    def full(self) -> bool:
+        return (self.max_depth is not None
+                and len(self._heap) >= self.max_depth)
 
     def push(self, job: TriageJob) -> None:
         if job.job_id in self._by_id:
             raise ValueError(f"duplicate job id {job.job_id!r}")
+        if self.full:
+            raise QueueFull(
+                f"queue at bounded depth {self.max_depth}")
         self._by_id[job.job_id] = job
         heapq.heappush(self._heap, (job.priority, next(self._seq), job))
 

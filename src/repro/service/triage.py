@@ -31,13 +31,21 @@ from repro.service.store import ResultStore
 DEFAULT_JOB_TIMEOUT_S = 300.0
 
 
-def _diagnose_job(payload: dict) -> dict:
+#: The one empty-intake behaviour: zero crash reports is "nothing to
+#: do", not an error.  The batch verb prints this and exits 0; the
+#: daemon reports it when asked to drain an empty queue.
+EMPTY_INTAKE_MESSAGE = "triage: no crash reports to process (nothing to do)"
+
+
+def diagnose_job(payload: dict) -> dict:
     """Worker entry: rebuild the crash and run the full diagnosis.
 
-    Must stay a module-level function (worker processes may need to
-    pickle it under the ``spawn`` start method).  Returns plain dicts —
-    everything crossing the process boundary is JSON-shaped, which is
-    also exactly what the result store persists.
+    Shared by the batch triage service and the ``repro serve`` daemon
+    (:mod:`repro.daemon.worker`).  Must stay a module-level function
+    (worker processes may need to pickle it under the ``spawn`` start
+    method).  Returns plain dicts — everything crossing the process
+    boundary is JSON-shaped, which is also exactly what the result
+    store persists.
     """
     from repro.analysis.evaluation import summarize_diagnosis
     from repro.core.causality import CaConfig
@@ -98,6 +106,11 @@ class TriageSummary:
 
     def count(self, outcome: JobOutcome) -> int:
         return sum(1 for r in self.results if r.outcome == outcome.value)
+
+    @property
+    def empty(self) -> bool:
+        """No reports reached the run — the "nothing to do" case."""
+        return not self.results
 
     @property
     def all_ok(self) -> bool:
@@ -229,7 +242,7 @@ class TriageService:
                               jobs=self.jobs, unique=len(self._order),
                               dispatched=len(pending)) as span:
             if pending:
-                pool = make_pool(_diagnose_job, jobs=self.jobs,
+                pool = make_pool(diagnose_job, jobs=self.jobs,
                                  retry=self.retry, context=self._context)
                 with self.metrics.timer("dispatch"):
                     pool.run(pending, on_complete=self._on_complete)

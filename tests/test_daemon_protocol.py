@@ -1,0 +1,116 @@
+"""Tests for the daemon's minimal HTTP/1.1 wire layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.daemon import protocol
+
+
+def _read(data: bytes, limit: int = protocol.MAX_HEADER_BYTES,
+          max_body: int = protocol.MAX_BODY_BYTES):
+    async def go():
+        reader = asyncio.StreamReader(limit=limit)
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_request(reader, max_body=max_body)
+    return asyncio.run(go())
+
+
+def _error(data: bytes, **kwargs) -> protocol.ProtocolError:
+    with pytest.raises(protocol.ProtocolError) as excinfo:
+        _read(data, **kwargs)
+    return excinfo.value
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = _read(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.version == "HTTP/1.1"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body_and_headers(self):
+        request = _read(b"POST /submit HTTP/1.1\r\n"
+                        b"Content-Length: 5\r\n"
+                        b"X-Tenant: fuzzer-7\r\n\r\nhello")
+        assert request.method == "POST"
+        assert request.body == b"hello"
+        assert request.header("x-tenant") == "fuzzer-7"
+        assert request.header("X-Tenant") == "fuzzer-7"  # case-folded
+
+    def test_query_split_off_path(self):
+        request = _read(b"GET /job/j1?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/job/j1"
+        assert request.query == "verbose=1"
+
+    def test_clean_eof_between_requests_is_none(self):
+        assert _read(b"") is None
+
+    def test_keep_alive_semantics(self):
+        close = _read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not close.keep_alive
+        old = _read(b"GET / HTTP/1.0\r\n\r\n")
+        assert not old.keep_alive  # 1.0 defaults to close
+        old_ka = _read(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert old_ka.keep_alive
+
+    def test_truncated_head_is_400(self):
+        assert _error(b"GET / HTTP/1.1\r\nHost").status == 400
+
+    def test_malformed_request_line_is_400(self):
+        assert _error(b"GETHTTP/1.1\r\n\r\n").status == 400
+
+    def test_unsupported_version_is_400(self):
+        assert _error(b"GET / HTTP/2\r\n\r\n").status == 400
+
+    def test_oversized_head_is_431(self):
+        big = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 4096 + b"\r\n\r\n"
+        assert _error(big, limit=1024).status == 431
+
+    def test_transfer_encoding_is_501(self):
+        data = (b"POST /submit HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n")
+        assert _error(data).status == 501
+
+    def test_bad_content_length_is_400(self):
+        data = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        assert _error(data).status == 400
+        data = b"POST / HTTP/1.1\r\nContent-Length: -3\r\n\r\n"
+        assert _error(data).status == 400
+
+    def test_over_limit_body_is_413(self):
+        data = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        assert _error(data, max_body=50).status == 413
+
+    def test_truncated_body_is_400(self):
+        data = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        assert _error(data).status == 400
+
+
+class TestRenderResponse:
+    def test_framing_and_reason(self):
+        raw = protocol.render_response(200, b"ok", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"ok"
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Length: 2" in lines
+        assert "Connection: keep-alive" in lines
+
+    def test_connection_close(self):
+        raw = protocol.render_response(429, keep_alive=False)
+        assert b"Connection: close" in raw
+        assert b"429 Too Many Requests" in raw
+
+    def test_json_response_round_trips(self):
+        raw = protocol.json_response(202, {"status": "accepted"})
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"status": "accepted"}
+
+    def test_text_response_exposition_content_type(self):
+        raw = protocol.text_response(200, "aitia_x_total 1\n")
+        assert b"Content-Type: text/plain; version=0.0.4" in raw

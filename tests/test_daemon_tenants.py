@@ -1,0 +1,84 @@
+"""Tests for per-tenant admission control (buckets, quotas)."""
+
+from repro.daemon.tenants import (
+    DEFAULT_TENANT,
+    TenantPolicy,
+    TenantTable,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.take(now=0.0)
+        assert bucket.take(now=0.0)
+        assert not bucket.take(now=0.0)     # burst exhausted
+        assert not bucket.take(now=0.5)     # half a token refilled
+        assert bucket.take(now=1.6)         # > 1 token again
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.take(now=0.0)
+        # A long idle period must not bank more than the burst.
+        assert bucket.take(now=100.0)
+        assert bucket.take(now=100.0)
+        assert not bucket.take(now=100.0)
+
+    def test_zero_rate_always_grants(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        for _ in range(100):
+            assert bucket.take(now=0.0)
+
+
+class TestTenantTable:
+    def test_default_policy_admits_everything(self):
+        table = TenantTable()
+        for _ in range(50):
+            admitted, reason = table.admit("t")
+            assert admitted and reason == ""
+
+    def test_missing_tenant_name_maps_to_anon(self):
+        table = TenantTable()
+        table.note_accepted("")
+        assert table.snapshot()[DEFAULT_TENANT]["accepted"] == 1
+
+    def test_rate_limit_is_per_tenant(self):
+        table = TenantTable(TenantPolicy(rate=1.0, burst=1.0))
+        assert table.admit("a", now=0.0) == (True, "")
+        assert table.admit("a", now=0.0) == (False, "rate_limited")
+        # Tenant b has its own bucket.
+        assert table.admit("b", now=0.0) == (True, "")
+
+    def test_queued_bound(self):
+        table = TenantTable(TenantPolicy(max_queued=2))
+        table.note_accepted("a")
+        table.note_accepted("a")
+        assert table.admit("a") == (False, "tenant_queue_full")
+        table.note_done("a")
+        assert table.admit("a") == (True, "")
+
+    def test_lifetime_quota(self):
+        table = TenantTable(TenantPolicy(max_accepted=1))
+        assert table.admit("a") == (True, "")
+        table.note_accepted("a")
+        assert table.admit("a") == (False, "quota_exceeded")
+        # Completion does not restore a lifetime quota.
+        table.note_done("a")
+        assert table.admit("a") == (False, "quota_exceeded")
+
+    def test_denials_count_as_shed(self):
+        table = TenantTable(TenantPolicy(max_accepted=0))
+        table.admit("a")
+        table.admit("a")
+        table.note_shed("a")  # the server's queue-full path
+        assert table.snapshot()["a"]["shed"] == 3
+
+    def test_snapshot_accounting(self):
+        table = TenantTable()
+        table.note_accepted("a")
+        table.note_accepted("a")
+        table.note_done("a")
+        snap = table.snapshot()["a"]
+        assert snap == {"accepted": 2, "shed": 0, "queued": 1,
+                        "completed": 1}

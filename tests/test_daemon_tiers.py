@@ -1,0 +1,117 @@
+"""Tests for the two-tier result store (hot LRU over cold shards)."""
+
+import os
+
+import pytest
+
+from repro.daemon.tiers import HotTier, ShardedColdStore, TieredStore
+from repro.service.signature import shard_index
+
+
+def _digest(n: int) -> str:
+    # Vary the leading hex chars: shard_index shards by digest prefix.
+    return f"{n:04x}" + "0" * 12
+
+
+class TestHotTier:
+    def test_hit_miss_counters(self):
+        hot = HotTier(capacity=4)
+        assert hot.get("d") is None
+        hot.put("d", {"v": 1})
+        assert hot.get("d") == {"v": 1}
+        assert (hot.hits, hot.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        hot = HotTier(capacity=2)
+        hot.put("a", {})
+        hot.put("b", {})
+        hot.get("a")          # refresh a: b is now least-recent
+        hot.put("c", {})      # evicts b
+        assert "a" in hot and "c" in hot and "b" not in hot
+        assert hot.evictions == 1
+
+    def test_put_existing_refreshes_not_grows(self):
+        hot = HotTier(capacity=2)
+        hot.put("a", {"v": 1})
+        hot.put("a", {"v": 2})
+        assert len(hot) == 1
+        assert hot.get("a") == {"v": 2}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            HotTier(capacity=0)
+
+
+class TestShardedColdStore:
+    def test_round_trip_and_shard_layout(self, tmp_path):
+        cold = ShardedColdStore(str(tmp_path), shards=4)
+        for n in range(16):
+            cold.put(_digest(n), {"n": n})
+        assert len(cold) == 16
+        assert cold.get(_digest(3)) == {"n": 3}
+        assert set(cold.digests()) == {_digest(n) for n in range(16)}
+        files = [f for f in os.listdir(tmp_path) if f.endswith(".jsonl")]
+        assert len(files) == 4
+
+    def test_digest_lands_in_stable_shard_across_reopen(self, tmp_path):
+        ShardedColdStore(str(tmp_path), shards=8).put(_digest(5), {"v": 1})
+        reopened = ShardedColdStore(str(tmp_path), shards=8)
+        assert reopened.get(_digest(5)) == {"v": 1}
+        shard = shard_index(_digest(5), 8)
+        path = os.path.join(str(tmp_path), f"shard-{shard:02d}.jsonl")
+        assert os.path.getsize(path) > 0
+
+    def test_compact_and_close(self, tmp_path):
+        cold = ShardedColdStore(str(tmp_path), shards=2)
+        for _ in range(3):
+            cold.put(_digest(1), {"v": 1})
+        cold.compact()
+        cold.close()
+        assert ShardedColdStore(str(tmp_path), shards=2).get(
+            _digest(1)) == {"v": 1}
+
+
+class TestTieredStore:
+    def test_miss_then_cold_then_hot(self, tmp_path):
+        store = TieredStore(directory=str(tmp_path), hot_capacity=8)
+        assert store.lookup(_digest(1)) == (None, "")
+        store.put(_digest(1), {"v": 1})
+
+        # A fresh store over the same directory: first lookup is cold
+        # (and promotes), the second is hot.
+        fresh = TieredStore(directory=str(tmp_path), hot_capacity=8)
+        record, tier = fresh.lookup(_digest(1))
+        assert (record, tier) == ({"v": 1}, "cold")
+        record, tier = fresh.lookup(_digest(1))
+        assert (record, tier) == ({"v": 1}, "hot")
+        assert fresh.cold_hits == 1
+
+    def test_put_is_visible_in_both_tiers(self, tmp_path):
+        store = TieredStore(directory=str(tmp_path))
+        store.put(_digest(2), {"v": 2})
+        assert store.lookup(_digest(2))[1] == "hot"
+        assert store.cold.get(_digest(2)) == {"v": 2}  # durably cold too
+
+    def test_eviction_falls_back_to_cold(self, tmp_path):
+        store = TieredStore(directory=str(tmp_path), hot_capacity=2)
+        for n in range(5):
+            store.put(_digest(n), {"n": n})
+        # Oldest digests were evicted from the hot tier but still hit.
+        record, tier = store.lookup(_digest(0))
+        assert (record, tier) == ({"n": 0}, "cold")
+
+    def test_memory_only_without_directory(self):
+        store = TieredStore()
+        store.put("d", {"v": 1})
+        assert store.get("d") == {"v": 1}
+        assert "d" in store
+
+    def test_stats_shape(self, tmp_path):
+        store = TieredStore(directory=str(tmp_path), hot_capacity=2)
+        store.put(_digest(1), {})
+        store.get(_digest(1))
+        store.get("missing")
+        stats = store.stats()
+        assert stats["hot_hits"] == 1
+        assert stats["cold_size"] == 1
+        assert stats["lookups"] == stats["hot_hits"] + stats["hot_misses"]

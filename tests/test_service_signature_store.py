@@ -121,3 +121,69 @@ class TestResultStore:
         path = str(tmp_path / "deep" / "nested" / "store.jsonl")
         ResultStore(path).put("d1", {})
         assert ResultStore(path).get("d1") == {}
+
+
+class TestOffsetIndex:
+    """File-backed stores read through a digest → (offset, length)
+    index — one seek per get, no records held in memory."""
+
+    def test_index_maps_every_digest_to_its_line(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for n in range(20):
+            store.put(f"d{n}", {"n": n})
+        reopened = ResultStore(path)
+        assert len(reopened._index) == 20
+        raw = open(path, "rb").read()
+        for digest, (offset, length) in reopened._index.items():
+            line = json.loads(raw[offset:offset + length])
+            assert line["digest"] == digest
+
+    def test_get_does_not_load_other_records(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for n in range(5):
+            store.put(f"d{n}", {"n": n})
+        reopened = ResultStore(path)
+        assert reopened.get("d3") == {"n": 3}
+        assert reopened._records == {}  # nothing cached in memory
+
+    def test_append_after_reopen_extends_index(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        ResultStore(path).put("d1", {"v": 1})
+        reopened = ResultStore(path)
+        reopened.put("d2", {"v": 2})
+        assert reopened.get("d1") == {"v": 1}
+        assert reopened.get("d2") == {"v": 2}
+        assert set(ResultStore(path).digests()) == {"d1", "d2"}
+
+    def test_reput_points_index_at_latest_line(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put("d1", {"v": 1})
+        store.put("d1", {"v": 2})
+        assert store.get("d1") == {"v": 2}  # same handle, updated index
+        assert len(store) == 1
+
+    def test_close_releases_reader_and_store_stays_usable(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put("d1", {"v": 1})
+        assert store.get("d1") == {"v": 1}
+        store.close()
+        assert store._reader is None
+        assert store.get("d1") == {"v": 1}  # reopens on demand
+
+    def test_compact_rebuilds_the_index(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for _ in range(4):
+            store.put("d1", {"v": 1})
+        store.put("d2", {"v": 2})
+        store.compact()
+        assert store.get("d1") == {"v": 1}
+        assert store.get("d2") == {"v": 2}
+        size = (tmp_path / "store.jsonl").stat().st_size
+        offsets = [off for off, _ in store._index.values()]
+        lengths = [length for _, length in store._index.values()]
+        assert sorted(offsets) == offsets and sum(lengths) == size

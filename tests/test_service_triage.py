@@ -173,6 +173,31 @@ class TestCliTriage:
         assert main(["triage", str(tmp_path / "nope")]) == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_empty_intake_directory_is_nothing_to_do(self, capsys,
+                                                     tmp_path):
+        from repro.service.triage import EMPTY_INTAKE_MESSAGE
+
+        intake = tmp_path / "empty"
+        intake.mkdir()
+        assert main(["triage", str(intake)]) == 0  # not an error
+        out = capsys.readouterr().out
+        assert EMPTY_INTAKE_MESSAGE in out
+        assert "totals:" not in out  # no empty table rendered
+
+    def test_empty_intake_still_writes_json(self, capsys, tmp_path):
+        intake = tmp_path / "empty"
+        intake.mkdir()
+        out_json = tmp_path / "triage.json"
+        assert main(["triage", str(intake), "--json", str(out_json)]) == 0
+        assert json.loads(out_json.read_text()) == {
+            "results": [], "metrics": {"counters": {}, "timings": {}}}
+
+    def test_empty_summary_property(self):
+        from repro.service.triage import TriageSummary
+
+        assert TriageSummary().empty
+        assert TriageSummary().all_ok  # vacuously fine
+
     def test_timed_out_job_reported_without_crashing(self, capsys):
         argv = ["triage", "--corpus", "--bugs", "SYZ-04", "--jobs", "2",
                 "--timeout", "0.000001"]
