@@ -1,21 +1,33 @@
-"""Parallel wave dispatch: equivalence and overhead over the corpus.
+"""Fork-server fleet dispatch: equivalence and overhead over the corpus.
 
 Runs the full diagnosis for every corpus bug twice — sequentially and
-with ``--parallel-waves 2`` — and asserts the diagnoses are
-bit-identical (chain, failure signature, root-cause set, schedule and
-step totals): wave execution is a pure placement change.  Also measures
-the two costs the feature is judged on: the ``--parallel-waves 1``
-no-op must stay within 5% of the plain path (no executor is even
-constructed), and on a multi-core host the fan-out must beat sequential
-wall-clock on the biggest bug.  Results land in
-``benchmarks/output/bench_waves.json`` plus a rendered table.
+with ``--parallel-waves 2`` (served by the persistent fork-server
+fleet) — and asserts the diagnoses are bit-identical (chain, failure
+signature, root-cause set, schedule and step totals): fleet execution
+is a pure placement change.  It then measures the three costs the
+executor layer is judged on:
 
-Like the snapshot benchmark this avoids the pytest-benchmark fixture so
-CI (pytest + hypothesis only) can run it directly.  Set
+* the ``--parallel-waves 1`` no-op must stay within 5% of the plain
+  path (no executor is even constructed);
+* **per bug**, ``--parallel-waves 2`` must stay within 1.2x of
+  sequential wall-clock on any host: the engine only engages the
+  fleet where parallelism can pay (cores > 1), the spin-up threshold
+  keeps small diagnoses fork-free, and hybrid dispatch keeps the
+  parent executing while workers chew — so overhead is bounded by
+  IPC, not by fork + re-import per wave.  (The pre-fleet
+  process-per-wave design measured 3-8x *slower* per bug, e.g.
+  CVE-2017-15649 at 0.97s waved vs 0.32s sequential; the legacy
+  numbers are embedded in the JSON for comparison.)
+* ``speedup_multicore`` — sequential vs fleet wall-clock on the
+  biggest bug — is always measured and recorded; the >= 1.5x
+  assertion only fires when ``os.cpu_count() > 1``, because
+  single-core hosts serialize forked children by construction.
+
+Results land in ``benchmarks/output/bench_waves.json`` plus a rendered
+table.  Like the snapshot benchmark this avoids the pytest-benchmark
+fixture so CI (pytest + hypothesis only) can run it directly.  Set
 ``BENCH_WAVE_BUGS=<n>`` to restrict to the first *n* corpus bugs (CI
-uses 3).  The wall-clock speedup assertion only fires when
-``os.cpu_count() > 1`` — CI runners are single-core, where forked
-children serialize and dispatch overhead dominates by construction.
+uses 3).
 """
 
 import json
@@ -30,6 +42,21 @@ from repro.core.diagnose import Aitia
 from repro.core.lifs import LifsConfig
 from repro.corpus import registry
 
+#: Pre-fleet measurements (process-per-wave WaveExecutor, 1 core) for
+#: the bugs the PERFORMANCE docs quote — kept so the JSON stays a
+#: self-contained before/after record of the executor redesign.
+LEGACY_WAVE_SECONDS = {
+    "CVE-2017-15649": {"seq_s": 0.3219, "wave_s": 0.9681},
+    "CVE-2019-11486": {"seq_s": 0.0304, "wave_s": 0.1093},
+    "CVE-2017-2671": {"seq_s": 0.0209, "wave_s": 0.0984},
+}
+
+#: Per-bug overhead bound for the fleet at ``--parallel-waves 2`` on
+#: any host (including 1 core), plus an absolute grace term for
+#: sub-50ms diagnoses where scheduler noise dominates.
+FLEET_OVERHEAD_BOUND = 1.2
+FLEET_OVERHEAD_GRACE_S = 0.02
+
 
 def _diagnose(bug, wave_jobs):
     started = time.perf_counter()
@@ -40,7 +67,7 @@ def _diagnose(bug, wave_jobs):
 
 
 def _facts(diagnosis):
-    """Everything a wave run must reproduce bit-for-bit."""
+    """Everything a fleet run must reproduce bit-for-bit."""
     lifs, ca = diagnosis.lifs_result.stats, diagnosis.ca_result.stats
     return (
         diagnosis.chain.render(),
@@ -56,7 +83,7 @@ def _min_elapsed(bug, wave_jobs, repeats=5):
     return min(_diagnose(bug, wave_jobs)[1] for _ in range(repeats))
 
 
-def test_wave_equivalence_and_dispatch_overhead():
+def test_fleet_equivalence_and_dispatch_overhead():
     registry.load()
     bugs = list(registry.all_bugs())
     subset = int(os.environ.get("BENCH_WAVE_BUGS", "0"))
@@ -65,18 +92,34 @@ def test_wave_equivalence_and_dispatch_overhead():
 
     rows = []
     table = Table(
-        "Parallel waves: --parallel-waves 2 vs sequential (bit-identical)",
-        ["bug", "schedules", "seq_s", "wave_s", "identical"])
+        "Fork-server fleet: --parallel-waves 2 vs sequential "
+        "(bit-identical)",
+        ["bug", "schedules", "seq_s", "fleet_s", "ratio", "identical"])
     for bug in bugs:
-        seq, seq_s = _diagnose(bug, 1)
-        par, par_s = _diagnose(bug, 2)
+        seq, _ = _diagnose(bug, 1)
+        par, _ = _diagnose(bug, 2)
         assert _facts(par) == _facts(seq), bug.bug_id
+        # Overhead is judged on min-of-repeats: scheduler noise on a
+        # busy host must not fail a bound the design meets.
+        seq_s = _min_elapsed(bug, wave_jobs=1, repeats=3)
+        fleet_s = _min_elapsed(bug, wave_jobs=2, repeats=3)
+        ratio = fleet_s / max(1e-9, seq_s)
+        assert fleet_s <= seq_s * FLEET_OVERHEAD_BOUND \
+            + FLEET_OVERHEAD_GRACE_S, (
+                f"{bug.bug_id}: fleet {fleet_s:.4f}s vs sequential "
+                f"{seq_s:.4f}s ({ratio:.2f}x) exceeds the "
+                f"{FLEET_OVERHEAD_BOUND}x dispatch-overhead bound")
         schedules = (seq.lifs_result.stats.schedules_executed
                      + seq.ca_result.stats.schedules_executed)
         table.add_row(bug.bug_id, schedules, f"{seq_s:.3f}",
-                      f"{par_s:.3f}", "yes")
-        rows.append({"bug": bug.bug_id, "schedules": schedules,
-                     "seq_s": round(seq_s, 4), "wave_s": round(par_s, 4)})
+                      f"{fleet_s:.3f}", f"{ratio:.2f}", "yes")
+        row = {"bug": bug.bug_id, "schedules": schedules,
+               "seq_s": round(seq_s, 4), "fleet_s": round(fleet_s, 4),
+               "ratio": round(ratio, 3)}
+        legacy = LEGACY_WAVE_SECONDS.get(bug.bug_id)
+        if legacy:
+            row["legacy_process_per_wave"] = legacy
+        rows.append(row)
 
     # --parallel-waves 1 is the sequential path itself (no executor is
     # constructed), so its dispatch overhead must be noise: within 5%.
@@ -89,29 +132,35 @@ def test_wave_equivalence_and_dispatch_overhead():
     assert waves1_s <= plain_s * 1.05 + 0.02, (
         f"--parallel-waves 1 overhead {overhead:.3f}x exceeds 5%")
 
+    # Multi-core speedup: always measured and recorded, so the JSON
+    # answers "what does the fleet buy here?" on every host.  The
+    # >= 1.5x gate only fires where genuine parallelism exists.
     cores = os.cpu_count() or 1
-    speedup = None
+    fleet_jobs = min(4, max(2, cores))
+    seq_probe_s = _min_elapsed(probe, wave_jobs=1, repeats=3)
+    fleet_probe_s = _min_elapsed(probe, wave_jobs=fleet_jobs, repeats=3)
+    speedup = seq_probe_s / max(1e-9, fleet_probe_s)
     if cores > 1:
-        # Real parallelism available: the fan-out must beat sequential
-        # wall-clock on the biggest bug.
-        wave_n_s = _min_elapsed(probe, wave_jobs=min(4, cores), repeats=3)
-        seq_probe_s = _min_elapsed(probe, wave_jobs=1, repeats=3)
-        speedup = seq_probe_s / max(1e-9, wave_n_s)
-        assert wave_n_s < seq_probe_s, (
-            f"waves slower than sequential on {cores} cores "
-            f"({wave_n_s:.3f}s vs {seq_probe_s:.3f}s)")
+        assert speedup >= 1.5, (
+            f"fleet speedup {speedup:.2f}x on {cores} cores is below "
+            f"the 1.5x bar ({fleet_probe_s:.3f}s vs {seq_probe_s:.3f}s "
+            f"sequential on {probe.bug_id})")
 
     table.add_row("TOTAL", sum(r["schedules"] for r in rows),
                   f"{sum(r['seq_s'] for r in rows):.3f}",
-                  f"{sum(r['wave_s'] for r in rows):.3f}", "yes")
+                  f"{sum(r['fleet_s'] for r in rows):.3f}", "-", "yes")
     emit("bench_waves", table.render())
 
     payload = {
         "bugs": len(rows),
         "subset": bool(subset),
         "cores": cores,
+        "executor": "fleet",
         "dispatch_overhead_waves1": round(overhead, 4),
-        "speedup_multicore": round(speedup, 3) if speedup else None,
+        "speedup_multicore": round(speedup, 3),
+        "speedup_probe": {"bug": probe.bug_id, "jobs": fleet_jobs,
+                          "seq_s": round(seq_probe_s, 4),
+                          "fleet_s": round(fleet_probe_s, 4)},
         "per_bug": rows,
     }
     os.makedirs(OUTPUT_DIR, exist_ok=True)

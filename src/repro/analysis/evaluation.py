@@ -119,6 +119,7 @@ def summarize_diagnosis(bug: "Bug", diagnosis) -> BugEvaluation:
 def _evaluate_one(bug: "Bug", pipeline: bool = False,
                   snapshots: bool = True,
                   wave_jobs: int = 1,
+                  executor: str = "fleet",
                   tracer=None) -> BugEvaluation:
     """Diagnose one bug and summarize the outcome."""
     # Imported here: analysis is a leaf package for repro.core, so the
@@ -133,9 +134,11 @@ def _evaluate_one(bug: "Bug", pipeline: bool = False,
         report = run_bug_finder(bug)
     diagnosis = Aitia(bug, report=report,
                       lifs_config=LifsConfig(use_snapshots=snapshots,
-                                             wave_jobs=wave_jobs),
+                                             wave_jobs=wave_jobs,
+                                             executor=executor),
                       ca_config=CaConfig(use_snapshots=snapshots,
-                                         wave_jobs=wave_jobs),
+                                         wave_jobs=wave_jobs,
+                                         executor=executor),
                       tracer=tracer).diagnose()
     return summarize_diagnosis(bug, diagnosis)
 
@@ -149,7 +152,8 @@ def _evaluate_worker(payload: dict) -> dict:
     bug = registry.get_bug(payload["bug_id"])
     return asdict(_evaluate_one(bug, pipeline=payload["pipeline"],
                                 snapshots=payload.get("snapshots", True),
-                                wave_jobs=payload.get("wave_jobs", 1)))
+                                wave_jobs=payload.get("wave_jobs", 1),
+                                executor=payload.get("executor", "fleet")))
 
 
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
@@ -158,6 +162,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                     timeout_s: float = 600.0,
                     snapshots: bool = True,
                     wave_jobs: int = 1,
+                    executor: str = "fleet",
                     tracer=None) -> CorpusEvaluation:
     """Evaluate a bug set (default: the paper's 22 evaluated bugs).
 
@@ -189,22 +194,28 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
             return CorpusEvaluation(
                 rows=[_evaluate_one(bug, pipeline=pipeline,
                                     snapshots=snapshots,
-                                    wave_jobs=wave_jobs, tracer=tracer)
+                                    wave_jobs=wave_jobs,
+                                    executor=executor, tracer=tracer)
                       for bug in bugs])
 
-    from repro.service.pool import WorkerPool
+    from repro.engine.executors import make_executor
     from repro.service.queue import JobOutcome, TriageJob
 
     triage_jobs = [
         TriageJob(job_id=bug.bug_id,
                   payload={"bug_id": bug.bug_id, "pipeline": pipeline,
-                           "snapshots": snapshots, "wave_jobs": wave_jobs},
+                           "snapshots": snapshots, "wave_jobs": wave_jobs,
+                           "executor": executor},
                   timeout_s=timeout_s)
         for bug in bugs
     ]
     with tracer.span("evaluate", stage="evaluate",
                      bugs=len(bugs), jobs=jobs) as span:
-        WorkerPool(_evaluate_worker, jobs=jobs).run(triage_jobs)
+        executor = make_executor(worker=_evaluate_worker, jobs=jobs)
+        try:
+            executor.run(triage_jobs)
+        finally:
+            executor.close()
         rows = []
         fallbacks = 0
         for bug, job in zip(bugs, triage_jobs):
@@ -220,6 +231,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                 fallbacks += 1
                 rows.append(_evaluate_one(bug, pipeline=pipeline,
                                           snapshots=snapshots,
-                                          wave_jobs=wave_jobs))
+                                          wave_jobs=wave_jobs,
+                                          executor=executor))
         span.set(fallbacks=fallbacks)
     return CorpusEvaluation(rows=rows)

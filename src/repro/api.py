@@ -65,6 +65,7 @@ def diagnose(bug_or_id: BugLike, *,
              vm_count: int = DEFAULT_VM_COUNT,
              snapshots: Optional[bool] = None,
              wave_jobs: Optional[int] = None,
+             executor: Optional[str] = None,
              tracer=None) -> Diagnosis:
     """Diagnose one kernel concurrency failure.
 
@@ -80,23 +81,29 @@ def diagnose(bug_or_id: BugLike, *,
     prefix-checkpoint engine (see docs/PERFORMANCE.md) in both stages.
     ``wave_jobs`` is the ``--parallel-waves`` width: with N > 1, LIFS
     frontier rounds and CA flip batches fan out to N child processes
-    (the parallel wave engine of docs/PERFORMANCE.md).  Results are
-    bit-identical whatever the settings; only the ``snapshot.*`` /
-    ``ca.snapshot_*`` / ``hv.wave.*`` accounting differs.  Both are
-    ignored when an explicit ``lifs`` / ``ca`` config carries its own
-    ``use_snapshots`` / ``wave_jobs``.
+    (the parallel wave engine of docs/PERFORMANCE.md).  ``executor``
+    selects the wave dispatch backend: ``"fleet"`` (persistent
+    fork-server workers, the default) or ``"inline"`` (never fork).
+    Results are bit-identical whatever the settings; only the
+    ``snapshot.*`` / ``ca.snapshot_*`` / ``hv.wave.*`` accounting
+    differs.  All three are ignored when an explicit ``lifs`` / ``ca``
+    config carries its own ``use_snapshots`` / ``wave_jobs`` /
+    ``executor``.
     """
     bug = _resolve_bug(bug_or_id)
     if report is None and pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
-    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs)
+    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
+                                  executor=executor)
     if lifs is None:
         lifs = LifsConfig(use_snapshots=policy.use_snapshots,
-                          wave_jobs=policy.wave_jobs)
+                          wave_jobs=policy.wave_jobs,
+                          executor=policy.executor)
     if ca is None:
         ca = CaConfig(use_snapshots=policy.use_snapshots,
-                      wave_jobs=policy.wave_jobs)
+                      wave_jobs=policy.wave_jobs,
+                      executor=policy.executor)
     return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
                  cost_model=cost_model, vm_count=vm_count,
                  tracer=tracer).diagnose()
@@ -108,6 +115,7 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
              timeout_s: float = 600.0,
              snapshots: Optional[bool] = None,
              wave_jobs: Optional[int] = None,
+             executor: Optional[str] = None,
              tracer=None):
     """Run the paper's evaluation over a bug set (default: all 22).
 
@@ -116,19 +124,22 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
     processes; rows are bit-identical to the sequential ones.
     ``snapshots=False`` disables the prefix-checkpoint engine (the
     ``--no-snapshot`` ablation); ``wave_jobs > 1`` fans each diagnosis's
-    schedule waves out to child processes (``--parallel-waves``).  Rows
-    are bit-identical whatever the settings.
+    schedule waves out to child processes (``--parallel-waves``);
+    ``executor`` selects the wave dispatch backend (``"fleet"`` /
+    ``"inline"``).  Rows are bit-identical whatever the settings.
     """
     from repro.analysis.evaluation import evaluate_corpus
 
-    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs)
+    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
+                                  executor=executor)
     resolved = None
     if bugs is not None:
         resolved = [_resolve_bug(b) for b in bugs]
     return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
                            timeout_s=timeout_s,
                            snapshots=policy.use_snapshots,
-                           wave_jobs=policy.wave_jobs, tracer=tracer)
+                           wave_jobs=policy.wave_jobs,
+                           executor=policy.executor, tracer=tracer)
 
 
 def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:
@@ -155,6 +166,7 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
            pipeline: bool = False,
            timeout_s: Optional[float] = None,
            wave_jobs: Optional[int] = None,
+           executor: Optional[str] = None,
            tracer=None,
            service=None) -> TriageReport:
     """Run the crash-triage service over intake directories and/or bugs.
@@ -177,12 +189,14 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
     if service is None:
         if isinstance(store, (str, os.PathLike)):
             store = ResultStore(os.fspath(store))
-        policy = EnginePolicy.resolve(wave_jobs=wave_jobs)
+        policy = EnginePolicy.resolve(wave_jobs=wave_jobs,
+                                      executor=executor)
         service = TriageService(
             jobs=jobs, store=store,
             timeout_s=DEFAULT_JOB_TIMEOUT_S if timeout_s is None
             else timeout_s,
             wave_jobs=policy.wave_jobs,
+            executor=policy.executor,
             tracer=tracer)
     for source in _triage_sources(paths_or_corpus):
         if isinstance(source, (str, os.PathLike)):

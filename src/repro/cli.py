@@ -63,6 +63,13 @@ def _parent_parsers():
                             "(default 1: sequential); results are "
                             "bit-identical, only hv.wave.* accounting "
                             "differs")
+    waves.add_argument("--executor", choices=("fleet", "inline"),
+                       default=None,
+                       help="wave dispatch backend: 'fleet' (persistent "
+                            "fork-server workers, the default) or "
+                            "'inline' (never fork; waves run "
+                            "in-process); irrelevant without "
+                            "--parallel-waves")
 
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -89,7 +96,8 @@ def _engine_policy(args: argparse.Namespace) -> EnginePolicy:
     no_snapshot = getattr(args, "no_snapshot", False)
     return EnginePolicy.resolve(
         cli_snapshots=False if no_snapshot else None,
-        cli_wave_jobs=getattr(args, "parallel_waves", None))
+        cli_wave_jobs=getattr(args, "parallel_waves", None),
+        cli_executor=getattr(args, "executor", None))
 
 
 def _open_tracer(args: argparse.Namespace):
@@ -153,6 +161,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         diagnosis = api.diagnose(bug, report=report, vm_count=args.vms,
                                  snapshots=policy.use_snapshots,
                                  wave_jobs=policy.wave_jobs,
+                                 executor=policy.executor,
                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -169,6 +178,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                                   timeout_s=args.timeout,
                                   snapshots=policy.use_snapshots,
                                   wave_jobs=policy.wave_jobs,
+                                  executor=policy.executor,
                                   tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -224,9 +234,11 @@ def _cmd_triage(args: argparse.Namespace) -> int:
         sources.append(args.intake)
     tracer = _open_tracer(args)
     store = ResultStore(args.store) if args.store else None
+    policy = _engine_policy(args)
     service = TriageService(jobs=args.jobs, store=store,
                             timeout_s=args.timeout,
-                            wave_jobs=_engine_policy(args).wave_jobs,
+                            wave_jobs=policy.wave_jobs,
+                            executor=policy.executor,
                             tracer=tracer)
     try:
         summary = api.triage(sources, pipeline=args.pipeline,

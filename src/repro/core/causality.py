@@ -179,6 +179,11 @@ class CaConfig:
     #: can be planned upfront and its results processed in submission
     #: order, keeping the diagnosis bit-identical to ``wave_jobs=1``.
     wave_jobs: int = 1
+    #: Which parallel dispatch backend serves waves (``--executor``):
+    #: ``"fleet"`` (the persistent fork-server fleet, the default) or
+    #: ``"inline"`` (never fork; waves run in-process).  Irrelevant at
+    #: ``wave_jobs=1``.  Diagnoses are bit-identical either way.
+    executor: str = "fleet"
 
 
 class CausalityAnalysis:
@@ -460,6 +465,10 @@ class CausalityAnalysis:
             self.stats.elapsed_seconds = time.perf_counter() - started
             result.stats = self.stats
             self._trace_outcome(span, result)
+            # Retire the engine's resident fleet workers (if any) —
+            # each analysis owns its engine, and batch callers must not
+            # accumulate forked workers across diagnoses.
+            self.engine.close()
         return result
 
     def _absorb_engine_stats(self) -> None:

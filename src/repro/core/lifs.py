@@ -117,6 +117,11 @@ class LifsConfig:
     #: always a subset of the authoritative one — see
     #: docs/PERFORMANCE.md); only wave/snapshot accounting differs.
     wave_jobs: int = 1
+    #: Which parallel dispatch backend serves waves (``--executor``):
+    #: ``"fleet"`` (the persistent fork-server fleet, the default) or
+    #: ``"inline"`` (never fork; waves run in-process).  Irrelevant at
+    #: ``wave_jobs=1``.  Diagnoses are bit-identical either way.
+    executor: str = "fleet"
 
 
 @dataclass
@@ -299,6 +304,11 @@ class LeastInterleavingFirstSearch:
             self._absorb_engine_stats()
             self.stats.elapsed_seconds = time.perf_counter() - started
             self._trace_outcome(span, result)
+            # The engine (and any resident fleet workers it forked)
+            # serves exactly this search; retire it so batch callers —
+            # the 22-bug evaluation, the triage service — never
+            # accumulate worker processes across diagnoses.
+            self.engine.close()
         return result
 
     def _absorb_engine_stats(self) -> None:

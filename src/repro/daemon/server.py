@@ -40,8 +40,8 @@ from typing import Dict, Optional
 from repro.observe.export import render_exposition
 from repro.observe.tracer import Tracer
 from repro.service.artifacts import ArtifactParseError, CrashArtifact
+from repro.engine.executors import make_executor
 from repro.service.metrics import Histogram, ServiceMetrics
-from repro.service.pool import make_pool
 from repro.service.queue import JobOutcome, QueueFull, TriageJob
 from repro.service.signature import signature_of_text
 from repro.service.triage import EMPTY_INTAKE_MESSAGE
@@ -84,8 +84,11 @@ class TriageDaemon:
                                         max_depth=config.max_depth)
         self.tenants = TenantTable(config.tenant_policy)
         self.diagnose = resolve_diagnoser(config.diagnoser)
-        self.pool = make_pool(self.diagnose, jobs=config.jobs,
-                              retry=config.retry)
+        #: The drain loop's job executor — fleet workers stay resident
+        #: across drain batches, so the daemon's steady state pays no
+        #: fork per diagnosis.
+        self.pool = make_executor(worker=self.diagnose, jobs=config.jobs,
+                                  retry=config.retry)
         #: job_id -> job, every job this daemon has ever owned.
         self._jobs: Dict[str, TriageJob] = {}
         #: digest -> job_id for dedup (kept after completion: a done
@@ -410,6 +413,7 @@ class TriageDaemon:
                                        self.config.shutdown_grace_s)
             except asyncio.TimeoutError:  # pragma: no cover — slow batch
                 self._drain_task.cancel()
+        self.pool.close()
         self.queue.close()
         self.store.close()
         if self._owns_tracer:

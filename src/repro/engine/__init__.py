@@ -5,20 +5,31 @@ interprets instructions".  LIFS and Causality Analysis emit
 :class:`RunRequest`/:class:`RunPlan` values and consume
 :class:`RunOutcome`\\ s; the :class:`ScheduleExecutionEngine` decides
 *where* and *how* each schedule executes — inline fresh boots, snapshot
-resume/splice on a vehicle machine, or parallel waves across child
-processes — under one :class:`EnginePolicy` resolved from algorithm
-configs, api keywords and CLI flags.  See docs/ARCHITECTURE.md.
+resume/splice on a vehicle machine, or streaming dispatch across the
+persistent fork-server worker fleet — under one :class:`EnginePolicy`
+resolved from algorithm configs, api keywords and CLI flags.  See
+docs/ARCHITECTURE.md.
 
-* :mod:`repro.engine.protocol` — the request/plan/outcome vocabulary,
+* :mod:`repro.engine.protocol`  — the request/plan/outcome vocabulary,
   :class:`EnginePolicy` resolution and :class:`EngineStats`;
-* :mod:`repro.engine.backends` — the composable backends
-  (:class:`InlineBackend`, :class:`SnapshotBackend`,
-  :class:`WaveBackend`);
-* :mod:`repro.engine.engine` — the engine itself.
+* :mod:`repro.engine.backends`  — the in-parent backends
+  (:class:`InlineBackend`, :class:`SnapshotBackend`);
+* :mod:`repro.engine.executors` — the one process-dispatch front door
+  (:func:`make_executor`: :class:`InlineExecutor` /
+  :class:`FleetExecutor` for schedule plans, :class:`JobExecutor` for
+  triage jobs);
+* :mod:`repro.engine.fleet`     — the fork-server worker substrate;
+* :mod:`repro.engine.engine`    — the engine itself.
 """
 
-from repro.engine.backends import InlineBackend, SnapshotBackend, WaveBackend
+from repro.engine.backends import InlineBackend, SnapshotBackend
 from repro.engine.engine import ScheduleExecutionEngine
+from repro.engine.executors import (
+    FleetExecutor,
+    InlineExecutor,
+    JobExecutor,
+    make_executor,
+)
 from repro.engine.protocol import (
     CA_COUNTER_NAMES,
     LIFS_COUNTER_NAMES,
@@ -34,11 +45,14 @@ __all__ = [
     "LIFS_COUNTER_NAMES",
     "EnginePolicy",
     "EngineStats",
+    "FleetExecutor",
     "InlineBackend",
+    "InlineExecutor",
+    "JobExecutor",
     "RunOutcome",
     "RunPlan",
     "RunRequest",
     "ScheduleExecutionEngine",
     "SnapshotBackend",
-    "WaveBackend",
+    "make_executor",
 ]

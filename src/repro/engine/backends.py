@@ -16,27 +16,26 @@ spliced steps) differ.
 * :class:`SnapshotBackend` — one vehicle machine restored in place from
   boot/prefix checkpoints (:class:`CheckpointPolicy` captures,
   :class:`ContinuationCache` suffix splicing).  docs/PERFORMANCE.md.
-* :class:`WaveBackend`     — fan a batch out to child processes through
-  :class:`~repro.hypervisor.waves.WaveExecutor`; resume points and
-  capture policies still come from the snapshot backend, so a wave is
-  the snapshot/inline semantics at a different placement.
 
-Adding a backend means implementing ``run`` (or ``run_plan``) returning
-outcomes whose runs are bit-identical to :class:`InlineBackend`'s, and
-teaching the engine's selection logic when it applies — see
-docs/ARCHITECTURE.md.
+Parallel placement is no longer a backend: plans stream through the
+executor layer (:mod:`repro.engine.executors` — the persistent
+fork-server fleet), with resume points and capture policies resolved
+*into* each request by the engine, so every placement executes exactly
+the run the snapshot/inline path would have produced.
+
+Adding a backend means implementing ``run`` returning outcomes whose
+runs are bit-identical to :class:`InlineBackend`'s, and teaching the
+engine's selection logic when it applies — see docs/ARCHITECTURE.md.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
 
 from repro.hypervisor.controller import (ContinuationCache,
                                          ScheduleController, SpliceSession)
 from repro.hypervisor.snapshot import (CheckpointPolicy, RunCheckpoint,
                                        boot_checkpoint)
-from repro.hypervisor.waves import WaveExecutor, WaveJob
-from repro.service.queue import RetryPolicy
 
 from repro.engine.protocol import RunOutcome, RunRequest
 
@@ -153,49 +152,3 @@ class SnapshotBackend:
             prefix_steps=resume.steps if resume is not None else 0,
             setup_steps=machine.setup_steps,
             spliced_steps=controller.spliced_steps, backend=self.name)
-
-
-class WaveBackend:
-    """Fan a request batch out to child processes, in submission order.
-
-    Wraps :class:`~repro.hypervisor.waves.WaveExecutor` (striped chunks,
-    per-chunk timeout, worker-death retry, inline fallback).  Resume
-    points and checkpoint policies are resolved through the snapshot
-    backend, so each child reproduces exactly the run its request would
-    have produced sequentially; children never splice (they execute
-    independently), which only changes accounting, never bits.
-    """
-
-    name = "wave"
-
-    def __init__(self, engine: "ScheduleExecutionEngine") -> None:
-        self._engine = engine
-        policy = engine.policy
-        kwargs = {}
-        if policy.wave_timeout_s is not None:
-            kwargs["timeout_s"] = policy.wave_timeout_s
-        if policy.wave_max_retries is not None:
-            kwargs["retry"] = RetryPolicy(max_retries=policy.wave_max_retries)
-        self.executor = WaveExecutor(
-            jobs=policy.wave_jobs, machine_factory=engine.machine_factory,
-            tracer=engine.tracer, **kwargs)
-
-    @property
-    def parallel(self) -> bool:
-        return self.executor.parallel
-
-    def run_plan(self,
-                 requests: Sequence[RunRequest]) -> List[RunOutcome]:
-        snapshot = self._engine.snapshot_backend
-        jobs = [WaveJob(schedule=r.schedule,
-                        resume_from=snapshot.resolve_resume(r),
-                        watch_races=r.watch_races,
-                        checkpoint_policy=snapshot.checkpoint_policy(r))
-                for r in requests]
-        outcomes = self.executor.run_wave(jobs, machine=snapshot.vehicle)
-        return [RunOutcome(
-                    run=o.run, checkpoints=tuple(o.checkpoints),
-                    resumed=o.resumed, prefix_steps=o.prefix_steps,
-                    setup_steps=o.setup_steps, spliced_steps=0,
-                    backend=self.name)
-                for o in outcomes]

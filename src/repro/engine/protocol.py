@@ -25,7 +25,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - annotations only, no import cycle
     from repro.core.schedule import Schedule
     from repro.hypervisor.controller import RunResult
-    from repro.hypervisor.snapshot import RunCheckpoint
+    from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
+
+#: Default fleet spin-up threshold (see :class:`EnginePolicy`).
+DEFAULT_FLEET_SPINUP_REQUESTS = 48
 
 
 def _cfg(config, name):
@@ -49,8 +52,9 @@ class EnginePolicy:
 
     One policy instance selects the whole backend composition: snapshots
     on/off (``SnapshotBackend`` vs ``InlineBackend``) and the parallel
-    wave width (``WaveBackend``), plus checkpoint density, continuation
-    memo size and the wave executor's per-chunk timeout/retry budget.
+    executor (``repro.engine.executors`` — fleet kind, width, spin-up
+    threshold), plus checkpoint density, continuation memo size and the
+    per-task timeout/respawn budget.
     """
 
     use_snapshots: bool = True
@@ -62,27 +66,44 @@ class EnginePolicy:
     max_continuations: int = 65536
     #: Parallel wave width; 1 keeps execution sequential.
     wave_jobs: int = 1
-    #: Per-chunk wave deadline and worker-death retry budget; ``None``
-    #: keeps the :class:`~repro.hypervisor.waves.WaveExecutor` defaults.
+    #: Per-task wave deadline and worker respawn budget; ``None`` keeps
+    #: the :mod:`repro.engine.executors` defaults.
     wave_timeout_s: Optional[float] = None
     wave_max_retries: Optional[int] = None
+    #: Which executor serves parallel plans: ``"fleet"`` (persistent
+    #: fork-server workers, :mod:`repro.engine.executors`) or
+    #: ``"inline"`` (never fan out, whatever ``wave_jobs`` says).
+    executor: str = "fleet"
+    #: How many parallel requests an engine must demand before the
+    #: fleet forks its workers — small diagnoses never cross it and
+    #: never pay a fork.
+    fleet_spinup_requests: int = DEFAULT_FLEET_SPINUP_REQUESTS
 
     @classmethod
     def resolve(cls, config=None, *,
                 snapshots: Optional[bool] = None,
                 wave_jobs: Optional[int] = None,
+                executor: Optional[str] = None,
                 cli_snapshots: Optional[bool] = None,
-                cli_wave_jobs: Optional[int] = None) -> "EnginePolicy":
+                cli_wave_jobs: Optional[int] = None,
+                cli_executor: Optional[str] = None) -> "EnginePolicy":
         """Resolve a policy with precedence config > api kwarg > CLI flag.
 
         ``config`` is an algorithm config (``LifsConfig`` / ``CaConfig``
         or anything duck-typed like one); when it is given, its fields
         win outright — an explicit config is the strongest statement of
-        intent.  ``snapshots`` / ``wave_jobs`` are the :mod:`repro.api`
-        keyword tier, ``cli_snapshots`` / ``cli_wave_jobs`` the parsed
+        intent.  ``snapshots`` / ``wave_jobs`` / ``executor`` are the
+        :mod:`repro.api` keyword tier, the ``cli_*`` names the parsed
         command-line tier; ``None`` anywhere means "unset, fall
         through".
         """
+        chosen = str(_pick(_cfg(config, "executor"), executor,
+                           cli_executor, default="fleet"))
+        if chosen == "wave":  # pre-2.1 name for the parallel placement
+            chosen = "fleet"
+        if chosen not in ("fleet", "inline"):
+            raise ValueError(
+                f"unknown executor {chosen!r} (choose 'fleet' or 'inline')")
         return cls(
             use_snapshots=bool(_pick(
                 _cfg(config, "use_snapshots"), snapshots, cli_snapshots,
@@ -95,7 +116,11 @@ class EnginePolicy:
                 _cfg(config, "max_continuations"), default=65536),
             wave_jobs=int(_pick(
                 _cfg(config, "wave_jobs"), wave_jobs, cli_wave_jobs,
-                default=1)))
+                default=1)),
+            executor=chosen,
+            fleet_spinup_requests=int(_pick(
+                _cfg(config, "fleet_spinup_requests"),
+                default=DEFAULT_FLEET_SPINUP_REQUESTS)))
 
     @classmethod
     def for_lifs(cls, config) -> "EnginePolicy":
@@ -122,6 +147,11 @@ class RunRequest:
     #: Capture prefix checkpoints during the run (LIFS harvests them for
     #: extension resume; flip runs never need them).
     capture_checkpoints: bool = False
+    #: The resolved capture policy.  Algorithms leave this ``None`` (the
+    #: engine derives it from ``capture_checkpoints`` and its own
+    #: policy); it is filled in when a request is *prepared* for an
+    #: executor, which executes exactly what the request says.
+    checkpoint_policy: Optional[CheckpointPolicy] = None
     #: Free-form origin label, for diagnostics.
     label: str = ""
 
@@ -155,8 +185,14 @@ class RunOutcome:
     #: Whether the engine answered this request from its dedup map of
     #: speculatively computed outcomes instead of executing it again.
     dedup_hit: bool = False
-    #: Which backend produced the run ("inline", "snapshot", "wave").
+    #: Which backend produced the run ("inline", "snapshot", "fleet").
     backend: str = "inline"
+    #: Whether the run executed *untraced* (in a fleet worker, or as an
+    #: untraced speculative run in the parent) — the engine re-emits the
+    #: per-run ``hv.*`` counters for remote outcomes when it merges or
+    #: consumes them, and only for those, so every run is counted
+    #: exactly once.
+    remote: bool = False
 
     def signature_hash(self) -> int:
         """The run's stable 64-bit Mazurkiewicz-signature digest — the

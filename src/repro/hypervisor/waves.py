@@ -1,46 +1,30 @@
-"""Parallel wave execution: real concurrency for independent schedules.
+"""Parallel wave vocabulary (and the deprecated per-wave executor).
 
 AITIA's manager drives 32 guest VMs and parallelizes the reproducing
 stage across slices and the diagnosing stage across flip tests (paper
 sections 4.1 and 4.5).  The search stages produce exactly that shape of
-work — a *wave* of schedules with no data dependencies between them
-(every extension of a LIFS frontier, every flip test of a Causality
-Analysis phase) — and the simulator is deterministic pure Python, so
-fanning a wave out to child *processes* buys genuine wall-clock speedup
-where threads would serialize on the GIL.
+work — a *wave* of schedules with no data dependencies between them —
+and the deterministic pure-Python simulator gains genuine wall-clock
+speedup from fanning a wave out to child *processes*.
 
-:class:`WaveExecutor` is that fan-out.  It deliberately reuses the
-fault-tolerant :class:`~repro.service.pool.WorkerPool` machinery
-(per-attempt child processes, timeout kill, worker-death retry with
-backoff) instead of growing a second pool implementation, and it keeps
-the determinism contract the rest of the pipeline is built on:
+Since the executor redesign, dispatch itself lives in
+:mod:`repro.engine.executors`: a persistent fork-server worker fleet
+whose workers boot once and stay resident across waves, receiving only
+schedule suffixes plus checkpoint-store keys.  This module keeps
 
-* results merge back in **submission order** — the caller sees the same
-  sequence of :class:`RunResult`s it would have produced sequentially;
-* a chunk that times out or loses its worker is transparently
-  **re-executed inline** in the parent (counted as ``hv.wave.fallbacks``),
-  so a wave never loses or reorders a result;
-* each run is bit-identical wherever it executes: the controller is
-  deterministic in (machine state, schedule), and resuming from a
-  checkpoint never changes a run's bits (the PR-3 resume property).
-
-Wave inputs cross the process boundary through the explicit
-serialization path of :mod:`repro.kernel.snapshot` (``dumps_state`` /
-``loads_state``): schedules and boot/prefix checkpoints are pickled
-into a versioned blob at submission time, so the child works on a
-stable copy even under the ``fork`` start method, where the rest of the
-payload (the unpicklable machine factory, the shared vehicle machine)
-is inherited by address.
-
-Accounting flows through ``hv.wave.*`` counters on the caller's tracer
-(children run untraced; the parent re-emits the per-run ``hv.*``
-counters at merge time so sequential totals and identities still hold)
-and is rendered by ``repro trace-report``.
+* the wave vocabulary (:class:`WaveJob` / :class:`WaveOutcome`) and the
+  one-job execution helper (:func:`execute_wave_job`) used inline and
+  in tests;
+* :func:`emit_run_counters`, the parent-side re-emission of per-run
+  ``hv.*`` counters for runs that executed untraced in a worker;
+* :class:`WaveExecutor`, now a **deprecated** thin shim over the fleet
+  executor — construct executors with
+  :func:`repro.engine.executors.make_executor` instead.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -48,14 +32,11 @@ from repro.core.schedule import Schedule
 from repro.hypervisor.controller import RunResult, ScheduleController
 from repro.hypervisor.snapshot import CheckpointPolicy, RunCheckpoint
 from repro.kernel.machine import KernelMachine
-from repro.kernel.snapshot import dumps_state, loads_state
 from repro.observe.tracer import as_tracer
-from repro.service.pool import WorkerPool
-from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
 
-#: Per-chunk deadline: a chunk is tens-to-hundreds of schedules, each far
-#: below :data:`~repro.hypervisor.controller.MAX_RUN_STEPS`, so a chunk
-#: this late is a wedged worker, not a slow one.
+#: Per-task deadline: one schedule is far below
+#: :data:`~repro.hypervisor.controller.MAX_RUN_STEPS`, so a task this
+#: late is a wedged worker, not a slow one.
 DEFAULT_WAVE_TIMEOUT_S = 600.0
 
 
@@ -86,12 +67,16 @@ class WaveOutcome:
     #: prefix steps that resume skipped.
     resumed: bool
     prefix_steps: int
+    #: Steps grafted from the executing side's continuation cache
+    #: (resident fleet workers splice like the parent does; splicing
+    #: changes accounting, never bits).
+    spliced_steps: int = 0
 
 
 def execute_wave_job(job: WaveJob,
                      machine_factory: Callable[[], KernelMachine],
                      machine: Optional[KernelMachine] = None) -> WaveOutcome:
-    """Run one wave job to completion — in a child or inline.
+    """Run one wave job to completion — wherever the caller is.
 
     A resuming job reuses ``machine`` as its vehicle (the checkpoint
     restore rewrites the whole machine state, so any machine booted from
@@ -111,30 +96,15 @@ def execute_wave_job(job: WaveJob,
         run=run, checkpoints=tuple(controller.checkpoints),
         setup_steps=vehicle.setup_steps,
         resumed=job.resume_from is not None,
-        prefix_steps=job.resume_from.steps if job.resume_from else 0)
-
-
-def _wave_chunk_main(payload: dict) -> dict:
-    """Worker entry: execute one chunk of wave jobs, in order.
-
-    Must stay a module-level function (the pool may pickle it under the
-    ``spawn`` start method).  Jobs arrive as a ``dumps_state`` blob —
-    the serialization path for schedules and checkpoints — while the
-    machine factory and the optional shared vehicle are fork-inherited.
-    """
-    jobs: Tuple[WaveJob, ...] = loads_state(payload["jobs_blob"])
-    machine_factory = payload["machine_factory"]
-    machine = payload.get("machine")
-    outcomes = tuple(execute_wave_job(job, machine_factory, machine)
-                     for job in jobs)
-    return {"outcomes_blob": dumps_state(outcomes)}
+        prefix_steps=job.resume_from.steps if job.resume_from else 0,
+        spliced_steps=controller.spliced_steps)
 
 
 def emit_run_counters(tracer, run: RunResult) -> None:
     """Re-emit the ``hv.*`` counters a traced controller would have
     emitted for ``run``.
 
-    Wave children run untraced (their sink is the result pipe, not the
+    Fleet workers run untraced (their sink is the result pipe, not the
     parent's tracer), so the parent emits the equivalent counters when
     it merges an outcome — keeping totals identical to a sequential run
     and preserving identities like ``hv.runs == lifs.schedules +
@@ -155,105 +125,101 @@ def emit_run_counters(tracer, run: RunResult) -> None:
 
 
 class WaveExecutor:
-    """Fan independent schedule batches out to child processes.
+    """**Deprecated** — use :func:`repro.engine.executors.make_executor`.
 
-    ``jobs`` is the concurrency cap.  A wave is striped into at most
-    ``jobs`` contiguous-by-stride chunks (chunk *i* takes submissions
-    ``i, i+jobs, i+2*jobs, ...``), one child process per chunk, which
-    amortizes the fork + pipe cost across many sub-millisecond schedule
-    runs.  Results are reassembled by submission index, so the merge
-    order never depends on which child finished first.
+    This shim keeps the pre-2.1 per-wave API alive for one release on
+    top of the persistent fork-server fleet.  Migration::
+
+        # before
+        executor = WaveExecutor(jobs=4, machine_factory=factory)
+        outcomes = executor.run_wave(wave_jobs)
+
+        # after
+        from repro.engine.executors import make_executor
+        from repro.engine.protocol import RunPlan, RunRequest
+
+        executor = make_executor(machine_factory=factory, jobs=4)
+        plan = RunPlan([RunRequest(schedule=j.schedule,
+                                   resume_from=j.resume_from,
+                                   watch_races=j.watch_races,
+                                   checkpoint_policy=j.checkpoint_policy)
+                        for j in wave_jobs])
+        executor.engage(len(plan.requests))
+        for index, outcome in executor.submit(plan):
+            ...  # streaming, completion order
+        executor.close()
+
+    Differences from the historical behaviour: workers are resident
+    (booted once, reused across ``run_wave`` calls) and a lost chunk
+    re-runs per-job instead of per-stripe.  Results are still merged in
+    submission order and remain bit-identical.  ``retry`` maps onto the
+    fleet's worker-respawn budget.
     """
 
     def __init__(self, jobs: int,
                  machine_factory: Callable[[], KernelMachine],
                  tracer=None,
                  timeout_s: float = DEFAULT_WAVE_TIMEOUT_S,
-                 retry: Optional[RetryPolicy] = None,
+                 retry=None,
                  context: Optional[str] = None) -> None:
+        warnings.warn(
+            "repro.hypervisor.waves.WaveExecutor is deprecated; build "
+            "executors with repro.engine.executors.make_executor("
+            "machine_factory=..., jobs=...) — see the class docstring "
+            "for the migration recipe",
+            DeprecationWarning, stacklevel=2)
+        from repro.engine.executors import make_executor
+
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.machine_factory = machine_factory
         self.tracer = as_tracer(tracer)
         self.timeout_s = timeout_s
-        self.retry = retry or RetryPolicy()
-        self._context = context or "fork"
+        self._executor = make_executor(
+            machine_factory=machine_factory, jobs=jobs, tracer=tracer,
+            timeout_s=timeout_s, context=context or "fork",
+            max_respawns=(retry.max_retries * jobs
+                          if retry is not None else None),
+            spinup_requests=0, eager=True)
 
     @property
     def parallel(self) -> bool:
-        """Whether waves genuinely fan out to child processes.
+        """Whether waves genuinely fan out to resident workers (needs
+        ``jobs > 1``, the ``fork`` start method and a non-daemonic
+        parent — see :func:`repro.engine.fleet.fleet_available`)."""
+        return getattr(self._executor, "parallel", False)
 
-        Requires ``jobs > 1``, the ``fork`` start method (machine
-        factories are closures and must be inherited, not pickled) and a
-        non-daemonic parent — the service pools run their workers as
-        daemons, and daemonic processes may not have children, so a wave
-        inside a ``--jobs N`` triage/evaluate worker degrades to inline
-        execution instead of crashing.
-        """
-        return (self.jobs > 1
-                and self._context in
-                multiprocessing.get_all_start_methods()
-                and not multiprocessing.current_process().daemon)
-
-    # ------------------------------------------------------------------
     def run_wave(self, wave: Sequence[WaveJob],
                  machine: Optional[KernelMachine] = None,
                  ) -> List[WaveOutcome]:
         """Execute every job; outcomes are returned in submission order.
 
-        ``machine`` is the caller's vehicle machine: resuming jobs
-        restore their checkpoints onto (the child's forked copy of) it
-        instead of booting fresh.
+        ``machine`` is accepted for API compatibility; resident workers
+        keep their own vehicle machines, so it is no longer used as the
+        restore target.
         """
+        from repro.engine.protocol import RunPlan, RunRequest
+
         if not wave:
             return []
-        if not self.parallel or len(wave) < 2:
-            self.tracer.count("hv.wave.inline", len(wave))
-            return [execute_wave_job(job, self.machine_factory, machine)
-                    for job in wave]
-
-        width = min(self.jobs, len(wave))
-        stripes = [list(range(i, len(wave), width)) for i in range(width)]
-        chunk_jobs = [
-            TriageJob(
-                job_id=f"wave-{i}",
-                payload={
-                    "jobs_blob": dumps_state(
-                        tuple(wave[j] for j in stripe)),
-                    "machine_factory": self.machine_factory,
-                    "machine": machine,
-                },
-                timeout_s=self.timeout_s)
-            for i, stripe in enumerate(stripes)
-        ]
-        pool = WorkerPool(_wave_chunk_main, jobs=width, retry=self.retry,
-                          context=self._context, poll_interval_s=0.002)
-        pool.run(chunk_jobs)
-
+        requests = [RunRequest(schedule=j.schedule,
+                               resume_from=j.resume_from,
+                               watch_races=j.watch_races,
+                               checkpoint_policy=j.checkpoint_policy)
+                    for j in wave]
+        if len(wave) >= 2:
+            self._executor.engage(len(wave))
         outcomes: List[Optional[WaveOutcome]] = [None] * len(wave)
-        dispatched = fallbacks = 0
-        for stripe, chunk in zip(stripes, chunk_jobs):
-            if chunk.outcome is JobOutcome.SUCCEEDED:
-                chunk_outcomes = loads_state(chunk.result["outcomes_blob"])
-                for j, outcome in zip(stripe, chunk_outcomes):
-                    outcomes[j] = outcome
-                dispatched += len(stripe)
-            else:
-                # Timeout or worker death past the retry budget: the wave
-                # must still complete deterministically, so the chunk is
-                # re-executed inline on the parent.
-                fallbacks += len(stripe)
-                for j in stripe:
-                    outcomes[j] = execute_wave_job(
-                        wave[j], self.machine_factory, machine)
-        if self.tracer.enabled:
-            self.tracer.count("hv.wave.batches")
-            self.tracer.count("hv.wave.jobs", len(wave))
-            self.tracer.count("hv.wave.dispatched", dispatched)
-            if fallbacks:
-                self.tracer.count("hv.wave.fallbacks", fallbacks)
-            self.tracer.point("hv.wave.batch", stage="hv",
-                              jobs=len(wave), width=width,
-                              fallbacks=fallbacks)
+        for index, outcome in self._executor.submit(
+                RunPlan(requests, phase="legacy.wave")):
+            outcomes[index] = WaveOutcome(
+                run=outcome.run, checkpoints=tuple(outcome.checkpoints),
+                setup_steps=outcome.setup_steps, resumed=outcome.resumed,
+                prefix_steps=outcome.prefix_steps,
+                spliced_steps=outcome.spliced_steps)
         return outcomes  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Retire the resident workers backing this shim."""
+        self._executor.close()

@@ -1,29 +1,25 @@
-"""Worker pools: real process parallelism for independent diagnoses.
+"""Worker pools (deprecated shims) and the in-process fallback.
 
-The simulator is deterministic pure Python, so diagnosing independent
-bugs in separate *processes* gives genuine wall-clock speedup (threads
-would serialize on the GIL).  :class:`WorkerPool` runs each job attempt
-in its own child process, capped at ``jobs`` concurrent children — the
-process-per-attempt design makes fault handling exact:
+Process dispatch for triage jobs lives in
+:mod:`repro.engine.executors` since the executor redesign: one front
+door, :func:`repro.engine.executors.make_executor`, builds either a
+persistent fork-server :class:`~repro.engine.executors.JobExecutor`
+(``jobs > 1``) or the :class:`InProcessPool` here (``jobs = 1``).
 
-* **timeout** — a child past its job's deadline is terminated and the
-  job reported ``timed_out``; nothing else in the pool is disturbed;
-* **worker death** — a child that exits without posting a result (OOM
-  kill, segfault, ``SIGKILL``) is detected by its exit code and the job
-  is retried with backoff, up to the policy's budget;
-* **worker exception** — deterministic failures are not retried; the
-  job is reported ``failed`` with the exception text.
+This module keeps:
 
-:class:`InProcessPool` is the ``--jobs 1`` fallback: same interface, no
-child processes (and therefore no timeout enforcement — a deterministic
-simulator cannot hang mid-schedule), which keeps single-job runs easy
-to debug and profile.
+* :class:`InProcessPool` — the serial placement of the job-executor
+  contract, still canonical (it is what ``make_executor(worker=...,
+  jobs=1)`` returns);
+* :class:`WorkerPool` and :func:`make_pool` — **deprecated** shims over
+  the fleet-backed executor, kept one release with migration notes in
+  their docstrings.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
+import warnings
 from typing import Callable, List, Optional, Sequence
 
 from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
@@ -31,175 +27,9 @@ from repro.service.queue import JobOutcome, RetryPolicy, TriageJob
 Worker = Callable[[dict], dict]
 
 
-def _attempt_main(worker: Worker, payload: dict, conn) -> None:
-    """Child-process entry: run the worker, post the result, exit."""
-    try:
-        result = worker(payload)
-        conn.send(("ok", result))
-    except BaseException as exc:  # noqa: BLE001 — report, don't crash silently
-        try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except (BrokenPipeError, OSError):  # pragma: no cover
-            pass
-    finally:
-        conn.close()
-
-
-class _Attempt:
-    """One running child process servicing one job."""
-
-    def __init__(self, ctx, worker: Worker, job: TriageJob) -> None:
-        self.job = job
-        self.recv, send = ctx.Pipe(duplex=False)
-        self.process = ctx.Process(target=_attempt_main,
-                                   args=(worker, job.payload, send),
-                                   daemon=True)
-        self.started = time.monotonic()
-        self.process.start()
-        send.close()  # parent keeps only the read end
-        self.message: Optional[tuple] = None
-
-    def poll_message(self) -> None:
-        """Drain the pipe eagerly so a large result can't wedge the
-        child in a blocking send."""
-        if self.message is None:
-            try:
-                if self.recv.poll():
-                    self.message = self.recv.recv()
-            except (EOFError, OSError):
-                pass
-
-    @property
-    def timed_out(self) -> bool:
-        return (self.message is None
-                and time.monotonic() - self.started > self.job.timeout_s)
-
-    @property
-    def exited(self) -> bool:
-        return self.process.exitcode is not None
-
-    def kill(self) -> None:
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=1.0)
-            if self.process.is_alive():  # pragma: no cover — stubborn child
-                self.process.kill()
-                self.process.join(timeout=1.0)
-        self.recv.close()
-
-    def finish(self) -> None:
-        self.process.join(timeout=1.0)
-        self.recv.close()
-
-
-class WorkerPool:
-    """Run triage jobs across child processes with retry/timeout."""
-
-    def __init__(self, worker: Worker, jobs: int = 2,
-                 retry: Optional[RetryPolicy] = None,
-                 context: Optional[str] = None,
-                 poll_interval_s: float = 0.01) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be at least 1")
-        self.worker = worker
-        self.jobs = jobs
-        self.retry = retry or RetryPolicy()
-        if context is None:
-            methods = multiprocessing.get_all_start_methods()
-            context = "fork" if "fork" in methods else methods[0]
-        self._ctx = multiprocessing.get_context(context)
-        self.poll_interval_s = poll_interval_s
-
-    # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[TriageJob],
-            on_complete: Optional[Callable[[TriageJob], None]] = None,
-            ) -> List[TriageJob]:
-        """Execute every job to a terminal outcome; returns the same
-        objects, mutated in place (order preserved)."""
-        run_started = time.monotonic()
-        pending: List[tuple] = [(0.0, job) for job in jobs
-                                if not job.done]  # (not_before, job)
-        active: List[_Attempt] = []
-        try:
-            while pending or active:
-                now = time.monotonic()
-                # Launch while slots are free and a job is eligible.
-                while len(active) < self.jobs:
-                    idx = next((i for i, (nb, _) in enumerate(pending)
-                                if nb <= now), None)
-                    if idx is None:
-                        break
-                    _, job = pending.pop(idx)
-                    job.outcome = JobOutcome.RUNNING
-                    job.attempts += 1
-                    if job.attempts == 1:
-                        job.queue_wait_s = time.monotonic() - run_started
-                    active.append(_Attempt(self._ctx, self.worker, job))
-
-                still_active: List[_Attempt] = []
-                for attempt in active:
-                    attempt.poll_message()
-                    state = self._reap(attempt, pending)
-                    if state == "running":
-                        still_active.append(attempt)
-                    elif state == "terminal" and on_complete is not None:
-                        on_complete(attempt.job)
-                active = still_active
-                if pending or active:
-                    time.sleep(self.poll_interval_s)
-        finally:
-            for attempt in active:  # pragma: no cover — only on error paths
-                attempt.kill()
-        return list(jobs)
-
-    # ------------------------------------------------------------------
-    def _reap(self, attempt: _Attempt, pending: List[tuple]) -> str:
-        """Settle one attempt; returns ``"running"``, ``"terminal"``, or
-        ``"requeued"`` (attempt done, job pending a retry)."""
-        job = attempt.job
-        if attempt.timed_out:
-            # A result posted between the caller's poll and the deadline
-            # check would be discarded by the kill below and the job
-            # misreported as timed out — drain the pipe once more before
-            # declaring the timeout (timed_out re-checks the message).
-            attempt.poll_message()
-        if attempt.timed_out:
-            attempt.kill()
-            job.outcome = JobOutcome.TIMED_OUT
-            job.error = f"exceeded {job.timeout_s:.1f}s timeout"
-            job.seconds += time.monotonic() - attempt.started
-            return "terminal"
-        if attempt.message is not None:
-            status, body = attempt.message
-            job.seconds += time.monotonic() - attempt.started
-            if status == "ok":
-                job.outcome = JobOutcome.SUCCEEDED
-                job.result = body
-            else:
-                job.outcome = JobOutcome.FAILED
-                job.error = body
-            attempt.finish()
-            return "terminal"
-        if attempt.exited:
-            # Died without a result: a killed/crashed worker, not a
-            # deterministic failure — retry with backoff.
-            job.seconds += time.monotonic() - attempt.started
-            exitcode = attempt.process.exitcode
-            attempt.finish()
-            if job.attempts <= self.retry.max_retries:
-                delay = self.retry.delay(job.attempts)
-                job.outcome = JobOutcome.PENDING
-                pending.append((time.monotonic() + delay, job))
-                return "requeued"
-            job.outcome = JobOutcome.FAILED
-            job.error = (f"worker died (exit {exitcode}) "
-                         f"after {job.attempts} attempt(s)")
-            return "terminal"
-        return "running"
-
-
 class InProcessPool:
-    """Serial fallback (``--jobs 1``): same interface, no processes.
+    """Serial fallback (``--jobs 1``): the job-executor contract, no
+    processes.
 
     Takes no :class:`RetryPolicy`: the policy only governs worker-death
     retries, and an in-process worker cannot die without taking the
@@ -207,6 +37,9 @@ class InProcessPool:
     behaviour that can never trigger, so the parameter is rejected
     loudly (``TypeError``) instead of accepted and ignored.
     """
+
+    name = "in-process"
+    parallel = False
 
     def __init__(self, worker: Worker) -> None:
         self.worker = worker
@@ -228,8 +61,8 @@ class InProcessPool:
             except KeyboardInterrupt:
                 raise  # the user's ^C, not the job's failure
             except BaseException as exc:  # noqa: BLE001 — same contract as
-                # _attempt_main: SystemExit and friends are reported as a
-                # failed job, exactly like a child process would report.
+                # a child worker: SystemExit and friends are reported as
+                # a failed job, exactly like a worker process would.
                 job.outcome = JobOutcome.FAILED
                 job.error = f"{type(exc).__name__}: {exc}"
             job.seconds += time.monotonic() - start
@@ -237,14 +70,81 @@ class InProcessPool:
                 on_complete(job)
         return list(jobs)
 
+    def close(self) -> None:
+        """No resident workers to retire; present so every job executor
+        shares one lifecycle contract."""
+
+
+class WorkerPool:
+    """**Deprecated** — use :func:`repro.engine.executors.make_executor`.
+
+    The historical process-per-attempt pool.  This shim keeps the
+    constructor and ``run(jobs, on_complete)`` contract alive for one
+    release on top of the persistent fork-server fleet
+    (:class:`~repro.engine.executors.JobExecutor`): same per-job
+    timeout, worker-death retry with backoff and deterministic-failure
+    reporting, but workers fork once and stay resident instead of
+    forking per attempt.  Migration::
+
+        # before
+        pool = WorkerPool(worker, jobs=4, retry=policy)
+        pool.run(jobs, on_complete=cb)
+
+        # after
+        from repro.engine.executors import make_executor
+        executor = make_executor(worker=worker, jobs=4, retry=policy)
+        executor.run(jobs, on_complete=cb)
+        executor.close()   # retire the resident workers
+    """
+
+    def __init__(self, worker: Worker, jobs: int = 2,
+                 retry: Optional[RetryPolicy] = None,
+                 context: Optional[str] = None,
+                 poll_interval_s: float = 0.01) -> None:
+        warnings.warn(
+            "repro.service.pool.WorkerPool is deprecated; build job "
+            "executors with repro.engine.executors.make_executor("
+            "worker=..., jobs=...) — see the class docstring for the "
+            "migration recipe",
+            DeprecationWarning, stacklevel=2)
+        from repro.engine.executors import JobExecutor
+
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.worker = worker
+        self.jobs = jobs
+        self.retry = retry or RetryPolicy()
+        # The historical pool forked a process per attempt regardless of
+        # width, so the shim always builds the process-backed executor
+        # (never the in-process fallback), even at jobs=1.
+        self._executor = JobExecutor(worker, jobs=jobs, retry=self.retry,
+                                     context=context)
+
+    def run(self, jobs: Sequence[TriageJob],
+            on_complete: Optional[Callable[[TriageJob], None]] = None,
+            ) -> List[TriageJob]:
+        """Execute every job to a terminal outcome; returns the same
+        objects, mutated in place (order preserved)."""
+        return self._executor.run(jobs, on_complete=on_complete)
+
+    def close(self) -> None:
+        self._executor.close()
+
 
 def make_pool(worker: Worker, jobs: int = 1,
               retry: Optional[RetryPolicy] = None,
               context: Optional[str] = None):
-    """The right pool for a parallelism level: processes when ``jobs >
-    1``, in-process execution otherwise.  ``retry`` only applies to the
-    process pool — worker death is the one condition it governs, and it
-    cannot occur in-process."""
-    if jobs <= 1:
-        return InProcessPool(worker)
-    return WorkerPool(worker, jobs=jobs, retry=retry, context=context)
+    """**Deprecated** — call
+    :func:`repro.engine.executors.make_executor` with ``worker=``
+    instead; it is the same selection logic (processes when ``jobs >
+    1``, in-process execution otherwise) behind the unified dispatch
+    front door, and its process pool is the resident fork-server fleet.
+    """
+    warnings.warn(
+        "repro.service.pool.make_pool is deprecated; use "
+        "repro.engine.executors.make_executor(worker=..., jobs=...)",
+        DeprecationWarning, stacklevel=2)
+    from repro.engine.executors import make_executor
+
+    return make_executor(worker=worker, jobs=jobs, retry=retry,
+                         context=context)

@@ -22,8 +22,8 @@ from repro.service.artifacts import (
     CrashArtifact,
     scan_directory,
 )
+from repro.engine.executors import make_executor
 from repro.service.metrics import ServiceMetrics
-from repro.service.pool import make_pool
 from repro.service.queue import JobOutcome, JobQueue, RetryPolicy, TriageJob
 from repro.service.signature import CrashSignature, signature_of
 from repro.service.store import ResultStore
@@ -66,11 +66,14 @@ def diagnose_job(payload: dict) -> dict:
         raise ValueError(f"unknown triage mode {mode!r}")
     from repro.engine import EnginePolicy
 
-    policy = EnginePolicy.resolve(wave_jobs=payload.get("wave_jobs"))
+    policy = EnginePolicy.resolve(wave_jobs=payload.get("wave_jobs"),
+                                  executor=payload.get("executor"))
     diagnosis = Aitia(
         bug, report=report,
-        lifs_config=LifsConfig(wave_jobs=policy.wave_jobs),
-        ca_config=CaConfig(wave_jobs=policy.wave_jobs)).diagnose()
+        lifs_config=LifsConfig(wave_jobs=policy.wave_jobs,
+                               executor=policy.executor),
+        ca_config=CaConfig(wave_jobs=policy.wave_jobs,
+                           executor=policy.executor)).diagnose()
     row = summarize_diagnosis(bug, diagnosis)
     return {"bug_id": bug.bug_id, "mode": mode, "row": asdict(row)}
 
@@ -149,6 +152,7 @@ class TriageService:
                  timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
                  context: Optional[str] = None,
                  wave_jobs: int = 1,
+                 executor: str = "fleet",
                  tracer=None) -> None:
         from repro.observe.tracer import as_tracer
 
@@ -157,6 +161,9 @@ class TriageService:
         #: LIFS/CA configs.  Waves degrade to inline execution inside
         #: ``jobs > 1`` workers (daemonic processes may not fork).
         self.wave_jobs = wave_jobs
+        #: Wave dispatch backend for each diagnosis (``"fleet"`` /
+        #: ``"inline"``), forwarded alongside ``wave_jobs``.
+        self.executor = executor
         self.store = store if store is not None else ResultStore()
         self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -180,7 +187,7 @@ class TriageService:
             self.metrics.incr("reports_deduped")
             return existing
         payload = dict(payload, bug_id=bug_id, digest=digest,
-                       wave_jobs=self.wave_jobs)
+                       wave_jobs=self.wave_jobs, executor=self.executor)
         job = TriageJob(job_id=f"{bug_id}:{digest}", payload=payload,
                         priority=priority, timeout_s=self.timeout_s)
         self._by_digest[digest] = job
@@ -242,10 +249,14 @@ class TriageService:
                               jobs=self.jobs, unique=len(self._order),
                               dispatched=len(pending)) as span:
             if pending:
-                pool = make_pool(diagnose_job, jobs=self.jobs,
-                                 retry=self.retry, context=self._context)
-                with self.metrics.timer("dispatch"):
-                    pool.run(pending, on_complete=self._on_complete)
+                executor = make_executor(
+                    worker=diagnose_job, jobs=self.jobs,
+                    retry=self.retry, context=self._context)
+                try:
+                    with self.metrics.timer("dispatch"):
+                        executor.run(pending, on_complete=self._on_complete)
+                finally:
+                    executor.close()
             summary = TriageSummary(metrics=self.metrics.snapshot())
             for job in self._order:
                 summary.results.append(self._result_of(job))

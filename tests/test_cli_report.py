@@ -136,9 +136,14 @@ class TestTraceReport:
                        attrs={"lifs.schedules": 2})])
         assert "parallel waves" not in out
 
-    def test_wave_cli_end_to_end(self, tmp_path, capsys):
+    def test_wave_cli_end_to_end(self, tmp_path, capsys, monkeypatch):
         # SYZ-05 is too small to ever form a 2-wide wave; CVE-2017-15649
         # has hundreds of schedules per stage, so waves genuinely fire.
+        # The engine declines the fleet on single-core hosts (forked
+        # workers cannot overlap the parent), so pretend we have cores
+        # to keep this end-to-end on any runner.
+        import repro.engine.engine as engine_module
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 2)
         trace = str(tmp_path / "trace.jsonl")
         assert main(["diagnose", "CVE-2017-15649", "--parallel-waves", "2",
                      "--trace", trace]) == 0
@@ -146,6 +151,20 @@ class TestTraceReport:
         assert main(["trace-report", trace]) == 0
         out = capsys.readouterr().out
         assert "parallel waves:" in out
+
+    def test_wave_cli_single_core_declines_fleet(self, tmp_path, capsys,
+                                                 monkeypatch):
+        # On one core --parallel-waves must be a harmless no-op: the
+        # diagnosis succeeds, sequentially, with no wave section.
+        import repro.engine.engine as engine_module
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 1)
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "SYZ-01", "--parallel-waves", "2",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "parallel waves" not in out
 
     def test_report_without_snapshot_counters_omits_engine(self):
         from repro.observe.events import COUNTERS, TraceEvent

@@ -21,12 +21,16 @@ A_LABELS = ["A2", "A5", "A6", "A12"]
 B_LABELS = ["B2", "B11", "B12", "B17a"]
 
 #: Every backend composition the engine can select.  ``wave_jobs=2``
-#: genuinely forks child processes (Linux, non-daemonic test runner).
+#: genuinely forks resident fleet workers (Linux, non-daemonic test
+#: runner); the zero spin-up threshold makes the first engage wait for
+#: worker readiness, so plans truly dispatch remotely.
 POLICIES = {
     "inline": EnginePolicy(use_snapshots=False),
     "snapshot": EnginePolicy(use_snapshots=True),
-    "wave": EnginePolicy(use_snapshots=False, wave_jobs=2),
-    "snapshot+wave": EnginePolicy(use_snapshots=True, wave_jobs=2),
+    "fleet": EnginePolicy(use_snapshots=False, wave_jobs=2,
+                          fleet_spinup_requests=0),
+    "snapshot+fleet": EnginePolicy(use_snapshots=True, wave_jobs=2,
+                                   fleet_spinup_requests=0),
 }
 
 
@@ -68,9 +72,12 @@ class TestBackendEquivalence:
         results = {}
         for name, policy in POLICIES.items():
             engine = ScheduleExecutionEngine(fig2_machine, policy)
-            outcomes = engine.run_plan(RunPlan(
-                [RunRequest(schedule=s, capture_checkpoints=True)
-                 for s in schedules], phase="equivalence"))
+            try:
+                outcomes = engine.run_plan(RunPlan(
+                    [RunRequest(schedule=s, capture_checkpoints=True)
+                     for s in schedules], phase="equivalence"))
+            finally:
+                engine.close()
             results[name] = [_run_facts(o) for o in outcomes]
         baseline = results.pop("inline")
         for name, facts in results.items():
@@ -80,10 +87,15 @@ class TestBackendEquivalence:
         """run() and run_plan() agree for the same schedules."""
         schedule = _schedule([("A6", "B"), ("B12", None)], True, "s")
         for policy in POLICIES.values():
-            via_run = ScheduleExecutionEngine(fig2_machine, policy).run(
-                RunRequest(schedule=schedule))
-            via_plan = ScheduleExecutionEngine(fig2_machine, policy).run_plan(
-                RunPlan([RunRequest(schedule=schedule)]))[0]
+            run_engine = ScheduleExecutionEngine(fig2_machine, policy)
+            plan_engine = ScheduleExecutionEngine(fig2_machine, policy)
+            try:
+                via_run = run_engine.run(RunRequest(schedule=schedule))
+                via_plan = plan_engine.run_plan(
+                    RunPlan([RunRequest(schedule=schedule)]))[0]
+            finally:
+                run_engine.close()
+                plan_engine.close()
             assert _run_facts(via_run) == _run_facts(via_plan)
 
     def test_benign_program_equivalence(self):
@@ -94,8 +106,11 @@ class TestBackendEquivalence:
         baseline = None
         for policy in POLICIES.values():
             engine = ScheduleExecutionEngine(two_counter_machine, policy)
-            facts = [_run_facts(o) for o in engine.run_plan(
-                RunPlan([RunRequest(schedule=s) for s in schedules]))]
+            try:
+                facts = [_run_facts(o) for o in engine.run_plan(
+                    RunPlan([RunRequest(schedule=s) for s in schedules]))]
+            finally:
+                engine.close()
             if baseline is None:
                 baseline = facts
             assert facts == baseline
@@ -106,16 +121,20 @@ class TestSpeculationDedup:
         schedules = [_schedule([("A6", "B")], True, "a"),
                      _schedule([("B12", "A")], False, "b")]
         engine = ScheduleExecutionEngine(
-            fig2_machine, EnginePolicy(use_snapshots=False, wave_jobs=2))
-        engine.speculate(RunPlan(
-            [RunRequest(schedule=s) for s in schedules], phase="spec"))
-        outcome = engine.run(RunRequest(schedule=schedules[0]))
-        assert outcome.dedup_hit
-        assert engine.stats.dedup_hits == 1
-        # The second speculation result is still queued; a fresh
-        # speculate drops it and discard counts nothing afterwards.
-        engine.speculate(RunPlan([], phase="spec"))
-        assert engine.discard_speculation() == 0
+            fig2_machine, EnginePolicy(use_snapshots=False, wave_jobs=2,
+                                       fleet_spinup_requests=0))
+        try:
+            engine.speculate(RunPlan(
+                [RunRequest(schedule=s) for s in schedules], phase="spec"))
+            outcome = engine.run(RunRequest(schedule=schedules[0]))
+            assert outcome.dedup_hit
+            assert engine.stats.dedup_hits == 1
+            # The second speculation result is still queued; a fresh
+            # speculate drops it and discard counts nothing afterwards.
+            engine.speculate(RunPlan([], phase="spec"))
+            assert engine.discard_speculation() == 0
+        finally:
+            engine.close()
 
     def test_plain_runs_never_dedup(self):
         """Two identical requests execute twice: CA's edge recheck
@@ -176,16 +195,33 @@ class TestEnginePolicyResolution:
 
 
 class TestAlgorithmPurity:
-    """LIFS and CA are pure algorithms over the engine: their sources
-    must not reference the execution machinery the engine owns."""
+    """LIFS, CA and the triage orchestrator are pure consumers of the
+    dispatch layer: their sources must not reference pool/executor
+    internals (only the ``make_executor`` front door and the engine's
+    own surface are fair game)."""
+
+    #: Dispatch internals no algorithm/orchestrator module may name.
+    FORBIDDEN = ("WaveExecutor", "WorkerPool", "InProcessPool",
+                 "WorkerFleet", "FleetExecutor", "JobExecutor",
+                 "ContinuationCache", "CheckpointPolicy",
+                 "repro.service.pool", "repro.engine.fleet")
 
     @pytest.mark.parametrize("module", ["lifs.py", "causality.py"])
-    def test_no_execution_machinery_references(self, module):
+    def test_algorithms_reference_no_execution_machinery(self, module):
         import repro.core
         source = (pathlib.Path(repro.core.__file__).parent
                   / module).read_text()
-        for forbidden in ("WaveExecutor", "ContinuationCache",
-                          "CheckpointPolicy"):
+        for forbidden in self.FORBIDDEN + ("make_executor",):
             assert forbidden not in source, (
                 f"{module} references {forbidden}; execution placement "
                 f"belongs to repro.engine")
+
+    def test_triage_uses_only_the_executor_front_door(self):
+        import repro.service
+        source = (pathlib.Path(repro.service.__file__).parent
+                  / "triage.py").read_text()
+        for forbidden in self.FORBIDDEN:
+            assert forbidden not in source, (
+                f"triage.py references {forbidden}; dispatch goes "
+                f"through repro.engine.executors.make_executor")
+        assert "make_executor" in source

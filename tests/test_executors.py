@@ -1,0 +1,361 @@
+"""Tests for the unified dispatch layer (repro.engine.executors).
+
+Covers the content-addressed :class:`CheckpointStore` wire protocol
+(checkpoint bytes cross a boundary at most once; v1 payloads are
+rejected with the upgrade path), the :class:`FleetExecutor` contract
+(spin-up threshold, hybrid dispatch, bit-identity with sequential
+execution), fleet fault tolerance (a worker SIGKILLed mid-wave is
+respawned and its task re-run inline without changing the diagnosis),
+and executor selection through :class:`EnginePolicy` /
+:func:`make_executor`.
+"""
+
+import os
+import pickle
+import signal
+
+import pytest
+
+from repro.core.causality import CaConfig
+from repro.core.diagnose import Aitia
+from repro.core.lifs import LifsConfig
+from repro.core.schedule import Schedule  # noqa: F401 — vocabulary
+from repro.corpus.registry import get_bug
+from repro.engine import EnginePolicy
+from repro.engine.executors import (
+    DEFAULT_SPINUP_REQUESTS,
+    FleetExecutor,
+    InlineExecutor,
+    make_executor,
+)
+import repro.engine.executors as executors_module
+from repro.engine.protocol import RunPlan, RunRequest
+from repro.hypervisor.controller import ScheduleController, serial_schedule
+from repro.hypervisor.snapshot import CheckpointPolicy, boot_checkpoint
+from repro.kernel.snapshot import (
+    CheckpointStore,
+    dumps_state,
+    loads_state,
+    snapshot_state_key,
+)
+from repro.observe import MemorySink, Tracer
+
+from helpers import fig2_machine
+
+SCHEDULES = [serial_schedule(["A", "B"]),
+             serial_schedule(["B", "A"]),
+             serial_schedule(["A", "B", "A"]),
+             serial_schedule(["B", "A", "B"])]
+
+
+def _run_facts(run):
+    return (
+        [(t.thread, t.instr_addr, t.seq, t.occurrence) for t in run.trace],
+        [(a.thread, a.instr_addr, a.data_addr, a.seq) for a in run.accesses],
+        run.failure,
+        run.steps,
+        run.interleavings,
+    )
+
+
+def _plan(schedules=None, resume_from=None):
+    return RunPlan([RunRequest(schedule=s, resume_from=resume_from)
+                    for s in (schedules or SCHEDULES)], phase="test")
+
+
+def _sequential(schedules=None, resume_from=None):
+    outcomes = []
+    for request in _plan(schedules, resume_from).requests:
+        machine = fig2_machine()
+        controller = ScheduleController(
+            machine, request.schedule, watch_races=request.watch_races,
+            resume_from=request.resume_from)
+        outcomes.append(controller.run())
+    return outcomes
+
+
+def _eager_fleet(jobs=2, tracer=None):
+    executor = make_executor(machine_factory=fig2_machine, jobs=jobs,
+                             tracer=tracer, spinup_requests=0, eager=True)
+    assert isinstance(executor, FleetExecutor)
+    return executor
+
+
+def _collect(executor, plan):
+    outcomes = [None] * len(plan.requests)
+    for index, outcome in executor.submit(plan):
+        assert outcomes[index] is None  # exactly-once per request
+        outcomes[index] = outcome
+    assert all(o is not None for o in outcomes)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Wire protocol: the CheckpointStore envelope (WIRE_VERSION=2).
+# ----------------------------------------------------------------------
+class TestCheckpointStoreWire:
+    def _checkpoint(self):
+        return boot_checkpoint(fig2_machine())
+
+    def test_store_round_trip_is_exact(self):
+        ckpt = self._checkpoint()
+        sender, receiver = CheckpointStore(), CheckpointStore()
+        known = set()
+        payload = dumps_state(ckpt, store=sender, known=known)
+        clone = loads_state(payload, store=receiver)
+        assert snapshot_state_key(clone.machine) \
+            == snapshot_state_key(ckpt.machine)
+        assert clone.horizon_seq == ckpt.horizon_seq
+
+    def test_checkpoint_bytes_cross_the_wire_at_most_once(self):
+        ckpt = self._checkpoint()
+        sender, receiver = CheckpointStore(), CheckpointStore()
+        sender_known, receiver_known = set(), set()
+        first = dumps_state((ckpt, "first"), store=sender,
+                            known=sender_known)
+        second = dumps_state((ckpt, "second"), store=sender,
+                            known=sender_known)
+        # The second payload carries only the reference, not the blob.
+        assert len(second) < len(first) / 2
+        got_first = loads_state(first, store=receiver,
+                                known=receiver_known)
+        got_second = loads_state(second, store=receiver,
+                                 known=receiver_known)
+        # Reference identity on the receiving side: the same key
+        # resolves to the same interned object.
+        assert got_first[0] is got_second[0]
+
+    def test_known_set_suppresses_reshipping(self):
+        ckpt = self._checkpoint()
+        store = CheckpointStore()
+        key = store.put(ckpt)
+        # Receiver already holds the key (e.g. fork-inherited): payload
+        # must carry no blob at all.
+        payload = dumps_state(ckpt, store=store, known={key})
+        envelope = pickle.loads(payload)
+        assert envelope[1] == {}  # no fresh blobs
+        assert loads_state(payload, store=store) is ckpt
+
+    def test_missing_store_reference_fails_actionably(self):
+        ckpt = self._checkpoint()
+        store = CheckpointStore()
+        key = store.put(ckpt)
+        payload = dumps_state(ckpt, store=store, known={key})
+        with pytest.raises(ValueError, match="CheckpointStore"):
+            loads_state(payload)  # references but no store
+        with pytest.raises(KeyError, match="never seen"):
+            loads_state(payload, store=CheckpointStore())
+
+    def test_storeless_payloads_are_self_contained(self):
+        ckpt = self._checkpoint()
+        clone = loads_state(dumps_state(ckpt))
+        assert snapshot_state_key(clone.machine) \
+            == snapshot_state_key(ckpt.machine)
+
+    def test_v1_payload_rejected_with_upgrade_path(self):
+        blob = pickle.dumps((1, b"legacy inline machine state"))
+        with pytest.raises(ValueError) as excinfo:
+            loads_state(blob)
+        message = str(excinfo.value)
+        assert "wire version 1" in message
+        assert "CheckpointStore" in message
+        assert "make_executor" in message
+
+    def test_unknown_version_rejected(self):
+        blob = pickle.dumps((9, {}, b"body"))
+        with pytest.raises(ValueError, match="unsupported snapshot wire "
+                                             "version 9"):
+            loads_state(blob)
+
+    def test_store_interns_by_content(self):
+        store = CheckpointStore()
+        ckpt = self._checkpoint()
+        key = store.put(ckpt)
+        assert store.put(ckpt) == key  # id-memo path
+        assert key in store and len(store) == 1
+        assert store.get(key) is ckpt
+
+
+# ----------------------------------------------------------------------
+# FleetExecutor: dispatch contract and bit-identity.
+# ----------------------------------------------------------------------
+class TestFleetExecutor:
+    def test_outcomes_match_sequential_execution(self):
+        expected = _sequential()
+        executor = _eager_fleet(jobs=2)
+        try:
+            assert executor.engage(len(SCHEDULES))
+            got = _collect(executor, _plan())
+        finally:
+            executor.close()
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(r) for r in expected]
+
+    def test_resumed_requests_match_sequential(self):
+        ckpt = boot_checkpoint(fig2_machine())
+        expected = _sequential(resume_from=ckpt)
+        executor = _eager_fleet(jobs=2)
+        try:
+            assert executor.engage(len(SCHEDULES))
+            got = _collect(executor, _plan(resume_from=ckpt))
+        finally:
+            executor.close()
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(r) for r in expected]
+        assert all(o.resumed for o in got)
+
+    def test_spinup_threshold_defers_forking(self):
+        executor = make_executor(machine_factory=fig2_machine, jobs=2)
+        try:
+            assert executor.spinup_requests == DEFAULT_SPINUP_REQUESTS
+            # Demand below the threshold: no fork, caller runs inline.
+            assert not executor.engage(DEFAULT_SPINUP_REQUESTS - 1)
+            assert not executor.fleet.started
+            # Crossing the threshold forks (non-blocking).
+            executor.engage(1)
+            assert executor.fleet.started
+        finally:
+            executor.close()
+
+    def test_submit_without_ready_workers_runs_inline(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = make_executor(machine_factory=fig2_machine, jobs=2,
+                                 tracer=tracer)
+        try:
+            got = _collect(executor, _plan())  # fleet never started
+        finally:
+            executor.close()
+        tracer.close()
+        assert [_run_facts(o.run) for o in got] \
+            == [_run_facts(r) for r in _sequential()]
+        assert sink.counter_totals()["hv.wave.inline"] == len(SCHEDULES)
+
+    def test_workers_stay_resident_across_plans(self):
+        executor = _eager_fleet(jobs=2)
+        try:
+            assert executor.engage(len(SCHEDULES))
+            _collect(executor, _plan())
+            pids_first = {w.process.pid for w in executor.fleet.workers}
+            _collect(executor, _plan())
+            pids_second = {w.process.pid for w in executor.fleet.workers}
+            assert pids_first == pids_second
+            assert executor.fleet.respawns == 0
+        finally:
+            executor.close()
+
+    def test_make_executor_serial_builds_inline(self):
+        executor = make_executor(machine_factory=fig2_machine, jobs=1)
+        assert isinstance(executor, InlineExecutor)
+        assert not executor.parallel
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: a resident worker SIGKILLed mid-wave.
+# ----------------------------------------------------------------------
+def _install_kill_once(monkeypatch, flag_path):
+    """Poison the worker-side task body (fork-inherited) so exactly one
+    task SIGKILLs its worker; every other task executes normally.  The
+    O_CREAT|O_EXCL latch makes the 'exactly one' deterministic across
+    concurrent workers."""
+    original = executors_module._execute_task
+
+    def kill_once(task, machine_factory, state, max_continuations):
+        try:
+            fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return original(task, machine_factory, state,
+                            max_continuations)
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    monkeypatch.setattr(executors_module, "_execute_task", kill_once)
+
+
+class TestFleetFaultTolerance:
+    def test_sigkilled_worker_is_respawned_and_task_reruns_inline(
+            self, monkeypatch, tmp_path):
+        flag = str(tmp_path / "killed")
+        _install_kill_once(monkeypatch, flag)
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        executor = _eager_fleet(jobs=2, tracer=tracer)
+        try:
+            assert executor.engage(len(SCHEDULES))
+            got = _collect(executor, _plan())
+            assert os.path.exists(flag)  # the kill genuinely happened
+            # The lost task was transparently re-executed in the parent,
+            # so the wave's results are still bit-identical.
+            assert [_run_facts(o.run) for o in got] \
+                == [_run_facts(r) for r in _sequential()]
+            # The fleet replaced the dead worker within budget...
+            assert executor.fleet.respawns >= 1
+            assert any(w.alive for w in executor.fleet.workers)
+            # ...and the next wave dispatches remotely again.
+            got2 = _collect(executor, _plan())
+            assert [_run_facts(o.run) for o in got2] \
+                == [_run_facts(r) for r in _sequential()]
+        finally:
+            executor.close()
+        tracer.close()
+        counters = sink.counter_totals()
+        assert counters.get("hv.wave.fallbacks", 0) >= 1
+
+    def test_diagnosis_survives_worker_kill_bit_identically(
+            self, monkeypatch, tmp_path):
+        bug = get_bug("CVE-2017-15649")
+        seq = Aitia(bug, lifs_config=LifsConfig(),
+                    ca_config=CaConfig()).diagnose()
+        _install_kill_once(monkeypatch, str(tmp_path / "killed"))
+        # Instance attributes on the configs drop the spin-up threshold
+        # to zero (config fields win outright in EnginePolicy.resolve),
+        # so the fleet forks — and loses a worker — even on this small
+        # diagnosis.
+        lifs, ca = LifsConfig(wave_jobs=2), CaConfig(wave_jobs=2)
+        lifs.fleet_spinup_requests = 0
+        ca.fleet_spinup_requests = 0
+        par = Aitia(bug, lifs_config=lifs, ca_config=ca).diagnose()
+        assert par.chain.render() == seq.chain.render()
+        assert par.lifs_result.stats.schedules_executed \
+            == seq.lifs_result.stats.schedules_executed
+        assert par.ca_result.stats.schedules_executed \
+            == seq.ca_result.stats.schedules_executed
+        assert sorted(u.uid for u in par.ca_result.root_cause_units) \
+            == sorted(u.uid for u in seq.ca_result.root_cause_units)
+
+
+# ----------------------------------------------------------------------
+# Policy resolution: the executor knob.
+# ----------------------------------------------------------------------
+class TestExecutorPolicy:
+    def test_default_is_fleet(self):
+        assert EnginePolicy.resolve().executor == "fleet"
+
+    def test_config_field_wins(self):
+        policy = EnginePolicy.resolve(LifsConfig(executor="inline"),
+                                      executor="fleet")
+        assert policy.executor == "inline"
+
+    def test_api_tier_beats_cli_tier(self):
+        policy = EnginePolicy.resolve(executor="inline",
+                                      cli_executor="fleet")
+        assert policy.executor == "inline"
+
+    def test_legacy_wave_name_aliases_to_fleet(self):
+        assert EnginePolicy.resolve(executor="wave").executor == "fleet"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            EnginePolicy.resolve(executor="threads")
+
+    def test_inline_executor_diagnosis_matches_fleet(self):
+        bug = get_bug("SYZ-01")
+        fleet = Aitia(bug, lifs_config=LifsConfig(wave_jobs=2),
+                      ca_config=CaConfig(wave_jobs=2)).diagnose()
+        inline = Aitia(
+            bug,
+            lifs_config=LifsConfig(wave_jobs=2, executor="inline"),
+            ca_config=CaConfig(wave_jobs=2, executor="inline")).diagnose()
+        assert inline.chain.render() == fleet.chain.render()
+        assert inline.lifs_result.stats.schedules_executed \
+            == fleet.lifs_result.stats.schedules_executed

@@ -1,4 +1,11 @@
-"""Tests for the job model and the worker pools (fault handling)."""
+"""Tests for the job model and the job executors (fault handling).
+
+Process dispatch lives in :mod:`repro.engine.executors` since the
+executor redesign: ``make_executor(worker=...)`` builds either the
+serial :class:`InProcessPool` or a fleet-backed :class:`JobExecutor`.
+The deprecated ``WorkerPool`` / ``make_pool`` shims are covered at the
+bottom (construction must warn, behaviour must be preserved).
+"""
 
 import os
 import signal
@@ -6,10 +13,11 @@ import time
 
 import pytest
 
+from repro.engine.executors import JobExecutor, make_executor
+from repro.engine.fleet import WorkerFleet
 from repro.service.pool import (
     InProcessPool,
     WorkerPool,
-    _Attempt,
     make_pool,
 )
 from repro.service.queue import (
@@ -58,16 +66,17 @@ def _sys_exit_worker(payload):
     raise SystemExit("worker bailed")
 
 
-def _late_sender_worker(payload):
-    """Post the result only after the job's deadline has passed."""
-    time.sleep(payload["sleep_s"])
-    return {"late": True}
-
-
 def _job(payload=None, **kwargs):
     _job.counter = getattr(_job, "counter", 0) + 1
     return TriageJob(job_id=f"j{_job.counter}", payload=payload or {},
                      **kwargs)
+
+
+def _run(executor, jobs, on_complete=None):
+    try:
+        return executor.run(jobs, on_complete=on_complete)
+    finally:
+        executor.close()
 
 
 class TestJobQueue:
@@ -126,10 +135,6 @@ class TestInProcessPool:
         InProcessPool(_boom_worker).run([job])
         assert job.outcome is JobOutcome.CACHE_HIT
 
-    def test_make_pool_dispatch(self):
-        assert isinstance(make_pool(_ok_worker, jobs=1), InProcessPool)
-        assert isinstance(make_pool(_ok_worker, jobs=4), WorkerPool)
-
     def test_systemexit_reported_as_failed(self):
         # Same contract as a child process: SystemExit is a failed job,
         # not a silent interpreter exit mid-corpus.
@@ -144,24 +149,60 @@ class TestInProcessPool:
         with pytest.raises(TypeError):
             InProcessPool(_ok_worker, retry=RetryPolicy())
 
-    def test_make_pool_serial_drops_retry(self):
-        pool = make_pool(_ok_worker, jobs=1, retry=RetryPolicy())
-        assert isinstance(pool, InProcessPool)
+
+class TestMakeExecutorDispatch:
+    def test_serial_builds_in_process_pool(self):
+        executor = make_executor(worker=_ok_worker, jobs=1)
+        assert isinstance(executor, InProcessPool)
+
+    def test_parallel_builds_fleet_job_executor(self):
+        executor = make_executor(worker=_ok_worker, jobs=4)
+        try:
+            assert isinstance(executor, JobExecutor)
+            assert executor.parallel
+        finally:
+            executor.close()
+
+    def test_serial_drops_retry(self):
+        executor = make_executor(worker=_ok_worker, jobs=1,
+                                 retry=RetryPolicy())
+        assert isinstance(executor, InProcessPool)
+
+    def test_rejects_both_and_neither_family(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            make_executor()
+        with pytest.raises(TypeError, match="exactly one"):
+            make_executor(worker=_ok_worker,
+                          machine_factory=lambda: None)
 
 
-class TestWorkerPool:
-    def test_runs_jobs_across_processes(self):
+class TestJobExecutor:
+    def test_runs_jobs_across_resident_workers(self):
         jobs = [_job({"value": i}) for i in range(5)]
         completed = []
-        WorkerPool(_ok_worker, jobs=2).run(
-            jobs, on_complete=lambda j: completed.append(j.job_id))
+        _run(make_executor(worker=_ok_worker, jobs=2), jobs,
+             on_complete=lambda j: completed.append(j.job_id))
         assert all(j.outcome is JobOutcome.SUCCEEDED for j in jobs)
         assert [j.result["echo"] for j in jobs] == list(range(5))
         assert sorted(completed) == sorted(j.job_id for j in jobs)
 
+    def test_workers_stay_resident_across_runs(self):
+        # The fork-server property: two drains reuse the same worker
+        # processes instead of forking per attempt.
+        executor = make_executor(worker=_ok_worker, jobs=2)
+        try:
+            _ = executor.run([_job({"value": 1})])
+            pids_first = {w.process.pid for w in executor.fleet.workers}
+            _ = executor.run([_job({"value": 2}), _job({"value": 3})])
+            pids_second = {w.process.pid for w in executor.fleet.workers}
+            assert pids_first == pids_second
+            assert executor.fleet.respawns == 0
+        finally:
+            executor.close()
+
     def test_exception_fails_without_retry(self):
         job = _job()
-        WorkerPool(_boom_worker, jobs=2).run([job])
+        _run(make_executor(worker=_boom_worker, jobs=2), [job])
         assert job.outcome is JobOutcome.FAILED
         assert job.attempts == 1
         assert "deterministic explosion" in job.error
@@ -169,9 +210,10 @@ class TestWorkerPool:
     def test_killed_worker_is_retried_and_job_completes(self, tmp_path):
         job = _job({"flag_path": str(tmp_path / "flag")})
         other = _job({"value": 1})
-        WorkerPool(_dispatching_worker, jobs=2,
-                   retry=RetryPolicy(max_retries=2, backoff_s=0.01),
-                   ).run([job, other])
+        _run(make_executor(worker=_dispatching_worker, jobs=2,
+                           retry=RetryPolicy(max_retries=2,
+                                             backoff_s=0.01)),
+             [job, other])
         assert job.outcome is JobOutcome.SUCCEEDED
         assert job.result == {"survived": True}
         assert job.attempts == 2
@@ -179,18 +221,20 @@ class TestWorkerPool:
 
     def test_retry_budget_exhausted_reports_failed(self):
         job = _job()
-        WorkerPool(_always_die_worker, jobs=1,
-                   retry=RetryPolicy(max_retries=1, backoff_s=0.01),
-                   ).run([job])
+        _run(JobExecutor(_always_die_worker, jobs=1,
+                         retry=RetryPolicy(max_retries=1,
+                                           backoff_s=0.01)),
+             [job])
         assert job.outcome is JobOutcome.FAILED
         assert job.attempts == 2  # first attempt + one retry
         assert "worker died" in job.error
 
-    def test_timeout_reported_without_taking_down_pool(self):
+    def test_timeout_reported_without_taking_down_executor(self):
         slow = _job({"sleep_s": 30.0}, timeout_s=0.3)
         fast = _job({"value": 7})
         start = time.monotonic()
-        WorkerPool(_dispatching_worker, jobs=2).run([slow, fast])
+        _run(make_executor(worker=_dispatching_worker, jobs=2),
+             [slow, fast])
         assert time.monotonic() - start < 10.0  # nowhere near 30s
         assert slow.outcome is JobOutcome.TIMED_OUT
         assert "timeout" in slow.error
@@ -198,35 +242,79 @@ class TestWorkerPool:
 
     def test_rejects_zero_jobs(self):
         with pytest.raises(ValueError):
-            WorkerPool(_ok_worker, jobs=0)
+            JobExecutor(_ok_worker, jobs=0)
 
     def test_systemexit_reported_as_failed(self):
         job = _job()
-        WorkerPool(_sys_exit_worker, jobs=1).run([job])
+        _run(JobExecutor(_sys_exit_worker, jobs=1), [job])
         assert job.outcome is JobOutcome.FAILED
         assert "SystemExit: worker bailed" in job.error
 
+
+def _late_runner(payload, state):
+    """Fleet runner that posts its result late (past the deadline)."""
+    time.sleep(payload["sleep_s"])
+    return {"late": True}
+
+
+class TestDeadlineDrain:
     def test_result_posted_at_deadline_not_reported_as_timeout(self):
-        # Regression: _reap used to kill the child the instant the
+        # Regression (kept from the process-per-attempt pool): the
+        # deadline check used to kill the worker the instant the
         # deadline passed, discarding a result already sitting in the
-        # pipe.  Reproduce the race deterministically: the child posts
-        # its result *after* the deadline and exits before the parent
-        # drains the pipe, then we reap without an intervening poll.
-        pool = WorkerPool(_late_sender_worker, jobs=1)
-        job = _job({"sleep_s": 0.3}, timeout_s=0.05)
-        attempt = _Attempt(pool._ctx, _late_sender_worker, job)
-        give_up = time.monotonic() + 10.0
-        while not attempt.exited and time.monotonic() < give_up:
-            time.sleep(0.01)
-        assert attempt.exited  # result is in the pipe, undelivered
-        assert attempt.timed_out  # deadline long past, pipe not drained
-        assert pool._reap(attempt, []) == "terminal"
-        assert job.outcome is JobOutcome.SUCCEEDED
-        assert job.result == {"late": True}
+        # pipe.  Reproduce deterministically: the worker posts its
+        # result *after* the deadline, and the parent only polls once
+        # both have happened — the fleet must drain the pipe before
+        # declaring the timeout.
+        fleet = WorkerFleet(_late_runner, 1)
+        try:
+            fleet.start()
+            deadline = time.monotonic() + 10.0
+            while not fleet.ready_idle() and time.monotonic() < deadline:
+                fleet.poll(0.05)
+            worker = fleet.ready_idle()[0]
+            assert fleet.dispatch(worker, 7, {"sleep_s": 0.2},
+                                  timeout_s=0.05)
+            time.sleep(0.4)  # deadline long past, result in the pipe
+            events = fleet.poll(0.0)
+            assert [e.kind for e in events] == ["ok"]
+            assert events[0].task_id == 7
+            assert events[0].body == {"late": True}
+        finally:
+            fleet.close()
+
+
+class TestDeprecatedShims:
+    def test_worker_pool_warns_and_still_runs(self):
+        jobs = [_job({"value": i}) for i in range(3)]
+        with pytest.warns(DeprecationWarning, match="make_executor"):
+            pool = WorkerPool(_ok_worker, jobs=2)
+        try:
+            pool.run(jobs)
+        finally:
+            pool.close()
+        assert all(j.outcome is JobOutcome.SUCCEEDED for j in jobs)
+        assert [j.result["echo"] for j in jobs] == [0, 1, 2]
+
+    def test_worker_pool_rejects_zero_jobs(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                WorkerPool(_ok_worker, jobs=0)
+
+    def test_make_pool_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="make_executor"):
+            serial = make_pool(_ok_worker, jobs=1)
+        assert isinstance(serial, InProcessPool)
+        with pytest.warns(DeprecationWarning, match="make_executor"):
+            wide = make_pool(_ok_worker, jobs=4)
+        try:
+            assert isinstance(wide, JobExecutor)
+        finally:
+            wide.close()
 
 
 def _dispatching_worker(payload):
-    """Route on payload shape so one pool test can mix behaviors."""
+    """Route on payload shape so one executor test can mix behaviors."""
     if "flag_path" in payload:
         return _die_once_worker(payload)
     if "sleep_s" in payload:
