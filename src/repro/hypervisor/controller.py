@@ -273,6 +273,9 @@ class ScheduleController:
         self.spliced_steps = 0
         self._splice_names: Optional[Tuple[Tuple[str, ...], Dict[str, str]]] \
             = None
+        #: Cached _thread_order result, keyed on the thread count (the
+        #: roster only grows during a run, and only by spawns at the end).
+        self._order_cache: Optional[Tuple[int, List[str]]] = None
         if resume_from is not None:
             self._apply_checkpoint(resume_from)
         for p in self._pending_preemptions:
@@ -333,26 +336,27 @@ class ScheduleController:
     # ------------------------------------------------------------------
     def _thread_order(self) -> List[str]:
         """Initial threads in start order, then dynamically spawned threads
-        in spawn order."""
+        in spawn order.  Recomputed only when the roster grows."""
+        cached = self._order_cache
+        count = len(self.machine.threads)
+        if cached is not None and cached[0] == count:
+            return cached[1]
         names = [t.name for t in self.machine.threads]
         ordered = [n for n in self.schedule.start_order if n in names]
         ordered.extend(n for n in names if n not in ordered)
+        self._order_cache = (count, ordered)
         return ordered
 
     def _known(self, name: str) -> bool:
-        try:
-            self.machine.thread(name)
-        except (KeyError, IndexError):
-            return False
-        return True
+        return name in self.machine._by_name
 
     def _runnable(self, name: str) -> bool:
         # Schedules may reference background threads that only exist in
         # some interleavings (race-steered invocations); an unspawned
         # thread is simply not runnable.
-        if not self._known(name):
+        thread = self.machine._by_name.get(name)
+        if thread is None:
             return False
-        thread = self.machine.thread(name)
         return thread.runnable and not self.trampoline.is_parked(name)
 
     def _head_constraint(self) -> Optional[OrderConstraint]:
@@ -569,10 +573,19 @@ class ScheduleController:
 
     # ------------------------------------------------------------------
     def _measured_interleavings(self) -> int:
-        count = 0
+        if not self._fired:
+            return 0
+        # Only the fired preemptions' threads matter; a reverse scan finds
+        # each one's last executed seq and stops as soon as all are seen.
+        needed = {p.thread for p, _ in self._fired}
         executed_after: Dict[str, int] = {}
-        for entry in self.machine.trace:
-            executed_after[entry.thread] = entry.seq
+        for entry in reversed(self.machine.trace):
+            t = entry.thread
+            if t in needed and t not in executed_after:
+                executed_after[t] = entry.seq
+                if len(executed_after) == len(needed):
+                    break
+        count = 0
         for preemption, seq in self._fired:
             last = executed_after.get(preemption.thread, 0)
             if last > seq:

@@ -131,15 +131,83 @@ MEMORY_OPS = frozenset(
 BLOCK_TERMINATORS = frozenset({Op.BRZ, Op.BRNZ, Op.JMP, Op.RET})
 
 
+#: Decoded-operand tags (see :func:`decode_operands`): value sources decode
+#: to ``(IMM, value)`` / ``(REG, name)``, address expressions to
+#: ``(GLOB, name)`` / ``(DEREF, reg, offset)``.  Plain tuples with integer
+#: tags keep the interpreter's per-step operand evaluation free of
+#: ``isinstance`` checks.
+IMM, REG, GLOB, DEREF = 0, 1, 2, 3
+
+
+def _decode_value(src) -> Tuple:
+    if isinstance(src, Imm):
+        return (IMM, src.value)
+    if isinstance(src, Reg):
+        return (REG, src.name)
+    raise TypeError(f"bad value source {src!r}")
+
+
+def _decode_addr(expr) -> Tuple:
+    if isinstance(expr, Global):
+        return (GLOB, expr.name)
+    if isinstance(expr, Deref):
+        return (DEREF, expr.reg, expr.offset)
+    raise TypeError(f"bad address expression {expr!r}")
+
+
+def decode_operands(instr: "Instruction") -> Tuple:
+    """Precompute the op-specific decoded-operand tuple for ``instr``.
+
+    Called once at image assembly; the interpreter's dispatch handlers
+    consume the decoded tuple instead of re-unpacking (and type-testing)
+    ``instr.operands`` on every executed step."""
+    op, ops = instr.op, instr.operands
+    if op is Op.LOAD:
+        return (ops[0].name, _decode_addr(ops[1]))
+    if op is Op.STORE:
+        return (_decode_addr(ops[0]), _decode_value(ops[1]))
+    if op is Op.INC:
+        return (_decode_addr(ops[0]), ops[1].value)
+    if op is Op.MOV:
+        return (ops[0].name, _decode_value(ops[1]))
+    if op is Op.LEA:
+        return (ops[0].name, ops[1].name)
+    if op is Op.BINOP:
+        return (ops[0].name, BINARY_OPERATORS[ops[1]],
+                _decode_value(ops[2]), _decode_value(ops[3]))
+    if op in (Op.BRZ, Op.BRNZ, Op.BUG_ON):
+        return (_decode_value(ops[0]),) + tuple(ops[1:])
+    if op is Op.ALLOC:
+        return (ops[0].name, ops[1], ops[2], ops[3])
+    if op is Op.FREE:
+        return (_decode_value(ops[0]),)
+    if op in (Op.QUEUE_WORK, Op.CALL_RCU):
+        return (ops[0], _decode_value(ops[1]))
+    if op in (Op.LIST_ADD, Op.LIST_DEL):
+        return (_decode_addr(ops[0]), _decode_value(ops[1]))
+    if op is Op.LIST_CONTAINS:
+        return (ops[0].name, _decode_addr(ops[1]), _decode_value(ops[2]))
+    if op is Op.CMPXCHG:
+        return (ops[0].name, _decode_addr(ops[1]),
+                _decode_value(ops[2]), _decode_value(ops[3]))
+    if op is Op.XCHG:
+        return (ops[0].name, _decode_addr(ops[1]), _decode_value(ops[2]))
+    # JMP / CALL / RET / LOCK / UNLOCK / NOP carry their operands raw.
+    return tuple(ops)
+
+
 class Instruction:
     """One instruction of the simulated kernel.
 
-    ``addr`` (the code address) and positional metadata are assigned when the
-    enclosing :class:`~repro.kernel.program.KernelImage` is assembled and must
-    not be mutated afterwards.
+    ``addr`` (the code address) and positional metadata — including the
+    decoded-operand cache, the resolved branch-target index and the
+    enclosing basic block — are assigned when the enclosing
+    :class:`~repro.kernel.program.KernelImage` is assembled and must not be
+    mutated afterwards.
     """
 
-    __slots__ = ("op", "operands", "label", "target", "addr", "func", "index")
+    __slots__ = ("op", "operands", "label", "target", "addr", "func", "index",
+                 "decoded", "target_index", "block_start", "leads_block")
 
     def __init__(
         self,
@@ -155,6 +223,14 @@ class Instruction:
         self.addr: int = -1
         self.func: str = ""
         self.index: int = -1
+        #: Op-specific decoded operand tuple (assembly-time cache).
+        self.decoded: Tuple = ()
+        #: Instruction index of ``target`` within the function, or -1.
+        self.target_index: int = -1
+        #: Start address of the enclosing basic block.
+        self.block_start: int = -1
+        #: Whether this instruction is its basic block's leader.
+        self.leads_block: bool = False
 
     @property
     def accesses_memory(self) -> bool:

@@ -21,10 +21,20 @@ class LockInfo:
 
 
 class LockTable:
-    """All named locks of one machine instance."""
+    """All named locks of one machine instance.
+
+    Mutations bump a generation counter; the canonical state key and the
+    checkpoint snapshot are cached against it, so convergence probes on
+    lock-quiet stretches never rebuild them.
+    """
 
     def __init__(self) -> None:
         self._locks: Dict[str, LockInfo] = {}
+        self.gen = 0
+        self._key: tuple = ()
+        self._key_gen = -1
+        self._snap: dict = {}
+        self._snap_gen = -1
 
     def _info(self, name: str) -> LockInfo:
         if name not in self._locks:
@@ -37,12 +47,14 @@ class LockTable:
         info = self._info(name)
         if info.owner is None:
             info.owner = tid
+            self.gen += 1
             return True
         if info.owner == tid:
             raise RuntimeError(
                 f"thread {tid} recursively acquires lock {name!r}")
         if tid not in info.waiters:
             info.waiters.append(tid)
+            self.gen += 1
         return False
 
     def release(self, name: str, tid: int) -> List[int]:
@@ -53,6 +65,7 @@ class LockTable:
                 f"thread {tid} releases lock {name!r} owned by {info.owner}")
         info.owner = None
         woken, info.waiters = info.waiters, []
+        self.gen += 1
         return woken
 
     def owner(self, name: str) -> Optional[int]:
@@ -64,15 +77,29 @@ class LockTable:
     def snapshot(self) -> dict:
         # Idle locks (no owner, no waiters) are indistinguishable from
         # never-touched ones — ``_info`` recreates them lazily — so
-        # checkpoints skip them.
-        return {
-            name: (info.owner, list(info.waiters))
-            for name, info in self._locks.items()
-            if info.owner is not None or info.waiters
-        }
+        # checkpoints skip them.  The dict is cached per generation; callers
+        # must treat it as immutable.
+        if self._snap_gen != self.gen:
+            self._snap = {
+                name: (info.owner, tuple(info.waiters))
+                for name, info in self._locks.items()
+                if info.owner is not None or info.waiters
+            }
+            self._snap_gen = self.gen
+        return self._snap
+
+    def state_key(self) -> tuple:
+        if self._key_gen != self.gen:
+            self._key = tuple(
+                (name, info.owner, tuple(info.waiters))
+                for name, info in sorted(self._locks.items())
+                if info.owner is not None or info.waiters)
+            self._key_gen = self.gen
+        return self._key
 
     def restore(self, snap: dict) -> None:
         self._locks = {
             name: LockInfo(owner=owner, waiters=list(waiters))
             for name, (owner, waiters) in snap.items()
         }
+        self.gen += 1

@@ -10,6 +10,12 @@ The machine records every memory access (with locksets and occurrence
 indices), every background-thread invocation, and the totally ordered trace
 of executed instructions.  On a fault it converts the exception into a
 :class:`~repro.kernel.failures.Failure` and halts, like a kernel panic.
+
+Execution dispatches through a per-opcode handler table over the
+assembly-time decoded operand tuples (see
+:func:`repro.kernel.instructions.decode_operands`): one dict probe per
+step instead of an if/elif ladder, no ``isinstance`` operand tests, and
+branch targets resolved to instruction indices ahead of time.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.kernel.access import AccessKind, MemoryAccess
 from repro.kernel.failures import Failure, FailureKind, KernelFault
 from repro.kernel.instructions import (
-    BINARY_OPERATORS,
+    IMM,
     Deref,
     Global,
     Imm,
@@ -84,6 +90,317 @@ class StepOutcome:
     failure: Optional[Failure] = None
 
 
+# ----------------------------------------------------------------------
+# Per-opcode handlers.  Each receives (machine, ctx, frame, instr) and
+# consumes instr.decoded; `step` routes through _DISPATCH with a single
+# dict probe.
+# ----------------------------------------------------------------------
+def _op_lock(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    # LOCK is special: a failed acquisition blocks without executing.
+    out = StepOutcome(executed=True, instr=instr)
+    name = instr.decoded[0]
+    if m.locks.try_acquire(name, ctx.tid):
+        ctx.locks_held.append(name)
+        ctx.state = ThreadState.READY
+        ctx.blocked_on = None
+        m._record_trace(ctx, instr)
+        frame.pc += 1
+    else:
+        ctx.state = ThreadState.BLOCKED
+        ctx.blocked_on = name
+        out.executed = False
+        out.blocked = True
+    return out
+
+
+def _op_unlock(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    name = instr.decoded[0]
+    woken = m.locks.release(name, ctx.tid)
+    ctx.locks_held.remove(name)
+    for tid in woken:
+        waiter = m.threads[tid]
+        waiter.state = ThreadState.READY
+        waiter.blocked_on = None
+        waiter.gen += 1
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_load(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    dst, expr = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ, occurrence))
+    ctx.regs[dst] = m.memory.load(addr)
+    frame.pc += 1
+    return out
+
+
+def _op_store(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    expr, src = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.WRITE, occurrence))
+    m.memory.store(addr, m._dval(ctx, src))
+    frame.pc += 1
+    return out
+
+
+def _op_inc(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    expr, delta = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                         occurrence))
+    m.memory.store(addr, m.memory.load(addr) + delta)
+    frame.pc += 1
+    return out
+
+
+def _op_mov(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    dst, src = instr.decoded
+    ctx.regs[dst] = m._dval(ctx, src)
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_lea(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    dst, glob = instr.decoded
+    ctx.regs[dst] = m.memory.global_addr(glob)
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_binop(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    dst, fn, lhs, rhs = instr.decoded
+    ctx.regs[dst] = fn(m._dval(ctx, lhs), m._dval(ctx, rhs))
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_brz(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    if m._dval(ctx, instr.decoded[0]) == 0:
+        frame.pc = instr.target_index
+    else:
+        frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_brnz(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    if m._dval(ctx, instr.decoded[0]) != 0:
+        frame.pc = instr.target_index
+    else:
+        frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_jmp(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    frame.pc = instr.target_index
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_call(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    frame.pc += 1
+    ctx.frames.append(Frame(instr.decoded[0], 0))
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_ret(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    ctx.frames.pop()
+    if not ctx.frames:
+        ctx.state = ThreadState.DONE
+        out.thread_done = True
+    return out
+
+
+def _op_alloc(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    dst, size, tag, leak_tracked = instr.decoded
+    ctx.regs[dst] = m.memory.alloc(size, tag, site=instr.name,
+                                   leak_tracked=leak_tracked)
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_free(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    ptr = m._dval(ctx, instr.decoded[0])
+    # Freeing writes the *whole* object (as KASAN poisons it), so the free
+    # conflicts with accesses to any field of the object, not just its base.
+    obj = m.memory.object_at(ptr, include_freed=True)
+    if obj is not None and obj.base == ptr:
+        for offset in range(0, obj.size, 8):
+            out.accesses.append(
+                m._record_access(ctx, instr, ptr + offset,
+                                 AccessKind.WRITE, occurrence))
+    else:
+        out.accesses.append(
+            m._record_access(ctx, instr, ptr, AccessKind.WRITE, occurrence))
+    m.memory.free(ptr, site=instr.name)
+    frame.pc += 1
+    return out
+
+
+def _op_spawn(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    func_name, arg = instr.decoded
+    kind = (ThreadKind.KWORKER if instr.op is Op.QUEUE_WORK
+            else ThreadKind.RCU)
+    prefix = "kworker" if kind is ThreadKind.KWORKER else "rcu"
+    child_name = f"{prefix}/{func_name}#{len(m.threads)}"
+    child = m._add_thread(
+        child_name, func_name, kind,
+        regs={"a0": m._dval(ctx, arg)},
+        spawned_by=ctx.name, spawn_instr=instr.name)
+    m.spawn_events.append(SpawnEvent(
+        seq=m._seq, parent=ctx.name, child=child_name,
+        kind=kind, instr_label=instr.name))
+    out.spawned.append(child.tid)
+    frame.pc += 1
+    return out
+
+
+def _op_bug_on(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    cond, message = instr.decoded
+    if m._dval(ctx, cond):
+        raise KernelFault(FailureKind.ASSERTION,
+                          message or f"BUG_ON at {instr.name}")
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+def _op_list_add(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    expr, elem = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                         occurrence))
+    current = m.memory.load(addr)
+    items = current if isinstance(current, tuple) else ()
+    m.memory.store(addr, items + (m._dval(ctx, elem),))
+    frame.pc += 1
+    return out
+
+
+def _op_list_del(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    expr, elem = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                         occurrence))
+    current = m.memory.load(addr)
+    items = list(current) if isinstance(current, tuple) else []
+    value = m._dval(ctx, elem)
+    if value in items:
+        items.remove(value)
+    m.memory.store(addr, tuple(items))
+    frame.pc += 1
+    return out
+
+
+def _op_list_contains(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    dst, expr, elem = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ, occurrence))
+    current = m.memory.load(addr)
+    items = current if isinstance(current, tuple) else ()
+    ctx.regs[dst] = int(m._dval(ctx, elem) in items)
+    frame.pc += 1
+    return out
+
+
+def _op_cmpxchg(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    dst, expr, expected, new_value = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                         occurrence))
+    old_value = m.memory.load(addr)
+    if old_value == m._dval(ctx, expected):
+        m.memory.store(addr, m._dval(ctx, new_value))
+    ctx.regs[dst] = old_value
+    frame.pc += 1
+    return out
+
+
+def _op_xchg(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    occurrence = m._record_trace(ctx, instr)
+    out = StepOutcome(executed=True, instr=instr)
+    dst, expr, new_value = instr.decoded
+    addr = m._daddr(ctx, expr)
+    out.accesses.append(
+        m._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
+                         occurrence))
+    ctx.regs[dst] = m.memory.load(addr)
+    m.memory.store(addr, m._dval(ctx, new_value))
+    frame.pc += 1
+    return out
+
+
+def _op_nop(m: "KernelMachine", ctx, frame, instr) -> StepOutcome:
+    m._record_trace(ctx, instr)
+    frame.pc += 1
+    return StepOutcome(executed=True, instr=instr)
+
+
+_DISPATCH: Dict[Op, Callable] = {
+    Op.LOAD: _op_load,
+    Op.STORE: _op_store,
+    Op.INC: _op_inc,
+    Op.MOV: _op_mov,
+    Op.LEA: _op_lea,
+    Op.BINOP: _op_binop,
+    Op.BRZ: _op_brz,
+    Op.BRNZ: _op_brnz,
+    Op.JMP: _op_jmp,
+    Op.CALL: _op_call,
+    Op.RET: _op_ret,
+    Op.ALLOC: _op_alloc,
+    Op.FREE: _op_free,
+    Op.LOCK: _op_lock,
+    Op.UNLOCK: _op_unlock,
+    Op.QUEUE_WORK: _op_spawn,
+    Op.CALL_RCU: _op_spawn,
+    Op.BUG_ON: _op_bug_on,
+    Op.CMPXCHG: _op_cmpxchg,
+    Op.XCHG: _op_xchg,
+    Op.LIST_ADD: _op_list_add,
+    Op.LIST_DEL: _op_list_del,
+    Op.LIST_CONTAINS: _op_list_contains,
+    Op.NOP: _op_nop,
+}
+
+assert set(_DISPATCH) == set(Op), "every opcode needs a dispatch handler"
+
+
 class KernelMachine:
     """One bootable instance of the simulated kernel."""
 
@@ -133,9 +450,12 @@ class KernelMachine:
         #: prefix); a run resumed from a checkpoint skips exactly this work
         #: plus the checkpointed prefix.
         self.setup_steps = sum(t.steps for t in self.threads)
-        self.access_log.clear()
-        self.trace.clear()
-        self.spawn_events.clear()
+        # Fresh lists, not .clear(): snapshots capture the log lists as
+        # length-bounded views, so a list that ever backed a snapshot must
+        # never shrink in place.
+        self.access_log = []
+        self.trace = []
+        self.spawn_events = []
 
         for spec in threads:
             self._add_thread(spec.name, spec.entry, spec.kind,
@@ -192,18 +512,21 @@ class KernelMachine:
     # ------------------------------------------------------------------
     def thread(self, ref) -> ThreadContext:
         """Look a thread up by tid or name."""
+        if ref.__class__ is str:
+            return self._by_name[ref]
         if isinstance(ref, ThreadContext):
             return ref
-        if isinstance(ref, int):
-            return self.threads[ref]
-        return self._by_name[ref]
+        return self.threads[ref]
 
     @property
     def halted(self) -> bool:
         return self.failure is not None
 
     def all_done(self) -> bool:
-        return all(t.done for t in self.threads)
+        for t in self.threads:
+            if t.state is not ThreadState.DONE:
+                return False
+        return True
 
     def runnable_threads(self) -> List[ThreadContext]:
         if self.halted:
@@ -263,6 +586,17 @@ class KernelMachine:
             return base + expr.offset
         raise TypeError(f"bad address expression {expr!r}")
 
+    def _dval(self, ctx: ThreadContext, src) -> Any:
+        """Evaluate a decoded value source (``(IMM, v)`` / ``(REG, name)``)."""
+        return src[1] if src[0] == IMM else ctx.regs.get(src[1], 0)
+
+    def _daddr(self, ctx: ThreadContext, expr) -> int:
+        """Evaluate a decoded address expression (``(GLOB, name)`` /
+        ``(DEREF, reg, offset)``)."""
+        if expr[0] == 2:  # GLOB — every referenced global is pre-defined
+            return self.memory._globals[expr[1]]
+        return ctx.regs.get(expr[1], 0) + expr[2]
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -278,25 +612,26 @@ class KernelMachine:
         ctx = self.thread(ref)
         if ctx.done:
             raise RuntimeError(f"thread {ctx.name} is done")
+        ctx.gen += 1  # invalidate this thread's cached capture/key
         ctx.steps += 1
         if ctx.steps > MAX_THREAD_STEPS:
             raise RuntimeError(
                 f"thread {ctx.name} exceeded {MAX_THREAD_STEPS} steps; "
                 f"the model likely has an unbounded loop")
 
-        frame = ctx.current_frame()
-        func = self.image.functions[frame.func]
-        instr = func.instructions[frame.pc]
+        frames = ctx.frames
+        if not frames:
+            raise RuntimeError(f"thread {ctx.name} has no active frame")
+        frame = frames[-1]
+        instr = self.image.functions[frame.func].instructions[frame.pc]
 
-        if self.coverage_cb is not None:
-            block = self.image.block_containing(instr.addr)
-            if block.start_addr == instr.addr:
-                self.coverage_cb(ctx.name, block.start_addr)
+        if self.coverage_cb is not None and instr.leads_block:
+            self.coverage_cb(ctx.name, instr.block_start)
 
         try:
-            return self._execute(ctx, frame, instr)
+            return _DISPATCH[instr.op](self, ctx, frame, instr)
         except KernelFault as fault:
-            # _execute records the trace entry before the access faults, so
+            # Handlers record the trace entry before the access faults, so
             # the faulting instruction is already the last trace entry.
             self.failure = Failure(
                 kind=fault.kind, thread=ctx.name, instr_label=instr.name,
@@ -305,6 +640,11 @@ class KernelMachine:
             )
             return StepOutcome(executed=True, instr=instr,
                                failure=self.failure)
+
+    def _execute(self, ctx: ThreadContext, frame: Frame,
+                 instr: Instruction) -> StepOutcome:
+        """Execute one decoded instruction (dispatch-table entry point)."""
+        return _DISPATCH[instr.op](self, ctx, frame, instr)
 
     def _record_trace(self, ctx: ThreadContext, instr: Instruction) -> int:
         self._seq += 1
@@ -327,202 +667,6 @@ class KernelMachine:
         )
         self.access_log.append(access)
         return access
-
-    def _advance(self, frame: Frame) -> None:
-        frame.pc += 1
-
-    def _execute(self, ctx: ThreadContext, frame: Frame,
-                 instr: Instruction) -> StepOutcome:
-        op = instr.op
-        out = StepOutcome(executed=True, instr=instr)
-
-        # LOCK is special: a failed acquisition blocks without executing.
-        if op is Op.LOCK:
-            name = instr.operands[0]
-            if self.locks.try_acquire(name, ctx.tid):
-                ctx.locks_held.append(name)
-                ctx.state = ThreadState.READY
-                ctx.blocked_on = None
-                self._record_trace(ctx, instr)
-                self._advance(frame)
-            else:
-                ctx.state = ThreadState.BLOCKED
-                ctx.blocked_on = name
-                out.executed = False
-                out.blocked = True
-            return out
-
-        occurrence = self._record_trace(ctx, instr)
-
-        if op is Op.LOAD:
-            dst, expr = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ,
-                                    occurrence))
-            ctx.regs[dst.name] = self.memory.load(addr)
-            self._advance(frame)
-        elif op is Op.STORE:
-            expr, src = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.WRITE,
-                                    occurrence))
-            self.memory.store(addr, self._value(ctx, src))
-            self._advance(frame)
-        elif op is Op.INC:
-            expr, delta = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
-                                    occurrence))
-            self.memory.store(addr, self.memory.load(addr) + delta.value)
-            self._advance(frame)
-        elif op is Op.MOV:
-            dst, src = instr.operands
-            ctx.regs[dst.name] = self._value(ctx, src)
-            self._advance(frame)
-        elif op is Op.LEA:
-            dst, glob = instr.operands
-            ctx.regs[dst.name] = self.memory.global_addr(glob.name)
-            self._advance(frame)
-        elif op is Op.BINOP:
-            dst, operator, lhs, rhs = instr.operands
-            fn = BINARY_OPERATORS[operator]
-            ctx.regs[dst.name] = fn(self._value(ctx, lhs),
-                                    self._value(ctx, rhs))
-            self._advance(frame)
-        elif op in (Op.BRZ, Op.BRNZ):
-            cond = self._value(ctx, instr.operands[0])
-            taken = (cond == 0) if op is Op.BRZ else (cond != 0)
-            if taken:
-                func = self.image.functions[frame.func]
-                frame.pc = func.label_index(instr.target)
-            else:
-                self._advance(frame)
-        elif op is Op.JMP:
-            func = self.image.functions[frame.func]
-            frame.pc = func.label_index(instr.target)
-        elif op is Op.CALL:
-            callee = instr.operands[0]
-            self._advance(frame)
-            ctx.frames.append(Frame(callee, 0))
-        elif op is Op.RET:
-            ctx.frames.pop()
-            if not ctx.frames:
-                ctx.state = ThreadState.DONE
-                out.thread_done = True
-        elif op is Op.ALLOC:
-            dst, size, tag, leak_tracked = instr.operands
-            addr = self.memory.alloc(size, tag, site=instr.name,
-                                     leak_tracked=leak_tracked)
-            ctx.regs[dst.name] = addr
-            self._advance(frame)
-        elif op is Op.FREE:
-            ptr = self._value(ctx, instr.operands[0])
-            # Freeing writes the *whole* object (as KASAN poisons it), so
-            # the free conflicts with accesses to any field of the object,
-            # not just its base.
-            obj = self.memory.object_at(ptr, include_freed=True)
-            if obj is not None and obj.base == ptr:
-                for offset in range(0, obj.size, 8):
-                    out.accesses.append(
-                        self._record_access(ctx, instr, ptr + offset,
-                                            AccessKind.WRITE, occurrence))
-            else:
-                out.accesses.append(
-                    self._record_access(ctx, instr, ptr, AccessKind.WRITE,
-                                        occurrence))
-            self.memory.free(ptr, site=instr.name)
-            self._advance(frame)
-        elif op is Op.UNLOCK:
-            name = instr.operands[0]
-            woken = self.locks.release(name, ctx.tid)
-            ctx.locks_held.remove(name)
-            for tid in woken:
-                waiter = self.threads[tid]
-                waiter.state = ThreadState.READY
-                waiter.blocked_on = None
-            self._advance(frame)
-        elif op in (Op.QUEUE_WORK, Op.CALL_RCU):
-            func_name, arg = instr.operands
-            kind = ThreadKind.KWORKER if op is Op.QUEUE_WORK else ThreadKind.RCU
-            prefix = "kworker" if kind is ThreadKind.KWORKER else "rcu"
-            child_name = f"{prefix}/{func_name}#{len(self.threads)}"
-            child = self._add_thread(
-                child_name, func_name, kind,
-                regs={"a0": self._value(ctx, arg)},
-                spawned_by=ctx.name, spawn_instr=instr.name)
-            self.spawn_events.append(SpawnEvent(
-                seq=self._seq, parent=ctx.name, child=child_name,
-                kind=kind, instr_label=instr.name))
-            out.spawned.append(child.tid)
-            self._advance(frame)
-        elif op is Op.BUG_ON:
-            cond, message = instr.operands
-            if self._value(ctx, cond):
-                raise KernelFault(FailureKind.ASSERTION,
-                                  message or f"BUG_ON at {instr.name}")
-            self._advance(frame)
-        elif op is Op.LIST_ADD:
-            expr, elem = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
-                                    occurrence))
-            current = self.memory.load(addr)
-            items = current if isinstance(current, tuple) else ()
-            self.memory.store(addr, items + (self._value(ctx, elem),))
-            self._advance(frame)
-        elif op is Op.LIST_DEL:
-            expr, elem = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
-                                    occurrence))
-            current = self.memory.load(addr)
-            items = list(current) if isinstance(current, tuple) else []
-            value = self._value(ctx, elem)
-            if value in items:
-                items.remove(value)
-            self.memory.store(addr, tuple(items))
-            self._advance(frame)
-        elif op is Op.LIST_CONTAINS:
-            dst, expr, elem = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ,
-                                    occurrence))
-            current = self.memory.load(addr)
-            items = current if isinstance(current, tuple) else ()
-            ctx.regs[dst.name] = int(self._value(ctx, elem) in items)
-            self._advance(frame)
-        elif op is Op.CMPXCHG:
-            dst, expr, expected, new_value = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
-                                    occurrence))
-            old_value = self.memory.load(addr)
-            if old_value == self._value(ctx, expected):
-                self.memory.store(addr, self._value(ctx, new_value))
-            ctx.regs[dst.name] = old_value
-            self._advance(frame)
-        elif op is Op.XCHG:
-            dst, expr, new_value = instr.operands
-            addr = self._effective_addr(ctx, expr)
-            out.accesses.append(
-                self._record_access(ctx, instr, addr, AccessKind.READ_WRITE,
-                                    occurrence))
-            ctx.regs[dst.name] = self.memory.load(addr)
-            self.memory.store(addr, self._value(ctx, new_value))
-            self._advance(frame)
-        elif op is Op.NOP:
-            self._advance(frame)
-        else:  # pragma: no cover — every opcode is handled above
-            raise NotImplementedError(f"unhandled opcode {op}")
-
-        return out
 
     # ------------------------------------------------------------------
     # End-of-run checks

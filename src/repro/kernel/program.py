@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.kernel.instructions import Instruction, Op
+from repro.kernel.instructions import Instruction, Op, decode_operands
 
 #: Code addresses start here and advance by 4 per instruction, like a
 #: fixed-width ISA.
@@ -86,11 +86,15 @@ class KernelImage:
                         raise ValueError(
                             f"duplicate instruction label {instr.label!r}")
                     self._by_label[instr.label] = instr
-        # Validate branch targets and CALL targets.
+        # Validate branch targets and CALL targets; cache the branch-target
+        # index and the decoded operand tuple on each instruction so the
+        # interpreter never re-resolves labels or re-unpacks operands at
+        # execution time.
         for func in self.functions.values():
             for instr in func.instructions:
                 if instr.target is not None:
-                    func.label_index(instr.target)
+                    instr.target_index = func.label_index(instr.target)
+                instr.decoded = decode_operands(instr)
                 if instr.op is Op.CALL:
                     callee = instr.operands[0]
                     if callee not in self.functions:
@@ -122,6 +126,9 @@ class KernelImage:
                 self._blocks[block.start_addr] = block
                 for a in addrs:
                     self._block_of_instr[a] = block.start_addr
+                for k in range(start, end):
+                    func.instructions[k].block_start = block.start_addr
+                func.instructions[start].leads_block = True
 
     # ------------------------------------------------------------------
     # Lookups

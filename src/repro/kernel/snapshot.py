@@ -9,10 +9,12 @@ backward — which is what lets the hypervisor resume a run mid-flight
 instead of rebooting and re-interpreting the shared prefix (the QEMU
 snapshot trick of paper section 4.3).
 
-Log prefixes are stored as tuples of the machine's frozen record types
-(``TraceEntry`` / ``MemoryAccess`` / ``SpawnEvent``), so snapshots share
-them structurally with the live machine; capture cost is dict copies, not
-deep copies of the history.
+Log prefixes are stored as :class:`LogSlice` views over the machine's
+append-only log lists — O(1) to capture regardless of how long the run has
+been going.  Memory is captured as a structurally shared
+:class:`~repro.kernel.memory.MemoryImage` (O(dirty)), and per-thread images
+are generation-cached, so a checkpoint's cost tracks what changed since the
+previous one, not the size of the machine.
 """
 
 from __future__ import annotations
@@ -21,12 +23,66 @@ import hashlib
 import io
 import pickle
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
+from itertools import islice
+from operator import attrgetter
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Set, Tuple
 
+from repro.kernel.memory import (MemoryImage, _canon_cells, _canon_globals,
+                                 _canon_objects)
 from repro.kernel.threads import ThreadContext, ThreadImage
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.machine import KernelMachine
+
+_by_tid = attrgetter("tid")
+
+
+class LogSlice(Sequence):
+    """An immutable length-bounded view over an append-only log list.
+
+    The machine's run logs only ever grow (a restore swaps in a *fresh*
+    list, freezing the old backing), so a ``(backing, length)`` pair is a
+    faithful prefix capture at O(1) cost — where tuple-copying the logs on
+    every checkpoint used to make capture cost quadratic in run length.
+    Pickles as a plain tuple, keeping the wire format self-contained.
+    """
+
+    __slots__ = ("_items", "_length")
+
+    def __init__(self, backing, length: Optional[int] = None) -> None:
+        self._items = backing
+        self._length = len(backing) if length is None else length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return islice(iter(self._items), self._length)
+
+    def __getitem__(self, index):
+        n = self._length
+        if isinstance(index, slice):
+            return tuple(self._items[i] for i in range(*index.indices(n)))
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("LogSlice index out of range")
+        return self._items[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (LogSlice, tuple, list)):
+            return len(other) == self._length and all(
+                a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"LogSlice({self._length} entries)"
+
+    def __reduce__(self):
+        return (tuple, (tuple(self),))
 
 #: Wire-format version for :func:`dumps_state` / :func:`loads_state`.
 #: Version 2 envelopes carry machine state as content-addressed
@@ -37,15 +93,20 @@ WIRE_VERSION = 2
 
 @dataclass(frozen=True)
 class MachineSnapshot:
-    """Captured state of one machine."""
+    """Captured state of one machine.
 
-    memory: dict
+    ``memory`` is a :class:`~repro.kernel.memory.MemoryImage` (legacy
+    full-copy dicts are still restorable); the log fields are
+    :class:`LogSlice` prefixes (tuples after a wire round trip).
+    """
+
+    memory: MemoryImage
     locks: dict
     threads: Tuple[ThreadImage, ...]
     seq: int
-    trace: Tuple
-    access_log: Tuple
-    spawn_events: Tuple
+    trace: Sequence
+    access_log: Sequence
+    spawn_events: Sequence
 
     @property
     def thread_count(self) -> int:
@@ -53,7 +114,11 @@ class MachineSnapshot:
 
 
 def snapshot_machine(machine: "KernelMachine") -> MachineSnapshot:
-    """Capture a machine (typically mid-run, before trying something)."""
+    """Capture a machine (typically mid-run, before trying something).
+
+    O(dirty since the last capture): memory emits a structurally shared
+    image, unchanged threads return their cached images, and the run logs
+    are captured as constant-time prefix views."""
     if machine.halted:
         raise ValueError("cannot snapshot a halted machine")
     return MachineSnapshot(
@@ -61,9 +126,9 @@ def snapshot_machine(machine: "KernelMachine") -> MachineSnapshot:
         locks=machine.locks.snapshot(),
         threads=tuple(t.capture() for t in machine.threads),
         seq=machine._seq,
-        trace=tuple(machine.trace),
-        access_log=tuple(machine.access_log),
-        spawn_events=tuple(machine.spawn_events),
+        trace=LogSlice(machine.trace),
+        access_log=LogSlice(machine.access_log),
+        spawn_events=LogSlice(machine.spawn_events),
     )
 
 
@@ -83,20 +148,28 @@ def _thread_state_key(image: ThreadImage) -> Tuple:
     )
 
 
-def _state_key(memory: dict, locks: dict,
-               threads: Tuple[ThreadImage, ...]) -> Tuple:
+def _memory_key_parts(memory) -> Tuple:
+    if isinstance(memory, MemoryImage):
+        return memory.state_key_parts()
     return (
-        tuple(sorted(memory["cells"].items())),
-        tuple(sorted(memory["globals"].items())),
-        tuple((base, o.size, o.tag, o.state.value, o.leak_tracked,
-               o.alloc_site, o.free_site)
-              for base, o in sorted(memory["objects"].items())),
+        _canon_cells(memory["cells"]),
+        _canon_globals(memory["globals"]),
+        _canon_objects(memory["objects"]),
         memory["next_global"],
         memory["next_heap"],
-        tuple((name, owner, tuple(waiters))
-              for name, (owner, waiters) in sorted(locks.items())),
-        tuple(_thread_state_key(t) for t in sorted(threads,
-                                                   key=lambda t: t.tid)),
+    )
+
+
+def _locks_key(locks: dict) -> Tuple:
+    return tuple((name, owner, tuple(waiters))
+                 for name, (owner, waiters) in sorted(locks.items()))
+
+
+def _state_key(memory, locks: dict,
+               threads: Tuple[ThreadImage, ...]) -> Tuple:
+    return _memory_key_parts(memory) + (
+        _locks_key(locks),
+        tuple(_thread_state_key(t) for t in sorted(threads, key=_by_tid)),
     )
 
 
@@ -108,10 +181,16 @@ def machine_state_key(machine: "KernelMachine") -> Tuple:
     and wait queues, and every thread's control state are all included.
     The hypervisor uses key equality to detect that a reordered run has
     *converged* back onto its base run's state, at which point the base's
-    already-computed suffix can be spliced instead of re-interpreted."""
-    return _state_key(
-        machine.memory.snapshot(), machine.locks.snapshot(),
-        tuple(t.capture() for t in machine.threads))
+    already-computed suffix can be spliced instead of re-interpreted.
+
+    Assembled from generation-cached component keys: a convergence probe
+    after a step that touched one thread and a handful of cells only
+    re-canonicalizes those components."""
+    return machine.memory.state_key_parts() + (
+        machine.locks.state_key(),
+        tuple(t.state_key()
+              for t in sorted(machine.threads, key=_by_tid)),
+    )
 
 
 def snapshot_state_key(snapshot: MachineSnapshot) -> Tuple:
@@ -154,7 +233,12 @@ class CheckpointStore:
         if key not in self._objects:
             self._blobs[key] = blob
             self._objects[key] = obj
-        self._key_by_id[id(obj)] = key
+            # Memoize only objects the store retains.  A duplicate whose
+            # key is already interned is discarded by this method; once it
+            # is garbage-collected its id() can be reused by a *different*
+            # checkpoint, and a memo entry for it would then resolve that
+            # new object to the stale key — restoring the wrong machine.
+            self._key_by_id[id(obj)] = key
         return key
 
     def get(self, key: str):
@@ -335,7 +419,31 @@ def restore_machine(machine: "KernelMachine",
                 f"{image.name!r} enters unknown function {image.entry!r}")
     machine.memory.restore(snapshot.memory)
     machine.locks.restore(snapshot.locks)
-    threads = [ThreadContext.from_image(image) for image in snapshot.threads]
+    # Rebuild the thread roster, reusing the machine's existing contexts
+    # where possible.  A context whose cached capture *is* the image being
+    # restored (generation-stamped identity) has not run since that
+    # capture and needs no work at all; a context with matching identity
+    # is rewound in place and re-stamped so its next capture() returns
+    # the shared image without copying.  Only genuinely new threads are
+    # materialized from scratch.
+    by_name = machine._by_name
+    threads = []
+    for image in snapshot.threads:
+        ctx = by_name.get(image.name)
+        if ctx is not None:
+            if ctx._cap is image and ctx._cap_gen == ctx.gen:
+                threads.append(ctx)
+                continue
+            if (ctx.tid == image.tid and ctx.entry == image.entry
+                    and ctx.kind is image.kind
+                    and ctx.spawned_by == image.spawned_by
+                    and ctx.spawn_instr == image.spawn_instr):
+                ctx.restore(image.state)
+                ctx._cap = image
+                ctx._cap_gen = ctx.gen
+                threads.append(ctx)
+                continue
+        threads.append(ThreadContext.from_image(image))
     machine.threads = threads
     machine._by_name = {ctx.name: ctx for ctx in threads}
     machine._seq = snapshot.seq

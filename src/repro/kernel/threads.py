@@ -62,6 +62,15 @@ class ThreadContext:
     #: occurrence index used to address accesses inside loops.
     exec_counts: Dict[int, int] = field(default_factory=dict)
     steps: int = 0
+    #: Mutation generation: bumped once per executed step (and on wake /
+    #: restore).  Captures and canonical keys are cached against it, so an
+    #: unchanged thread is never re-copied or re-sorted.
+    gen: int = 0
+    _cap: Optional["ThreadImage"] = field(default=None, repr=False,
+                                          compare=False)
+    _cap_gen: int = field(default=-1, repr=False, compare=False)
+    _key: Optional[tuple] = field(default=None, repr=False, compare=False)
+    _key_gen: int = field(default=-1, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
@@ -95,15 +104,37 @@ class ThreadContext:
         self.blocked_on = snap["blocked_on"]
         self.exec_counts = dict(snap["exec_counts"])
         self.steps = snap["steps"]
+        self.gen += 1
 
     def capture(self) -> "ThreadImage":
         """Identity plus mutable state: enough to *recreate* the thread on a
         machine where it does not exist (unlike :meth:`snapshot`, which only
-        rewinds an existing context)."""
-        return ThreadImage(
-            tid=self.tid, name=self.name, kind=self.kind, entry=self.entry,
-            spawned_by=self.spawned_by, spawn_instr=self.spawn_instr,
-            state=self.snapshot())
+        rewinds an existing context).
+
+        The image is cached against :attr:`gen`: a thread that has not run
+        since the previous checkpoint returns the same (immutable) image
+        without copying its registers or counters again."""
+        if self._cap is None or self._cap_gen != self.gen:
+            self._cap = ThreadImage(
+                tid=self.tid, name=self.name, kind=self.kind,
+                entry=self.entry, spawned_by=self.spawned_by,
+                spawn_instr=self.spawn_instr, state=self.snapshot())
+            self._cap_gen = self.gen
+        return self._cap
+
+    def state_key(self) -> tuple:
+        """Canonical per-thread component of the machine-state key, cached
+        against :attr:`gen`."""
+        if self._key is None or self._key_gen != self.gen:
+            self._key = (
+                self.tid, self.name, self.kind.value, self.entry,
+                self.state.value,
+                tuple(sorted(self.regs.items())),
+                tuple((fr.func, fr.pc) for fr in self.frames),
+                tuple(self.locks_held), self.blocked_on,
+                tuple(sorted(self.exec_counts.items())))
+            self._key_gen = self.gen
+        return self._key
 
     @classmethod
     def from_image(cls, image: "ThreadImage") -> "ThreadContext":
