@@ -120,6 +120,8 @@ def _evaluate_one(bug: "Bug", pipeline: bool = False,
                   snapshots: bool = True,
                   wave_jobs: int = 1,
                   executor: str = "fleet",
+                  policy: str = "static",
+                  experience=None,
                   tracer=None) -> BugEvaluation:
     """Diagnose one bug and summarize the outcome."""
     # Imported here: analysis is a leaf package for repro.core, so the
@@ -135,10 +137,13 @@ def _evaluate_one(bug: "Bug", pipeline: bool = False,
     diagnosis = Aitia(bug, report=report,
                       lifs_config=LifsConfig(use_snapshots=snapshots,
                                              wave_jobs=wave_jobs,
-                                             executor=executor),
+                                             executor=executor,
+                                             policy=policy),
                       ca_config=CaConfig(use_snapshots=snapshots,
                                          wave_jobs=wave_jobs,
-                                         executor=executor),
+                                         executor=executor,
+                                         policy=policy),
+                      experience=experience,
                       tracer=tracer).diagnose()
     return summarize_diagnosis(bug, diagnosis)
 
@@ -153,7 +158,8 @@ def _evaluate_worker(payload: dict) -> dict:
     return asdict(_evaluate_one(bug, pipeline=payload["pipeline"],
                                 snapshots=payload.get("snapshots", True),
                                 wave_jobs=payload.get("wave_jobs", 1),
-                                executor=payload.get("executor", "fleet")))
+                                executor=payload.get("executor", "fleet"),
+                                policy=payload.get("policy", "static")))
 
 
 def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
@@ -163,6 +169,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                     snapshots: bool = True,
                     wave_jobs: int = 1,
                     executor: str = "fleet",
+                    policy: str = "static",
                     tracer=None) -> CorpusEvaluation:
     """Evaluate a bug set (default: the paper's 22 evaluated bugs).
 
@@ -180,7 +187,11 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
     ``--no-snapshot`` ablation); ``wave_jobs > 1`` fans each diagnosis's
     schedule waves out to child processes (``--parallel-waves``, inert
     inside ``jobs > 1`` workers, which are daemonic and cannot fork).
-    Rows are bit-identical whatever the settings.
+    ``policy="adaptive"`` routes both search stages through the adaptive
+    search policy (``--policy``); the sequential path shares one
+    experience index across the whole set, so each diagnosis learns
+    from its predecessors, while parallel workers rank with empty
+    priors.  Rows are bit-identical whatever the settings.
     """
     from repro.observe.tracer import as_tracer
 
@@ -189,13 +200,18 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
         from repro.corpus.registry import all_bugs
         bugs = all_bugs()
     if jobs <= 1:
+        experience = None
+        if policy != "static":
+            from repro.policy import ExperienceIndex
+            experience = ExperienceIndex()
         with tracer.span("evaluate", stage="evaluate",
                          bugs=len(bugs), jobs=1):
             return CorpusEvaluation(
                 rows=[_evaluate_one(bug, pipeline=pipeline,
                                     snapshots=snapshots,
                                     wave_jobs=wave_jobs,
-                                    executor=executor, tracer=tracer)
+                                    executor=executor, policy=policy,
+                                    experience=experience, tracer=tracer)
                       for bug in bugs])
 
     from repro.engine.executors import make_executor
@@ -205,17 +221,17 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
         TriageJob(job_id=bug.bug_id,
                   payload={"bug_id": bug.bug_id, "pipeline": pipeline,
                            "snapshots": snapshots, "wave_jobs": wave_jobs,
-                           "executor": executor},
+                           "executor": executor, "policy": policy},
                   timeout_s=timeout_s)
         for bug in bugs
     ]
     with tracer.span("evaluate", stage="evaluate",
                      bugs=len(bugs), jobs=jobs) as span:
-        executor = make_executor(worker=_evaluate_worker, jobs=jobs)
+        pool = make_executor(worker=_evaluate_worker, jobs=jobs)
         try:
-            executor.run(triage_jobs)
+            pool.run(triage_jobs)
         finally:
-            executor.close()
+            pool.close()
         rows = []
         fallbacks = 0
         for bug, job in zip(bugs, triage_jobs):
@@ -232,6 +248,7 @@ def evaluate_corpus(bugs: Optional[Sequence["Bug"]] = None,
                 rows.append(_evaluate_one(bug, pipeline=pipeline,
                                           snapshots=snapshots,
                                           wave_jobs=wave_jobs,
-                                          executor=executor))
+                                          executor=executor,
+                                          policy=policy))
         span.set(fallbacks=fallbacks)
     return CorpusEvaluation(rows=rows)

@@ -66,6 +66,8 @@ def diagnose(bug_or_id: BugLike, *,
              snapshots: Optional[bool] = None,
              wave_jobs: Optional[int] = None,
              executor: Optional[str] = None,
+             policy: Optional[str] = None,
+             experience=None,
              tracer=None) -> Diagnosis:
     """Diagnose one kernel concurrency failure.
 
@@ -84,29 +86,36 @@ def diagnose(bug_or_id: BugLike, *,
     (the parallel wave engine of docs/PERFORMANCE.md).  ``executor``
     selects the wave dispatch backend: ``"fleet"`` (persistent
     fork-server workers, the default) or ``"inline"`` (never fork).
-    Results are bit-identical whatever the settings; only the
-    ``snapshot.*`` / ``ca.snapshot_*`` / ``hv.wave.*`` accounting
-    differs.  All three are ignored when an explicit ``lifs`` / ``ca``
-    config carries its own ``use_snapshots`` / ``wave_jobs`` /
-    ``executor``.
+    ``policy="adaptive"`` routes both search stages through the
+    adaptive search policy (``--policy``, see docs/PERFORMANCE.md):
+    candidate runs are ranked by the ``experience``
+    (:class:`~repro.policy.ExperienceIndex`) of prior diagnoses and
+    flip candidates ruled out by error invariants are pruned.  Results
+    are bit-identical whatever the settings; only the ``snapshot.*`` /
+    ``ca.snapshot_*`` / ``hv.wave.*`` / ``policy.*`` accounting
+    differs.  All of these are ignored when an explicit ``lifs`` /
+    ``ca`` config carries its own ``use_snapshots`` / ``wave_jobs`` /
+    ``executor`` / ``policy``.
     """
     bug = _resolve_bug(bug_or_id)
     if report is None and pipeline:
         from repro.trace.syzkaller import run_bug_finder
         report = run_bug_finder(bug)
-    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
-                                  executor=executor)
+    resolved = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
+                                    executor=executor, search_policy=policy)
     if lifs is None:
-        lifs = LifsConfig(use_snapshots=policy.use_snapshots,
-                          wave_jobs=policy.wave_jobs,
-                          executor=policy.executor)
+        lifs = LifsConfig(use_snapshots=resolved.use_snapshots,
+                          wave_jobs=resolved.wave_jobs,
+                          executor=resolved.executor,
+                          policy=resolved.search_policy)
     if ca is None:
-        ca = CaConfig(use_snapshots=policy.use_snapshots,
-                      wave_jobs=policy.wave_jobs,
-                      executor=policy.executor)
+        ca = CaConfig(use_snapshots=resolved.use_snapshots,
+                      wave_jobs=resolved.wave_jobs,
+                      executor=resolved.executor,
+                      policy=resolved.search_policy)
     return Aitia(bug, report=report, lifs_config=lifs, ca_config=ca,
                  cost_model=cost_model, vm_count=vm_count,
-                 tracer=tracer).diagnose()
+                 tracer=tracer, experience=experience).diagnose()
 
 
 def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
@@ -116,6 +125,7 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
              snapshots: Optional[bool] = None,
              wave_jobs: Optional[int] = None,
              executor: Optional[str] = None,
+             policy: Optional[str] = None,
              tracer=None):
     """Run the paper's evaluation over a bug set (default: all 22).
 
@@ -126,20 +136,22 @@ def evaluate(bugs: Optional[Sequence[BugLike]] = None, *,
     ``--no-snapshot`` ablation); ``wave_jobs > 1`` fans each diagnosis's
     schedule waves out to child processes (``--parallel-waves``);
     ``executor`` selects the wave dispatch backend (``"fleet"`` /
-    ``"inline"``).  Rows are bit-identical whatever the settings.
+    ``"inline"``); ``policy="adaptive"`` the adaptive search policy
+    (``--policy``).  Rows are bit-identical whatever the settings.
     """
     from repro.analysis.evaluation import evaluate_corpus
 
-    policy = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
-                                  executor=executor)
+    engine = EnginePolicy.resolve(snapshots=snapshots, wave_jobs=wave_jobs,
+                                  executor=executor, search_policy=policy)
     resolved = None
     if bugs is not None:
         resolved = [_resolve_bug(b) for b in bugs]
     return evaluate_corpus(resolved, pipeline=pipeline, jobs=jobs,
                            timeout_s=timeout_s,
-                           snapshots=policy.use_snapshots,
-                           wave_jobs=policy.wave_jobs,
-                           executor=policy.executor, tracer=tracer)
+                           snapshots=engine.use_snapshots,
+                           wave_jobs=engine.wave_jobs,
+                           executor=engine.executor,
+                           policy=engine.search_policy, tracer=tracer)
 
 
 def _triage_sources(spec: TriageSource) -> List[Union[str, object]]:
@@ -167,6 +179,7 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
            timeout_s: Optional[float] = None,
            wave_jobs: Optional[int] = None,
            executor: Optional[str] = None,
+           policy: Optional[str] = None,
            tracer=None,
            service=None) -> TriageReport:
     """Run the crash-triage service over intake directories and/or bugs.
@@ -189,14 +202,16 @@ def triage(paths_or_corpus: TriageSource = "corpus", *,
     if service is None:
         if isinstance(store, (str, os.PathLike)):
             store = ResultStore(os.fspath(store))
-        policy = EnginePolicy.resolve(wave_jobs=wave_jobs,
-                                      executor=executor)
+        engine = EnginePolicy.resolve(wave_jobs=wave_jobs,
+                                      executor=executor,
+                                      search_policy=policy)
         service = TriageService(
             jobs=jobs, store=store,
             timeout_s=DEFAULT_JOB_TIMEOUT_S if timeout_s is None
             else timeout_s,
-            wave_jobs=policy.wave_jobs,
-            executor=policy.executor,
+            wave_jobs=engine.wave_jobs,
+            executor=engine.executor,
+            policy=engine.search_policy,
             tracer=tracer)
     for source in _triage_sources(paths_or_corpus):
         if isinstance(source, (str, os.PathLike)):

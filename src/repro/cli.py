@@ -70,6 +70,14 @@ def _parent_parsers():
                             "'inline' (never fork; waves run "
                             "in-process); irrelevant without "
                             "--parallel-waves")
+    from repro.policy import POLICY_CHOICES
+    waves.add_argument("--policy", choices=POLICY_CHOICES, default=None,
+                       help="search policy: 'static' (canonical order, "
+                            "the default) or 'adaptive' (rank candidate "
+                            "runs by prior-diagnosis experience and "
+                            "prune flips ruled out by error "
+                            "invariants); diagnoses are bit-identical, "
+                            "only policy.* accounting differs")
 
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -97,7 +105,8 @@ def _engine_policy(args: argparse.Namespace) -> EnginePolicy:
     return EnginePolicy.resolve(
         cli_snapshots=False if no_snapshot else None,
         cli_wave_jobs=getattr(args, "parallel_waves", None),
-        cli_executor=getattr(args, "executor", None))
+        cli_executor=getattr(args, "executor", None),
+        cli_search_policy=getattr(args, "policy", None))
 
 
 def _open_tracer(args: argparse.Namespace):
@@ -162,6 +171,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
                                  snapshots=policy.use_snapshots,
                                  wave_jobs=policy.wave_jobs,
                                  executor=policy.executor,
+                                 policy=policy.search_policy,
                                  tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -179,6 +189,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                                   snapshots=policy.use_snapshots,
                                   wave_jobs=policy.wave_jobs,
                                   executor=policy.executor,
+                                  policy=policy.search_policy,
                                   tracer=tracer)
     finally:
         _close_tracer(tracer, args)
@@ -239,6 +250,7 @@ def _cmd_triage(args: argparse.Namespace) -> int:
                             timeout_s=args.timeout,
                             wave_jobs=policy.wave_jobs,
                             executor=policy.executor,
+                            policy=policy.search_policy,
                             tracer=tracer)
     try:
         summary = api.triage(sources, pipeline=args.pipeline,
@@ -271,10 +283,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.daemon.lifecycle import DaemonConfig, run_daemon
     from repro.daemon.tenants import TenantPolicy
 
+    engine = _engine_policy(args)
     config = DaemonConfig(
         host=args.host, port=args.port, data_dir=args.data_dir,
         jobs=args.jobs, timeout_s=args.timeout,
-        wave_jobs=_engine_policy(args).wave_jobs,
+        wave_jobs=engine.wave_jobs,
+        policy=engine.search_policy,
         hot_capacity=args.hot_capacity, max_depth=args.max_depth,
         store_shards=args.store_shards, queue_shards=args.queue_shards,
         batch_size=args.batch_size,

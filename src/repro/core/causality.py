@@ -48,6 +48,7 @@ from repro.observe.tracer import as_tracer
 
 from repro.engine import (CA_COUNTER_NAMES, EnginePolicy, RunPlan,
                           RunRequest, ScheduleExecutionEngine)
+from repro.policy import CandidateMeta, PolicyContext, unit_features
 
 
 @dataclass(frozen=True)
@@ -184,6 +185,12 @@ class CaConfig:
     #: ``"inline"`` (never fork; waves run in-process).  Irrelevant at
     #: ``wave_jobs=1``.  Diagnoses are bit-identical either way.
     executor: str = "fleet"
+    #: Which :mod:`repro.policy` search policy shapes the flip batches
+    #: (``--policy``): ``"static"`` (submission order, no pruning, the
+    #: default) or ``"adaptive"`` (experience-ranked ordering plus
+    #: error-invariant pruning of identification flips).  Diagnoses are
+    #: bit-identical under every policy; only cost accounting differs.
+    policy: str = "static"
 
 
 class CausalityAnalysis:
@@ -196,6 +203,7 @@ class CausalityAnalysis:
         target: Optional[FailureMatcher] = None,
         config: Optional[CaConfig] = None,
         tracer=None,
+        experience=None,
     ) -> None:
         if not lifs_result.reproduced or lifs_result.failure_run is None:
             raise ValueError("Causality Analysis needs a reproduced failure")
@@ -215,7 +223,7 @@ class CausalityAnalysis:
         # callbacks; a child's callbacks would fire in the wrong process).
         self.engine = ScheduleExecutionEngine(
             machine_factory, EnginePolicy.for_ca(self.config),
-            tracer=self.tracer)
+            tracer=self.tracer, experience=experience)
         self.image = self.engine.prime().image
         self.stats = CaStats()
         self._start_order = self.failure_run.schedule.start_order
@@ -287,7 +295,14 @@ class CausalityAnalysis:
                 uid=len(units), races=tuple(races),
                 first_seq=min(seqs), last_seq=max(seqs),
                 is_critical_section=(key[0] == "section" and len(races) > 1)))
-        units.sort(key=lambda u: u.last_seq)
+        # Canonical total order: ``last_seq`` as before, but ties broken
+        # by content (first_seq, then the sorted endpoint-key tuples)
+        # instead of the incidental grouping-dict insertion order — so
+        # unit uids, and everything keyed on them, are stable however
+        # the race set was iterated.
+        units.sort(key=lambda u: (
+            u.last_seq, u.first_seq,
+            tuple(sorted((r.first_key, r.second_key) for r in u.races))))
         for i, unit in enumerate(units):
             unit.uid = i
         return units
@@ -407,31 +422,58 @@ class CausalityAnalysis:
     def _execute_flips(
         self, requests: List[Tuple[List[OrderConstraint], str, str]],
         phase: str = "ca.flips",
-    ) -> List[RunResult]:
+        units: Optional[List[RaceUnit]] = None,
+    ) -> List[Optional[RunResult]]:
         """Execute a batch of independent flip tests through the engine;
         results come back in submission order.
 
-        ``requests`` is ``[(constraints, note, stage), ...]``.  The whole
-        batch is one :class:`RunPlan`: the engine runs it sequentially
-        (snapshot-resumed on its vehicle, or fresh boots when the policy
-        says so) or fans it out as one parallel wave — flip constraints
-        depend only on the failure run's static structure, never on other
-        flips' results, so either placement yields the same runs.  CA
-        replays each outcome's ``ca.flip`` span and its own stats at
+        ``requests`` is ``[(constraints, note, stage), ...]``; ``units``
+        (parallel to it) names the race unit each flip tests, which is
+        what the search policy orders and prunes on.  The batch is
+        shaped by the engine's policy first — the static default keeps
+        the submission order and prunes nothing — then executed as one
+        :class:`RunPlan`: sequentially (snapshot-resumed on the vehicle,
+        or fresh boots when the policy says so) or fanned out as one
+        parallel wave.  Flip constraints depend only on the failure
+        run's static structure, never on other flips' results, so any
+        placement *and any execution order* yields the same runs;
+        outcomes are mapped back to submission positions through each
+        request's candidate meta.  A pruned candidate comes back as
+        ``None`` — the caller classifies it without a run.  CA replays
+        each executed outcome's ``ca.flip`` span and its own stats at
         merge time; suffix splicing happens only in sequential placement
         (wave children execute independently), which changes accounting,
         never bits.
         """
-        plan = RunPlan(
-            [RunRequest(schedule=Schedule(start_order=self._start_order,
-                                          constraints=constraints,
-                                          note=note),
-                        watch_races=False)
-             for constraints, note, _ in requests],
-            phase=phase)
-        runs: List[RunResult] = []
-        for (constraints, note, stage), outcome in zip(
-                requests, self.engine.run_plan(plan)):
+        flip_units: List[Optional[RaceUnit]] = (
+            list(units) if units is not None else [None] * len(requests))
+        run_requests: List[RunRequest] = []
+        for index, ((constraints, note, _), unit) in enumerate(
+                zip(requests, flip_units)):
+            meta = None
+            if unit is not None:
+                # Canonical key: the backward-from-the-failure order the
+                # identification phase plans in (descending last_seq,
+                # unit uid as the content-stable tiebreak).
+                meta = CandidateMeta(
+                    index=index, kind="ca.flip", uid=unit.uid,
+                    sort_key=(-unit.last_seq, unit.uid),
+                    features=unit_features(unit))
+            run_requests.append(RunRequest(
+                schedule=Schedule(start_order=self._start_order,
+                                  constraints=constraints, note=note),
+                watch_races=False, meta=meta))
+        context = PolicyContext(
+            phase=phase, failure_run=self.failure_run, image=self.image,
+            units={u.uid: u for u in self.units})
+        shaped, _pruned = self.engine.shape_plan(
+            RunPlan(run_requests, phase=phase), context)
+        runs: List[Optional[RunResult]] = [None] * len(requests)
+        for position, (request, outcome) in enumerate(
+                zip(shaped.requests, self.engine.run_plan(shaped))):
+            index = (request.meta.index if request.meta is not None
+                     else position)
+            constraints, note, stage = requests[index]
             run = outcome.run
             with self.tracer.span("ca.flip", stage=stage, note=note,
                                   constraints=len(constraints)) as span:
@@ -442,7 +484,7 @@ class CausalityAnalysis:
                 # A failing diagnosis run requires a VM reboot (the
                 # dominant cost of the diagnosing stage per section 5.1).
                 self.stats.reboots += 1
-            runs.append(run)
+            runs[index] = run
         return runs
 
     @staticmethod
@@ -533,8 +575,19 @@ class CausalityAnalysis:
             plan.append((step, unit, constraints))
         flip_runs = self._execute_flips(
             [(c, f"flip {u}", "ca") for _, u, c in plan],
-            phase="ca.identify")
+            phase="ca.identify", units=[u for _, u, _ in plan])
         for (test_step, unit, constraints), run in zip(plan, flip_runs):
+            if run is None:
+                # Invariant-pruned: the unit's racing locations have no
+                # data/control path to the failure, so its flip provably
+                # still fails — benign without executing.
+                tests.append(UnitTest(
+                    step=test_step, unit=unit,
+                    flipped_uids=frozenset({unit.uid}),
+                    constraints=len(constraints), failed=True,
+                    disappeared_uids=frozenset(), note="invariant-pruned"))
+                benign.append(unit)
+                continue
             runs[unit.uid] = (run, frozenset({unit.uid}))
             failed = self.target.matches(run.failure)
             executed = self._executed_set(run)
@@ -573,9 +626,12 @@ class CausalityAnalysis:
         nested_runs = self._execute_flips(
             [(c, f"flip {u} (+nested)", "ca")
              for _, u, _, c in nested_plan],
-            phase="ca.nested")
+            phase="ca.nested", units=[u for _, u, _, _ in nested_plan])
         for (test_step, unit, flipped, constraints), run in zip(nested_plan,
                                                                 nested_runs):
+            if run is None:  # pragma: no cover — nested flips never prune
+                unflippable.append(unit)
+                continue
             runs[unit.uid] = (run, flipped)
             failed = self.target.matches(run.failure)
             executed = self._executed_set(run)
@@ -615,8 +671,10 @@ class CausalityAnalysis:
                         recheck_plan.append((unit, flipped, constraints))
             recheck_runs = self._execute_flips(
                 [(c, f"chain {u}", "chain") for u, _, c in recheck_plan],
-                phase="ca.recheck")
+                phase="ca.recheck", units=[u for u, _, _ in recheck_plan])
             for (unit, flipped, _), run in zip(recheck_plan, recheck_runs):
+                if run is None:  # pragma: no cover — rechecks never prune
+                    continue
                 runs[unit.uid] = (run, flipped)
             for unit in root:
                 run, flipped = runs[unit.uid]
@@ -652,4 +710,9 @@ class CausalityAnalysis:
         ]
         if not candidates:
             return None
-        return max(candidates, key=lambda v: v.first_seq)
+        # Canonical total-order key: innermost by first_seq as before,
+        # ties broken by smallest last_seq (the tighter span) and then
+        # smallest uid — previously ties fell back to list order, i.e.
+        # the incidental unit enumeration.
+        return max(candidates,
+                   key=lambda v: (v.first_seq, -v.last_seq, -v.uid))

@@ -37,6 +37,7 @@ from repro.core.lifs import (
 )
 from repro.hypervisor.manager import DEFAULT_VM_COUNT
 from repro.observe.tracer import as_tracer
+from repro.policy import ExperienceIndex
 
 
 @dataclass
@@ -114,6 +115,7 @@ class Aitia:
         cost_model: Optional[CostModel] = None,
         vm_count: int = DEFAULT_VM_COUNT,
         tracer=None,
+        experience: Optional[ExperienceIndex] = None,
     ) -> None:
         self.workload = workload
         self.report = report
@@ -122,6 +124,12 @@ class Aitia:
         self.cost_model = cost_model or CostModel()
         self.vm_count = vm_count
         self.tracer = as_tracer(tracer)
+        #: Cross-diagnosis experience index driving the adaptive search
+        #: policy.  ``None`` means no priors and no learning; when given,
+        #: the same index object serves both stages and absorbs this
+        #: diagnosis's outcome at completion, so a sequence of diagnoses
+        #: sharing one index warms it as it goes.
+        self.experience = experience
 
     # ------------------------------------------------------------------
     def diagnose(self) -> Diagnosis:
@@ -136,6 +144,9 @@ class Aitia:
                      slices_tried=diagnosis.slices_tried,
                      lifs_schedules=diagnosis.total_lifs_schedules,
                      ca_schedules=diagnosis.ca_schedules)
+        if self.experience is not None and diagnosis.reproduced:
+            self.experience.absorb_record(ExperienceIndex.record_of(
+                self.workload.bug_id, diagnosis))
         return diagnosis
 
     # ------------------------------------------------------------------
@@ -155,7 +166,7 @@ class Aitia:
             span.set(slices=1, threads=len(names))
         lifs = LeastInterleavingFirstSearch(
             factory, names, target=self._matcher(), config=self.lifs_config,
-            tracer=self.tracer)
+            tracer=self.tracer, experience=self.experience)
         lifs_result = lifs.search()
         if not lifs_result.reproduced:
             return Diagnosis(bug_id=self.workload.bug_id, reproduced=False,
@@ -183,7 +194,7 @@ class Aitia:
             names = self.workload.slice_thread_names(candidate)
             lifs = LeastInterleavingFirstSearch(
                 factory, names, target=matcher, config=self.lifs_config,
-                tracer=self.tracer)
+                tracer=self.tracer, experience=self.experience)
             lifs_result = lifs.search()
             last_result = lifs_result
             if lifs_result.reproduced:
@@ -202,7 +213,8 @@ class Aitia:
                 slice_used, slices_tried: int) -> Diagnosis:
         ca = CausalityAnalysis(factory, lifs_result, target=self._matcher()
                                if self.report else None,
-                               config=self.ca_config, tracer=self.tracer)
+                               config=self.ca_config, tracer=self.tracer,
+                               experience=self.experience)
         ca_result = ca.analyze()
         lifs_cost = self.cost_model.stage_cost(
             schedules=lifs_result.stats.schedules_executed,

@@ -45,6 +45,8 @@ from repro.observe.tracer import as_tracer
 
 from repro.engine import (LIFS_COUNTER_NAMES, EnginePolicy, RunPlan,
                           RunRequest, ScheduleExecutionEngine)
+from repro.policy import (CandidateMeta, PolicyContext,
+                          lifs_candidate_features)
 
 
 @dataclass(frozen=True)
@@ -122,6 +124,14 @@ class LifsConfig:
     #: ``"inline"`` (never fork; waves run in-process).  Irrelevant at
     #: ``wave_jobs=1``.  Diagnoses are bit-identical either way.
     executor: str = "fleet"
+    #: Which :mod:`repro.policy` search policy shapes frontier-extension
+    #: batches (``--policy``): ``"static"`` (the canonical lazy
+    #: front-to-back order, the default) or ``"adaptive"``
+    #: (experience-ranked candidates, so a structurally familiar
+    #: reproduction surfaces in fewer executed schedules).  Final
+    #: diagnoses are identical under every policy; only cost accounting
+    #: differs.
+    policy: str = "static"
 
 
 @dataclass
@@ -272,6 +282,7 @@ class LeastInterleavingFirstSearch:
         target: Optional[FailureMatcher] = None,
         config: Optional[LifsConfig] = None,
         tracer=None,
+        experience=None,
     ) -> None:
         self.machine_factory = machine_factory
         self.initial_threads = tuple(initial_threads)
@@ -289,7 +300,7 @@ class LeastInterleavingFirstSearch:
         # search only decides *which* schedules to run and in what order.
         self.engine = ScheduleExecutionEngine(
             machine_factory, EnginePolicy.for_lifs(self.config),
-            tracer=self.tracer)
+            tracer=self.tracer, experience=experience)
 
     # ------------------------------------------------------------------
     def search(self) -> LifsResult:
@@ -369,38 +380,120 @@ class LeastInterleavingFirstSearch:
             if not run.failed and not duplicate:
                 frontier.append((run, checkpoints))
 
+        extend = (self._extend_round_ranked
+                  if self.engine.search_policy.reorders
+                  else self._extend_round_static)
         for round_index in range(1, self.config.max_interleavings + 1):
             self._speculate_round(frontier)
-            next_frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
-            for base, base_ckpts in frontier:
-                base_ckpts = list(base_ckpts)
-                horizons = [c.horizon_seq for c in base_ckpts]
-                for schedule, div_seq in self._extensions(base):
-                    # Latest checkpoint strictly before the divergence
-                    # point: base and extension behave identically up to
-                    # there, and the preempted occurrence must not have
-                    # executed yet or the preemption would never fire.
-                    i = bisect.bisect_left(horizons, div_seq)
-                    resume = base_ckpts[i - 1] if i else None
-                    run, duplicate, checkpoints = self._execute(
-                        schedule, round_index, resume_from=resume)
-                    if run is None:
-                        return self._give_up()
-                    if self.target.matches(run.failure):
-                        return self._success(run)
-                    self._harvest(schedule, checkpoints, base_ckpts,
-                                  horizons)
-                    # Equivalent runs are recorded but not extended — the
-                    # DPOR-style subtree skip of Figure 5.
-                    keep = not duplicate or not self.config.equivalence_dedup
-                    if not run.failed and keep:
-                        next_frontier.append((run, self._child_checkpoints(
-                            schedule, run, base_ckpts, checkpoints)))
+            result, next_frontier = extend(frontier, round_index)
+            if result is not None:
+                return result
             if not next_frontier:
                 break
             frontier = next_frontier
 
         return self._give_up()
+
+    def _extend_round_static(
+        self, frontier, round_index: int,
+    ) -> Tuple[Optional[LifsResult], List]:
+        """One frontier round in the canonical lazy order — the static
+        policy.  Candidates are generated base by base *while* earlier
+        siblings execute, so each sees the conflict knowledge its
+        predecessors just grew: the exact pre-policy semantics, bit for
+        bit."""
+        next_frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
+        for base, base_ckpts in frontier:
+            base_ckpts = list(base_ckpts)
+            horizons = [c.horizon_seq for c in base_ckpts]
+            for schedule, div_seq in self._extensions(base):
+                # Latest checkpoint strictly before the divergence
+                # point: base and extension behave identically up to
+                # there, and the preempted occurrence must not have
+                # executed yet or the preemption would never fire.
+                i = bisect.bisect_left(horizons, div_seq)
+                resume = base_ckpts[i - 1] if i else None
+                run, duplicate, checkpoints = self._execute(
+                    schedule, round_index, resume_from=resume)
+                if run is None:
+                    return self._give_up(), []
+                if self.target.matches(run.failure):
+                    return self._success(run), []
+                self._harvest(schedule, checkpoints, base_ckpts,
+                              horizons)
+                # Equivalent runs are recorded but not extended — the
+                # DPOR-style subtree skip of Figure 5.
+                keep = not duplicate or not self.config.equivalence_dedup
+                if not run.failed and keep:
+                    next_frontier.append((run, self._child_checkpoints(
+                        schedule, run, base_ckpts, checkpoints)))
+        return None, next_frontier
+
+    def _extend_round_ranked(
+        self, frontier, round_index: int,
+    ) -> Tuple[Optional[LifsResult], List]:
+        """One frontier round through the search policy (reordering
+        policies only): materialize the round's candidates, let
+        :meth:`~repro.engine.engine.ScheduleExecutionEngine.shape_plan`
+        rank the batch, execute in shaped order.
+
+        Materialization repeats to a fixed point: executed runs grow the
+        conflict knowledge, and grown knowledge can unlock extensions the
+        first materialization pruned (the conflict check is monotone in
+        the knowledge, which only grows), so the candidate set here
+        always covers everything the lazy static order would have
+        generated.  Execution *order* inside the round — and with it
+        which failure-matching run surfaces first — is the policy's
+        choice; the ablation benchmark asserts the resulting diagnoses
+        stay bit-identical across policies on the whole corpus."""
+        # Per-base mutable checkpoint pools, shared across fixed-point
+        # iterations so harvested captures keep densifying the prefix.
+        pools = []
+        for base, base_ckpts in frontier:
+            pool = list(base_ckpts)
+            pools.append((base, pool, [c.horizon_seq for c in pool]))
+        next_frontier: List[Tuple[RunResult, List[RunCheckpoint]]] = []
+        while True:
+            requests: List[RunRequest] = []
+            for base_index, (base, _, _) in enumerate(pools):
+                access_by_seq = {a.seq: a for a in base.accesses}
+                kinds = base.thread_kinds
+                for schedule, div_seq in self._extensions(base):
+                    preemption = schedule.preemptions[-1]
+                    access = access_by_seq.get(div_seq)
+                    requests.append(RunRequest(
+                        schedule=schedule, capture_checkpoints=True,
+                        meta=CandidateMeta(
+                            index=len(requests), kind="lifs.extend",
+                            base_index=base_index, div_seq=div_seq,
+                            sort_key=(base_index, div_seq,
+                                      preemption.switch_to),
+                            features=lifs_candidate_features(
+                                preemption.instr_label,
+                                access.func if access is not None else "",
+                                kinds.get(preemption.switch_to, ""),
+                                round_index))))
+            if not requests:
+                return None, next_frontier
+            shaped, _pruned = self.engine.shape_plan(
+                RunPlan(requests, phase="lifs.extend"),
+                PolicyContext(phase="lifs.extend", depth=round_index))
+            for request in shaped.requests:
+                meta = request.meta
+                _base, pool, horizons = pools[meta.base_index]
+                i = bisect.bisect_left(horizons, meta.div_seq)
+                resume = pool[i - 1] if i else None
+                run, duplicate, checkpoints = self._execute(
+                    request.schedule, round_index, resume_from=resume)
+                if run is None:
+                    return self._give_up(), []
+                if self.target.matches(run.failure):
+                    return self._success(run), []
+                self._harvest(request.schedule, checkpoints, pool, horizons)
+                keep = not duplicate or not self.config.equivalence_dedup
+                if not run.failed and keep:
+                    next_frontier.append((run, self._child_checkpoints(
+                        request.schedule, run, pool, checkpoints)))
 
     def _harvest(self, schedule: Schedule,
                  checkpoints: Sequence[RunCheckpoint],

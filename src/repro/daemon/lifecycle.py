@@ -42,6 +42,10 @@ class DaemonConfig:
     data_dir: str = "daemon-data"
     jobs: int = 1              #: worker processes for the drain pool
     wave_jobs: int = 1         #: per-diagnosis parallel wave width
+    #: Search policy per diagnosis (``"static"`` / ``"adaptive"``); with
+    #: ``"adaptive"`` the daemon boots its experience index from the
+    #: cold store and ships a snapshot in every job payload.
+    policy: str = "static"
     timeout_s: float = 300.0   #: per-job diagnosis timeout
     hot_capacity: int = DEFAULT_HOT_CAPACITY
     store_shards: int = DEFAULT_STORE_SHARDS

@@ -45,6 +45,7 @@ from repro.service.metrics import Histogram, ServiceMetrics
 from repro.service.queue import JobOutcome, QueueFull, TriageJob
 from repro.service.signature import signature_of_text
 from repro.service.triage import EMPTY_INTAKE_MESSAGE
+from repro.policy import RECORD_DIGEST_PREFIX, ExperienceIndex
 from repro.daemon import protocol
 from repro.daemon.queue import JournaledWorkQueue
 from repro.daemon.tenants import DEFAULT_TENANT, TenantTable
@@ -83,6 +84,13 @@ class TriageDaemon:
                                         shards=config.queue_shards,
                                         max_depth=config.max_depth)
         self.tenants = TenantTable(config.tenant_policy)
+        #: The daemon's experience index: under ``policy="adaptive"``,
+        #: seeded from the cold tier's persisted experience records at
+        #: boot (so learning survives restarts), grown live as jobs
+        #: settle, snapshotted into adaptive job payloads.
+        self.experience = ExperienceIndex()
+        if config.policy != "static":
+            self.experience.load(self.store)
         self.diagnose = resolve_diagnoser(config.diagnoser)
         #: The drain loop's job executor — fleet workers stay resident
         #: across drain batches, so the daemon's steady state pays no
@@ -257,7 +265,10 @@ class TriageDaemon:
             payload={"mode": "artifact", "artifact": artifact.render(),
                      "bug_id": artifact.bug_id, "digest": digest,
                      "tenant": tenant,
-                     "wave_jobs": self.config.wave_jobs})
+                     "wave_jobs": self.config.wave_jobs,
+                     "policy": self.config.policy})
+        if self.config.policy != "static" and self.experience:
+            job.payload["experience"] = self.experience.snapshot()
         try:
             self.queue.push(job, tenant=tenant)
         except QueueFull:
@@ -353,6 +364,13 @@ class TriageDaemon:
         digest = job.payload.get("digest", "")
         if job.outcome is JobOutcome.SUCCEEDED:
             self.store.put(digest, job.result)
+            record = (job.result or {}).get("experience")
+            if record:
+                # Persist what the diagnosis learned (own digest
+                # namespace, reloaded at next boot) and fold it into the
+                # live index for subsequent adaptive submissions.
+                self.store.put(RECORD_DIGEST_PREFIX + digest, record)
+                self.experience.absorb_record(record)
             self.metrics.incr("completed")
             self.metrics.observe_latency("diagnosis_seconds", job.seconds)
         elif job.outcome is JobOutcome.CACHE_HIT:

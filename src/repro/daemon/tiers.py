@@ -112,6 +112,12 @@ class ShardedColdStore:
         for store in self.stores:
             yield from store.digests()
 
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """All ``(digest, record)`` pairs, shard by shard (each shard
+        reuses its offset index — one seek per record)."""
+        for store in self.stores:
+            yield from store.records()
+
     def compact(self) -> None:
         for store in self.stores:
             store.compact()
@@ -173,6 +179,11 @@ class TieredStore:
 
     def __len__(self) -> int:
         return len(self.cold)
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """Every persisted ``(digest, record)`` pair, straight from the
+        cold tier (authoritative; the hot tier is a strict subset)."""
+        return self.cold.records()
 
     def stats(self) -> Dict[str, int]:
         lookups = self.hot.hits + self.hot.misses

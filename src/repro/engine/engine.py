@@ -42,6 +42,7 @@ from repro.engine.backends import InlineBackend, SnapshotBackend
 from repro.engine.executors import make_executor
 from repro.engine.protocol import (EnginePolicy, EngineStats, RunOutcome,
                                    RunPlan, RunRequest)
+from repro.policy import make_policy
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from typing import Callable
@@ -59,11 +60,17 @@ class ScheduleExecutionEngine:
 
     def __init__(self, machine_factory: "Callable[[], KernelMachine]",
                  policy: Optional[EnginePolicy] = None,
-                 tracer=None) -> None:
+                 tracer=None, experience=None) -> None:
         self.machine_factory = machine_factory
         self.policy = policy or EnginePolicy()
         self.tracer = as_tracer(tracer)
         self.stats = EngineStats()
+        #: The search policy shaping candidate plans (repro.policy).
+        #: ``experience`` is the caller's ExperienceIndex — shared
+        #: across diagnoses by triage/daemon workers so ranking improves
+        #: over the corpus and over uptime.
+        self.search_policy = make_policy(self.policy.search_policy,
+                                         experience=experience)
         self.inline_backend = InlineBackend(self)
         self.snapshot_backend = SnapshotBackend(self)
         #: The parallel executor (``None`` when the policy keeps
@@ -186,11 +193,14 @@ class ScheduleExecutionEngine:
     def _prepare(self, request: RunRequest) -> RunRequest:
         """Resolve a request for an executor: pin its resume point and
         capture policy so any placement executes exactly the run the
-        snapshot/inline path would have produced."""
+        snapshot/inline path would have produced.  Candidate meta is
+        policy bookkeeping for the parent only — stripped here so it
+        never ships to a worker."""
         snapshot = self.snapshot_backend
         return replace(request,
                        resume_from=snapshot.resolve_resume(request),
-                       checkpoint_policy=snapshot.checkpoint_policy(request))
+                       checkpoint_policy=snapshot.checkpoint_policy(request),
+                       meta=None)
 
     def run_plan(self, plan: RunPlan) -> List[RunOutcome]:
         """Execute a batch; outcomes come back in submission order.
@@ -223,6 +233,23 @@ class ScheduleExecutionEngine:
             self._account(outcome)
             outcomes[index] = outcome
         return outcomes  # type: ignore[return-value]
+
+    def shape_plan(self, plan: RunPlan, context=None):
+        """Route a candidate plan through the search policy.
+
+        Returns ``(shaped plan, pruned requests)``: the policy first
+        discards candidates it can prove irrelevant, then orders the
+        rest.  Callers execute the shaped plan and map outcomes back to
+        submission positions through each request's ``meta.index``.
+        The default static policy returns the canonical order and
+        prunes nothing, so routing every batch through here is free.
+        """
+        shaped, pruned = self.search_policy.shape(plan, context)
+        if pruned and self.tracer.enabled:
+            self.tracer.point("policy.prune", stage="policy",
+                              phase=plan.phase, pruned=len(pruned),
+                              kept=len(shaped.requests))
+        return shaped, pruned
 
     def speculate(self, plan: RunPlan) -> None:
         """Precompute a plan through the fleet and stash the outcomes in
@@ -321,3 +348,8 @@ class ScheduleExecutionEngine:
         self.tracer.count("engine.dedup_hits", self.stats.dedup_hits)
         for backend, count in sorted(self.stats.backend_requests.items()):
             self.tracer.count(f"engine.backend.{backend}", count)
+        policy_stats = self.search_policy.stats
+        self.tracer.count("policy.ranked", policy_stats.ranked)
+        self.tracer.count("policy.pruned", policy_stats.pruned)
+        self.tracer.count("policy.experience_hits",
+                          policy_stats.experience_hits)

@@ -78,24 +78,31 @@ class EnginePolicy:
     #: fleet forks its workers — small diagnoses never cross it and
     #: never pay a fork.
     fleet_spinup_requests: int = DEFAULT_FLEET_SPINUP_REQUESTS
+    #: Which :mod:`repro.policy` search policy shapes candidate plans
+    #: (``"static"``, ``"adaptive"``, ...).  Resolved here so precedence
+    #: (config > api kwarg > CLI) is decided once; the engine builds the
+    #: policy object lazily at construction.
+    search_policy: str = "static"
 
     @classmethod
     def resolve(cls, config=None, *,
                 snapshots: Optional[bool] = None,
                 wave_jobs: Optional[int] = None,
                 executor: Optional[str] = None,
+                search_policy: Optional[str] = None,
                 cli_snapshots: Optional[bool] = None,
                 cli_wave_jobs: Optional[int] = None,
-                cli_executor: Optional[str] = None) -> "EnginePolicy":
+                cli_executor: Optional[str] = None,
+                cli_search_policy: Optional[str] = None) -> "EnginePolicy":
         """Resolve a policy with precedence config > api kwarg > CLI flag.
 
         ``config`` is an algorithm config (``LifsConfig`` / ``CaConfig``
         or anything duck-typed like one); when it is given, its fields
         win outright — an explicit config is the strongest statement of
-        intent.  ``snapshots`` / ``wave_jobs`` / ``executor`` are the
-        :mod:`repro.api` keyword tier, the ``cli_*`` names the parsed
-        command-line tier; ``None`` anywhere means "unset, fall
-        through".
+        intent.  ``snapshots`` / ``wave_jobs`` / ``executor`` /
+        ``search_policy`` are the :mod:`repro.api` keyword tier, the
+        ``cli_*`` names the parsed command-line tier; ``None`` anywhere
+        means "unset, fall through".
         """
         chosen = str(_pick(_cfg(config, "executor"), executor,
                            cli_executor, default="fleet"))
@@ -120,7 +127,10 @@ class EnginePolicy:
             executor=chosen,
             fleet_spinup_requests=int(_pick(
                 _cfg(config, "fleet_spinup_requests"),
-                default=DEFAULT_FLEET_SPINUP_REQUESTS)))
+                default=DEFAULT_FLEET_SPINUP_REQUESTS)),
+            search_policy=str(_pick(
+                _cfg(config, "policy"), search_policy, cli_search_policy,
+                default="static")))
 
     @classmethod
     def for_lifs(cls, config) -> "EnginePolicy":
@@ -154,6 +164,12 @@ class RunRequest:
     checkpoint_policy: Optional[CheckpointPolicy] = None
     #: Free-form origin label, for diagnostics.
     label: str = ""
+    #: Policy-facing candidate identity (a
+    #: :class:`repro.policy.protocol.CandidateMeta`): submission index,
+    #: canonical sort key and experience features.  Opaque to every
+    #: backend — placement never reads it — and stripped when a request
+    #: is prepared for an executor, so it never crosses to a worker.
+    meta: Optional[object] = None
 
 
 @dataclass

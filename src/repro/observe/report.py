@@ -175,6 +175,14 @@ def render_trace_report(
             lines += [f"  {counters['hv.wave.discarded']} speculative "
                       f"result(s) discarded on early exit"]
 
+    if counters.get("policy.ranked") or counters.get("policy.pruned"):
+        lines += ["", "search policy: "
+                      f"{counters.get('policy.ranked', 0)} candidate(s) "
+                      f"ranked, {counters.get('policy.pruned', 0)} pruned "
+                      f"by error invariants, "
+                      f"{counters.get('policy.experience_hits', 0)} "
+                      f"experience hit(s)"]
+
     if summary["flips"]:
         averted = summary["flips"] - summary["flips_failed"]
         lines += ["", f"CA flips: {summary['flips']} executed, "

@@ -1,0 +1,87 @@
+"""repro.policy — the pluggable search-policy layer.
+
+Which candidate runs execute, in what order, and which are pruned is a
+policy decision, owned here and routed through
+:meth:`repro.engine.engine.ScheduleExecutionEngine.shape_plan`.  LIFS
+and Causality Analysis annotate their candidate batches with
+:class:`CandidateMeta` and never order or discard candidates
+themselves.
+
+Registry spellings (``LifsConfig.policy`` / ``CaConfig.policy`` /
+``--policy``):
+
+* ``static``           — canonical order, no pruning (the default;
+  bit-identical to the pre-policy algorithms);
+* ``adaptive``         — experience-ranked ordering *plus* the
+  error-invariant pruning pass (the full adaptive stack);
+* ``adaptive-noprune`` — ranking only (ablation);
+* ``prune``            — pruning over the static order (ablation);
+* ``shuffle:<seed>``   — seeded random order (tests only);
+* ``shuffle-ca:<seed>`` — seeded random order of the CA flip batches
+  only, LIFS stays static (tests only).
+
+Every spelling yields the same final diagnosis — policies change cost,
+never the answer — which the corpus ablation benchmark and the
+permutation property tests assert.  "Same diagnosis" means the
+causality chain, the root-cause set and the failure signature.  The
+precise contract has two layers:
+
+* Everything downstream of the reproduced failure run — every CA flip
+  batch — is *exactly* order-invariant: flip plans execute in full and
+  remap results by submission index.  ``shuffle-ca:<seed>`` probes
+  this adversarially on any bug.
+* The LIFS witness itself can be order-sensitive: a round may hold
+  several fewest-preemptions schedules that all reproduce (symmetric
+  workloads even hold mirror-image witnesses with mirrored chains),
+  and execution order decides which is found first.  The shipped
+  spellings (``static``, ``adaptive``) resolve every such tie
+  identically on the whole corpus — asserted per bug, every run, by
+  the ablation benchmark and the CI equivalence smoke.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policy.adaptive import AdaptivePolicy
+from repro.policy.experience import (RECORD_DIGEST_PREFIX, ExperienceIndex,
+                                     lifs_candidate_features, unit_features)
+from repro.policy.invariants import ErrorInvariantAnalysis, InvariantPrunePolicy
+from repro.policy.protocol import (CandidateMeta, PolicyContext, PolicyStats,
+                                   SearchPolicy)
+from repro.policy.static import ShufflePolicy, StaticPolicy
+
+#: The spellings ``--policy`` accepts (test-only spellings excluded).
+POLICY_CHOICES = ("static", "adaptive")
+
+
+def make_policy(name: Optional[str] = None,
+                experience: Optional[ExperienceIndex] = None,
+                ) -> SearchPolicy:
+    """Build the policy a registry spelling names."""
+    spelling = (name or "static").strip() or "static"
+    if spelling == "static":
+        return StaticPolicy()
+    if spelling == "adaptive":
+        return InvariantPrunePolicy(AdaptivePolicy(experience))
+    if spelling == "adaptive-noprune":
+        return AdaptivePolicy(experience)
+    if spelling == "prune":
+        return InvariantPrunePolicy(StaticPolicy())
+    if spelling.startswith("shuffle:"):
+        return ShufflePolicy(int(spelling.split(":", 1)[1]))
+    if spelling.startswith("shuffle-ca:"):
+        return ShufflePolicy(int(spelling.split(":", 1)[1]),
+                             phase_prefix="ca.")
+    raise ValueError(
+        f"unknown search policy {spelling!r} (choose 'static', 'adaptive', "
+        f"'adaptive-noprune', 'prune' or 'shuffle[-ca]:<seed>')")
+
+
+__all__ = [
+    "AdaptivePolicy", "CandidateMeta", "ErrorInvariantAnalysis",
+    "ExperienceIndex", "InvariantPrunePolicy", "POLICY_CHOICES",
+    "PolicyContext", "PolicyStats", "RECORD_DIGEST_PREFIX", "SearchPolicy",
+    "ShufflePolicy", "StaticPolicy", "lifs_candidate_features",
+    "make_policy", "unit_features",
+]

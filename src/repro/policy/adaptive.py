@@ -1,0 +1,51 @@
+"""Experience-ranked candidate ordering.
+
+:class:`AdaptivePolicy` sorts a batch by descending
+:class:`~repro.policy.experience.ExperienceIndex` score, canonical
+``sort_key`` as the tiebreak — so with an *empty* index it degenerates
+to exactly the static order.  The ranking is a stable deterministic
+function of (index weights, candidate features), never of wall clock or
+iteration order, which keeps adaptive diagnoses reproducible run to
+run.
+
+Where the savings come from: LIFS stops at the first failure-matching
+run, so moving the structurally-familiar candidate to the front of the
+final (widest) round converges in a handful of executions instead of a
+front-to-back sweep.  CA flip batches execute in full either way;
+ranking them costs nothing and surfaces likely root causes first in the
+trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policy.experience import ExperienceIndex
+from repro.policy.protocol import PolicyContext, SearchPolicy, _metas
+
+
+class AdaptivePolicy(SearchPolicy):
+    """Rank candidates by prior-diagnosis experience."""
+
+    name = "adaptive-noprune"
+    reorders = True
+
+    def __init__(self, experience: Optional[ExperienceIndex] = None) -> None:
+        super().__init__()
+        self.experience = (experience if experience is not None
+                           else ExperienceIndex())
+
+    def order(self, plan, context: Optional[PolicyContext] = None):
+        if _metas(plan) is None or len(plan.requests) < 2:
+            return plan
+        experience = self.experience
+        scored = []
+        for request in plan.requests:
+            score = experience.score(request.meta.features)
+            if score:
+                self.stats.experience_hits += 1
+            scored.append((score, request))
+        self.stats.ranked += len(scored)
+        scored.sort(key=lambda pair: (-pair[0], pair[1].meta.sort_key,
+                                      pair[1].meta.index))
+        return self._replace_requests(plan, (r for _, r in scored))

@@ -1,0 +1,149 @@
+"""Cross-bug experience: what prior diagnoses teach the next search.
+
+Per Causality-Guided Adaptive Interventional Debugging, interventions
+ranked by *learned* root-cause likelihood converge in far fewer
+re-executions than a static order.  The :class:`ExperienceIndex` is that
+learning, kept deliberately simple and deterministic: a bag of signed
+feature weights extracted from completed diagnoses.
+
+* **LIFS features** (+1 each): the preemptions of the reproducing
+  schedule — racing-instruction label paired with the kind of thread
+  switched to, the enclosing function, and the interleaving depth.  A
+  frontier extension matching them is likely the same structural bug
+  shape seen before, so it is tried first.
+* **CA features** (signed): each root-cause unit's racing label pairs
+  and access-kind pairs count +1, each benign unit's −1.  A flip
+  candidate's score is then (times seen as root) − (times seen benign).
+
+One record per diagnosis is persisted alongside the triage result store
+(record ``kind: "experience"``, under the ``exp:`` digest namespace) and
+absorbed by triage/daemon workers at boot and on every completion, so
+experience accumulates across the corpus and across daemon uptime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Persisted record schema version.
+RECORD_VERSION = 1
+#: Digest-namespace prefix experience records are stored under (keeps
+#: them out of the result paths, which look up crash digests verbatim).
+RECORD_DIGEST_PREFIX = "exp:"
+
+
+def lifs_candidate_features(instr_label: str, func: str,
+                            switch_kind: str, depth: int,
+                            ) -> Tuple[str, ...]:
+    """Feature keys of one LIFS preemption candidate (or winner)."""
+    features = [f"lifs.label:{instr_label}>{switch_kind}",
+                f"lifs.depth:{depth}"]
+    if func:
+        features.append(f"lifs.func:{func}")
+    return tuple(features)
+
+
+def unit_features(unit) -> Tuple[str, ...]:
+    """Feature keys of one CA race unit (duck-typed
+    :class:`~repro.core.causality.RaceUnit`)."""
+    features = []
+    for race in unit.races:
+        features.append(
+            f"ca.flip:{race.first.instr_label}>{race.second.instr_label}")
+        features.append(
+            f"ca.kind:{race.first.kind.value}>{race.second.kind.value}")
+    if unit.is_critical_section:
+        features.append("ca.section")
+    return tuple(features)
+
+
+class ExperienceIndex:
+    """Signed feature weights accumulated from completed diagnoses."""
+
+    def __init__(self, weights: Optional[Dict[str, int]] = None) -> None:
+        self._weights: Dict[str, int] = dict(weights or {})
+        #: How many diagnosis records have been absorbed.
+        self.absorbed_records = 0
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def weight(self, feature: str) -> int:
+        return self._weights.get(feature, 0)
+
+    def score(self, features: Iterable[str]) -> int:
+        """Sum of signed weights over the candidate's feature keys."""
+        weights = self._weights
+        return sum(weights.get(f, 0) for f in features)
+
+    # -- building -------------------------------------------------------
+    @staticmethod
+    def record_of(bug_id: str, diagnosis) -> Dict:
+        """The persistable experience record of one completed diagnosis
+        (pure — no index state involved)."""
+        features: Dict[str, int] = {}
+
+        def bump(keys: Tuple[str, ...], delta: int) -> None:
+            for key in keys:
+                features[key] = features.get(key, 0) + delta
+
+        lifs_result = getattr(diagnosis, "lifs_result", None)
+        run = getattr(lifs_result, "failure_run", None)
+        if run is not None:
+            kinds = run.thread_kinds
+            func_by_addr: Dict[int, str] = {}
+            for access in run.accesses:
+                func_by_addr.setdefault(access.instr_addr, access.func)
+            preemptions = run.schedule.preemptions
+            for p in preemptions:
+                bump(lifs_candidate_features(
+                    p.instr_label, func_by_addr.get(p.instr_addr, ""),
+                    kinds.get(p.switch_to, ""), len(preemptions)), +1)
+        ca_result = getattr(diagnosis, "ca_result", None)
+        if ca_result is not None:
+            for unit in ca_result.root_cause_units:
+                bump(unit_features(unit), +1)
+            for unit in ca_result.benign_units:
+                bump(unit_features(unit), -1)
+        return {"kind": "experience", "version": RECORD_VERSION,
+                "bug_id": bug_id, "features": features}
+
+    def absorb_record(self, record) -> bool:
+        """Fold one persisted record in; ignores anything that is not an
+        experience record (store iteration passes every record kind)."""
+        if not isinstance(record, dict) or record.get("kind") != "experience":
+            return False
+        for key, delta in (record.get("features") or {}).items():
+            self._weights[key] = self._weights.get(key, 0) + int(delta)
+        self.absorbed_records += 1
+        return True
+
+    def absorb(self, bug_id: str, diagnosis) -> Dict:
+        """Extract, fold in, and return a completed diagnosis' record."""
+        record = self.record_of(bug_id, diagnosis)
+        self.absorb_record(record)
+        return record
+
+    def load(self, store) -> int:
+        """Absorb every experience record a result store holds (one pass
+        over :meth:`~repro.service.store.ResultStore.records`)."""
+        loaded = 0
+        for _, record in store.records():
+            if self.absorb_record(record):
+                loaded += 1
+        return loaded
+
+    # -- shipping -------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A JSON-safe snapshot (worker payloads ship this)."""
+        return {"version": RECORD_VERSION, "weights": dict(self._weights)}
+
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "ExperienceIndex":
+        if not isinstance(snapshot, dict):
+            return cls()
+        return cls(weights={str(k): int(v) for k, v in
+                            (snapshot.get("weights") or {}).items()})

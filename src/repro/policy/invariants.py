@@ -1,0 +1,218 @@
+"""Error-invariant pruning of Causality Analysis flip candidates.
+
+Per Error Invariants for Concurrent Traces, many interleaved statements
+are provably irrelevant to the error state: reordering them cannot
+change whether the failure happens.  CA's identification phase pays one
+full kernel run per race unit to learn exactly that — so
+:class:`InvariantPrunePolicy` discards, *before executing*, every flip
+candidate whose racing locations have no data or control path to the
+failure.
+
+The relevance check (:class:`ErrorInvariantAnalysis`) is a dynamic
+forward-taint pass over the failing run's totally ordered trace.  For a
+unit racing on locations ``D``:
+
+* taint starts at ``D`` and propagates through ``LOAD``/``MOV``/
+  ``BINOP``/``STORE`` dataflow (strong updates: an untainted store
+  cleanses its cell, except cells of ``D`` themselves);
+* a *sink* is any influence on control flow or program structure — a
+  tainted branch or ``BUG_ON`` condition, a tainted pointer
+  dereference, ``FREE``/``QUEUE_WORK``/``CALL_RCU`` with a tainted
+  operand or location, any compound atomic (``CMPXCHG``/``XCHG``/
+  ``LIST_*``) touching tainted state, or the failing instruction itself
+  touching a tainted location.
+
+No sink anywhere in the run means the flipped order can only permute
+values nothing ever observes: the run's control flow, allocation
+pattern and failure are preserved, so the unit is *benign by
+invariant* and its flip run is skipped.
+
+Memory-leak failures need two extra sinks, because the leak detector
+runs *after* the trace and scans every surviving memory cell for
+references to live allocations — final memory state is itself
+observable.  A unit whose flip can change a cell's final value is
+relevant: any write-write race (other than two commuting ``INC``
+deltas), and any tainted value still sitting in a cell when the run
+ends.  Units whose race endpoints are
+not plain ``LOAD``/``STORE``/``INC`` (frees, atomics, list ops) are
+never pruned — their reordering has structural effects taint does not
+model.  Pruning applies only to the identification phase: nested flips
+participate in ambiguity classification and recheck runs feed chain
+edges, so both always execute.
+
+The corpus-wide ablation benchmark asserts the net effect: bit-identical
+chains, root-cause sets and signatures, with measurably fewer executed
+schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.kernel.failures import FailureKind
+from repro.kernel.instructions import DEREF, REG, Op
+from repro.policy.protocol import PolicyContext, SearchPolicy
+
+#: The only endpoint opcodes a unit may consist of to be prunable.
+_FLIPPABLE_ENDPOINTS = frozenset({Op.LOAD, Op.STORE, Op.INC})
+
+#: Compound read-modify-write / structural opcodes: any contact with
+#: tainted state is a sink (their semantics couple value, control and
+#: structure too tightly for per-field taint).
+_COMPOUND_OPS = frozenset({Op.CMPXCHG, Op.XCHG, Op.LIST_ADD, Op.LIST_DEL,
+                           Op.LIST_CONTAINS})
+
+
+class ErrorInvariantAnalysis:
+    """Per-failing-run relevance oracle: does reordering a unit's racing
+    accesses have any data/control path to the failure?"""
+
+    def __init__(self, failure_run, image) -> None:
+        self.run = failure_run
+        self.image = image
+        self._access_by_seq = {a.seq: a for a in failure_run.accesses}
+        self._verdicts = {}
+
+    def relevant(self, unit) -> bool:
+        """Whether the unit may influence the failure (``False`` means
+        provably prunable).  Cached per unit uid."""
+        verdict = self._verdicts.get(unit.uid)
+        if verdict is None:
+            verdict = self._compute(unit)
+            self._verdicts[unit.uid] = verdict
+        return verdict
+
+    def _compute(self, unit) -> bool:
+        failure = getattr(self.run, "failure", None)
+        end_state_observed = (failure is not None
+                              and failure.kind is FailureKind.MEMORY_LEAK)
+        locations: Set[int] = set()
+        for race in unit.races:
+            ops = []
+            for access in (race.first, race.second):
+                instr = self.image.instruction_at(access.instr_addr)
+                if instr.op not in _FLIPPABLE_ENDPOINTS:
+                    return True
+                ops.append(instr.op)
+                locations.add(access.data_addr)
+            if (end_state_observed
+                    and race.first.is_write and race.second.is_write
+                    and ops != [Op.INC, Op.INC]):
+                # The leak scan reads final memory; a write-write flip
+                # (two INC deltas commute) changes the cell's last value.
+                return True
+        return self._taint_reaches_failure(locations, end_state_observed)
+
+    # -- the taint walk -------------------------------------------------
+    def _taint_reaches_failure(self, locations: Set[int],
+                               end_state_observed: bool = False) -> bool:
+        addr_taint = set(locations)
+        reg_taint: Set = set()  # {(thread, reg name)}
+        access_by_seq = self._access_by_seq
+        instruction_at = self.image.instruction_at
+        trace = self.run.trace
+        last_index = len(trace) - 1
+
+        def val_tainted(thread, dec) -> bool:
+            return dec[0] == REG and (thread, dec[1]) in reg_taint
+
+        def set_reg(thread, name, tainted) -> None:
+            if tainted:
+                reg_taint.add((thread, name))
+            else:
+                reg_taint.discard((thread, name))
+
+        for index, entry in enumerate(trace):
+            instr = instruction_at(entry.instr_addr)
+            op, dec, thread = instr.op, instr.decoded, entry.thread
+            access = access_by_seq.get(entry.seq)
+            if instr.accesses_memory and access is None:
+                return True  # unmodelled access — assume relevant
+            # A tainted pointer base means the *address* depends on the
+            # racing order: conservative sink, whatever the opcode.
+            for operand in dec:
+                if (isinstance(operand, tuple) and operand
+                        and operand[0] == DEREF
+                        and (thread, operand[1]) in reg_taint):
+                    return True
+            if op is Op.LOAD:
+                set_reg(thread, dec[0], access.data_addr in addr_taint)
+            elif op is Op.STORE:
+                if val_tainted(thread, dec[1]):
+                    addr_taint.add(access.data_addr)
+                elif access.data_addr not in locations:
+                    addr_taint.discard(access.data_addr)
+            elif op is Op.INC:
+                pass  # constant delta: the cell's taint is unchanged
+            elif op is Op.MOV:
+                set_reg(thread, dec[0], val_tainted(thread, dec[1]))
+            elif op is Op.BINOP:
+                set_reg(thread, dec[0], val_tainted(thread, dec[2])
+                        or val_tainted(thread, dec[3]))
+            elif op in (Op.LEA, Op.ALLOC):
+                set_reg(thread, dec[0], False)
+            elif op in (Op.BRZ, Op.BRNZ, Op.BUG_ON):
+                if val_tainted(thread, dec[0]):
+                    return True  # control depends on the racing order
+            elif op is Op.FREE:
+                if val_tainted(thread, dec[0]):
+                    return True
+                if access is not None and access.data_addr in addr_taint:
+                    return True
+            elif op in (Op.QUEUE_WORK, Op.CALL_RCU):
+                if val_tainted(thread, dec[1]):
+                    return True  # spawned worker sees tainted input
+            elif op in _COMPOUND_OPS:
+                if access is not None and access.data_addr in addr_taint:
+                    return True
+                if any(val_tainted(thread, d) for d in dec
+                       if isinstance(d, tuple) and d and d[0] == REG):
+                    return True
+                if op in (Op.CMPXCHG, Op.XCHG, Op.LIST_CONTAINS):
+                    set_reg(thread, dec[0], False)
+            # JMP / CALL / RET / LOCK / UNLOCK / NOP: no data flow.
+            if index == last_index and self.run.failed:
+                if access is not None and access.data_addr in addr_taint:
+                    return True  # the failing instruction touches taint
+        # Leak scan: any tainted value still in a cell at end of run is
+        # observed by the end-of-run reachability walk.
+        return end_state_observed and len(addr_taint) > len(locations)
+
+
+class InvariantPrunePolicy(SearchPolicy):
+    """Wrap an orderer with the error-invariant pruning pass."""
+
+    def __init__(self, inner: SearchPolicy) -> None:
+        super().__init__()
+        self.inner = inner
+        self.stats = inner.stats  # one shared ``policy.*`` account
+        self.reorders = inner.reorders
+        self.name = f"prune+{inner.name}"
+        self._analysis: Optional[ErrorInvariantAnalysis] = None
+
+    def order(self, plan, context: Optional[PolicyContext] = None):
+        return self.inner.order(plan, context)
+
+    def prune(self, plan, context: Optional[PolicyContext] = None):
+        if (context is None or context.phase != "ca.identify"
+                or context.failure_run is None or context.image is None
+                or not context.units):
+            return plan, []
+        analysis = self._analysis
+        if analysis is None or analysis.run is not context.failure_run:
+            analysis = ErrorInvariantAnalysis(context.failure_run,
+                                              context.image)
+            self._analysis = analysis
+        kept, pruned = [], []
+        for request in plan.requests:
+            meta = getattr(request, "meta", None)
+            unit = (context.units.get(meta.uid)
+                    if meta is not None else None)
+            if unit is not None and not analysis.relevant(unit):
+                pruned.append(request)
+            else:
+                kept.append(request)
+        if not pruned:
+            return plan, []
+        self.stats.pruned += len(pruned)
+        return self._replace_requests(plan, kept), pruned

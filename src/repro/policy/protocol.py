@@ -1,0 +1,133 @@
+"""The search-policy protocol: what policies say about candidate runs.
+
+AITIA's two algorithms emit batches of *candidate* runs — LIFS frontier
+extensions, Causality Analysis flip tests.  Which candidates execute, in
+what order, and which are discarded without executing is a *policy*
+decision, separated here from the algorithms exactly as execution
+placement was separated into :mod:`repro.engine`:
+
+* :class:`CandidateMeta` — the policy-facing identity of one candidate
+  request: its submission position, a canonical total-order key, and the
+  experience features it exposes for ranking;
+* :class:`PolicyContext` — what the emitting algorithm knows (phase,
+  failing run, kernel image, race units) that a policy may consult;
+* :class:`SearchPolicy` — ``order`` / ``prune`` over a
+  :class:`~repro.engine.protocol.RunPlan`, plus the ``policy.*``
+  accounting (:class:`PolicyStats`).
+
+Policies change *cost*, never the *answer*: any candidate they execute
+produces bit-identical runs regardless of position, and anything they
+prune is provably (or, for the default, vacuously) irrelevant to the
+final diagnosis.  ``tests/test_policy_equivalence.py`` asserts the
+order half of that contract by permuting plans at random.
+
+This module depends only on the standard library — plans are handled
+duck-typed (``plan.requests`` / ``request.meta``) so the policy layer
+imports neither the engine nor the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CandidateMeta:
+    """Policy-facing identity of one candidate run request.
+
+    Algorithms attach one of these to every orderable
+    :class:`~repro.engine.protocol.RunRequest` they batch.  ``index`` is
+    the submission position (callers map shaped outcomes back through
+    it), ``sort_key`` a canonical total-order key over the batch — ties
+    broken by content, never by dict or insertion order — and
+    ``features`` the :class:`~repro.policy.experience.ExperienceIndex`
+    keys this candidate scores against.
+    """
+
+    index: int
+    #: Canonical total order within the batch (the static execution
+    #: order).  Comparable across every candidate of one plan.
+    sort_key: Tuple = ()
+    #: Experience-index feature keys for ranking.
+    features: Tuple[str, ...] = ()
+    #: Which batch family produced it ("lifs.extend", "ca.flip").
+    kind: str = ""
+    #: LIFS: index of the frontier base being extended, and the new
+    #: preemption's divergence seq (checkpoint-resume hint).
+    base_index: int = -1
+    div_seq: int = -1
+    #: CA: uid of the race unit the flip tests.
+    uid: int = -1
+
+
+@dataclass
+class PolicyContext:
+    """What the emitting algorithm can tell the policy about a batch."""
+
+    #: Which batch this is ("lifs.extend", "ca.identify", "ca.nested",
+    #: "ca.recheck").  Pruning policies gate on it.
+    phase: str = ""
+    #: CA: the reproduced failing run the flips are derived from.
+    failure_run: Optional[object] = None
+    #: CA: the booted kernel image (instruction lookup for invariants).
+    image: Optional[object] = None
+    #: CA: every race unit by uid.
+    units: Optional[Dict[int, object]] = None
+    #: LIFS: the interleaving-count round being extended.
+    depth: int = 0
+
+
+@dataclass
+class PolicyStats:
+    """``policy.*`` accounting, published through the engine counters."""
+
+    #: Candidates put through experience ranking.
+    ranked: int = 0
+    #: Candidates discarded without executing.
+    pruned: int = 0
+    #: Ranked candidates that matched at least one experience feature.
+    experience_hits: int = 0
+
+
+def _metas(plan) -> Optional[List[CandidateMeta]]:
+    """Every request's meta, or ``None`` when any request lacks one
+    (an unannotated plan is never reordered or pruned)."""
+    metas = [getattr(r, "meta", None) for r in plan.requests]
+    if any(m is None for m in metas):
+        return None
+    return metas
+
+
+class SearchPolicy:
+    """Base policy: keep every candidate in submission order."""
+
+    #: Registry name (make_policy spelling that built this instance).
+    name = "static"
+    #: Whether :meth:`order` may return a different order than the
+    #: canonical one — LIFS only takes its batched round path (and pays
+    #: candidate materialization) when this is true.
+    reorders = False
+
+    def __init__(self) -> None:
+        self.stats = PolicyStats()
+
+    def order(self, plan, context: Optional[PolicyContext] = None):
+        """Return the plan with its requests in execution order."""
+        return plan
+
+    def prune(self, plan, context: Optional[PolicyContext] = None):
+        """Split the plan into (kept plan, pruned requests)."""
+        return plan, []
+
+    def shape(self, plan, context: Optional[PolicyContext] = None):
+        """Prune, then order: the engine's one entry point."""
+        kept, pruned = self.prune(plan, context)
+        return self.order(kept, context), pruned
+
+    @staticmethod
+    def _replace_requests(plan, requests):
+        return replace(plan, requests=list(requests))
+
+
+__all__ = ["CandidateMeta", "PolicyContext", "PolicyStats", "SearchPolicy"]

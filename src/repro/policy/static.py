@@ -1,0 +1,77 @@
+"""Order-preserving policies: the default, and the test shuffler.
+
+:class:`StaticPolicy` executes every candidate in the canonical order —
+bit-identical to the pre-policy algorithms.  When a plan is annotated
+with :class:`~repro.policy.protocol.CandidateMeta`, "canonical" means
+ascending ``sort_key``; algorithms submit in that order already, so on
+the real paths this is the identity.  Restoring the order from the keys
+(rather than trusting submission order) is what makes the satellite
+regression test meaningful: shuffle an annotated plan, and the static
+policy puts it back.
+
+:class:`ShufflePolicy` ("shuffle:<seed>") applies a seeded
+pseudo-random permutation instead — the adversarial orderer the
+permutation-equivalence property test drives.  It exists for tests and
+is deliberately not a CLI choice.  The "shuffle-ca:<seed>" spelling
+permutes only the Causality Analysis flip batches and leaves the LIFS
+search static: flip plans execute in full and remap results by
+submission index, so their diagnosis is *exactly* order-invariant —
+on every bug, including symmetric ones where the LIFS witness itself
+is order-dependent (see the package docstring).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.policy.protocol import PolicyContext, SearchPolicy, _metas
+
+
+class StaticPolicy(SearchPolicy):
+    """Canonical order, no pruning: today's behaviour, the default."""
+
+    name = "static"
+    reorders = False
+
+    def order(self, plan, context: Optional[PolicyContext] = None):
+        if _metas(plan) is None:
+            return plan
+        ordered = sorted(plan.requests,
+                         key=lambda r: (r.meta.sort_key, r.meta.index))
+        return self._replace_requests(plan, ordered)
+
+
+class ShufflePolicy(SearchPolicy):
+    """Seeded pseudo-random order (tests only).
+
+    Any order must yield a bit-identical diagnosis — order affects
+    cost, never the answer — so a shuffled execution is the sharpest
+    probe of that contract.
+    """
+
+    def __init__(self, seed: int, phase_prefix: str = "") -> None:
+        super().__init__()
+        #: Restrict shuffling to plans whose phase starts with this
+        #: (e.g. ``"ca."``).  Empty: shuffle everything.  ``reorders``
+        #: tracks it — a CA-only shuffler leaves LIFS on the static
+        #: round path.
+        self.phase_prefix = phase_prefix
+        self.reorders = not phase_prefix
+        self.name = (f"shuffle-ca:{seed}" if phase_prefix
+                     else f"shuffle:{seed}")
+        self.seed = seed
+
+    def order(self, plan, context: Optional[PolicyContext] = None):
+        if len(plan.requests) < 2 or _metas(plan) is None:
+            return plan  # unannotated plans cannot be remapped — keep order
+        if self.phase_prefix:
+            phase = (getattr(context, "phase", "")
+                     or getattr(plan, "phase", "") or "")
+            if not phase.startswith(self.phase_prefix):
+                return plan
+        shuffled = list(plan.requests)
+        # One independent generator per batch, derived from the seed and
+        # the batch size, so a given plan always shuffles the same way.
+        random.Random(f"{self.seed}:{len(shuffled)}").shuffle(shuffled)
+        return self._replace_requests(plan, shuffled)

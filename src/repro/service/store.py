@@ -124,6 +124,22 @@ class ResultStore:
             return iter(self._records)
         return iter(self._index)
 
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """Iterate ``(digest, record)`` pairs, latest record per digest.
+
+        File-backed stores reuse the offset index — one seek + one line
+        parse per record, never a full-file rescan — so bulk consumers
+        (the experience-index loader, reporting) pay the same per-record
+        cost as :meth:`get`.  Records are yielded in index order
+        (insertion order of first appearance); mutating the store while
+        iterating is undefined."""
+        if self.path is None:
+            for digest, record in self._records.items():
+                yield digest, record
+            return
+        for digest, where in self._index.items():
+            yield digest, self._read_at(*where)
+
     def compact(self) -> None:
         """Rewrite the file with one line per digest (drops superseded
         records left behind by append-on-update) and rebuild the index."""

@@ -65,17 +65,34 @@ def diagnose_job(payload: dict) -> dict:
     else:
         raise ValueError(f"unknown triage mode {mode!r}")
     from repro.engine import EnginePolicy
+    from repro.policy import ExperienceIndex
 
     policy = EnginePolicy.resolve(wave_jobs=payload.get("wave_jobs"),
-                                  executor=payload.get("executor"))
+                                  executor=payload.get("executor"),
+                                  search_policy=payload.get("policy"))
+    experience = None
+    if policy.search_policy != "static":
+        # Rebuild the submitter's experience index from the payload
+        # snapshot (empty priors otherwise) — the adaptive policy ranks
+        # candidates against it inside this worker.
+        experience = ExperienceIndex.from_snapshot(payload.get("experience"))
     diagnosis = Aitia(
         bug, report=report,
         lifs_config=LifsConfig(wave_jobs=policy.wave_jobs,
-                               executor=policy.executor),
+                               executor=policy.executor,
+                               policy=policy.search_policy),
         ca_config=CaConfig(wave_jobs=policy.wave_jobs,
-                           executor=policy.executor)).diagnose()
+                           executor=policy.executor,
+                           policy=policy.search_policy),
+        experience=experience).diagnose()
     row = summarize_diagnosis(bug, diagnosis)
-    return {"bug_id": bug.bug_id, "mode": mode, "row": asdict(row)}
+    result = {"bug_id": bug.bug_id, "mode": mode, "row": asdict(row)}
+    if diagnosis.reproduced:
+        # What this diagnosis learned, for the submitter to persist and
+        # absorb — future adaptive searches rank by it.
+        result["experience"] = ExperienceIndex.record_of(bug.bug_id,
+                                                         diagnosis)
+    return result
 
 
 @dataclass
@@ -153,8 +170,10 @@ class TriageService:
                  context: Optional[str] = None,
                  wave_jobs: int = 1,
                  executor: str = "fleet",
+                 policy: str = "static",
                  tracer=None) -> None:
         from repro.observe.tracer import as_tracer
+        from repro.policy import ExperienceIndex
 
         self.jobs = jobs
         #: Per-diagnosis parallel wave width, forwarded to every worker's
@@ -164,7 +183,16 @@ class TriageService:
         #: Wave dispatch backend for each diagnosis (``"fleet"`` /
         #: ``"inline"``), forwarded alongside ``wave_jobs``.
         self.executor = executor
+        #: Search policy for each diagnosis (``"static"`` /
+        #: ``"adaptive"``), forwarded in every job payload.
+        self.policy = policy
         self.store = store if store is not None else ResultStore()
+        #: The service-side experience index: seeded from the result
+        #: store's persisted experience records, grown live as jobs
+        #: complete, snapshotted into adaptive job payloads.
+        self.experience = ExperienceIndex()
+        if policy != "static":
+            self.experience.load(self.store)
         self.tracer = as_tracer(tracer)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         if self.tracer.enabled:
@@ -187,7 +215,10 @@ class TriageService:
             self.metrics.incr("reports_deduped")
             return existing
         payload = dict(payload, bug_id=bug_id, digest=digest,
-                       wave_jobs=self.wave_jobs, executor=self.executor)
+                       wave_jobs=self.wave_jobs, executor=self.executor,
+                       policy=self.policy)
+        if self.policy != "static" and self.experience:
+            payload["experience"] = self.experience.snapshot()
         job = TriageJob(job_id=f"{bug_id}:{digest}", payload=payload,
                         priority=priority, timeout_s=self.timeout_s)
         self._by_digest[digest] = job
@@ -273,6 +304,12 @@ class TriageService:
         if job.outcome is JobOutcome.SUCCEEDED:
             with self.metrics.timer("persist"):
                 self.store.put(job.payload["digest"], job.result)
+                record = (job.result or {}).get("experience")
+                if record:
+                    from repro.policy import RECORD_DIGEST_PREFIX
+                    self.store.put(
+                        RECORD_DIGEST_PREFIX + job.payload["digest"], record)
+                    self.experience.absorb_record(record)
 
     @staticmethod
     def _result_of(job: TriageJob) -> TriageResult:

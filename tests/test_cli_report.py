@@ -227,6 +227,46 @@ class TestTraceReport:
         assert "LIFS snapshot engine" in out
         assert "CA snapshot engine" in out
 
+    def test_report_renders_policy_counters(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1, attrs={
+                "policy.ranked": 31, "policy.pruned": 12,
+                "policy.experience_hits": 4})])
+        assert ("search policy: 31 candidate(s) ranked, "
+                "12 pruned by error invariants, "
+                "4 experience hit(s)") in out
+
+    def test_report_without_policy_counters_omits_section(self):
+        from repro.observe.events import COUNTERS, TraceEvent
+        from repro.observe.report import render_trace_report
+
+        out = render_trace_report([
+            TraceEvent(kind=COUNTERS, name="counters", ts=0.1,
+                       attrs={"lifs.schedules": 2})])
+        assert "search policy" not in out
+
+    def test_policy_cli_end_to_end(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "CVE-2018-12232", "--policy", "adaptive",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "search policy:" in out
+        assert "pruned by error invariants" in out
+
+    def test_static_policy_cli_has_no_policy_section(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["diagnose", "SYZ-05", "--policy", "static",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "search policy:" not in out
+
     def test_no_snapshot_flag_disables_engine_counters(
             self, tmp_path, capsys):
         trace = str(tmp_path / "trace.jsonl")

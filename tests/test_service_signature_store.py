@@ -123,6 +123,57 @@ class TestResultStore:
         assert ResultStore(path).get("d1") == {}
 
 
+class TestRecordsIteration:
+    """``records()`` streams every (digest, record) pair through the
+    offset index — one seek each, no full-file rescan."""
+
+    def test_memory_store_yields_all_pairs(self):
+        store = ResultStore()
+        store.put("d1", {"v": 1})
+        store.put("d2", {"v": 2})
+        assert dict(store.records()) == {"d1": {"v": 1}, "d2": {"v": 2}}
+
+    def test_file_store_yields_all_pairs(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for n in range(10):
+            store.put(f"d{n}", {"n": n})
+        pairs = dict(ResultStore(path).records())
+        assert pairs == {f"d{n}": {"n": n} for n in range(10)}
+
+    def test_latest_record_wins_per_digest(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put("d1", {"v": 1})
+        store.put("d1", {"v": 2})
+        store.put("d2", {"v": 9})
+        assert dict(ResultStore(path).records()) == {"d1": {"v": 2},
+                                                     "d2": {"v": 9}}
+
+    def test_records_and_digests_agree(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for n in range(5):
+            store.put(f"d{n}", {"n": n})
+        assert [d for d, _ in store.records()] == list(store.digests())
+
+    def test_iteration_keeps_lazy_contract(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        for n in range(5):
+            store.put(f"d{n}", {"n": n})
+        reopened = ResultStore(path)
+        assert len(list(reopened.records())) == 5
+        assert reopened._records == {}  # nothing cached in memory
+
+    def test_empty_store_yields_nothing(self, tmp_path):
+        assert list(ResultStore().records()) == []
+        path = str(tmp_path / "store.jsonl")
+        ResultStore(path).put("d1", {})
+        empty = ResultStore(str(tmp_path / "other.jsonl"))
+        assert list(empty.records()) == []
+
+
 class TestOffsetIndex:
     """File-backed stores read through a digest → (offset, length)
     index — one seek per get, no records held in memory."""
